@@ -1,0 +1,335 @@
+// Package repro_test is the benchmark harness regenerating every
+// quantitative artifact in the paper's evaluation (see DESIGN.md's
+// experiment index):
+//
+//   - BenchmarkFig5: simulation time per workload per configuration
+//     (Figure 5's bars; compare ns/op across /baseline, /hgdb, /debug,
+//     /debug-hgdb sub-benchmarks).
+//   - BenchmarkCallbackOverhead: the §4.3 mechanism — cost of the
+//     clock-edge callback with no breakpoints inserted.
+//   - BenchmarkSymtabSize: the §4.1 statistic (reported as custom
+//     metrics: rows and netlist signals, optimized vs debug).
+//   - BenchmarkSSA / BenchmarkCompile: compilation-pipeline ablations.
+//   - BenchmarkEdgeVsChange: the §3 design choice of evaluating
+//     breakpoints only at clock edges rather than on every change.
+//   - BenchmarkParallelEval: §3.2's parallel group evaluation.
+//
+// Run: go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/riscv"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+	"repro/internal/vpi"
+)
+
+// fig5Configs mirrors the paper's four bars per workload.
+var fig5Configs = []struct {
+	name string
+	cfg  bench.Config
+}{
+	{"baseline", bench.Baseline},
+	{"hgdb", bench.BaselineHgdb},
+	{"debug", bench.Debug},
+	{"debug-hgdb", bench.DebugHgdb},
+}
+
+// BenchmarkFig5 regenerates Figure 5. The per-iteration work is one
+// full validated execution of the workload (machine construction
+// excluded from timing via the harness measuring only the run).
+func BenchmarkFig5(b *testing.B) {
+	for _, w := range riscv.Workloads() {
+		w := w
+		for _, c := range fig5Configs {
+			c := c
+			b.Run(w.Name+"/"+c.name, func(b *testing.B) {
+				var cycles uint64
+				for i := 0; i < b.N; i++ {
+					secs, res, err := bench.RunWorkload(w, c.cfg, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Cycles
+					_ = secs
+				}
+				b.ReportMetric(float64(cycles), "cycles")
+			})
+		}
+	}
+}
+
+// buildCounterNetlist makes a small design for microbenchmarks.
+func buildCounterBench(b *testing.B, debug bool) (*sim.Simulator, *symtab.Table) {
+	b.Helper()
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(16))
+	count := m.RegInit("count", ir.UIntType(16), m.Lit(0, 16))
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 16)))
+	})
+	out.Set(count)
+	comp, err := passes.Compile(c.MustBuild(), debug)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := symtab.Build(comp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim.New(nl), table
+}
+
+// BenchmarkCallbackOverhead isolates the §4.3 claim's mechanism: the
+// per-cycle cost of hgdb's clock callback when no breakpoint is
+// inserted, versus no callback at all, versus an armed breakpoint whose
+// condition never fires.
+func BenchmarkCallbackOverhead(b *testing.B) {
+	b.Run("no-hgdb", func(b *testing.B) {
+		s, _ := buildCounterBench(b, false)
+		s.Poke("Counter.en", 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	b.Run("hgdb-attached", func(b *testing.B) {
+		s, table := buildCounterBench(b, false)
+		rt, err := core.New(vpi.NewSimBackend(s), table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.SetHandler(func(*core.StopEvent) core.Command { return core.CmdContinue })
+		s.Poke("Counter.en", 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	b.Run("armed-never-hit", func(b *testing.B) {
+		s, table := buildCounterBench(b, false)
+		rt, err := core.New(vpi.NewSimBackend(s), table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.SetHandler(func(*core.StopEvent) core.Command { return core.CmdContinue })
+		files := table.Files()
+		if len(files) == 0 {
+			b.Fatal("no files")
+		}
+		lines := table.Lines(files[0])
+		// Condition is never true: evaluated every matching cycle, no
+		// stop.
+		if _, err := rt.AddBreakpoint(files[0], lines[0], "count == 70000"); err != nil {
+			b.Fatal(err)
+		}
+		s.Poke("Counter.en", 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+}
+
+// BenchmarkSymtabSize reports the §4.1 statistic as metrics.
+func BenchmarkSymtabSize(b *testing.B) {
+	b.Run("soc", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opt, err := riscv.NewMachine(1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dbg, err := riscv.NewMachine(1, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(opt.Table.TotalRows()), "rows-opt")
+			b.ReportMetric(float64(dbg.Table.TotalRows()), "rows-debug")
+			b.ReportMetric(float64(opt.Sim.Netlist().NumSignals()), "signals-opt")
+			b.ReportMetric(float64(dbg.Sim.Netlist().NumSignals()), "signals-debug")
+		}
+	})
+}
+
+// BenchmarkCompile measures the full pipeline (Algorithm 1 included) on
+// the SoC, optimized vs debug.
+func BenchmarkCompile(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		debug bool
+	}{{"optimized", false}, {"debug", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				circ, err := riscv.BuildSoC(1, "RV32Core", "SoC")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := passes.Compile(circ, mode.debug); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSSA isolates the Listing 1 → Listing 2 transform on a
+// synthetic module with many conditional assignments.
+func BenchmarkSSA(b *testing.B) {
+	build := func() *ir.Circuit {
+		c := generator.NewCircuit("S")
+		m := c.NewModule("S")
+		data := m.Input("data", ir.UIntType(64))
+		out := m.Output("out", ir.UIntType(8))
+		sum := m.Wire("sum", ir.UIntType(8))
+		sum.Set(m.Lit(0, 8))
+		for i := 0; i < 64; i++ {
+			i := i
+			m.When(data.Bit(i), func() {
+				sum.Set(sum.AddMod(m.Lit(uint64(i), 8)))
+			})
+		}
+		out.Set(sum)
+		return c.MustBuild()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comp := passes.NewCompilation(build(), false)
+		for _, p := range []passes.Pass{
+			&passes.LowerAggregates{}, &passes.Annotate{}, &passes.SSA{},
+		} {
+			if err := p.Run(comp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEdgeVsChange quantifies the §3 design decision: checking
+// breakpoints once per clock edge versus on every signal value change
+// (what a naive value-callback implementation would do). The per-change
+// variant pays the change-tracking snapshot plus one check per changed
+// signal per cycle.
+func BenchmarkEdgeVsChange(b *testing.B) {
+	checkCost := func(s *sim.Simulator) func() {
+		return func() {
+			// Stand-in for one breakpoint evaluation.
+			s.Peek("Counter.count")
+		}
+	}
+	b.Run("per-edge", func(b *testing.B) {
+		s, _ := buildCounterBench(b, false)
+		check := checkCost(s)
+		s.OnClockEdge(func(uint64) { check() })
+		s.Poke("Counter.en", 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+	b.Run("per-change", func(b *testing.B) {
+		s, _ := buildCounterBench(b, false)
+		check := checkCost(s)
+		s.OnChange(func(*rtl.Signal, eval.Value) { check() })
+		s.Poke("Counter.en", 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Step()
+		}
+	})
+}
+
+// BenchmarkParallelEval measures the §3.2 parallel group evaluation on
+// a many-instance design where every instance hits the same line.
+func BenchmarkParallelEval(b *testing.B) {
+	buildMany := func(n int) (*sim.Simulator, *core.Runtime, string, int) {
+		c := generator.NewCircuit("Top")
+		child := c.NewModule("Leaf")
+		d := child.Input("d", ir.UIntType(8))
+		q := child.Output("q", ir.UIntType(8))
+		acc := child.RegInit("acc", ir.UIntType(8), child.Lit(0, 8))
+		child.When(d.Bit(0), func() {
+			acc.Set(acc.AddMod(d))
+		})
+		q.Set(acc)
+		top := c.NewModule("Top")
+		x := top.Input("x", ir.UIntType(8))
+		y := top.Output("y", ir.UIntType(8))
+		sum := top.Wire("s", ir.UIntType(8))
+		sum.Set(top.Lit(0, 8))
+		for i := 0; i < n; i++ {
+			u := top.Instance("u"+string(rune('a'+i)), child)
+			u.IO("d").Set(x)
+			sum.Set(sum.AddMod(u.IO("q")))
+		}
+		y.Set(sum)
+		comp, err := passes.Compile(c.MustBuild(), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table, err := symtab.Build(comp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nl, err := rtl.Elaborate(comp.Circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := sim.New(nl)
+		rt, err := core.New(vpi.NewSimBackend(s), table)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The accumulate line is the only conditional breakpoint in the
+		// Leaf module's file list.
+		var file string
+		var line int
+		for _, f := range table.Files() {
+			for _, l := range table.Lines(f) {
+				for _, bp := range table.BreakpointsAt(f, l) {
+					if bp.Enable != "" {
+						file, line = f, l
+					}
+				}
+			}
+		}
+		return s, rt, file, line
+	}
+	for _, n := range []int{2, 8, 16} {
+		n := n
+		b.Run(string(rune('0'+n/10))+string(rune('0'+n%10))+"-instances", func(b *testing.B) {
+			s, rt, file, line := buildMany(n)
+			if _, err := rt.AddBreakpoint(file, line, ""); err != nil {
+				b.Fatal(err)
+			}
+			stops := 0
+			rt.SetHandler(func(ev *core.StopEvent) core.Command {
+				stops += len(ev.Threads)
+				return core.CmdContinue
+			})
+			s.Poke("Top.x", 3) // odd: every instance hits each cycle
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step()
+			}
+			if stops == 0 {
+				b.Fatal("no threads evaluated")
+			}
+		})
+	}
+}

@@ -1,0 +1,90 @@
+// Command hgdb-replay serves the hgdb debugging protocol over a
+// recorded VCD trace instead of a live simulation — the paper's replay
+// tool (Figure 1), which unlocks full reverse debugging because the
+// backend supports SetTime in both directions.
+//
+// Usage:
+//
+//	hgdb-replay -vcd trace.vcd -symtab table.json [-listen :9876]
+//	            [-auto]
+//
+// With -auto the tool replays the trace forward to the end (pausing at
+// breakpoint stops, like a live simulation would); otherwise it holds
+// at time zero and the attached debugger steps through time.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/server"
+	"repro/internal/symtab"
+	"repro/internal/vcd"
+)
+
+func main() {
+	vcdPath := flag.String("vcd", "", "VCD trace to replay (required)")
+	symtabPath := flag.String("symtab", "", "symbol table JSON (required)")
+	listen := flag.String("listen", "127.0.0.1:9876", "debug protocol listen address")
+	auto := flag.Bool("auto", false, "replay forward automatically")
+	holdFor := flag.Duration("hold", 60*time.Second, "how long to serve before exiting")
+	flag.Parse()
+	if *vcdPath == "" || *symtabPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	vf, err := os.Open(*vcdPath)
+	if err != nil {
+		log.Fatalf("hgdb-replay: %v", err)
+	}
+	trace, err := vcd.Parse(vf)
+	vf.Close()
+	if err != nil {
+		log.Fatalf("hgdb-replay: parse vcd: %v", err)
+	}
+	sf, err := os.Open(*symtabPath)
+	if err != nil {
+		log.Fatalf("hgdb-replay: %v", err)
+	}
+	table, err := symtab.Load(sf)
+	sf.Close()
+	if err != nil {
+		log.Fatalf("hgdb-replay: load symtab: %v", err)
+	}
+
+	eng := replay.New(trace)
+	rt, err := core.New(eng, table)
+	if err != nil {
+		log.Fatalf("hgdb-replay: runtime: %v", err)
+	}
+	srv := server.New(rt, log.Default())
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("hgdb-replay: %v", err)
+	}
+	log.Printf("replaying %s (%d cycles, %d signals) on %s",
+		*vcdPath, trace.MaxTime, len(trace.Signals), addr)
+
+	if *auto {
+		for eng.StepForward() {
+		}
+		log.Printf("replay finished at time %d", eng.Time())
+	} else {
+		log.Printf("holding for %s; attach with: hgdb %s", *holdFor, addr)
+		deadline := time.Now().Add(*holdFor)
+		for time.Now().Before(deadline) {
+			// Drive the trace forward slowly so breakpoint evaluation
+			// happens; a stopped debugger blocks inside StepForward.
+			if !eng.StepForward() {
+				eng.SetTime(0)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	srv.Close()
+}

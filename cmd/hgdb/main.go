@@ -1,0 +1,347 @@
+// Command hgdb is the gdb-inspired interactive debugger client (§3.5).
+// It attaches to an hgdb runtime (started by hgdb-sim or hgdb-replay,
+// or embedded in any testbench via internal/server) over the WebSocket
+// debugging protocol.
+//
+// Usage:
+//
+//	hgdb <host:port>
+//
+// Commands:
+//
+//	b <file>:<line> [if <cond>]   set breakpoint (expands per instance)
+//	delete <file>[:<line>]        remove breakpoints
+//	info breakpoints|files|instances|status|lines <file>
+//	c                             continue
+//	s                             step (next enabled statement)
+//	rs                            reverse step
+//	p <expr> [@<instance>]        evaluate expression
+//	get <path> / set <path> <v>   raw signal access
+//	pause                         break at next statement
+//	detach                        detach runtime, design runs free
+//	q                             quit
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: hgdb <host:port>")
+		os.Exit(2)
+	}
+	cl, err := client.Dial(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hgdb: %v\n", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+
+	// Print events as they arrive.
+	go func() {
+		for ev := range cl.Events {
+			printEvent(ev)
+			fmt.Print("(hgdb) ")
+		}
+		fmt.Println("\nconnection closed")
+		os.Exit(0)
+	}()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(hgdb) ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if quit := execute(cl, line); quit {
+				return
+			}
+		}
+		fmt.Print("(hgdb) ")
+	}
+}
+
+func printEvent(ev *proto.Event) {
+	switch ev.Type {
+	case "welcome":
+		fmt.Printf("\nattached: design %s (%s build, %d source files)\n", ev.Top, ev.Mode, ev.Files)
+	case "stop":
+		printStop(ev.Stop)
+	}
+}
+
+func printStop(stop *core.StopEvent) {
+	kind := "breakpoint"
+	if stop.StepStop {
+		kind = "step"
+	}
+	dir := ""
+	if stop.Reverse {
+		dir = " (reverse)"
+	}
+	if len(stop.Watch) > 0 {
+		fmt.Printf("\nwatchpoint hit [time %d]\n", stop.Time)
+		for _, wh := range stop.Watch {
+			fmt.Printf("  #%d %s @%s: %d -> %d\n", wh.ID, wh.Expr, wh.Instance, wh.Old, wh.New)
+		}
+		return
+	}
+	fmt.Printf("\n%s hit%s at %s:%d  [time %d]\n", kind, dir, stop.File, stop.Line, stop.Time)
+	for i, th := range stop.Threads {
+		fmt.Printf("  thread %d: %s\n", i+1, th.Instance)
+		printVars("locals", th.Locals)
+		if i == 0 { // generator variables only for the focused thread
+			printVars("generator", th.Generator)
+		}
+	}
+}
+
+func printVars(label string, vars []core.Variable) {
+	if len(vars) == 0 {
+		return
+	}
+	fmt.Printf("    %s:\n", label)
+	for _, sv := range core.Structure(vars) {
+		printStructured(sv, "      ")
+	}
+}
+
+func printStructured(sv core.StructuredVar, indent string) {
+	if sv.Leaf != nil && len(sv.Children) == 0 {
+		fmt.Printf("%s%s = %d (0x%x, %d bits)\n", indent, sv.Name, sv.Leaf.Value, sv.Leaf.Value, sv.Leaf.Width)
+		return
+	}
+	fmt.Printf("%s%s:\n", indent, sv.Name)
+	for _, c := range sv.Children {
+		printStructured(c, indent+"  ")
+	}
+}
+
+// execute runs one command line; returns true to quit.
+func execute(cl *client.Client, line string) bool {
+	fields := strings.Fields(line)
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case "q", "quit", "exit":
+		return true
+	case "b", "break":
+		doBreak(cl, args)
+	case "delete", "d":
+		doDelete(cl, args)
+	case "info":
+		doInfo(cl, args)
+	case "c", "continue":
+		report(cl.Command("continue"))
+	case "s", "step":
+		report(cl.Command("step"))
+	case "rs", "reverse-step":
+		report(cl.Command("reverse-step"))
+	case "pause":
+		report(cl.Command("pause"))
+	case "detach":
+		report(cl.Command("detach"))
+	case "p", "print":
+		doPrint(cl, args)
+	case "watch", "w":
+		doWatch(cl, args)
+	case "get":
+		if len(args) != 1 {
+			fmt.Println("usage: get <path>")
+			return false
+		}
+		v, err := cl.GetValue(args[0])
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		fmt.Printf("%s = %d (0x%x, %d bits)\n", args[0], v.Value, v.Value, v.Width)
+	case "set":
+		if len(args) != 2 {
+			fmt.Println("usage: set <path> <value>")
+			return false
+		}
+		v, err := strconv.ParseUint(args[1], 0, 64)
+		if err != nil {
+			fmt.Println(err)
+			return false
+		}
+		report(cl.SetValue(args[0], v))
+	case "help", "h":
+		fmt.Println("commands: b <file>:<line> [if cond] | watch <expr> [@inst] | delete | info | c | s | rs | p <expr> [@inst] | get | set | pause | detach | q")
+	default:
+		fmt.Printf("unknown command %q (try help)\n", cmd)
+	}
+	return false
+}
+
+func report(err error) {
+	if err != nil {
+		fmt.Println(err)
+	}
+}
+
+func parseLocation(s string) (string, int, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return s, 0, nil
+	}
+	line, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return "", 0, fmt.Errorf("bad location %q", s)
+	}
+	return s[:i], line, nil
+}
+
+func doBreak(cl *client.Client, args []string) {
+	if len(args) == 0 {
+		fmt.Println("usage: b <file>:<line> [if <cond>]")
+		return
+	}
+	file, line, err := parseLocation(args[0])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	cond := ""
+	if len(args) >= 3 && args[1] == "if" {
+		cond = strings.Join(args[2:], " ")
+	}
+	ids, err := cl.AddBreakpoint(file, line, cond)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("breakpoint set: %d emulated breakpoint(s) at %s:%d\n", len(ids), file, line)
+}
+
+func doDelete(cl *client.Client, args []string) {
+	if len(args) == 0 {
+		report(cl.ClearBreakpoints())
+		fmt.Println("all breakpoints removed")
+		return
+	}
+	file, line, err := parseLocation(args[0])
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	n, err := cl.RemoveBreakpoint(file, line)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("removed %d breakpoint(s)\n", n)
+}
+
+func doInfo(cl *client.Client, args []string) {
+	if len(args) == 0 {
+		fmt.Println("usage: info breakpoints|files|instances|status|lines <file>")
+		return
+	}
+	switch args[0] {
+	case "breakpoints", "b":
+		infos, err := cl.ListBreakpoints()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if len(infos) == 0 {
+			fmt.Println("no breakpoints")
+			return
+		}
+		for _, bp := range infos {
+			cond := ""
+			if bp.EnableSrc != "" {
+				cond = "  when " + bp.EnableSrc
+			}
+			fmt.Printf("  #%d %s:%d  %s%s\n", bp.ID, bp.Filename, bp.Line, bp.Instance, cond)
+		}
+	case "files", "instances", "status":
+		raw, err := cl.Info(args[0], "")
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		printJSON(raw)
+	case "lines":
+		if len(args) != 2 {
+			fmt.Println("usage: info lines <file>")
+			return
+		}
+		raw, err := cl.Info("lines", args[1])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		printJSON(raw)
+	default:
+		fmt.Printf("unknown info topic %q\n", args[0])
+	}
+}
+
+func printJSON(raw json.RawMessage) {
+	var pretty any
+	if err := json.Unmarshal(raw, &pretty); err != nil {
+		fmt.Println(string(raw))
+		return
+	}
+	out, _ := json.MarshalIndent(pretty, "  ", "  ")
+	fmt.Println("  " + string(out))
+}
+
+func doWatch(cl *client.Client, args []string) {
+	if len(args) == 0 {
+		fmt.Println("usage: watch <expr> [@<instance>] | watch -d <id>")
+		return
+	}
+	if args[0] == "-d" && len(args) == 2 {
+		id, err := strconv.Atoi(args[1])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		report(cl.RemoveWatch(id))
+		return
+	}
+	instance := ""
+	exprParts := args
+	if last := args[len(args)-1]; strings.HasPrefix(last, "@") {
+		instance = last[1:]
+		exprParts = args[:len(args)-1]
+	}
+	id, err := cl.AddWatch(instance, strings.Join(exprParts, " "))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("watchpoint %d set\n", id)
+}
+
+func doPrint(cl *client.Client, args []string) {
+	if len(args) == 0 {
+		fmt.Println("usage: p <expr> [@<instance>]")
+		return
+	}
+	instance := ""
+	exprParts := args
+	if last := args[len(args)-1]; strings.HasPrefix(last, "@") {
+		instance = last[1:]
+		exprParts = args[:len(args)-1]
+	}
+	v, err := cl.Evaluate(instance, strings.Join(exprParts, " "))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("= %d (0x%x, %d bits)\n", v.Value, v.Value, v.Width)
+}

@@ -1,0 +1,162 @@
+// fpu_debug replays the paper's §4.2 case study end to end: a known
+// bug in the floating-point compare path (dcmp.io.signaling permanently
+// asserted) makes the FPU output mismatch the functional model. We find
+// it with hgdb: break inside the when(wflags) block, inspect the
+// reconstructed dcmp.io bundle, spot the stuck signal — then build the
+// fixed design and show the flags match.
+//
+// Run: go run ./examples/fpu_debug
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fpu"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+	"repro/internal/vpi"
+)
+
+func build(buggy bool) (*sim.Simulator, *core.Runtime, *symtab.Table, *passes.Compilation) {
+	circ, err := fpu.BuildCircuit(buggy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp, err := passes.Compile(circ, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := symtab.Build(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sim.New(nl)
+	rt, err := core.New(vpi.NewSimBackend(s), table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s, rt, table, comp
+}
+
+func compare(s *sim.Simulator, op int, a, b uint64) (uint64, uint64) {
+	s.Poke("FPToInt.io_rm", uint64(op))
+	s.Poke("FPToInt.io_in1", a)
+	s.Poke("FPToInt.io_in2", b)
+	s.Poke("FPToInt.io_wflags", 1)
+	s.Step()
+	r, _ := s.Peek("FPToInt.io_out_toint")
+	f, _ := s.Peek("FPToInt.io_out_exc")
+	return r.Bits, f.Bits
+}
+
+func main() {
+	fmt.Println("=== §4.2 case study: debugging the FPU compare bug with hgdb ===")
+
+	// Step 1: the failing test. feq(qNaN, 1.0) must NOT raise invalid.
+	s, rt, table, comp := build(true)
+	modelR, modelF := fpu.Model(fpu.RmFEQ, fpu.QNaN, fpu.One)
+	gotR, gotF := compare(s, fpu.RmFEQ, fpu.QNaN, fpu.One)
+	fmt.Printf("\nfeq(qNaN, 1.0):   RTL result=%d flags=%#02x | model result=%d flags=%#02x\n",
+		gotR, gotF, modelR, modelF)
+	if gotF == uint64(modelF) {
+		log.Fatal("expected a mismatch — bug not present?")
+	}
+	fmt.Println("-> exception flags MISMATCH the functional model; time to debug.")
+
+	// Step 2: set a tentative breakpoint on the FP control logic — the
+	// statement inside the when(wflags) block that drives the flags.
+	var excLine int
+	for _, line := range table.Lines("fpu.go") {
+		for _, bp := range table.BreakpointsAt("fpu.go", line) {
+			if strings.Contains(bp.EnableSrc, "wflags") {
+				excLine = line
+			}
+		}
+	}
+	if excLine == 0 {
+		log.Fatal("no breakpoint inside the wflags block")
+	}
+	fmt.Printf("\nsetting breakpoint at fpu.go:%d (inside when(io_wflags))\n", excLine)
+	if _, err := rt.AddBreakpoint("fpu.go", excLine, ""); err != nil {
+		log.Fatal(err)
+	}
+
+	rt.SetHandler(func(ev *core.StopEvent) core.Command {
+		fmt.Printf("\nbreakpoint hit at %s:%d (cycle %d)\n", ev.File, ev.Line, ev.Time)
+		th := ev.Threads[0]
+		// The paper: "hgdb has the ability to reconstruct structured
+		// variables from a list of flattened RTL signals" — show the
+		// dcmp instance's io bundle the same way.
+		fmt.Println("  generator variables (dcmp.io reconstructed):")
+		dcmpID, _ := table.InstanceIDByName("FPToInt.dcmp")
+		var vars []core.Variable
+		for _, b := range table.GeneratorVars(dcmpID) {
+			v, err := rt.Backend().GetValue("FPToInt.dcmp." + b.RTL)
+			if err != nil {
+				continue
+			}
+			vars = append(vars, core.Variable{Name: b.Name, Value: v.Bits, Width: v.Width})
+		}
+		for _, sv := range core.Structure(vars) {
+			printVar(sv, "    ")
+		}
+		_ = th
+		return core.CmdDetach
+	})
+
+	// Re-run the failing vector; the breakpoint fires.
+	compare(s, fpu.RmFEQ, fpu.QNaN, fpu.One)
+
+	sig, _ := s.Peek("FPToInt.dcmp.io_signaling")
+	fmt.Printf("\n-> dcmp.io.signaling = %d during a QUIET comparison (feq).\n", sig.Bits)
+	fmt.Println("   \"With a quick glance, we can see that dcmp.io.signaling is not")
+	fmt.Println("    set properly since it is permanently asserted.\" (§4.2)")
+
+	// Step 3: show why the RTL was hopeless to read directly (Listing 4).
+	verilog, err := rtl.VerilogString(comp.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfor contrast, the generated RTL around toint (Listing 4 flavor):")
+	count := 0
+	for _, line := range strings.Split(verilog, "\n") {
+		if strings.Contains(line, "_GEN_") || strings.Contains(line, "_T_") {
+			fmt.Println("   ", strings.TrimSpace(line))
+			count++
+			if count >= 6 {
+				break
+			}
+		}
+	}
+
+	// Step 4: apply the fix and verify against the model.
+	fmt.Println("\napplying the fix: dcmp.io.signaling := !rm[1]")
+	s2, _, _, _ := build(false)
+	fixedR, fixedF := compare(s2, fpu.RmFEQ, fpu.QNaN, fpu.One)
+	fmt.Printf("feq(qNaN, 1.0):   RTL result=%d flags=%#02x | model result=%d flags=%#02x\n",
+		fixedR, fixedF, modelR, modelF)
+	if fixedF != uint64(modelF) || fixedR != uint64(modelR) {
+		log.Fatal("fix did not work")
+	}
+	fmt.Println("-> flags match the functional model. Bug fixed.")
+}
+
+func printVar(sv core.StructuredVar, indent string) {
+	if sv.Leaf != nil && len(sv.Children) == 0 {
+		fmt.Printf("%s%s = %d\n", indent, sv.Name, sv.Leaf.Value)
+		return
+	}
+	fmt.Printf("%s%s:\n", indent, sv.Name)
+	for _, c := range sv.Children {
+		printVar(c, indent+"  ")
+	}
+}

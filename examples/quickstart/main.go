@@ -1,0 +1,99 @@
+// Quickstart: generate a small design with the HGF, compile it with
+// symbol extraction, simulate it, and debug it at source level — the
+// whole hgdb flow in one file.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+	"repro/internal/vpi"
+)
+
+func here() int {
+	var pcs [1]uintptr
+	runtime.Callers(2, pcs[:])
+	f, _ := runtime.CallersFrames(pcs[:1]).Next()
+	return f.Line
+}
+
+func main() {
+	// 1. Describe hardware in Go (the HGF frontend). Every Set and When
+	//    records the Go source line — those lines become breakpoints.
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	var incLine int
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8))) // <- we will break here
+		incLine = here() - 1
+	})
+	out.Set(count)
+
+	// 2. Compile: lowering, SSA (paper §3.1), optimization, and symbol
+	//    table extraction (paper Algorithm 1).
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := symtab.Build(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("symbol table: %s\n", table.Stats())
+	fmt.Printf("breakable lines in main.go: %v\n\n", table.Lines("main.go"))
+
+	// 3. Elaborate and simulate.
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sim.New(nl)
+
+	// 4. Attach the hgdb runtime and set a source-level breakpoint with
+	//    a user condition.
+	rt, err := core.New(vpi.NewSimBackend(s), table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.AddBreakpoint("main.go", incLine, "count >= 3"); err != nil {
+		log.Fatal(err)
+	}
+	stops := 0
+	rt.SetHandler(func(ev *core.StopEvent) core.Command {
+		stops++
+		fmt.Printf("stop %d at %s:%d (cycle %d)\n", stops, ev.File, ev.Line, ev.Time)
+		for _, th := range ev.Threads {
+			fmt.Printf("  instance %s\n", th.Instance)
+			for _, v := range th.Locals {
+				fmt.Printf("    %-8s = %d\n", v.Name, v.Value)
+			}
+		}
+		if stops >= 3 {
+			return core.CmdDetach
+		}
+		return core.CmdContinue
+	})
+
+	// 5. Run the testbench. The breakpoint fires only when its enable
+	//    condition (inside the when) AND the user condition hold.
+	s.Reset("Counter.reset", 2)
+	s.Poke("Counter.en", 1)
+	s.Run(10)
+
+	final, _ := s.Peek("Counter.count")
+	fmt.Printf("\nfinal count = %d after %d cycles, %d debugger stops\n",
+		final.Bits, s.Time(), stops)
+}

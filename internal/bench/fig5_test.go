@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/riscv"
+)
+
+func TestRunWorkloadValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload run")
+	}
+	// Smallest workload; all four configurations must produce the same
+	// validated execution.
+	var target = "towers"
+	for _, cfg := range []Config{Baseline, BaselineHgdb, Debug, DebugHgdb} {
+		found := false
+		for _, w := range workloadsByName()[target] {
+			secs, res, err := RunWorkload(w, cfg, 1)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", target, cfg, err)
+			}
+			if secs <= 0 || !res.Halted {
+				t.Fatalf("%s under %v: secs=%f halted=%v", target, cfg, secs, res.Halted)
+			}
+			found = true
+		}
+		if !found {
+			t.Fatalf("workload %s missing", target)
+		}
+	}
+}
+
+func TestConfigStrings(t *testing.T) {
+	for cfg, want := range map[Config]string{
+		Baseline: "baseline", BaselineHgdb: "baseline+hgdb",
+		Debug: "debug", DebugHgdb: "debug+hgdb",
+	} {
+		if cfg.String() != want {
+			t.Errorf("%d.String() = %s", int(cfg), cfg)
+		}
+	}
+}
+
+func TestRowMath(t *testing.T) {
+	r := Row{Workload: "x"}
+	r.Seconds[Baseline] = 2
+	r.Seconds[BaselineHgdb] = 2.1
+	r.Seconds[Debug] = 3
+	r.Seconds[DebugHgdb] = 3.3
+	if got := r.Normalized(Debug); got != 1.5 {
+		t.Fatalf("normalized debug = %f", got)
+	}
+	if got := r.HgdbOverhead(false); got < 0.049 || got > 0.051 {
+		t.Fatalf("base overhead = %f", got)
+	}
+	if got := r.HgdbOverhead(true); got < 0.099 || got > 0.101 {
+		t.Fatalf("debug overhead = %f", got)
+	}
+	var zero Row
+	if zero.Normalized(Debug) != 0 || zero.HgdbOverhead(false) != 0 {
+		t.Fatal("zero row math not guarded")
+	}
+}
+
+func TestSymtabSizesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two SoCs")
+	}
+	st, err := SymtabSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §4.1 shape: debug mode never shrinks anything, and the
+	// generated netlist grows substantially (paper: ≈30%).
+	if st.DbgRows < st.OptRows {
+		t.Fatalf("debug rows %d < optimized %d", st.DbgRows, st.OptRows)
+	}
+	if st.DbgVars <= st.OptVars {
+		t.Fatalf("debug vars %d <= optimized %d", st.DbgVars, st.OptVars)
+	}
+	growth := float64(st.DbgSignals)/float64(st.OptSignals) - 1
+	if growth < 0.10 {
+		t.Fatalf("netlist growth %.2f below expected shape", growth)
+	}
+}
+
+func TestPrintFig5Format(t *testing.T) {
+	rows := []Row{{Workload: "demo", Cycles: 100, CPIMilli: 1001}}
+	rows[0].Seconds[Baseline] = 1
+	rows[0].Seconds[BaselineHgdb] = 1.01
+	rows[0].Seconds[Debug] = 1.3
+	rows[0].Seconds[DebugHgdb] = 1.31
+	var sb strings.Builder
+	PrintFig5(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"workload", "demo", "1.00", "1.30", "1.001"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// workloadsByName indexes the registered workloads.
+func workloadsByName() map[string][]*riscv.Workload {
+	out := map[string][]*riscv.Workload{}
+	for _, w := range riscv.Workloads() {
+		out[w.Name] = append(out[w.Name], w)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+// Package client is the Go client for the hgdb debugging protocol,
+// used by the gdb-like CLI (cmd/hgdb) and by integration tests. It
+// demultiplexes the WebSocket stream into request/response pairs and
+// unsolicited stop events.
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/ws"
+)
+
+// Client is one attached debugger.
+type Client struct {
+	conn *ws.Conn
+
+	mu      sync.Mutex
+	nextTok int
+	waiting map[string]chan *proto.Response
+
+	// Events delivers stop and welcome events; closed when the
+	// connection dies.
+	Events chan *proto.Event
+
+	closed chan struct{}
+}
+
+// Dial attaches to a runtime at ws://addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := ws.Dial("ws://" + addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		waiting: map[string]chan *proto.Response{},
+		Events:  make(chan *proto.Event, 16),
+		closed:  make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close detaches.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	defer close(c.closed)
+	defer close(c.Events)
+	for {
+		raw, err := c.conn.ReadText()
+		if err != nil {
+			return
+		}
+		// Peek at the type.
+		var head struct {
+			Type  string `json:"type"`
+			Token string `json:"token"`
+		}
+		if err := json.Unmarshal(raw, &head); err != nil {
+			continue
+		}
+		if head.Type == "response" {
+			var resp proto.Response
+			if err := json.Unmarshal(raw, &resp); err != nil {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.waiting[resp.Token]
+			delete(c.waiting, resp.Token)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- &resp
+			}
+			continue
+		}
+		var ev proto.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			continue
+		}
+		select {
+		case c.Events <- &ev:
+		default:
+			// Drop events if the consumer is not keeping up; the
+			// simulator stays paused until a command arrives anyway.
+		}
+	}
+}
+
+// roundTrip sends a request and waits for its response.
+func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
+	c.mu.Lock()
+	c.nextTok++
+	req.Token = strconv.Itoa(c.nextTok)
+	ch := make(chan *proto.Response, 1)
+	c.waiting[req.Token] = ch
+	c.mu.Unlock()
+
+	msg, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.conn.WriteText(msg); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Status != "ok" {
+			return resp, fmt.Errorf("hgdb: %s", resp.Reason)
+		}
+		return resp, nil
+	case <-c.closed:
+		return nil, fmt.Errorf("hgdb: connection closed")
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("hgdb: request timed out")
+	}
+}
+
+// AddBreakpoint arms breakpoints at file:line with an optional
+// condition and returns the armed ids.
+func (c *Client) AddBreakpoint(file string, line int, cond string) ([]int64, error) {
+	resp, err := c.roundTrip(&proto.Request{
+		Type: "breakpoint", Action: "add",
+		Filename: file, Line: line, Condition: cond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var data struct {
+		IDs []int64 `json:"ids"`
+	}
+	if err := json.Unmarshal(resp.Data, &data); err != nil {
+		return nil, err
+	}
+	return data.IDs, nil
+}
+
+// RemoveBreakpoint disarms breakpoints at file:line.
+func (c *Client) RemoveBreakpoint(file string, line int) (int, error) {
+	resp, err := c.roundTrip(&proto.Request{
+		Type: "breakpoint", Action: "remove", Filename: file, Line: line,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var data struct {
+		Removed int `json:"removed"`
+	}
+	if err := json.Unmarshal(resp.Data, &data); err != nil {
+		return 0, err
+	}
+	return data.Removed, nil
+}
+
+// ListBreakpoints returns the armed breakpoints.
+func (c *Client) ListBreakpoints() ([]proto.BreakpointInfo, error) {
+	resp, err := c.roundTrip(&proto.Request{Type: "breakpoint", Action: "list"})
+	if err != nil {
+		return nil, err
+	}
+	var infos []proto.BreakpointInfo
+	if len(resp.Data) > 0 {
+		if err := json.Unmarshal(resp.Data, &infos); err != nil {
+			return nil, err
+		}
+	}
+	return infos, nil
+}
+
+// ClearBreakpoints disarms everything.
+func (c *Client) ClearBreakpoints() error {
+	_, err := c.roundTrip(&proto.Request{Type: "breakpoint", Action: "clear"})
+	return err
+}
+
+// Command resumes a stopped simulation: continue, step, reverse-step,
+// detach, pause.
+func (c *Client) Command(cmd string) error {
+	_, err := c.roundTrip(&proto.Request{Type: "command", Command: cmd})
+	return err
+}
+
+// Evaluate computes a watch expression in an instance context.
+func (c *Client) Evaluate(instance, expression string) (proto.ValueInfo, error) {
+	resp, err := c.roundTrip(&proto.Request{
+		Type: "evaluate", Instance: instance, Expression: expression,
+	})
+	if err != nil {
+		return proto.ValueInfo{}, err
+	}
+	var v proto.ValueInfo
+	if err := json.Unmarshal(resp.Data, &v); err != nil {
+		return proto.ValueInfo{}, err
+	}
+	return v, nil
+}
+
+// GetValue fetches a signal by full or symtab-relative path.
+func (c *Client) GetValue(path string) (proto.ValueInfo, error) {
+	resp, err := c.roundTrip(&proto.Request{Type: "get-value", Path: path})
+	if err != nil {
+		return proto.ValueInfo{}, err
+	}
+	var v proto.ValueInfo
+	if err := json.Unmarshal(resp.Data, &v); err != nil {
+		return proto.ValueInfo{}, err
+	}
+	return v, nil
+}
+
+// SetValue deposits a value into the design.
+func (c *Client) SetValue(path string, v uint64) error {
+	_, err := c.roundTrip(&proto.Request{Type: "set-value", Path: path, Value: v})
+	return err
+}
+
+// Info queries runtime metadata; topic is files | lines | instances |
+// status.
+func (c *Client) Info(topic, filename string) (json.RawMessage, error) {
+	resp, err := c.roundTrip(&proto.Request{Type: "info", Topic: topic, Filename: filename})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// AddWatch sets a data watchpoint on an expression in an instance
+// context; stops fire whenever the value changes.
+func (c *Client) AddWatch(instance, expression string) (int, error) {
+	resp, err := c.roundTrip(&proto.Request{
+		Type: "watch", Action: "add", Instance: instance, Expression: expression,
+	})
+	if err != nil {
+		return 0, err
+	}
+	var data struct {
+		ID int `json:"id"`
+	}
+	if err := json.Unmarshal(resp.Data, &data); err != nil {
+		return 0, err
+	}
+	return data.ID, nil
+}
+
+// RemoveWatch deletes a watchpoint by id.
+func (c *Client) RemoveWatch(id int) error {
+	_, err := c.roundTrip(&proto.Request{Type: "watch", Action: "remove", WatchID: id})
+	return err
+}
+
+// WaitStop blocks until the next stop event or timeout.
+func (c *Client) WaitStop(timeout time.Duration) (*core.StopEvent, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-c.Events:
+			if !ok {
+				return nil, fmt.Errorf("hgdb: connection closed")
+			}
+			if ev.Type == "stop" && ev.Stop != nil {
+				return ev.Stop, nil
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("hgdb: no stop within %s", timeout)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eval"
+	"repro/internal/expr"
+)
+
+// pathResolver resolves through the breakpoint's precomputed path map.
+func (ibp *insertedBP) pathResolver(rt *Runtime) expr.Resolver {
+	return expr.ResolverFunc(func(name string) (eval.Value, error) {
+		if full, ok := ibp.paths[name]; ok {
+			return rt.backend.GetValue(full)
+		}
+		return rt.backend.GetValue(rt.remap.ToSim(ibp.bp.InstanceName + "." + name))
+	})
+}
+
+// buildEvent reconstructs the stack-frame information for every hit
+// instance (§3.2 step 3: "we reconstruct the stack frame based on the
+// symbol table and then send the result to the user").
+func (rt *Runtime) buildEvent(g *group, hits []*insertedBP, time uint64, reverse, stepping bool) *StopEvent {
+	ev := &StopEvent{
+		Time:     time,
+		File:     g.file,
+		Line:     g.line,
+		Col:      g.col,
+		Reverse:  reverse,
+		StepStop: stepping,
+	}
+	for _, ibp := range hits {
+		th := Thread{
+			BreakpointID: ibp.bp.ID,
+			Instance:     ibp.bp.InstanceName,
+		}
+		for _, b := range rt.table.ScopeVars(ibp.bp.ID) {
+			full := rt.remap.ToSim(ibp.bp.InstanceName + "." + b.RTL)
+			v, err := rt.backend.GetValue(full)
+			if err != nil {
+				continue
+			}
+			th.Locals = append(th.Locals, Variable{Name: b.Name, Value: v.Bits, Width: v.Width, RTL: full})
+		}
+		if instID, ok := rt.table.InstanceIDByName(ibp.bp.InstanceName); ok {
+			for _, b := range rt.table.GeneratorVars(instID) {
+				full := rt.remap.ToSim(ibp.bp.InstanceName + "." + b.RTL)
+				v, err := rt.backend.GetValue(full)
+				if err != nil {
+					continue
+				}
+				th.Generator = append(th.Generator, Variable{Name: b.Name, Value: v.Bits, Width: v.Width, RTL: full})
+			}
+		}
+		sortVars(th.Locals)
+		sortVars(th.Generator)
+		ev.Threads = append(ev.Threads, th)
+	}
+	sort.Slice(ev.Threads, func(i, j int) bool { return ev.Threads[i].Instance < ev.Threads[j].Instance })
+	return ev
+}
+
+func sortVars(vars []Variable) {
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+}
+
+// Evaluate computes a watch expression in the context of an instance
+// (source-level names resolve through generator variables).
+func (rt *Runtime) Evaluate(instance, src string) (eval.Value, error) {
+	n, err := expr.Parse(src)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	return n.Eval(expr.ResolverFunc(func(name string) (eval.Value, error) {
+		if rtlPath, err := rt.table.ResolveInstanceVar(instance, name); err == nil {
+			return rt.backend.GetValue(rt.remap.ToSim(rtlPath))
+		}
+		if v, err := rt.backend.GetValue(rt.remap.ToSim(instance + "." + name)); err == nil {
+			return v, nil
+		}
+		if v, err := rt.backend.GetValue(name); err == nil {
+			return v, nil
+		}
+		return eval.Value{}, fmt.Errorf("core: cannot resolve %q in %s", name, instance)
+	}))
+}
+
+// StructuredVars groups flat dotted variables into a tree for display —
+// the paper's "reconstruct structured variables from a list of
+// flattened RTL signals" (§4.2, dcmp.io as a PortBundle).
+type StructuredVar struct {
+	Name     string          `json:"name"`
+	Leaf     *Variable       `json:"leaf,omitempty"`
+	Children []StructuredVar `json:"children,omitempty"`
+}
+
+// Structure converts flat variables into a nested tree by splitting
+// dotted names.
+func Structure(vars []Variable) []StructuredVar {
+	type nodeT struct {
+		children map[string]*nodeT
+		order    []string
+		leaf     *Variable
+	}
+	root := &nodeT{children: map[string]*nodeT{}}
+	for i := range vars {
+		v := &vars[i]
+		parts := splitDots(v.Name)
+		cur := root
+		for _, p := range parts {
+			child, ok := cur.children[p]
+			if !ok {
+				child = &nodeT{children: map[string]*nodeT{}}
+				cur.children[p] = child
+				cur.order = append(cur.order, p)
+			}
+			cur = child
+		}
+		cur.leaf = v
+	}
+	var build func(n *nodeT, name string) StructuredVar
+	build = func(n *nodeT, name string) StructuredVar {
+		sv := StructuredVar{Name: name, Leaf: n.leaf}
+		sort.Strings(n.order)
+		for _, childName := range n.order {
+			sv.Children = append(sv.Children, build(n.children[childName], childName))
+		}
+		return sv
+	}
+	var out []StructuredVar
+	sort.Strings(root.order)
+	for _, name := range root.order {
+		out = append(out, build(root.children[name], name))
+	}
+	return out
+}
+
+// splitDots splits a dotted path, keeping bracketed indices attached to
+// their segment ("v[3].x" → ["v[3]", "x"]).
+func splitDots(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

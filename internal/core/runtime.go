@@ -1,0 +1,402 @@
+// Package core implements the hgdb debugger runtime: breakpoint
+// insertion against the symbol table, the paper's Figure 2 scheduling
+// loop executed inside the simulator's clock-edge callback, parallel
+// condition evaluation, source-level stack frame reconstruction with
+// structured variables, concurrent instances presented as threads, and
+// intra-cycle plus (on replay backends) full reverse debugging.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/symtab"
+	"repro/internal/vpi"
+)
+
+// Command tells the runtime how to proceed after a stop.
+type Command int
+
+const (
+	// CmdContinue resumes until the next inserted breakpoint hits.
+	CmdContinue Command = iota
+	// CmdStep stops at the next source statement whose enable condition
+	// holds, whether or not a breakpoint is inserted there (step-over).
+	CmdStep
+	// CmdReverseStep steps to the previous enabled source statement,
+	// reversing the intra-cycle schedule; at the cycle boundary the
+	// backend's SetTime is used when available (§3.2).
+	CmdReverseStep
+	// CmdDetach removes the runtime from the simulation; the design
+	// runs freely afterwards.
+	CmdDetach
+)
+
+func (c Command) String() string {
+	switch c {
+	case CmdContinue:
+		return "continue"
+	case CmdStep:
+		return "step"
+	case CmdReverseStep:
+		return "reverse-step"
+	case CmdDetach:
+		return "detach"
+	}
+	return fmt.Sprintf("Command(%d)", int(c))
+}
+
+// Variable is one reconstructed variable value in a frame.
+type Variable struct {
+	// Name is the source-level (dotted) name, e.g. "io.out.bits".
+	Name string `json:"name"`
+	// Value is the current bits.
+	Value uint64 `json:"value"`
+	// Width is the signal width.
+	Width int `json:"width"`
+	// RTL is the full simulator path the value was fetched from.
+	RTL string `json:"rtl"`
+}
+
+// Thread is one concurrent hardware instance stopped at a source
+// location (paper Fig. 4 B).
+type Thread struct {
+	// BreakpointID identifies the symtab breakpoint row.
+	BreakpointID int64 `json:"breakpoint_id"`
+	// Instance is the symtab-relative instance path.
+	Instance string `json:"instance"`
+	// Locals are the scope variables reconstructed for the frame.
+	Locals []Variable `json:"locals"`
+	// Generator are the instance-level generator variables.
+	Generator []Variable `json:"generator"`
+}
+
+// StopEvent describes one debugger stop.
+type StopEvent struct {
+	// Time is the simulation time of the stop.
+	Time uint64 `json:"time"`
+	// File/Line/Col locate the generator source statement.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Threads are the instances that hit the location this cycle.
+	Threads []Thread `json:"threads"`
+	// Reverse reports whether the stop was reached by reverse
+	// execution.
+	Reverse bool `json:"reverse"`
+	// StepStop reports a stop produced by stepping rather than an
+	// inserted breakpoint.
+	StepStop bool `json:"step_stop"`
+	// Watch carries triggered watchpoints when the stop came from a
+	// data breakpoint rather than a source location.
+	Watch []WatchHit `json:"watch,omitempty"`
+}
+
+// Handler receives stop events and returns the next command. It runs on
+// the simulation goroutine: the simulator is paused for as long as the
+// handler takes — exactly the paper's model, where hgdb blocks inside
+// the clock callback while the user inspects state.
+type Handler func(*StopEvent) Command
+
+// insertedBP is one armed emulated breakpoint.
+type insertedBP struct {
+	bp     symtab.Breakpoint
+	enable expr.Node // nil = always enabled
+	cond   expr.Node // user condition; nil = none
+	// paths precomputes name → full simulator path for every identifier
+	// the conditions reference, so per-cycle evaluation allocates
+	// nothing (the timing-sensitive path of §3.3).
+	paths map[string]string
+}
+
+// group is a set of breakpoints sharing one source statement; the
+// scheduler evaluates a group's members (instances) in parallel.
+type group struct {
+	file    string
+	line    int
+	col     int
+	ordinal int
+	bps     []*insertedBP
+}
+
+func (g *group) key() groupKey {
+	return groupKey{file: g.file, line: g.line, ordinal: g.ordinal}
+}
+
+type groupKey struct {
+	file    string
+	line    int
+	ordinal int
+}
+
+// Runtime is the hgdb debugger runtime.
+type Runtime struct {
+	backend vpi.Interface
+	table   *symtab.Table
+	remap   *symtab.Remap
+
+	mu       sync.Mutex
+	inserted map[int64]*insertedBP
+	handler  Handler
+
+	// stepping state
+	stepArmed    bool // stop at the next enabled statement
+	reverseArmed bool // schedule in reverse on the next evaluation
+	resumeFrom   int  // group index to resume within the current cycle
+	detached     bool
+
+	watches   []*Watchpoint
+	nextWatch int
+
+	cbID       int
+	attached   bool
+	evalCount  uint64 // statistics: breakpoint condition evaluations
+	stopCount  uint64
+	allGroups  []*group // all symtab statements, for stepping
+	cycleGuard bool
+}
+
+// New attaches a runtime to a backend and symbol table. The design is
+// located inside the simulated hierarchy via instance-name matching.
+func New(backend vpi.Interface, table *symtab.Table) (*Runtime, error) {
+	remap, err := symtab.NewRemap(backend.Hierarchy(), table)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		backend:  backend,
+		table:    table,
+		remap:    remap,
+		inserted: map[int64]*insertedBP{},
+	}
+	rt.allGroups = rt.buildAllGroups()
+	rt.cbID = backend.OnClockEdge(rt.onEdge)
+	rt.attached = true
+	return rt, nil
+}
+
+// buildAllGroups precomputes the absolute ordering of every potential
+// breakpoint (§3.2: "Before the simulation starts, we compute the
+// absolute ordering of every potential breakpoint").
+func (rt *Runtime) buildAllGroups() []*group {
+	byKey := map[groupKey]*group{}
+	var order []groupKey
+	for _, bp := range rt.table.AllBreakpoints() {
+		ibp, err := rt.prepare(bp, "")
+		if err != nil {
+			continue
+		}
+		g, ok := byKey[ibp.key()]
+		if !ok {
+			g = &group{file: bp.Filename, line: bp.Line, col: bp.Col, ordinal: bp.Order}
+			byKey[ibp.key()] = g
+			order = append(order, ibp.key())
+		}
+		g.bps = append(g.bps, ibp)
+	}
+	groups := make([]*group, 0, len(order))
+	for _, k := range order {
+		groups = append(groups, byKey[k])
+	}
+	sortGroups(groups)
+	return groups
+}
+
+func sortGroups(groups []*group) {
+	sort.SliceStable(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.ordinal < b.ordinal
+	})
+}
+
+func (ibp *insertedBP) key() groupKey {
+	return groupKey{file: ibp.bp.Filename, line: ibp.bp.Line, ordinal: ibp.bp.Order}
+}
+
+// prepare parses the enable and user conditions of a breakpoint.
+func (rt *Runtime) prepare(bp symtab.Breakpoint, userCond string) (*insertedBP, error) {
+	ibp := &insertedBP{bp: bp}
+	if bp.Enable != "" {
+		n, err := expr.Parse(bp.Enable)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad enable condition %q: %w", bp.Enable, err)
+		}
+		ibp.enable = n
+	}
+	if userCond != "" {
+		n, err := expr.Parse(userCond)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad breakpoint condition %q: %w", userCond, err)
+		}
+		ibp.cond = n
+	}
+	rt.precomputePaths(ibp)
+	return ibp, nil
+}
+
+// precomputePaths resolves every identifier in the breakpoint's
+// conditions to its full simulator path once, at arm time.
+func (rt *Runtime) precomputePaths(ibp *insertedBP) {
+	ibp.paths = map[string]string{}
+	inst := ibp.bp.InstanceName
+	if ibp.enable != nil {
+		// Enable conditions speak in instance-local RTL names.
+		for _, n := range expr.Names(ibp.enable) {
+			ibp.paths[n] = rt.remap.ToSim(inst + "." + n)
+		}
+	}
+	if ibp.cond != nil {
+		// User conditions speak in source-level names; resolve with the
+		// scope → generator → local-RTL → absolute fallback chain.
+		for _, n := range expr.Names(ibp.cond) {
+			if _, done := ibp.paths[n]; done {
+				continue
+			}
+			if rtlPath, err := rt.table.ResolveScopedVar(ibp.bp.ID, n); err == nil {
+				ibp.paths[n] = rt.remap.ToSim(rtlPath)
+				continue
+			}
+			if rtlPath, err := rt.table.ResolveInstanceVar(inst, n); err == nil {
+				ibp.paths[n] = rt.remap.ToSim(rtlPath)
+				continue
+			}
+			local := rt.remap.ToSim(inst + "." + n)
+			if _, err := rt.backend.GetValue(local); err == nil {
+				ibp.paths[n] = local
+				continue
+			}
+			ibp.paths[n] = n // try as an absolute path at eval time
+		}
+	}
+}
+
+// SetHandler installs the stop handler. Without a handler, hits
+// auto-continue.
+func (rt *Runtime) SetHandler(h Handler) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.handler = h
+}
+
+// AddBreakpoint arms every emulated breakpoint at file:line (one per
+// matching statement per instance), with an optional user condition in
+// the debugger expression language. It returns the armed breakpoint
+// ids.
+func (rt *Runtime) AddBreakpoint(file string, line int, cond string) ([]int64, error) {
+	bps := rt.table.BreakpointsAt(file, line)
+	if len(bps) == 0 {
+		return nil, fmt.Errorf("core: no breakpoint at %s:%d", file, line)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var ids []int64
+	for _, bp := range bps {
+		ibp, err := rt.prepare(bp, cond)
+		if err != nil {
+			return nil, err
+		}
+		rt.inserted[bp.ID] = ibp
+		ids = append(ids, bp.ID)
+	}
+	return ids, nil
+}
+
+// AddBreakpointInstance arms breakpoints at file:line for one specific
+// instance only — the per-thread breakpoint scoping an IDE offers when
+// the user picks a single hardware thread (Fig. 4 B).
+func (rt *Runtime) AddBreakpointInstance(file string, line int, instance, cond string) ([]int64, error) {
+	bps := rt.table.BreakpointsAt(file, line)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var ids []int64
+	for _, bp := range bps {
+		if bp.InstanceName != instance {
+			continue
+		}
+		ibp, err := rt.prepare(bp, cond)
+		if err != nil {
+			return nil, err
+		}
+		rt.inserted[bp.ID] = ibp
+		ids = append(ids, bp.ID)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("core: no breakpoint at %s:%d in instance %s", file, line, instance)
+	}
+	return ids, nil
+}
+
+// RemoveBreakpoint disarms all breakpoints at file:line; line <= 0
+// disarms the whole file.
+func (rt *Runtime) RemoveBreakpoint(file string, line int) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	removed := 0
+	for id, ibp := range rt.inserted {
+		if ibp.bp.Filename == file && (line <= 0 || ibp.bp.Line == line) {
+			delete(rt.inserted, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// ClearBreakpoints disarms everything.
+func (rt *Runtime) ClearBreakpoints() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.inserted = map[int64]*insertedBP{}
+}
+
+// ListBreakpoints returns the armed breakpoints in scheduling order.
+func (rt *Runtime) ListBreakpoints() []symtab.Breakpoint {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []symtab.Breakpoint
+	for _, ibp := range rt.inserted {
+		out = append(out, ibp.bp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InterruptNext arms a step stop at the next evaluated statement
+// (asynchronous pause).
+func (rt *Runtime) InterruptNext() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.stepArmed = true
+}
+
+// Detach removes the clock callback; the simulation runs free.
+func (rt *Runtime) Detach() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.attached {
+		rt.backend.RemoveCallback(rt.cbID)
+		rt.attached = false
+	}
+	rt.detached = true
+}
+
+// Stats returns (condition evaluations, stops) counters.
+func (rt *Runtime) Stats() (evals, stops uint64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.evalCount, rt.stopCount
+}
+
+// Backend exposes the underlying vpi interface (for value get/set
+// passthrough in the debugger protocol).
+func (rt *Runtime) Backend() vpi.Interface { return rt.backend }
+
+// Table exposes the symbol table.
+func (rt *Runtime) Table() *symtab.Table { return rt.table }
+
+// Remap exposes the hierarchy mapping.
+func (rt *Runtime) Remap() *symtab.Remap { return rt.remap }

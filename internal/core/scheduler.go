@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sync"
+)
+
+// onEdge is the clock-edge callback: the entire Figure 2 scheduling
+// loop. The first check is the fast path the paper's overhead argument
+// rests on — with no breakpoints inserted and no step pending, the
+// callback returns immediately and the simulator pays only the cost of
+// the call itself.
+func (rt *Runtime) onEdge(time uint64) {
+	rt.mu.Lock()
+	stepping := rt.stepArmed
+	reverse := rt.reverseArmed
+	hasBPs := len(rt.inserted) > 0
+	hasWatches := len(rt.watches) > 0
+	handler := rt.handler
+	detached := rt.detached
+	rt.mu.Unlock()
+
+	if detached || handler == nil {
+		return
+	}
+	if !hasBPs && !stepping && !hasWatches {
+		return // fast exit: no breakpoint left to schedule
+	}
+	if hasWatches {
+		if ev := rt.checkWatches(time); ev != nil {
+			rt.mu.Lock()
+			rt.stopCount++
+			rt.mu.Unlock()
+			switch handler(ev) {
+			case CmdDetach:
+				rt.Detach()
+				return
+			case CmdStep:
+				stepping = true
+			case CmdReverseStep:
+				stepping, reverse = true, true
+			}
+		}
+	}
+	if !hasBPs && !stepping {
+		return
+	}
+
+	start := 0
+	if reverse {
+		start = len(rt.allGroups) - 1
+	}
+	rt.schedule(time, start, stepping, reverse, handler)
+}
+
+// schedule walks breakpoint groups in the pre-computed order (or its
+// reverse), evaluates each group's members in parallel, and blocks in
+// the handler on hits. Reverse scheduling that falls off the beginning
+// of a cycle re-enters the previous cycle when the backend supports
+// SetTime (trace replay), giving full reverse debugging.
+func (rt *Runtime) schedule(time uint64, start int, stepping, reverse bool, handler Handler) {
+	t := time
+	i := start
+	for {
+		if i < 0 || i >= len(rt.allGroups) {
+			// Fetch-next-breakpoints returned "done" for this cycle.
+			if reverse && i < 0 && t > 0 {
+				// Reverse past the cycle boundary: rewind time if the
+				// backend can.
+				if err := rt.backend.SetTime(t - 1); err == nil {
+					t--
+					i = len(rt.allGroups) - 1
+					continue
+				}
+			}
+			break
+		}
+		g := rt.allGroups[i]
+		hits := rt.evaluateGroup(g, stepping)
+		if len(hits) == 0 {
+			i = next(i, reverse)
+			continue
+		}
+		event := rt.buildEvent(g, hits, t, reverse, stepping)
+		rt.mu.Lock()
+		rt.stopCount++
+		rt.mu.Unlock()
+		cmd := handler(event)
+		switch cmd {
+		case CmdDetach:
+			rt.Detach()
+			rt.setStep(false, false)
+			return
+		case CmdContinue:
+			stepping, reverse = false, false
+			i = next(i, false)
+		case CmdStep:
+			stepping, reverse = true, false
+			i = next(i, false)
+		case CmdReverseStep:
+			stepping, reverse = true, true
+			i = next(i, true)
+		default:
+			stepping, reverse = false, false
+			i = next(i, false)
+		}
+		rt.mu.Lock()
+		hasBPs := len(rt.inserted) > 0
+		rt.mu.Unlock()
+		if !stepping && !hasBPs {
+			break
+		}
+	}
+	// Carry stepping state into the next cycle: a forward step that ran
+	// off the end of this cycle stops at the first enabled statement of
+	// the next; an un-rewindable reverse step stays armed so the user
+	// still gets a stop (documented live-simulation limitation).
+	rt.setStep(stepping, reverse && stepping)
+}
+
+func next(i int, reverse bool) int {
+	if reverse {
+		return i - 1
+	}
+	return i + 1
+}
+
+func (rt *Runtime) setStep(step, reverse bool) {
+	rt.mu.Lock()
+	rt.stepArmed = step
+	rt.reverseArmed = reverse
+	rt.mu.Unlock()
+}
+
+// evaluateGroup evaluates all candidate breakpoints of one source
+// statement in parallel (§3.2 step 2) and returns the members that hit.
+func (rt *Runtime) evaluateGroup(g *group, stepping bool) []*insertedBP {
+	// Select members: inserted breakpoints always; when stepping, every
+	// potential breakpoint participates.
+	rt.mu.Lock()
+	members := make([]*insertedBP, 0, len(g.bps))
+	for _, cand := range g.bps {
+		if armed, ok := rt.inserted[cand.bp.ID]; ok {
+			members = append(members, armed)
+		} else if stepping {
+			members = append(members, cand)
+		}
+	}
+	rt.evalCount += uint64(len(members))
+	rt.mu.Unlock()
+	if len(members) == 0 {
+		return nil
+	}
+
+	results := make([]bool, len(members))
+	if len(members) == 1 {
+		results[0] = rt.evalBP(members[0])
+	} else {
+		var wg sync.WaitGroup
+		for idx := range members {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				results[k] = rt.evalBP(members[k])
+			}(idx)
+		}
+		wg.Wait()
+	}
+	var hits []*insertedBP
+	for idx, ok := range results {
+		if ok {
+			hits = append(hits, members[idx])
+		}
+	}
+	return hits
+}
+
+// evalBP checks one breakpoint: SSA enable condition AND user
+// condition. Name resolution uses the paths precomputed at arm time.
+func (rt *Runtime) evalBP(ibp *insertedBP) bool {
+	resolver := ibp.pathResolver(rt)
+	if ibp.enable != nil {
+		v, err := ibp.enable.Eval(resolver)
+		if err != nil || !v.IsTrue() {
+			return false
+		}
+	}
+	if ibp.cond != nil {
+		v, err := ibp.cond.Eval(resolver)
+		if err != nil || !v.IsTrue() {
+			return false
+		}
+	}
+	return true
+}

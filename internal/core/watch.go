@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/expr"
+)
+
+// Watchpoint is a data breakpoint: the simulation stops when the
+// watched expression's value changes between clock edges. This extends
+// the paper's breakpoint emulation with the other classic source-level
+// debugging primitive; it rides the same clock-edge callback and the
+// same stable-state guarantee.
+type Watchpoint struct {
+	ID int
+	// Instance scopes name resolution (symtab-relative path).
+	Instance string
+	// Expr is the watched expression source.
+	Expr string
+
+	node  expr.Node
+	paths map[string]string
+	last  eval.Value
+	armed bool
+}
+
+// AddWatch registers a watchpoint on an expression evaluated in an
+// instance context; it stops on any value change.
+func (rt *Runtime) AddWatch(instance, source string) (int, error) {
+	n, err := expr.Parse(source)
+	if err != nil {
+		return 0, err
+	}
+	w := &Watchpoint{
+		Instance: instance,
+		Expr:     source,
+		node:     n,
+		paths:    map[string]string{},
+	}
+	// Resolve names with the generator-variable chain, falling back to
+	// instance-local RTL and absolute paths.
+	for _, name := range expr.Names(n) {
+		if rtlPath, err := rt.table.ResolveInstanceVar(instance, name); err == nil {
+			w.paths[name] = rt.remap.ToSim(rtlPath)
+			continue
+		}
+		local := rt.remap.ToSim(instance + "." + name)
+		if _, err := rt.backend.GetValue(local); err == nil {
+			w.paths[name] = local
+			continue
+		}
+		if _, err := rt.backend.GetValue(name); err == nil {
+			w.paths[name] = name
+			continue
+		}
+		return 0, fmt.Errorf("core: watch: cannot resolve %q in %s", name, instance)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nextWatch++
+	w.ID = rt.nextWatch
+	rt.watches = append(rt.watches, w)
+	return w.ID, nil
+}
+
+// RemoveWatch deletes a watchpoint by id.
+func (rt *Runtime) RemoveWatch(id int) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i, w := range rt.watches {
+		if w.ID == id {
+			rt.watches = append(rt.watches[:i], rt.watches[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Watches lists active watchpoints.
+func (rt *Runtime) Watches() []*Watchpoint {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Watchpoint, len(rt.watches))
+	copy(out, rt.watches)
+	return out
+}
+
+func (w *Watchpoint) eval(rt *Runtime) (eval.Value, error) {
+	return w.node.Eval(expr.ResolverFunc(func(name string) (eval.Value, error) {
+		if full, ok := w.paths[name]; ok {
+			return rt.backend.GetValue(full)
+		}
+		return eval.Value{}, fmt.Errorf("core: watch: unresolved %q", name)
+	}))
+}
+
+// checkWatches runs at each clock edge before the breakpoint schedule;
+// it returns a stop event when any watched value changed.
+func (rt *Runtime) checkWatches(time uint64) *StopEvent {
+	rt.mu.Lock()
+	watches := rt.watches
+	rt.mu.Unlock()
+	var ev *StopEvent
+	for _, w := range watches {
+		v, err := w.eval(rt)
+		if err != nil {
+			continue
+		}
+		if !w.armed {
+			w.armed = true
+			w.last = v
+			continue
+		}
+		if v != w.last {
+			if ev == nil {
+				ev = &StopEvent{Time: time, File: "<watch>", Watch: []WatchHit{}}
+			}
+			ev.Watch = append(ev.Watch, WatchHit{
+				ID:       w.ID,
+				Instance: w.Instance,
+				Expr:     w.Expr,
+				Old:      w.last.Bits,
+				New:      v.Bits,
+			})
+			w.last = v
+		}
+	}
+	return ev
+}
+
+// WatchHit reports one triggered watchpoint.
+type WatchHit struct {
+	ID       int    `json:"id"`
+	Instance string `json:"instance"`
+	Expr     string `json:"expr"`
+	Old      uint64 `json:"old"`
+	New      uint64 `json:"new"`
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vpi"
+)
+
+func TestWatchpointFiresOnChange(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.AddWatch("Counter", "count")
+	if err != nil {
+		t.Fatalf("AddWatch: %v", err)
+	}
+	var hits []WatchHit
+	rt.SetHandler(func(ev *StopEvent) Command {
+		hits = append(hits, ev.Watch...)
+		return CmdContinue
+	})
+	d.sim.Reset("Counter.reset", 1)
+	// Two idle cycles: count holds, no watch hits.
+	d.sim.Run(2)
+	if len(hits) != 0 {
+		t.Fatalf("watch fired while value held: %v", hits)
+	}
+	d.sim.Poke("Counter.en", 1)
+	d.sim.Run(3)
+	// Pre-edge observation: the first enabled edge still sees count=0;
+	// the next two edges see the increments.
+	if len(hits) != 2 {
+		t.Fatalf("watch hits = %d, want 2", len(hits))
+	}
+	// Old/new values track the counter.
+	if hits[0].New != hits[0].Old+1 {
+		t.Fatalf("hit = %+v", hits[0])
+	}
+	if hits[0].Expr != "count" || hits[0].Instance != "Counter" {
+		t.Fatalf("hit metadata = %+v", hits[0])
+	}
+	// Removal stops it.
+	if !rt.RemoveWatch(id) {
+		t.Fatal("RemoveWatch failed")
+	}
+	if rt.RemoveWatch(id) {
+		t.Fatal("double remove succeeded")
+	}
+	d.sim.Run(3)
+	if len(hits) != 2 {
+		t.Fatalf("watch fired after removal: %d", len(hits))
+	}
+}
+
+func TestWatchpointExpression(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch a derived expression: fires only when bit 2 toggles.
+	if _, err := rt.AddWatch("Counter", "count[2]"); err != nil {
+		t.Fatal(err)
+	}
+	toggles := 0
+	rt.SetHandler(func(ev *StopEvent) Command {
+		toggles += len(ev.Watch)
+		return CmdContinue
+	})
+	d.sim.Reset("Counter.reset", 1)
+	d.sim.Poke("Counter.en", 1)
+	d.sim.Run(16)
+	// Edges observe pre-edge counts 0..15; bit 2 transitions at counts
+	// 4, 8, and 12 -> exactly 3 visible toggles.
+	if toggles != 3 {
+		t.Fatalf("toggles = %d, want 3", toggles)
+	}
+	if len(rt.Watches()) != 1 {
+		t.Fatalf("watches = %d", len(rt.Watches()))
+	}
+}
+
+func TestWatchpointErrors(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddWatch("Counter", "ghost_signal"); err == nil {
+		t.Fatal("unresolvable watch accepted")
+	}
+	if _, err := rt.AddWatch("Counter", "count +"); err == nil {
+		t.Fatal("malformed watch accepted")
+	}
+}
+
+func TestInstanceScopedBreakpoint(t *testing.T) {
+	// Reuse the dual-core design from core_test.
+	s, table, accLine := buildDualCoreDesign(t)
+	rt, err := New(vpi.NewSimBackend(s), table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm only core u1.
+	ids, err := rt.AddBreakpointInstance("core_test.go", accLine, "Top.u1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("armed %d", len(ids))
+	}
+	var instances []string
+	rt.SetHandler(func(ev *StopEvent) Command {
+		for _, th := range ev.Threads {
+			instances = append(instances, th.Instance)
+		}
+		return CmdContinue
+	})
+	s.Reset("Top.reset", 1)
+	s.Poke("Top.x", 3)
+	s.Run(2)
+	if len(instances) != 2 {
+		t.Fatalf("stops = %v", instances)
+	}
+	for _, inst := range instances {
+		if inst != "Top.u1" {
+			t.Fatalf("stopped in wrong instance %s", inst)
+		}
+	}
+	// Unknown instance rejected.
+	if _, err := rt.AddBreakpointInstance("core_test.go", accLine, "Top.zz", ""); err == nil {
+		t.Fatal("bogus instance accepted")
+	}
+}

@@ -1,0 +1,339 @@
+// Package db is a small embedded relational store standing in for the
+// SQLite database the paper uses for its native symbol table backend.
+// It supports typed schemas, primary keys, secondary indexes, foreign
+// key integrity, predicate and indexed selects, and JSON persistence —
+// the subset of SQL the Figure 3 schema and its queries require.
+package db
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ColumnType enumerates supported column types.
+type ColumnType int
+
+const (
+	// Integer columns hold int64 values.
+	Integer ColumnType = iota
+	// Text columns hold string values.
+	Text
+)
+
+func (t ColumnType) String() string {
+	if t == Integer {
+		return "INTEGER"
+	}
+	return "TEXT"
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+	// PrimaryKey marks the (single) integer primary key column.
+	PrimaryKey bool
+	// References names a table whose primary key this column must
+	// match (foreign key). Empty means no constraint.
+	References string
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Row is one record, keyed by column name. Integer columns hold int64,
+// text columns hold string.
+type Row map[string]any
+
+// Table is one relation with its indexes.
+type Table struct {
+	schema  Schema
+	rows    []Row
+	pkCol   string
+	pkIdx   map[int64]int        // pk value -> row position
+	indexes map[string]indexData // column -> value -> row positions
+	nextID  int64
+}
+
+type indexData map[any][]int
+
+// DB is a set of tables.
+type DB struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: map[string]*Table{}}
+}
+
+// CreateTable registers a table. At most one column may be the primary
+// key, and it must be an Integer.
+func (db *DB) CreateTable(schema Schema) (*Table, error) {
+	if _, exists := db.tables[schema.Name]; exists {
+		return nil, fmt.Errorf("db: table %q already exists", schema.Name)
+	}
+	t := &Table{
+		schema:  schema,
+		pkIdx:   map[int64]int{},
+		indexes: map[string]indexData{},
+		nextID:  1,
+	}
+	for _, c := range schema.Columns {
+		if c.PrimaryKey {
+			if t.pkCol != "" {
+				return nil, fmt.Errorf("db: table %q has multiple primary keys", schema.Name)
+			}
+			if c.Type != Integer {
+				return nil, fmt.Errorf("db: primary key %q must be INTEGER", c.Name)
+			}
+			t.pkCol = c.Name
+		}
+		if c.References != "" {
+			if _, ok := db.tables[c.References]; !ok {
+				return nil, fmt.Errorf("db: table %q references unknown table %q", schema.Name, c.References)
+			}
+		}
+	}
+	db.tables[schema.Name] = t
+	db.order = append(db.order, schema.Name)
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames lists tables in creation order.
+func (db *DB) TableNames() []string {
+	out := make([]string, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// column returns the column definition.
+func (t *Table) column(name string) (Column, bool) {
+	for _, c := range t.schema.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// normalize coerces Go integer kinds to int64 and validates types.
+func normalize(c Column, v any) (any, error) {
+	switch c.Type {
+	case Integer:
+		switch x := v.(type) {
+		case int64:
+			return x, nil
+		case int:
+			return int64(x), nil
+		case uint64:
+			return int64(x), nil
+		case float64: // JSON round-trip
+			return int64(x), nil
+		}
+		return nil, fmt.Errorf("db: column %q expects INTEGER, got %T", c.Name, v)
+	case Text:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+		return nil, fmt.Errorf("db: column %q expects TEXT, got %T", c.Name, v)
+	}
+	return nil, fmt.Errorf("db: unknown column type")
+}
+
+// Insert adds a row, auto-assigning the primary key when absent.
+// Foreign keys are checked against the referenced tables.
+func (db *DB) Insert(table string, row Row) (int64, error) {
+	t, ok := db.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("db: unknown table %q", table)
+	}
+	clean := Row{}
+	for _, c := range t.schema.Columns {
+		v, present := row[c.Name]
+		if !present {
+			if c.PrimaryKey {
+				v = t.nextID
+			} else {
+				return 0, fmt.Errorf("db: %s: missing column %q", table, c.Name)
+			}
+		}
+		nv, err := normalize(c, v)
+		if err != nil {
+			return 0, fmt.Errorf("db: %s: %w", table, err)
+		}
+		if c.References != "" {
+			ref := db.tables[c.References]
+			if _, ok := ref.pkIdx[nv.(int64)]; !ok {
+				return 0, fmt.Errorf("db: %s.%s: foreign key %d not found in %s", table, c.Name, nv, c.References)
+			}
+		}
+		clean[c.Name] = nv
+	}
+	for name := range row {
+		if _, ok := t.column(name); !ok {
+			return 0, fmt.Errorf("db: %s: unknown column %q", table, name)
+		}
+	}
+	var pk int64
+	if t.pkCol != "" {
+		pk = clean[t.pkCol].(int64)
+		if _, dup := t.pkIdx[pk]; dup {
+			return 0, fmt.Errorf("db: %s: duplicate primary key %d", table, pk)
+		}
+		if pk >= t.nextID {
+			t.nextID = pk + 1
+		}
+		t.pkIdx[pk] = len(t.rows)
+	}
+	pos := len(t.rows)
+	t.rows = append(t.rows, clean)
+	for col, idx := range t.indexes {
+		idx[clean[col]] = append(idx[clean[col]], pos)
+	}
+	return pk, nil
+}
+
+// CreateIndex builds a secondary index over a column.
+func (t *Table) CreateIndex(col string) error {
+	if _, ok := t.column(col); !ok {
+		return fmt.Errorf("db: unknown column %q", col)
+	}
+	idx := indexData{}
+	for pos, row := range t.rows {
+		idx[row[col]] = append(idx[row[col]], pos)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(pk int64) (Row, bool) {
+	pos, ok := t.pkIdx[pk]
+	if !ok {
+		return nil, false
+	}
+	return t.rows[pos], true
+}
+
+// SelectEq returns rows where col equals v, using an index when one
+// exists. Integer arguments may be int, int64, or uint64.
+func (t *Table) SelectEq(col string, v any) []Row {
+	c, ok := t.column(col)
+	if !ok {
+		return nil
+	}
+	nv, err := normalize(c, v)
+	if err != nil {
+		return nil
+	}
+	if idx, ok := t.indexes[col]; ok {
+		positions := idx[nv]
+		out := make([]Row, 0, len(positions))
+		for _, p := range positions {
+			out = append(out, t.rows[p])
+		}
+		return out
+	}
+	var out []Row
+	for _, row := range t.rows {
+		if row[col] == nv {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Select returns rows matching an arbitrary predicate.
+func (t *Table) Select(pred func(Row) bool) []Row {
+	var out []Row
+	for _, row := range t.rows {
+		if pred(row) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// All returns every row in insertion order.
+func (t *Table) All() []Row {
+	out := make([]Row, len(t.rows))
+	copy(out, t.rows)
+	return out
+}
+
+// jsonDB is the persistence shape.
+type jsonDB struct {
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Schema Schema `json:"schema"`
+	Rows   []Row  `json:"rows"`
+}
+
+// Save serializes the database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	var out jsonDB
+	for _, name := range db.order {
+		t := db.tables[name]
+		out.Tables = append(out.Tables, jsonTable{Schema: t.schema, Rows: t.rows})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Load reads a database previously written by Save. Indexes must be
+// re-created by the caller.
+func Load(r io.Reader) (*DB, error) {
+	var in jsonDB
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("db: load: %w", err)
+	}
+	db := New()
+	for _, jt := range in.Tables {
+		t, err := db.CreateTable(jt.Schema)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range jt.Rows {
+			if _, err := db.Insert(jt.Schema.Name, row); err != nil {
+				return nil, err
+			}
+		}
+		_ = t
+	}
+	return db, nil
+}
+
+// Stats renders row counts per table (sorted by name) for diagnostics.
+func (db *DB) Stats() string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, n := range names {
+		s += fmt.Sprintf("%s=%d ", n, db.tables[n].Len())
+	}
+	return s
+}

@@ -1,0 +1,224 @@
+package db
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func personSchema() Schema {
+	return Schema{Name: "person", Columns: []Column{
+		{Name: "id", Type: Integer, PrimaryKey: true},
+		{Name: "name", Type: Text},
+		{Name: "age", Type: Integer},
+	}}
+}
+
+func TestInsertAndGet(t *testing.T) {
+	d := New()
+	if _, err := d.CreateTable(personSchema()); err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Insert("person", Row{"name": "ada", "age": 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("auto pk = %d", id)
+	}
+	tbl, _ := d.Table("person")
+	row, ok := tbl.Get(id)
+	if !ok || row["name"] != "ada" || row["age"] != int64(36) {
+		t.Fatalf("row = %v", row)
+	}
+	// Explicit primary key.
+	id2, err := d.Insert("person", Row{"id": 10, "name": "grace", "age": 47})
+	if err != nil || id2 != 10 {
+		t.Fatalf("explicit pk: %d, %v", id2, err)
+	}
+	// Next auto id skips past.
+	id3, _ := d.Insert("person", Row{"name": "edsger", "age": 72})
+	if id3 != 11 {
+		t.Fatalf("auto pk after explicit = %d", id3)
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	d := New()
+	d.CreateTable(personSchema())
+	if _, err := d.Insert("person", Row{"name": "x"}); err == nil {
+		t.Fatal("missing column accepted")
+	}
+	if _, err := d.Insert("person", Row{"name": 5, "age": 1}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	if _, err := d.Insert("person", Row{"name": "x", "age": 1, "ghost": 2}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	d.Insert("person", Row{"id": 1, "name": "a", "age": 1})
+	if _, err := d.Insert("person", Row{"id": 1, "name": "b", "age": 2}); err == nil {
+		t.Fatal("duplicate pk accepted")
+	}
+	if _, err := d.Insert("ghost", Row{}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	d := New()
+	d.CreateTable(personSchema())
+	_, err := d.CreateTable(Schema{Name: "pet", Columns: []Column{
+		{Name: "id", Type: Integer, PrimaryKey: true},
+		{Name: "owner", Type: Integer, References: "person"},
+		{Name: "name", Type: Text},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert("pet", Row{"owner": 1, "name": "rex"}); err == nil {
+		t.Fatal("dangling foreign key accepted")
+	}
+	ownerID, _ := d.Insert("person", Row{"name": "ada", "age": 36})
+	if _, err := d.Insert("pet", Row{"owner": ownerID, "name": "rex"}); err != nil {
+		t.Fatalf("valid fk rejected: %v", err)
+	}
+	// FK to unknown table rejected at create time.
+	if _, err := d.CreateTable(Schema{Name: "bad", Columns: []Column{
+		{Name: "x", Type: Integer, References: "nope"},
+	}}); err == nil {
+		t.Fatal("reference to unknown table accepted")
+	}
+}
+
+func TestSelects(t *testing.T) {
+	d := New()
+	d.CreateTable(personSchema())
+	for i, name := range []string{"a", "b", "a", "c"} {
+		d.Insert("person", Row{"name": name, "age": i * 10})
+	}
+	tbl, _ := d.Table("person")
+	// Unindexed SelectEq.
+	if got := tbl.SelectEq("name", "a"); len(got) != 2 {
+		t.Fatalf("SelectEq(a) = %d rows", len(got))
+	}
+	// Indexed path produces the same result.
+	tbl.CreateIndex("name")
+	if got := tbl.SelectEq("name", "a"); len(got) != 2 {
+		t.Fatalf("indexed SelectEq(a) = %d rows", len(got))
+	}
+	// Index stays consistent with later inserts.
+	d.Insert("person", Row{"name": "a", "age": 99})
+	if got := tbl.SelectEq("name", "a"); len(got) != 3 {
+		t.Fatalf("post-insert indexed SelectEq = %d rows", len(got))
+	}
+	// Integer select with int argument.
+	if got := tbl.SelectEq("age", 10); len(got) != 1 {
+		t.Fatalf("SelectEq(age, 10) = %d rows", len(got))
+	}
+	// Predicate select.
+	got := tbl.Select(func(r Row) bool { return r["age"].(int64) >= 20 })
+	if len(got) != 3 {
+		t.Fatalf("predicate select = %d rows", len(got))
+	}
+	if tbl.Len() != 5 || len(tbl.All()) != 5 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	// Bad index column.
+	if err := tbl.CreateIndex("nope"); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := New()
+	d.CreateTable(personSchema())
+	d.CreateTable(Schema{Name: "pet", Columns: []Column{
+		{Name: "id", Type: Integer, PrimaryKey: true},
+		{Name: "owner", Type: Integer, References: "person"},
+		{Name: "name", Type: Text},
+	}})
+	ada, _ := d.Insert("person", Row{"name": "ada", "age": 36})
+	d.Insert("pet", Row{"owner": ada, "name": "rex"})
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := d2.Table("person")
+	if !ok {
+		t.Fatal("person table lost")
+	}
+	row, ok := tbl.Get(ada)
+	if !ok || row["name"] != "ada" || row["age"] != int64(36) {
+		t.Fatalf("row after round trip = %v", row)
+	}
+	pets, _ := d2.Table("pet")
+	if pets.Len() != 1 {
+		t.Fatalf("pets = %d", pets.Len())
+	}
+	if len(d2.TableNames()) != 2 {
+		t.Fatalf("tables = %v", d2.TableNames())
+	}
+}
+
+func TestMultiplePrimaryKeysRejected(t *testing.T) {
+	d := New()
+	_, err := d.CreateTable(Schema{Name: "bad", Columns: []Column{
+		{Name: "a", Type: Integer, PrimaryKey: true},
+		{Name: "b", Type: Integer, PrimaryKey: true},
+	}})
+	if err == nil {
+		t.Fatal("two primary keys accepted")
+	}
+	_, err = d.CreateTable(Schema{Name: "bad2", Columns: []Column{
+		{Name: "a", Type: Text, PrimaryKey: true},
+	}})
+	if err == nil {
+		t.Fatal("text primary key accepted")
+	}
+	d.CreateTable(personSchema())
+	if _, err := d.CreateTable(personSchema()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+// Property: every inserted row is retrievable by its primary key and by
+// an indexed equality select on its text column.
+func TestInsertRetrieveProperty(t *testing.T) {
+	d := New()
+	d.CreateTable(personSchema())
+	tbl, _ := d.Table("person")
+	tbl.CreateIndex("name")
+	f := func(name string, age uint16) bool {
+		id, err := d.Insert("person", Row{"name": name, "age": int(age)})
+		if err != nil {
+			return false
+		}
+		row, ok := tbl.Get(id)
+		if !ok || row["name"] != name || row["age"] != int64(age) {
+			return false
+		}
+		for _, r := range tbl.SelectEq("name", name) {
+			if r["name"] == name && r["id"] == id {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New()
+	d.CreateTable(personSchema())
+	d.Insert("person", Row{"name": "a", "age": 1})
+	if d.Stats() != "person=1 " {
+		t.Fatalf("stats = %q", d.Stats())
+	}
+}

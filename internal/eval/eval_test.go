@@ -1,0 +1,262 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func mustPrim(t *testing.T, op ir.PrimOp, params []int, args ...Value) Value {
+	t.Helper()
+	v, err := Prim(op, params, args)
+	if err != nil {
+		t.Fatalf("Prim(%s): %v", op, err)
+	}
+	return v
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	a := Make(200, 8, false)
+	b := Make(100, 8, false)
+	if v := mustPrim(t, ir.OpAdd, nil, a, b); v.Bits != 300 || v.Width != 9 {
+		t.Fatalf("add = %v", v)
+	}
+	hundred := uint64(100)
+	twoHundred := uint64(200)
+	if v := mustPrim(t, ir.OpSub, nil, b, a); v.Bits != (hundred-twoHundred)&Mask(9) || v.Width != 9 {
+		t.Fatalf("sub = %v", v)
+	}
+	if v := mustPrim(t, ir.OpMul, nil, a, b); v.Bits != 20000 || v.Width != 16 {
+		t.Fatalf("mul = %v", v)
+	}
+	if v := mustPrim(t, ir.OpDiv, nil, a, b); v.Bits != 2 {
+		t.Fatalf("div = %v", v)
+	}
+	if v := mustPrim(t, ir.OpRem, nil, a, b); v.Bits != 0 {
+		t.Fatalf("rem = %v", v)
+	}
+	// Division by zero yields zero, not a crash.
+	if v := mustPrim(t, ir.OpDiv, nil, a, Make(0, 8, false)); v.Bits != 0 {
+		t.Fatalf("div by zero = %v", v)
+	}
+	if v := mustPrim(t, ir.OpRem, nil, a, Make(0, 8, false)); v.Bits != 0 {
+		t.Fatalf("rem by zero = %v", v)
+	}
+}
+
+func TestSignedArithmetic(t *testing.T) {
+	negOne := Make(0xFF, 8, true)
+	two := Make(2, 8, true)
+	if negOne.Int() != -1 {
+		t.Fatalf("sign read = %d", negOne.Int())
+	}
+	if v := mustPrim(t, ir.OpAdd, nil, negOne, two); v.Int() != 1 {
+		t.Fatalf("-1 + 2 = %d", v.Int())
+	}
+	if v := mustPrim(t, ir.OpMul, nil, negOne, two); v.Int() != -2 {
+		t.Fatalf("-1 * 2 = %d", v.Int())
+	}
+	minus7 := uint64(0xF9) // -7 in 8-bit two's complement
+	if v := mustPrim(t, ir.OpDiv, nil, Make(minus7, 8, true), two); v.Int() != -3 {
+		t.Fatalf("-7 / 2 = %d", v.Int())
+	}
+	if v := mustPrim(t, ir.OpLt, nil, negOne, two); !v.IsTrue() {
+		t.Fatal("-1 < 2 is false")
+	}
+	u1 := Make(0xFF, 8, false)
+	if v := mustPrim(t, ir.OpLt, nil, u1, Make(2, 8, false)); v.IsTrue() {
+		t.Fatal("255 < 2 is true")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := Make(5, 4, false), Make(9, 4, false)
+	checks := []struct {
+		op   ir.PrimOp
+		want bool
+	}{
+		{ir.OpLt, true}, {ir.OpLeq, true}, {ir.OpGt, false}, {ir.OpGeq, false},
+		{ir.OpEq, false}, {ir.OpNeq, true},
+	}
+	for _, c := range checks {
+		if v := mustPrim(t, c.op, nil, a, b); v.IsTrue() != c.want {
+			t.Errorf("%s(5, 9) = %v, want %v", c.op, v.IsTrue(), c.want)
+		}
+	}
+	if v := mustPrim(t, ir.OpEq, nil, a, a); !v.IsTrue() {
+		t.Fatal("eq(5,5) false")
+	}
+}
+
+func TestBitwise(t *testing.T) {
+	a, b := Make(0b1100, 4, false), Make(0b1010, 4, false)
+	if v := mustPrim(t, ir.OpAnd, nil, a, b); v.Bits != 0b1000 {
+		t.Fatalf("and = %b", v.Bits)
+	}
+	if v := mustPrim(t, ir.OpOr, nil, a, b); v.Bits != 0b1110 {
+		t.Fatalf("or = %b", v.Bits)
+	}
+	if v := mustPrim(t, ir.OpXor, nil, a, b); v.Bits != 0b0110 {
+		t.Fatalf("xor = %b", v.Bits)
+	}
+	if v := mustPrim(t, ir.OpNot, nil, a); v.Bits != 0b0011 {
+		t.Fatalf("not = %b", v.Bits)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := Make(0b101, 3, false)
+	if v := mustPrim(t, ir.OpShl, []int{2}, a); v.Bits != 0b10100 || v.Width != 5 {
+		t.Fatalf("shl = %v", v)
+	}
+	if v := mustPrim(t, ir.OpShr, []int{1}, a); v.Bits != 0b10 || v.Width != 2 {
+		t.Fatalf("shr = %v", v)
+	}
+	// Arithmetic right shift for signed.
+	s := Make(0b100, 3, true) // -4
+	if v := mustPrim(t, ir.OpDshr, nil, s, Make(1, 2, false)); v.Int() != -2 {
+		t.Fatalf("signed dshr = %d", v.Int())
+	}
+	if v := mustPrim(t, ir.OpDshl, nil, a, Make(2, 3, false)); v.Bits != 0b10100 {
+		t.Fatalf("dshl = %v", v)
+	}
+	// Oversized dynamic shift amounts zero out (unsigned).
+	if v := mustPrim(t, ir.OpDshr, nil, Make(0xFFFF, 16, false), Make(63, 6, false)); v.Bits != 0 {
+		t.Fatalf("big dshr = %v", v)
+	}
+}
+
+func TestCatBitsHeadTail(t *testing.T) {
+	a, b := Make(0b11, 2, false), Make(0b01, 2, false)
+	if v := mustPrim(t, ir.OpCat, nil, a, b); v.Bits != 0b1101 || v.Width != 4 {
+		t.Fatalf("cat = %v", v)
+	}
+	w := Make(0b110101, 6, false)
+	if v := mustPrim(t, ir.OpBits, []int{4, 2}, w); v.Bits != 0b101 || v.Width != 3 {
+		t.Fatalf("bits = %v", v)
+	}
+	if v := mustPrim(t, ir.OpHead, []int{2}, w); v.Bits != 0b11 {
+		t.Fatalf("head = %v", v)
+	}
+	if v := mustPrim(t, ir.OpTail, []int{2}, w); v.Bits != 0b0101 || v.Width != 4 {
+		t.Fatalf("tail = %v", v)
+	}
+	if _, err := Prim(ir.OpBits, []int{8, 0}, []Value{w}); err == nil {
+		t.Fatal("out-of-range bits accepted")
+	}
+}
+
+func TestReductions(t *testing.T) {
+	if v := mustPrim(t, ir.OpAndR, nil, Make(0b111, 3, false)); !v.IsTrue() {
+		t.Fatal("andr(111) false")
+	}
+	if v := mustPrim(t, ir.OpAndR, nil, Make(0b101, 3, false)); v.IsTrue() {
+		t.Fatal("andr(101) true")
+	}
+	if v := mustPrim(t, ir.OpOrR, nil, Make(0, 3, false)); v.IsTrue() {
+		t.Fatal("orr(0) true")
+	}
+	if v := mustPrim(t, ir.OpXorR, nil, Make(0b111, 3, false)); !v.IsTrue() {
+		t.Fatal("xorr(111) != 1")
+	}
+	if v := mustPrim(t, ir.OpXorR, nil, Make(0b11, 2, false)); v.IsTrue() {
+		t.Fatal("xorr(11) != 0")
+	}
+}
+
+func TestPadAndCasts(t *testing.T) {
+	s := Make(0b1000, 4, true) // -8
+	padded := mustPrim(t, ir.OpPad, []int{8}, s)
+	if padded.Int() != -8 || padded.Width != 8 {
+		t.Fatalf("signed pad = %v (%d)", padded, padded.Int())
+	}
+	u := Make(0b1000, 4, false)
+	zp := mustPrim(t, ir.OpPad, []int{8}, u)
+	if zp.Bits != 8 {
+		t.Fatalf("unsigned pad = %v", zp)
+	}
+	asS := mustPrim(t, ir.OpAsSInt, nil, u)
+	if asS.Int() != -8 {
+		t.Fatalf("asSInt = %d", asS.Int())
+	}
+	asU := mustPrim(t, ir.OpAsUInt, nil, s)
+	if asU.Bits != 8 || asU.Signed {
+		t.Fatalf("asUInt = %v", asU)
+	}
+}
+
+func TestMuxHelper(t *testing.T) {
+	t1 := Make(7, 4, false)
+	f1 := Make(2, 8, false)
+	if v := Mux(Make(1, 1, false), t1, f1); v.Bits != 7 || v.Width != 8 {
+		t.Fatalf("mux true = %v", v)
+	}
+	if v := Mux(Make(0, 1, false), t1, f1); v.Bits != 2 {
+		t.Fatalf("mux false = %v", v)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	v := mustPrim(t, ir.OpNeg, nil, Make(5, 4, false))
+	if v.Int() != -5 || v.Width != 5 {
+		t.Fatalf("neg(5) = %v (%d)", v, v.Int())
+	}
+}
+
+// Property: eval result widths agree with ir.TypeEnv width rules for
+// binary ops on random operands.
+func TestWidthAgreementProperty(t *testing.T) {
+	m := &ir.Module{Name: "P", Ports: []ir.Port{
+		{Name: "a", Dir: ir.Input, Tpe: ir.UIntType(8)},
+		{Name: "b", Dir: ir.Input, Tpe: ir.UIntType(8)},
+	}}
+	env := ir.NewTypeEnv(nil, m)
+	ops := []ir.PrimOp{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpLt, ir.OpEq, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpCat}
+	f := func(x, y uint8, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		a := Make(uint64(x), 8, false)
+		b := Make(uint64(y), 8, false)
+		got, err := Prim(op, nil, []Value{a, b})
+		if err != nil {
+			return false
+		}
+		tt, err := env.TypeOf(ir.NewPrim(op, ir.Ref{Name: "a"}, ir.Ref{Name: "b"}))
+		if err != nil {
+			return false
+		}
+		return got.Width == ir.GroundOf(tt).Width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: values never carry bits above their width.
+func TestMaskInvariantProperty(t *testing.T) {
+	f := func(x, y uint64, w8 uint8) bool {
+		w := int(w8%16) + 1
+		a := Make(x, w, false)
+		b := Make(y, w, false)
+		for _, op := range []ir.PrimOp{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpXor, ir.OpNot} {
+			var args []Value
+			if op == ir.OpNot {
+				args = []Value{a}
+			} else {
+				args = []Value{a, b}
+			}
+			v, err := Prim(op, nil, args)
+			if err != nil {
+				return false
+			}
+			if v.Bits&^Mask(v.Width) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

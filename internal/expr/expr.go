@@ -1,0 +1,411 @@
+// Package expr implements the small C-like expression language used by
+// the debugger: enable conditions stored in the symbol table (rendered
+// by ir.RenderInfix) and user-supplied conditional-breakpoint / watch
+// expressions both parse into an AST evaluated against a name resolver
+// that fetches live signal values.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/ir"
+)
+
+// Resolver maps a (possibly dotted) name to its current value.
+type Resolver interface {
+	Resolve(name string) (eval.Value, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(name string) (eval.Value, error)
+
+// Resolve implements Resolver.
+func (f ResolverFunc) Resolve(name string) (eval.Value, error) { return f(name) }
+
+// Node is a parsed expression node.
+type Node interface {
+	// Eval computes the node's value against a resolver.
+	Eval(r Resolver) (eval.Value, error)
+	// Names reports the identifiers the expression references.
+	names(into map[string]bool)
+	String() string
+}
+
+// Names returns the sorted set of identifiers referenced by the node.
+func Names(n Node) []string {
+	set := map[string]bool{}
+	n.names(set)
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+type numNode struct {
+	v eval.Value
+}
+
+func (n numNode) Eval(Resolver) (eval.Value, error) { return n.v, nil }
+func (n numNode) names(map[string]bool)             {}
+func (n numNode) String() string                    { return n.v.String() }
+
+type nameNode struct {
+	name string
+}
+
+func (n nameNode) Eval(r Resolver) (eval.Value, error) { return r.Resolve(n.name) }
+func (n nameNode) names(m map[string]bool)             { m[n.name] = true }
+func (n nameNode) String() string                      { return n.name }
+
+type unaryNode struct {
+	op string
+	x  Node
+}
+
+func (n unaryNode) names(m map[string]bool) { n.x.names(m) }
+func (n unaryNode) String() string          { return "(" + n.op + n.x.String() + ")" }
+
+func (n unaryNode) Eval(r Resolver) (eval.Value, error) {
+	v, err := n.x.Eval(r)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	switch n.op {
+	case "~":
+		return eval.Prim(ir.OpNot, nil, []eval.Value{v})
+	case "!":
+		if v.IsTrue() {
+			return eval.Make(0, 1, false), nil
+		}
+		return eval.Make(1, 1, false), nil
+	case "-":
+		return eval.Prim(ir.OpNeg, nil, []eval.Value{v})
+	}
+	return eval.Value{}, fmt.Errorf("expr: unknown unary %q", n.op)
+}
+
+type binNode struct {
+	op   string
+	a, b Node
+}
+
+func (n binNode) names(m map[string]bool) { n.a.names(m); n.b.names(m) }
+func (n binNode) String() string {
+	return "(" + n.a.String() + " " + n.op + " " + n.b.String() + ")"
+}
+
+var binOps = map[string]ir.PrimOp{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpRem,
+	"<": ir.OpLt, "<=": ir.OpLeq, ">": ir.OpGt, ">=": ir.OpGeq,
+	"==": ir.OpEq, "!=": ir.OpNeq,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor,
+	"<<": ir.OpDshl, ">>": ir.OpDshr,
+}
+
+func (n binNode) Eval(r Resolver) (eval.Value, error) {
+	a, err := n.a.Eval(r)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	// Short-circuit the logical forms.
+	switch n.op {
+	case "&&":
+		if !a.IsTrue() {
+			return eval.Make(0, 1, false), nil
+		}
+		b, err := n.b.Eval(r)
+		if err != nil {
+			return eval.Value{}, err
+		}
+		if b.IsTrue() {
+			return eval.Make(1, 1, false), nil
+		}
+		return eval.Make(0, 1, false), nil
+	case "||":
+		if a.IsTrue() {
+			return eval.Make(1, 1, false), nil
+		}
+		b, err := n.b.Eval(r)
+		if err != nil {
+			return eval.Value{}, err
+		}
+		if b.IsTrue() {
+			return eval.Make(1, 1, false), nil
+		}
+		return eval.Make(0, 1, false), nil
+	}
+	b, err := n.b.Eval(r)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	op, ok := binOps[n.op]
+	if !ok {
+		return eval.Value{}, fmt.Errorf("expr: unknown operator %q", n.op)
+	}
+	// Dynamic shifts in this language cap the amount operand at 6 bits
+	// worth of magnitude to satisfy eval's width model.
+	if op == ir.OpDshl {
+		b = eval.Make(b.Bits, minInt(b.Width, 6), false)
+	}
+	return eval.Prim(op, nil, []eval.Value{a, b})
+}
+
+type ternaryNode struct {
+	cond, t, f Node
+}
+
+func (n ternaryNode) names(m map[string]bool) { n.cond.names(m); n.t.names(m); n.f.names(m) }
+func (n ternaryNode) String() string {
+	return "(" + n.cond.String() + " ? " + n.t.String() + " : " + n.f.String() + ")"
+}
+
+func (n ternaryNode) Eval(r Resolver) (eval.Value, error) {
+	c, err := n.cond.Eval(r)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	if c.IsTrue() {
+		return n.t.Eval(r)
+	}
+	return n.f.Eval(r)
+}
+
+type bitsNode struct {
+	x      Node
+	hi, lo int
+}
+
+func (n bitsNode) names(m map[string]bool) { n.x.names(m) }
+func (n bitsNode) String() string {
+	if n.hi == n.lo {
+		return fmt.Sprintf("%s[%d]", n.x, n.hi)
+	}
+	return fmt.Sprintf("%s[%d:%d]", n.x, n.hi, n.lo)
+}
+
+func (n bitsNode) Eval(r Resolver) (eval.Value, error) {
+	v, err := n.x.Eval(r)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	if n.hi >= v.Width {
+		// Be forgiving about widths the resolver reports: extract what
+		// exists, zero-extend the rest.
+		return eval.Make(v.Bits>>uint(n.lo), n.hi-n.lo+1, false), nil
+	}
+	return eval.Prim(ir.OpBits, []int{n.hi, n.lo}, []eval.Value{v})
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Parse parses one expression.
+func Parse(src string) (Node, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.lex.err; err != nil {
+		return nil, err
+	}
+	n, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.peek().kind != tkEOF {
+		return nil, fmt.Errorf("expr: unexpected trailing input %q", p.lex.peek().text)
+	}
+	return n, nil
+}
+
+// MustParse is Parse, panicking on error; for statically known inputs.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Eval parses and evaluates in one step.
+func Eval(src string, r Resolver) (eval.Value, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return eval.Value{}, err
+	}
+	return n.Eval(r)
+}
+
+type parser struct {
+	lex *lexer
+}
+
+// Precedence climbing, lowest first.
+var precedence = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseTernary() (Node, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.peek().kind == tkOp && p.lex.peek().text == "?" {
+		p.lex.next()
+		t, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		if tok := p.lex.next(); tok.kind != tkOp || tok.text != ":" {
+			return nil, fmt.Errorf("expr: expected ':' in ternary, got %q", tok.text)
+		}
+		f, err := p.parseTernary()
+		if err != nil {
+			return nil, err
+		}
+		return ternaryNode{cond: cond, t: t, f: f}, nil
+	}
+	return cond, nil
+}
+
+func (p *parser) parseBinary(level int) (Node, error) {
+	if level >= len(precedence) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.lex.peek()
+		if tok.kind != tkOp || !contains(precedence[level], tok.text) {
+			return left, nil
+		}
+		p.lex.next()
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: tok.text, a: left, b: right}
+	}
+}
+
+func contains(set []string, s string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	tok := p.lex.peek()
+	if tok.kind == tkOp && (tok.text == "~" || tok.text == "!" || tok.text == "-") {
+		p.lex.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryNode{op: tok.text, x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Node, error) {
+	base, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.lex.peek()
+		if tok.kind != tkOp || tok.text != "[" {
+			return base, nil
+		}
+		p.lex.next()
+		hiTok := p.lex.next()
+		if hiTok.kind != tkNum {
+			return nil, fmt.Errorf("expr: expected bit index, got %q", hiTok.text)
+		}
+		hi, _ := strconv.Atoi(hiTok.text)
+		lo := hi
+		if p.lex.peek().kind == tkOp && p.lex.peek().text == ":" {
+			p.lex.next()
+			loTok := p.lex.next()
+			if loTok.kind != tkNum {
+				return nil, fmt.Errorf("expr: expected bit index, got %q", loTok.text)
+			}
+			lo, _ = strconv.Atoi(loTok.text)
+		}
+		if tok := p.lex.next(); tok.kind != tkOp || tok.text != "]" {
+			return nil, fmt.Errorf("expr: expected ']', got %q", tok.text)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("expr: bit range [%d:%d] reversed", hi, lo)
+		}
+		base = bitsNode{x: base, hi: hi, lo: lo}
+	}
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	tok := p.lex.next()
+	switch tok.kind {
+	case tkNum:
+		var v uint64
+		var err error
+		switch {
+		case strings.HasPrefix(tok.text, "0x"), strings.HasPrefix(tok.text, "0X"):
+			v, err = strconv.ParseUint(tok.text[2:], 16, 64)
+		case strings.HasPrefix(tok.text, "0b"), strings.HasPrefix(tok.text, "0B"):
+			v, err = strconv.ParseUint(tok.text[2:], 2, 64)
+		default:
+			v, err = strconv.ParseUint(tok.text, 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q", tok.text)
+		}
+		// Literals get a compact width so bitwise ops behave naturally.
+		w := 1
+		for (uint64(1)<<uint(w))-1 < v && w < 64 {
+			w++
+		}
+		return numNode{v: eval.Make(v, w, false)}, nil
+	case tkName:
+		return nameNode{name: tok.text}, nil
+	case tkOp:
+		if tok.text == "(" {
+			inner, err := p.parseTernary()
+			if err != nil {
+				return nil, err
+			}
+			if tok := p.lex.next(); tok.kind != tkOp || tok.text != ")" {
+				return nil, fmt.Errorf("expr: expected ')', got %q", tok.text)
+			}
+			return inner, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q", tok.text)
+}

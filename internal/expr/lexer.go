@@ -1,0 +1,113 @@
+package expr
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkNum
+	tkName
+	tkOp
+)
+
+type token struct {
+	kind tokenKind
+	text string
+}
+
+type lexer struct {
+	toks []token
+	pos  int
+	err  error
+}
+
+// twoCharOps are the multi-character operators, checked before single
+// characters.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "<<", ">>", "&&", "||"}
+
+func newLexer(src string) *lexer {
+	lx := &lexer{}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c >= '0' && c <= '9':
+			j := i + 1
+			// hex/binary prefixes
+			if c == '0' && j < len(src) && (src[j] == 'x' || src[j] == 'X' || src[j] == 'b' || src[j] == 'B') {
+				j++
+			}
+			for j < len(src) && (isHexDigit(src[j]) || src[j] == '_') {
+				j++
+			}
+			lx.toks = append(lx.toks, token{tkNum, src[i:j]})
+			i = j
+		case isNameStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isNamePart(rune(src[j])) {
+				j++
+			}
+			lx.toks = append(lx.toks, token{tkName, src[i:j]})
+			i = j
+		default:
+			matched := false
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				for _, op := range twoCharOps {
+					if two == op {
+						lx.toks = append(lx.toks, token{tkOp, op})
+						i += 2
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '%', '<', '>', '=', '&', '|', '^', '~', '!',
+				'(', ')', '[', ']', '?', ':':
+				lx.toks = append(lx.toks, token{tkOp, string(c)})
+				i++
+			default:
+				lx.err = fmt.Errorf("expr: illegal character %q", string(c))
+				return lx
+			}
+		}
+	}
+	lx.toks = append(lx.toks, token{tkEOF, ""})
+	return lx
+}
+
+// Dotted identifiers (a.b.c) are names; dots are part of the name so
+// hierarchical signal paths parse as single identifiers.
+func isNameStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isNamePart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '.'
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (lx *lexer) peek() token {
+	return lx.toks[lx.pos]
+}
+
+func (lx *lexer) next() token {
+	t := lx.toks[lx.pos]
+	if lx.pos < len(lx.toks)-1 {
+		lx.pos++
+	}
+	return t
+}

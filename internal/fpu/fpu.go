@@ -1,0 +1,210 @@
+// Package fpu reproduces the paper's §4.2 case study: a floating-point
+// compare path (the RocketChip FPToInt/dcmp structure of Listing 3)
+// generated with this repo's HGF, with the known bug seeded —
+// dcmp.io.signaling is permanently asserted, so quiet compares (FEQ)
+// incorrectly raise the invalid-operation exception on quiet NaNs. The
+// example in examples/fpu_debug uses hgdb to find it exactly as the
+// paper describes: break inside the `when(in.wflags)` block, inspect
+// the reconstructed dcmp.io bundle, and see signaling stuck at 1.
+package fpu
+
+import (
+	"math"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+)
+
+// Rounding-mode encodings used by the compare path (the low bits of
+// the instruction's rm field select the comparison kind, as in Rocket's
+// FPToInt): fle=0, flt=1, feq=2.
+const (
+	RmFLE = 0
+	RmFLT = 1
+	RmFEQ = 2
+)
+
+// BuildFCmp generates the recoded-float comparator ("dcmp" in the
+// paper's listing): IEEE-754 single inputs, signaling control, ordered
+// compare outputs and exception flags.
+func BuildFCmp(c *generator.Circuit) *generator.ModuleBuilder {
+	m := c.NewModule("FCmp")
+	u32 := ir.UIntType(32)
+	a := m.Input("io_a", u32)
+	b := m.Input("io_b", u32)
+	signaling := m.Input("io_signaling", ir.UIntType(1))
+	ltOut := m.Output("io_lt", ir.UIntType(1))
+	eqOut := m.Output("io_eq", ir.UIntType(1))
+	excOut := m.Output("io_exceptionFlags", ir.UIntType(5))
+
+	// Field extraction.
+	signA := m.Node("signA", a.Bit(31))
+	expA := m.Node("expA", a.Bits(30, 23))
+	manA := m.Node("manA", a.Bits(22, 0))
+	signB := m.Node("signB", b.Bit(31))
+	expB := m.Node("expB", b.Bits(30, 23))
+	manB := m.Node("manB", b.Bits(22, 0))
+
+	expMax := m.Lit(0xFF, 8)
+	isNaNA := m.Node("isNaNA", expA.Eq(expMax).And(manA.OrR()))
+	isNaNB := m.Node("isNaNB", expB.Eq(expMax).And(manB.OrR()))
+	// IEEE: quiet bit is mantissa MSB; a NaN with it CLEAR is signaling.
+	isSNaNA := m.Node("isSNaNA", isNaNA.And(manA.Bit(22).Not()))
+	isSNaNB := m.Node("isSNaNB", isNaNB.And(manB.Bit(22).Not()))
+	anyNaN := m.Node("anyNaN", isNaNA.Or(isNaNB))
+
+	// Invalid-operation: signaling NaN always; any NaN under a
+	// signaling comparison.
+	invalid := m.Wire("invalid", ir.UIntType(1))
+	invalid.Set(isSNaNA.Or(isSNaNB))
+	m.When(signaling.And(anyNaN), func() {
+		invalid.Set(m.Lit(1, 1))
+	})
+
+	// Ordered comparison on sign/magnitude. +0 == -0.
+	magA := m.Node("magA", a.Bits(30, 0))
+	magB := m.Node("magB", b.Bits(30, 0))
+	bothZero := m.Node("bothZero", magA.Eq(m.Lit(0, 31)).And(magB.Eq(m.Lit(0, 31))))
+
+	ltMag := m.Node("ltMag", magA.Lt(magB))
+	gtMag := m.Node("gtMag", magA.Gt(magB))
+
+	lt := m.Wire("lt", ir.UIntType(1))
+	eq := m.Wire("eq", ir.UIntType(1))
+	lt.Set(m.Lit(0, 1))
+	eq.Set(m.Lit(0, 1))
+	m.When(anyNaN.Not(), func() {
+		m.When(bothZero, func() {
+			eq.Set(m.Lit(1, 1))
+		}).Otherwise(func() {
+			m.When(signA.And(signB.Not()), func() { // negative < positive
+				lt.Set(m.Lit(1, 1))
+			})
+			m.When(signA.Not().And(signB.Not()), func() { // both positive
+				lt.Set(ltMag)
+			})
+			m.When(signA.And(signB), func() { // both negative: reversed
+				lt.Set(gtMag)
+			})
+			m.When(a.Eq(b), func() {
+				eq.Set(m.Lit(1, 1))
+				lt.Set(m.Lit(0, 1))
+			})
+		})
+	})
+
+	ltOut.Set(lt)
+	eqOut.Set(eq)
+	// Flags: {invalid, divide-by-zero, overflow, underflow, inexact};
+	// only invalid applies to compares.
+	excOut.Set(invalid.Cat(m.Lit(0, 4)))
+	return m
+}
+
+// BuildFPToInt generates the wrapper of the paper's Listing 3. When
+// buggy is true the known RocketChip bug is seeded:
+//
+//	dcmp.io.signaling := Bool(true)
+//
+// instead of deriving signaling from the comparison kind (FEQ must be
+// quiet). The fixed version drives signaling with !rm[1].
+func BuildFPToInt(c *generator.Circuit, buggy bool) *generator.ModuleBuilder {
+	dcmpMod := BuildFCmp(c)
+	m := c.NewModule("FPToInt")
+	u32 := ir.UIntType(32)
+	in1 := m.Input("io_in1", u32)
+	in2 := m.Input("io_in2", u32)
+	rm := m.Input("io_rm", ir.UIntType(2))
+	wflags := m.Input("io_wflags", ir.UIntType(1))
+	toint := m.Output("io_out_toint", u32)
+	exc := m.Output("io_out_exc", ir.UIntType(5))
+
+	dcmp := m.Instance("dcmp", dcmpMod)
+	dcmp.IO("io_a").Set(in1)
+	dcmp.IO("io_b").Set(in2)
+	if buggy {
+		dcmp.IO("io_signaling").Set(m.Bool(true)) // Listing 3: the bug
+	} else {
+		// FEQ (rm=2) is a quiet comparison; FLT/FLE are signaling.
+		dcmp.IO("io_signaling").Set(rm.Bit(1).Not())
+	}
+
+	store := m.Node("store", in1) // the pass-through path of Listing 3/4
+	toint.Set(store)
+	exc.Set(m.Lit(0, 5))
+
+	m.When(wflags, func() { // feq/flt/fle
+		// toint := (~in.rm & Cat(dcmp.io.lt, dcmp.io.eq)).orR
+		cmpBits := dcmp.IO("io_lt").Cat(dcmp.IO("io_eq"))
+		sel := rm.Not().And(cmpBits)
+		isEq := rm.Eq(m.Lit(RmFEQ, 2))
+		result := m.Wire("result", ir.UIntType(1))
+		result.Set(sel.OrR())
+		m.When(isEq, func() {
+			result.Set(dcmp.IO("io_eq"))
+		})
+		toint.Set(result.Pad(32))
+		exc.Set(dcmp.IO("io_exceptionFlags"))
+	})
+	return m
+}
+
+// BuildCircuit builds the complete FPToInt circuit (top: FPToInt).
+func BuildCircuit(buggy bool) (*ir.Circuit, error) {
+	c := generator.NewCircuit("FPToInt")
+	BuildFPToInt(c, buggy)
+	return c.Build()
+}
+
+// Model is the functional (software) model the paper compares the
+// simulation against. It returns the compare result and the expected
+// exception flags for the given operation.
+func Model(op int, a, b uint32) (result uint32, flags uint32) {
+	fa := math.Float32frombits(a)
+	fb := math.Float32frombits(b)
+	aNaN := isNaN32(a)
+	bNaN := isNaN32(b)
+	sNaN := isSNaN32(a) || isSNaN32(b)
+	switch op {
+	case RmFEQ:
+		// Quiet: invalid only for signaling NaN operands.
+		if sNaN {
+			flags = 0x10
+		}
+		if !aNaN && !bNaN && fa == fb {
+			result = 1
+		}
+	case RmFLT:
+		if aNaN || bNaN {
+			flags = 0x10
+		} else if fa < fb {
+			result = 1
+		}
+	case RmFLE:
+		if aNaN || bNaN {
+			flags = 0x10
+		} else if fa <= fb {
+			result = 1
+		}
+	}
+	return result, flags
+}
+
+func isNaN32(bits uint32) bool {
+	return bits&0x7F800000 == 0x7F800000 && bits&0x007FFFFF != 0
+}
+
+func isSNaN32(bits uint32) bool {
+	return isNaN32(bits) && bits&0x00400000 == 0
+}
+
+// Handy constants for tests and the example.
+const (
+	QNaN     = 0x7FC00000 // canonical quiet NaN
+	SNaN     = 0x7F800001 // a signaling NaN
+	One      = 0x3F800000 // 1.0f
+	Two      = 0x40000000 // 2.0f
+	NegOne   = 0xBF800000 // -1.0f
+	PlusZero = 0x00000000
+	NegZero  = 0x80000000
+)

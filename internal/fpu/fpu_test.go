@@ -1,0 +1,151 @@
+package fpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"math"
+
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+// makeSim compiles and elaborates the FPToInt circuit.
+func makeSim(t *testing.T, buggy bool) *sim.Simulator {
+	t.Helper()
+	circ, err := BuildCircuit(buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := passes.Compile(circ, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(nl)
+}
+
+// runCompare drives one comparison through the hardware.
+func runCompare(s *sim.Simulator, op int, a, b uint32) (result uint32, flags uint32) {
+	s.Poke("FPToInt.io_in1", uint64(a))
+	s.Poke("FPToInt.io_in2", uint64(b))
+	s.Poke("FPToInt.io_rm", uint64(op))
+	s.Poke("FPToInt.io_wflags", 1)
+	s.Settle()
+	r, _ := s.Peek("FPToInt.io_out_toint")
+	f, _ := s.Peek("FPToInt.io_out_exc")
+	return uint32(r.Bits), uint32(f.Bits)
+}
+
+func TestFixedVersionMatchesModel(t *testing.T) {
+	s := makeSim(t, false)
+	cases := []struct {
+		op   int
+		a, b uint32
+	}{
+		{RmFEQ, One, One},
+		{RmFEQ, One, Two},
+		{RmFEQ, QNaN, One}, // quiet NaN: eq=0, NO invalid flag
+		{RmFEQ, SNaN, One}, // signaling NaN: invalid
+		{RmFLT, One, Two},  // 1 < 2
+		{RmFLT, Two, One},  // 2 < 1 false
+		{RmFLT, QNaN, One}, // signaling comparison: invalid
+		{RmFLE, One, One},  // 1 <= 1
+		{RmFLE, Two, One},  // false
+		{RmFLT, NegOne, One},
+		{RmFEQ, PlusZero, NegZero}, // +0 == -0
+		{RmFLT, NegOne, NegZero},   // -1 < -0
+	}
+	for _, c := range cases {
+		gotR, gotF := runCompare(s, c.op, c.a, c.b)
+		wantR, wantF := Model(c.op, c.a, c.b)
+		if gotR != wantR || gotF != wantF {
+			t.Errorf("op=%d a=%#x b=%#x: hw=(%d, %#x) model=(%d, %#x)",
+				c.op, c.a, c.b, gotR, gotF, wantR, wantF)
+		}
+	}
+}
+
+// TestBugReproduced is the paper's case study setup: the buggy build's
+// FPU output "mismatches with the functional model" on quiet-NaN FEQ.
+func TestBugReproduced(t *testing.T) {
+	buggy := makeSim(t, true)
+	gotR, gotF := runCompare(buggy, RmFEQ, QNaN, One)
+	wantR, wantF := Model(RmFEQ, QNaN, One)
+	if gotR != wantR {
+		t.Fatalf("compare result diverged: hw=%d model=%d", gotR, wantR)
+	}
+	// The bug: exception flags are incorrectly set (invalid raised for
+	// a quiet comparison of a quiet NaN).
+	if gotF == wantF {
+		t.Fatalf("bug not reproduced: flags match (%#x)", gotF)
+	}
+	if gotF != 0x10 {
+		t.Fatalf("buggy flags = %#x, want invalid (0x10)", gotF)
+	}
+	// The stuck signal is observable exactly where §4.2 looks: the
+	// dcmp instance's signaling input is permanently asserted.
+	sig, err := buggy.Peek("FPToInt.dcmp.io_signaling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig.IsTrue() {
+		t.Fatal("seeded bug missing: signaling not stuck high")
+	}
+	// And the fixed design drives it low for FEQ.
+	fixed := makeSim(t, false)
+	runCompare(fixed, RmFEQ, QNaN, One)
+	sigF, _ := fixed.Peek("FPToInt.dcmp.io_signaling")
+	if sigF.IsTrue() {
+		t.Fatal("fixed design still signaling for FEQ")
+	}
+}
+
+// Property: on non-NaN inputs, buggy and fixed designs agree with the
+// model and each other — the bug only affects NaN exception flags.
+func TestOrderedComparesProperty(t *testing.T) {
+	buggy := makeSim(t, true)
+	fixed := makeSim(t, false)
+	f := func(aBits, bBits uint32, opSel uint8) bool {
+		// Avoid NaNs (and infinities for simplicity of the magnitude
+		// comparison domain).
+		fa := math.Float32frombits(aBits)
+		fb := math.Float32frombits(bBits)
+		if aBits&0x7F800000 == 0x7F800000 || bBits&0x7F800000 == 0x7F800000 {
+			return true
+		}
+		if fa != fa || fb != fb {
+			return true
+		}
+		op := int(opSel) % 3
+		r1, f1 := runCompare(buggy, op, aBits, bBits)
+		r2, f2 := runCompare(fixed, op, aBits, bBits)
+		rm, fm := Model(op, aBits, bBits)
+		return r1 == rm && r2 == rm && f1 == fm && f2 == fm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelFlagSemantics(t *testing.T) {
+	// feq quiet-NaN: no flags.
+	if _, f := Model(RmFEQ, QNaN, One); f != 0 {
+		t.Fatalf("feq qNaN flags = %#x", f)
+	}
+	// feq signaling-NaN: invalid.
+	if _, f := Model(RmFEQ, SNaN, One); f != 0x10 {
+		t.Fatalf("feq sNaN flags = %#x", f)
+	}
+	// flt any-NaN: invalid.
+	if _, f := Model(RmFLT, QNaN, One); f != 0x10 {
+		t.Fatalf("flt qNaN flags = %#x", f)
+	}
+	if r, _ := Model(RmFLE, One, One); r != 1 {
+		t.Fatal("1 <= 1 false")
+	}
+}

@@ -1,0 +1,340 @@
+// Package generator is a Chisel-like hardware construction eDSL embedded
+// in Go. It plays the role Chisel/Scala plays in the paper: designs are
+// described with host-language control flow (Go loops unroll, Go
+// conditionals specialize), and every emitted IR statement carries a
+// source locator pointing at the *generator* source line that produced
+// it, captured via runtime.Caller. Those locators are what hgdb later
+// turns into source-level breakpoints.
+package generator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Circuit accumulates generated modules and produces the High-form IR.
+type Circuit struct {
+	name    string
+	modules []*ModuleBuilder
+}
+
+// NewCircuit creates a circuit whose top-level module has the given name.
+// The module itself must still be defined with NewModule.
+func NewCircuit(main string) *Circuit {
+	return &Circuit{name: main}
+}
+
+// NewModule starts the definition of a module. Modules implicitly get
+// `clock` and `reset` input ports, mirroring Chisel's implicit clock and
+// reset.
+func (c *Circuit) NewModule(name string) *ModuleBuilder {
+	mb := &ModuleBuilder{
+		circuit: c,
+		mod: &ir.Module{
+			Name: name,
+			Ports: []ir.Port{
+				{Name: "clock", Dir: ir.Input, Tpe: ir.ClockType()},
+				{Name: "reset", Dir: ir.Input, Tpe: ir.ResetType()},
+			},
+			Attrs: map[string]string{},
+		},
+		names: map[string]int{"clock": 1, "reset": 1},
+	}
+	mb.scopes = []*[]ir.Stmt{&mb.mod.Body}
+	c.modules = append(c.modules, mb)
+	return mb
+}
+
+// Build finalizes the circuit and returns the High-form IR. It returns
+// an error when the design is structurally invalid.
+func (c *Circuit) Build() (*ir.Circuit, error) {
+	out := &ir.Circuit{Main: c.name}
+	for _, mb := range c.modules {
+		if len(mb.scopes) != 1 {
+			return nil, fmt.Errorf("generator: module %s has an unclosed When scope", mb.mod.Name)
+		}
+		out.AddModule(mb.mod)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MustBuild is Build, panicking on error; intended for tests and
+// examples where the design is statically known to be valid.
+func (c *Circuit) MustBuild() *ir.Circuit {
+	out, err := c.Build()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ModuleBuilder constructs one module. It is not safe for concurrent
+// use; hardware generation is single-threaded, like Chisel elaboration.
+type ModuleBuilder struct {
+	circuit *Circuit
+	mod     *ir.Module
+	scopes  []*[]ir.Stmt
+	conds   []ir.Expr // active When condition stack
+	names   map[string]int
+}
+
+// Name returns the module name.
+func (mb *ModuleBuilder) Name() string { return mb.mod.Name }
+
+// emit appends a statement to the innermost open scope.
+func (mb *ModuleBuilder) emit(s ir.Stmt) {
+	scope := mb.scopes[len(mb.scopes)-1]
+	*scope = append(*scope, s)
+}
+
+// unique reserves a fresh name derived from base.
+func (mb *ModuleBuilder) unique(base string) string {
+	if base == "" {
+		base = "_T"
+	}
+	n, used := mb.names[base]
+	if !used {
+		mb.names[base] = 1
+		return base
+	}
+	for {
+		candidate := fmt.Sprintf("%s_%d", base, n)
+		n++
+		if _, clash := mb.names[candidate]; !clash {
+			mb.names[base] = n
+			mb.names[candidate] = 1
+			return candidate
+		}
+	}
+}
+
+// Input declares an input port.
+func (mb *ModuleBuilder) Input(name string, t ir.Type) *Signal {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.mod.Ports = append(mb.mod.Ports, ir.Port{Name: name, Dir: ir.Input, Tpe: t, Info: info})
+	return &Signal{mb: mb, expr: ir.Ref{Name: name}, tpe: t, readOnly: true}
+}
+
+// Output declares an output port.
+func (mb *ModuleBuilder) Output(name string, t ir.Type) *Signal {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.mod.Ports = append(mb.mod.Ports, ir.Port{Name: name, Dir: ir.Output, Tpe: t, Info: info})
+	return &Signal{mb: mb, expr: ir.Ref{Name: name}, tpe: t}
+}
+
+// Wire declares a named wire. Wires have software-like sequential
+// assignment semantics: a read observes the most recent (possibly
+// conditional) assignment, which the SSA pass resolves exactly as the
+// paper's Listing 1 → Listing 2 transformation.
+func (mb *ModuleBuilder) Wire(name string, t ir.Type) *Signal {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.emit(&ir.DefWire{Name: name, Tpe: t, Info: info})
+	return &Signal{mb: mb, expr: ir.Ref{Name: name}, tpe: t}
+}
+
+// Reg declares a clocked register without a reset value.
+func (mb *ModuleBuilder) Reg(name string, t ir.Type) *Signal {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.emit(&ir.DefReg{Name: name, Tpe: t, Info: info})
+	return &Signal{mb: mb, expr: ir.Ref{Name: name}, tpe: t, isReg: true}
+}
+
+// RegInit declares a register reset synchronously to init.
+func (mb *ModuleBuilder) RegInit(name string, t ir.Type, init *Signal) *Signal {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.emit(&ir.DefReg{Name: name, Tpe: t, Init: init.expr, Info: info})
+	return &Signal{mb: mb, expr: ir.Ref{Name: name}, tpe: t, isReg: true}
+}
+
+// Node binds a name to an expression value, producing a named
+// intermediate that appears in debugger frames.
+func (mb *ModuleBuilder) Node(name string, value *Signal) *Signal {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.emit(&ir.DefNode{Name: name, Value: value.expr, Info: info})
+	return &Signal{mb: mb, expr: ir.Ref{Name: name}, tpe: value.tpe, readOnly: true}
+}
+
+// Lit returns an unsigned literal signal.
+func (mb *ModuleBuilder) Lit(v uint64, width int) *Signal {
+	return &Signal{mb: mb, expr: ir.ConstUInt(v, width), tpe: ir.UIntType(width), readOnly: true}
+}
+
+// LitS returns a signed literal signal. v is the raw two's-complement
+// bit pattern truncated to width.
+func (mb *ModuleBuilder) LitS(v int64, width int) *Signal {
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = (uint64(1) << uint(width)) - 1
+	}
+	return &Signal{
+		mb:       mb,
+		expr:     ir.Const{Value: uint64(v) & mask, Width: width, Signed: true},
+		tpe:      ir.SIntType(width),
+		readOnly: true,
+	}
+}
+
+// Bool returns a 1-bit literal.
+func (mb *ModuleBuilder) Bool(v bool) *Signal {
+	return &Signal{mb: mb, expr: ir.ConstBool(v), tpe: ir.UIntType(1), readOnly: true}
+}
+
+// When opens a conditional scope; body runs immediately to record the
+// statements it generates. The returned context chains ElseWhen and
+// Otherwise.
+func (mb *ModuleBuilder) When(cond *Signal, body func()) *WhenCtx {
+	info := callerInfoSkip(0)
+	w := &ir.When{Cond: cond.expr, Info: info}
+	mb.emit(w)
+	mb.pushScope(&w.Then, cond.expr)
+	body()
+	mb.popScope()
+	return &WhenCtx{mb: mb, when: w}
+}
+
+func (mb *ModuleBuilder) pushScope(target *[]ir.Stmt, cond ir.Expr) {
+	mb.scopes = append(mb.scopes, target)
+	mb.conds = append(mb.conds, cond)
+}
+
+func (mb *ModuleBuilder) popScope() {
+	mb.scopes = mb.scopes[:len(mb.scopes)-1]
+	mb.conds = mb.conds[:len(mb.conds)-1]
+}
+
+// WhenCtx allows chaining Otherwise / ElseWhen onto a When.
+type WhenCtx struct {
+	mb   *ModuleBuilder
+	when *ir.When
+}
+
+// Otherwise attaches the else branch.
+func (w *WhenCtx) Otherwise(body func()) {
+	w.mb.pushScope(&w.when.Else, ir.NewPrim(ir.OpNot, w.when.Cond))
+	body()
+	w.mb.popScope()
+}
+
+// ElseWhen attaches a nested conditional in the else branch and returns
+// its context for further chaining.
+func (w *WhenCtx) ElseWhen(cond *Signal, body func()) *WhenCtx {
+	info := callerInfoSkip(0)
+	nested := &ir.When{Cond: cond.expr, Info: info}
+	w.when.Else = append(w.when.Else, nested)
+	w.mb.pushScope(&nested.Then, cond.expr)
+	body()
+	w.mb.popScope()
+	return &WhenCtx{mb: w.mb, when: nested}
+}
+
+// Instance instantiates a previously defined module and returns a handle
+// for connecting its ports.
+func (mb *ModuleBuilder) Instance(name string, child *ModuleBuilder) *Instance {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.emit(&ir.DefInstance{Name: name, Module: child.mod.Name, Info: info})
+	inst := &Instance{mb: mb, name: name, child: child.mod}
+	// Implicit clock/reset hookup, as Chisel does.
+	mb.emit(&ir.Connect{
+		Loc:   ir.SubField{E: ir.Ref{Name: name}, Name: "clock"},
+		Value: ir.Ref{Name: "clock"},
+		Info:  info,
+	})
+	mb.emit(&ir.Connect{
+		Loc:   ir.SubField{E: ir.Ref{Name: name}, Name: "reset"},
+		Value: ir.Ref{Name: "reset"},
+		Info:  info,
+	})
+	return inst
+}
+
+// Mem declares a memory with combinational read and synchronous write.
+func (mb *ModuleBuilder) Mem(name string, elem ir.Ground, depth int) *Mem {
+	info := callerInfo()
+	name = mb.unique(name)
+	mb.emit(&ir.DefMem{Name: name, Tpe: elem, Depth: depth, Info: info})
+	return &Mem{mb: mb, name: name, elem: elem, depth: depth}
+}
+
+// Instance is a handle to an instantiated child module.
+type Instance struct {
+	mb    *ModuleBuilder
+	name  string
+	child *ir.Module
+}
+
+// Name returns the instance name in the parent module.
+func (i *Instance) Name() string { return i.name }
+
+// IO returns the signal for a child port. Input ports of the child are
+// assignable from the parent; output ports are read-only.
+func (i *Instance) IO(port string) *Signal {
+	p, ok := i.child.PortByName(port)
+	if !ok {
+		panic(fmt.Sprintf("generator: module %s has no port %q", i.child.Name, port))
+	}
+	return &Signal{
+		mb:       i.mb,
+		expr:     ir.SubField{E: ir.Ref{Name: i.name}, Name: port},
+		tpe:      p.Tpe,
+		readOnly: p.Dir == ir.Output,
+	}
+}
+
+// Ports returns the child's port names in declaration order, excluding
+// the implicit clock/reset; useful for reflective wiring in tests.
+func (i *Instance) Ports() []string {
+	var out []string
+	for _, p := range i.child.Ports {
+		if p.Name == "clock" || p.Name == "reset" {
+			continue
+		}
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Mem is a handle to a declared memory.
+type Mem struct {
+	mb    *ModuleBuilder
+	name  string
+	elem  ir.Ground
+	depth int
+}
+
+// Name returns the memory's declared name.
+func (m *Mem) Name() string { return m.name }
+
+// Read returns the combinational read of the memory at addr.
+func (m *Mem) Read(addr *Signal) *Signal {
+	return &Signal{
+		mb:       m.mb,
+		expr:     ir.MemRead{Mem: m.name, Addr: addr.expr},
+		tpe:      m.elem,
+		readOnly: true,
+	}
+}
+
+// Write performs a synchronous write of data at addr when en is high.
+// The write enable is additionally qualified by the enclosing When
+// conditions, so writes inside When blocks behave as expected.
+func (m *Mem) Write(addr, data, en *Signal) {
+	info := callerInfo()
+	cond := en.expr
+	for _, c := range m.mb.conds {
+		cond = ir.NewPrim(ir.OpAnd, c, cond)
+	}
+	m.mb.emit(&ir.MemWrite{Mem: m.name, Addr: addr.expr, Data: data.expr, En: cond, Info: info})
+}

@@ -1,0 +1,343 @@
+package generator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestCounterModule(t *testing.T) {
+	c := NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8)))
+	})
+	out.Set(count)
+
+	circ, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	mod := circ.MainModule()
+	if mod == nil {
+		t.Fatal("no main module")
+	}
+	// Implicit clock/reset + declared ports.
+	if len(mod.Ports) != 4 {
+		t.Fatalf("ports = %d, want 4", len(mod.Ports))
+	}
+	s := ir.CircuitString(circ)
+	for _, want := range []string{"reg count", "when en :", "out <= count"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestSourceLocatorsPointAtUserCode(t *testing.T) {
+	c := NewCircuit("Loc")
+	m := c.NewModule("Loc")
+	a := m.Input("a", ir.UIntType(4))
+	o := m.Output("o", ir.UIntType(4))
+	o.Set(a) // the locator must point at THIS line, in THIS file
+	circ := c.MustBuild()
+	var conn *ir.Connect
+	ir.WalkStmts(circ.MainModule().Body, func(s ir.Stmt) {
+		if cn, ok := s.(*ir.Connect); ok {
+			conn = cn
+		}
+	})
+	if conn == nil {
+		t.Fatal("no connect recorded")
+	}
+	if conn.Info.File != "generator_test.go" {
+		t.Fatalf("locator file = %q, want generator_test.go", conn.Info.File)
+	}
+	if conn.Info.Line == 0 {
+		t.Fatal("locator line not captured")
+	}
+}
+
+func TestWhenLocator(t *testing.T) {
+	c := NewCircuit("W")
+	m := c.NewModule("W")
+	a := m.Input("a", ir.UIntType(1))
+	w := m.Wire("w", ir.UIntType(1))
+	w.Set(m.Lit(0, 1))
+	m.When(a, func() {
+		w.Set(m.Lit(1, 1))
+	})
+	circ := c.MustBuild()
+	var when *ir.When
+	ir.WalkStmts(circ.MainModule().Body, func(s ir.Stmt) {
+		if ws, ok := s.(*ir.When); ok {
+			when = ws
+		}
+	})
+	if when == nil {
+		t.Fatal("no when recorded")
+	}
+	if when.Info.File != "generator_test.go" {
+		t.Fatalf("when locator = %v", when.Info)
+	}
+	if len(when.Then) != 1 {
+		t.Fatalf("then body = %d stmts", len(when.Then))
+	}
+}
+
+// The paper's Listing 1: a for loop accumulating into sum under a
+// condition. Go host-language loops unroll at generation time, so the
+// IR carries two conditional connects to `sum` at the same source line.
+func TestListing1Accumulator(t *testing.T) {
+	c := NewCircuit("Acc")
+	m := c.NewModule("Acc")
+	data := []*Signal{m.Input("data_0", ir.UIntType(8)), m.Input("data_1", ir.UIntType(8))}
+	out := m.Output("out", ir.UIntType(8))
+	sum := m.Wire("sum", ir.UIntType(8))
+	sum.Set(m.Lit(0, 8))
+	for i := 0; i < 2; i++ {
+		odd := data[i].Bit(0)
+		m.When(odd, func() {
+			sum.Set(sum.AddMod(data[i])) // one source line, two unrolled connects
+		})
+	}
+	out.Set(sum)
+	circ := c.MustBuild()
+
+	var connectsToSum []*ir.Connect
+	ir.WalkStmts(circ.MainModule().Body, func(s ir.Stmt) {
+		if cn, ok := s.(*ir.Connect); ok {
+			if ref, isRef := cn.Loc.(ir.Ref); isRef && ref.Name == "sum" {
+				connectsToSum = append(connectsToSum, cn)
+			}
+		}
+	})
+	if len(connectsToSum) != 3 { // initial + 2 unrolled
+		t.Fatalf("connects to sum = %d, want 3", len(connectsToSum))
+	}
+	// The two unrolled connects share a source line (the paper's
+	// multiple line-mapping situation).
+	if connectsToSum[1].Info.Line != connectsToSum[2].Info.Line {
+		t.Fatalf("unrolled connects on different lines: %v vs %v",
+			connectsToSum[1].Info, connectsToSum[2].Info)
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	c := NewCircuit("U")
+	m := c.NewModule("U")
+	w1 := m.Wire("w", ir.UIntType(1))
+	w2 := m.Wire("w", ir.UIntType(1))
+	n1 := w1.Expr().(ir.Ref).Name
+	n2 := w2.Expr().(ir.Ref).Name
+	if n1 == n2 {
+		t.Fatalf("duplicate wire names: %s", n1)
+	}
+	if m.unique("clock") == "clock" {
+		t.Fatal("implicit port name not reserved")
+	}
+}
+
+func TestInstanceWiring(t *testing.T) {
+	c := NewCircuit("Top")
+	child := c.NewModule("Child")
+	ci := child.Input("in", ir.UIntType(8))
+	co := child.Output("out", ir.UIntType(8))
+	co.Set(ci.AddMod(child.Lit(1, 8)))
+
+	top := c.NewModule("Top")
+	x := top.Input("x", ir.UIntType(8))
+	y := top.Output("y", ir.UIntType(8))
+	u := top.Instance("u0", child)
+	u.IO("in").Set(x)
+	y.Set(u.IO("out"))
+
+	circ, err := c.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	s := ir.CircuitString(circ)
+	for _, want := range []string{"inst u0 of Child", "u0.clock <= clock", "u0.in <= x", "y <= u0.out"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	// Child outputs are read-only from the parent.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assignment to child output did not panic")
+		}
+	}()
+	u.IO("out").Set(x)
+}
+
+func TestBundleFlipDirections(t *testing.T) {
+	c := NewCircuit("B")
+	m := c.NewModule("B")
+	bundleT := ir.Bundle{Fields: []ir.Field{
+		{Name: "bits", Type: ir.UIntType(8)},
+		{Name: "valid", Type: ir.UIntType(1)},
+		{Name: "ready", Flip: true, Type: ir.UIntType(1)},
+	}}
+	out := m.Output("io", bundleT)
+	out.Field("bits").Set(m.Lit(5, 8))
+	out.Field("valid").Set(m.Lit(1, 1))
+	// ready is flipped: read-only from inside, so Set must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assignment to flipped field did not panic")
+		}
+	}()
+	out.Field("ready").Set(m.Lit(1, 1))
+}
+
+func TestMemReadWrite(t *testing.T) {
+	c := NewCircuit("M")
+	m := c.NewModule("M")
+	addr := m.Input("addr", ir.UIntType(5))
+	wdata := m.Input("wdata", ir.UIntType(32))
+	wen := m.Input("wen", ir.UIntType(1))
+	rdata := m.Output("rdata", ir.UIntType(32))
+	mem := m.Mem("regs", ir.UIntType(32), 32)
+	rdata.Set(mem.Read(addr))
+	m.When(wen, func() {
+		mem.Write(addr, wdata, m.Bool(true))
+	})
+	circ := c.MustBuild()
+	var mw *ir.MemWrite
+	ir.WalkStmts(circ.MainModule().Body, func(s ir.Stmt) {
+		if w, ok := s.(*ir.MemWrite); ok {
+			mw = w
+		}
+	})
+	if mw == nil {
+		t.Fatal("no memwrite recorded")
+	}
+	// Enable must be qualified by the surrounding when condition.
+	if !strings.Contains(mw.En.String(), "wen") {
+		t.Fatalf("write enable %s not qualified by when cond", mw.En)
+	}
+}
+
+func TestSignalOps(t *testing.T) {
+	c := NewCircuit("Ops")
+	m := c.NewModule("Ops")
+	a := m.Input("a", ir.UIntType(8))
+	b := m.Input("b", ir.UIntType(8))
+	checks := []struct {
+		sig   *Signal
+		width int
+	}{
+		{a.Add(b), 9},
+		{a.AddMod(b), 8},
+		{a.Sub(b), 9},
+		{a.SubMod(b), 8},
+		{a.Mul(b), 16},
+		{a.Div(b), 8},
+		{a.Rem(b), 8},
+		{a.Eq(b), 1},
+		{a.Lt(b), 1},
+		{a.And(b), 8},
+		{a.Not(), 8},
+		{a.Shl(4), 12},
+		{a.Shr(4), 4},
+		{a.Cat(b), 16},
+		{a.Bits(3, 0), 4},
+		{a.Bit(7), 1},
+		{a.OrR(), 1},
+		{a.Pad(16), 16},
+		{a.AsSInt(), 8},
+		{a.SignExtend(16), 16},
+		{a.Mux(a.Bit(0), b), 8},
+		{MuxOf(a.Bit(0), a, b), 8},
+		{a.Dshl(b.Bits(2, 0)), 15},
+		{a.Dshr(b), 8},
+		{a.Neg(), 9},
+		{a.XorR(), 1},
+		{a.AndR(), 1},
+		{a.Xor(b), 8},
+		{a.Or(b), 8},
+		{a.Leq(b), 1},
+		{a.Geq(b), 1},
+		{a.Gt(b), 1},
+		{a.Neq(b), 1},
+	}
+	for i, chk := range checks {
+		if chk.sig.Width() != chk.width {
+			t.Errorf("check %d (%s): width %d, want %d", i, chk.sig.Expr(), chk.sig.Width(), chk.width)
+		}
+	}
+	// Derived values are read-only.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assignment to derived value did not panic")
+		}
+	}()
+	a.Add(b).Set(a)
+}
+
+func TestElseWhenChain(t *testing.T) {
+	c := NewCircuit("EW")
+	m := c.NewModule("EW")
+	sel := m.Input("sel", ir.UIntType(2))
+	out := m.Output("out", ir.UIntType(4))
+	out.Set(m.Lit(0, 4))
+	m.When(sel.Eq(m.Lit(0, 2)), func() {
+		out.Set(m.Lit(1, 4))
+	}).ElseWhen(sel.Eq(m.Lit(1, 2)), func() {
+		out.Set(m.Lit(2, 4))
+	}).Otherwise(func() {
+		out.Set(m.Lit(3, 4))
+	})
+	circ := c.MustBuild()
+	s := ir.CircuitString(circ)
+	if strings.Count(s, "when ") != 2 {
+		t.Fatalf("expected 2 when statements:\n%s", s)
+	}
+	if !strings.Contains(s, "else :") {
+		t.Fatalf("missing else branch:\n%s", s)
+	}
+}
+
+func TestLitS(t *testing.T) {
+	c := NewCircuit("L")
+	m := c.NewModule("L")
+	neg := m.LitS(-1, 8)
+	cst := neg.Expr().(ir.Const)
+	if cst.Value != 0xFF || !cst.Signed {
+		t.Fatalf("LitS(-1, 8) = %+v", cst)
+	}
+	if m.LitS(5, 8).Expr().(ir.Const).Value != 5 {
+		t.Fatal("LitS(5) wrong")
+	}
+}
+
+func TestUnclosedWhenDetected(t *testing.T) {
+	c := NewCircuit("Bad")
+	m := c.NewModule("Bad")
+	// Simulate a corrupted scope stack.
+	m.scopes = append(m.scopes, &[]ir.Stmt{})
+	if _, err := c.Build(); err == nil {
+		t.Fatal("unclosed when not detected")
+	}
+}
+
+func TestInstancePortsList(t *testing.T) {
+	c := NewCircuit("T")
+	child := c.NewModule("C")
+	child.Input("a", ir.UIntType(1))
+	child.Output("z", ir.UIntType(1))
+	top := c.NewModule("T")
+	u := top.Instance("u", child)
+	ports := u.Ports()
+	if len(ports) != 2 || ports[0] != "a" || ports[1] != "z" {
+		t.Fatalf("ports = %v", ports)
+	}
+	if u.Name() != "u" {
+		t.Fatalf("instance name = %s", u.Name())
+	}
+}

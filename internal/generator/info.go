@@ -1,0 +1,37 @@
+package generator
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// callerInfo returns the source locator of the first stack frame outside
+// this package, i.e. the line of *generator user code* that invoked the
+// eDSL. This is the Go analog of Chisel capturing Scala source locators
+// for FIRRTL nodes.
+func callerInfo() ir.Info { return callerInfoSkip(1) }
+
+// callerInfoSkip behaves like callerInfo but ignores `extra` additional
+// in-package frames (used by When, whose closure adds a frame).
+func callerInfoSkip(extra int) ir.Info {
+	var pcs [16]uintptr
+	n := runtime.Callers(2+extra, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		frame, more := frames.Next()
+		if frame.File == "" {
+			break
+		}
+		slash := filepath.ToSlash(frame.File)
+		if !strings.Contains(slash, "internal/generator/") || strings.HasSuffix(slash, "_test.go") {
+			return ir.Info{File: filepath.Base(frame.File), Line: frame.Line}
+		}
+		if !more {
+			break
+		}
+	}
+	return ir.NoInfo
+}

@@ -1,0 +1,273 @@
+package generator
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Signal is a handle to an IR expression plus its type; the value type
+// of the eDSL. Operator methods build expression trees; Set records a
+// connection carrying the caller's source locator.
+type Signal struct {
+	mb       *ModuleBuilder
+	expr     ir.Expr
+	tpe      ir.Type
+	readOnly bool
+	isReg    bool
+}
+
+// Expr exposes the underlying IR expression (used by tests and passes).
+func (s *Signal) Expr() ir.Expr { return s.expr }
+
+// Type returns the signal's IR type.
+func (s *Signal) Type() ir.Type { return s.tpe }
+
+// Width returns the bit width of a ground-typed signal.
+func (s *Signal) Width() int { return s.tpe.BitWidth() }
+
+func (s *Signal) ground() ir.Ground {
+	g, ok := s.tpe.(ir.Ground)
+	if !ok {
+		panic(fmt.Sprintf("generator: %s is aggregate-typed (%s); select a field first", s.expr, s.tpe))
+	}
+	return g
+}
+
+func (s *Signal) derive(e ir.Expr, t ir.Type) *Signal {
+	return &Signal{mb: s.mb, expr: e, tpe: t, readOnly: true}
+}
+
+// Set connects value to this signal, recording the generator source line
+// (the statement hgdb will map a breakpoint onto).
+func (s *Signal) Set(value *Signal) {
+	if s.readOnly {
+		panic(fmt.Sprintf("generator: cannot assign to read-only signal %s", s.expr))
+	}
+	info := callerInfo()
+	s.mb.emit(&ir.Connect{Loc: s.expr, Value: value.expr, Info: info})
+}
+
+// Field selects a bundle field.
+func (s *Signal) Field(name string) *Signal {
+	b, ok := s.tpe.(ir.Bundle)
+	if !ok {
+		panic(fmt.Sprintf("generator: .%s on non-bundle %s", name, s.tpe))
+	}
+	f, ok := b.FieldByName(name)
+	if !ok {
+		panic(fmt.Sprintf("generator: bundle %s has no field %q", s.tpe, name))
+	}
+	out := &Signal{mb: s.mb, expr: ir.SubField{E: s.expr, Name: name}, tpe: f.Type}
+	// A flipped field reverses assignability relative to its parent.
+	if f.Flip {
+		out.readOnly = !s.readOnly
+	} else {
+		out.readOnly = s.readOnly
+	}
+	return out
+}
+
+// Idx selects a statically indexed vector element.
+func (s *Signal) Idx(i int) *Signal {
+	v, ok := s.tpe.(ir.Vec)
+	if !ok {
+		panic(fmt.Sprintf("generator: [%d] on non-vec %s", i, s.tpe))
+	}
+	if i < 0 || i >= v.Len {
+		panic(fmt.Sprintf("generator: index %d out of range for %s", i, v))
+	}
+	return &Signal{mb: s.mb, expr: ir.SubIndex{E: s.expr, Index: i}, tpe: v.Elem, readOnly: s.readOnly}
+}
+
+// IdxDyn selects a dynamically indexed vector element.
+func (s *Signal) IdxDyn(idx *Signal) *Signal {
+	v, ok := s.tpe.(ir.Vec)
+	if !ok {
+		panic(fmt.Sprintf("generator: dynamic index on non-vec %s", s.tpe))
+	}
+	return &Signal{mb: s.mb, expr: ir.SubAccess{E: s.expr, Index: idx.expr}, tpe: v.Elem, readOnly: s.readOnly}
+}
+
+func (s *Signal) binop(op ir.PrimOp, o *Signal, t ir.Type) *Signal {
+	return s.derive(ir.NewPrim(op, s.expr, o.expr), t)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Add returns s + o with full carry width.
+func (s *Signal) Add(o *Signal) *Signal {
+	g := s.ground()
+	return s.binop(ir.OpAdd, o, ir.Ground{Kind: g.Kind, Width: maxInt(g.Width, o.ground().Width) + 1})
+}
+
+// AddMod returns (s + o) truncated to s's width (modular arithmetic, the
+// common case for datapaths).
+func (s *Signal) AddMod(o *Signal) *Signal {
+	return s.Add(o).Bits(s.ground().Width-1, 0)
+}
+
+// Sub returns s - o with full borrow width.
+func (s *Signal) Sub(o *Signal) *Signal {
+	g := s.ground()
+	return s.binop(ir.OpSub, o, ir.Ground{Kind: g.Kind, Width: maxInt(g.Width, o.ground().Width) + 1})
+}
+
+// SubMod returns (s - o) truncated to s's width.
+func (s *Signal) SubMod(o *Signal) *Signal {
+	return s.Sub(o).Bits(s.ground().Width-1, 0)
+}
+
+// Mul returns the full-width product.
+func (s *Signal) Mul(o *Signal) *Signal {
+	g := s.ground()
+	return s.binop(ir.OpMul, o, ir.Ground{Kind: g.Kind, Width: g.Width + o.ground().Width})
+}
+
+// Div returns the quotient.
+func (s *Signal) Div(o *Signal) *Signal {
+	g := s.ground()
+	w := g.Width
+	if g.Kind == ir.SInt {
+		w++
+	}
+	return s.binop(ir.OpDiv, o, ir.Ground{Kind: g.Kind, Width: w})
+}
+
+// Rem returns the remainder.
+func (s *Signal) Rem(o *Signal) *Signal {
+	g, og := s.ground(), o.ground()
+	w := g.Width
+	if og.Width < w {
+		w = og.Width
+	}
+	return s.binop(ir.OpRem, o, ir.Ground{Kind: g.Kind, Width: w})
+}
+
+// Comparison operators; all return UInt<1>.
+
+func (s *Signal) Eq(o *Signal) *Signal  { return s.binop(ir.OpEq, o, ir.UIntType(1)) }
+func (s *Signal) Neq(o *Signal) *Signal { return s.binop(ir.OpNeq, o, ir.UIntType(1)) }
+func (s *Signal) Lt(o *Signal) *Signal  { return s.binop(ir.OpLt, o, ir.UIntType(1)) }
+func (s *Signal) Leq(o *Signal) *Signal { return s.binop(ir.OpLeq, o, ir.UIntType(1)) }
+func (s *Signal) Gt(o *Signal) *Signal  { return s.binop(ir.OpGt, o, ir.UIntType(1)) }
+func (s *Signal) Geq(o *Signal) *Signal { return s.binop(ir.OpGeq, o, ir.UIntType(1)) }
+
+// Bitwise operators.
+
+func (s *Signal) And(o *Signal) *Signal {
+	return s.binop(ir.OpAnd, o, ir.UIntType(maxInt(s.ground().Width, o.ground().Width)))
+}
+
+func (s *Signal) Or(o *Signal) *Signal {
+	return s.binop(ir.OpOr, o, ir.UIntType(maxInt(s.ground().Width, o.ground().Width)))
+}
+
+func (s *Signal) Xor(o *Signal) *Signal {
+	return s.binop(ir.OpXor, o, ir.UIntType(maxInt(s.ground().Width, o.ground().Width)))
+}
+
+// Not returns the bitwise complement.
+func (s *Signal) Not() *Signal {
+	return s.derive(ir.NewPrim(ir.OpNot, s.expr), ir.UIntType(s.ground().Width))
+}
+
+// Neg returns the arithmetic negation as a signed value.
+func (s *Signal) Neg() *Signal {
+	return s.derive(ir.NewPrim(ir.OpNeg, s.expr), ir.SIntType(s.ground().Width+1))
+}
+
+// Shl shifts left by a static amount, widening.
+func (s *Signal) Shl(n int) *Signal {
+	g := s.ground()
+	return s.derive(ir.NewPrimP(ir.OpShl, []int{n}, s.expr), ir.Ground{Kind: g.Kind, Width: g.Width + n})
+}
+
+// Shr shifts right by a static amount, narrowing (min width 1).
+func (s *Signal) Shr(n int) *Signal {
+	g := s.ground()
+	w := g.Width - n
+	if w < 1 {
+		w = 1
+	}
+	return s.derive(ir.NewPrimP(ir.OpShr, []int{n}, s.expr), ir.Ground{Kind: g.Kind, Width: w})
+}
+
+// Dshl shifts left by a dynamic amount, clamped to 64 result bits.
+func (s *Signal) Dshl(o *Signal) *Signal {
+	g := s.ground()
+	w := g.Width + (1 << uint(o.ground().Width)) - 1
+	if w > 64 {
+		w = 64
+	}
+	return s.binop(ir.OpDshl, o, ir.Ground{Kind: g.Kind, Width: w})
+}
+
+// Dshr shifts right by a dynamic amount. For SInt the shift is
+// arithmetic.
+func (s *Signal) Dshr(o *Signal) *Signal {
+	return s.binop(ir.OpDshr, o, s.ground())
+}
+
+// Cat concatenates s (high bits) with o (low bits).
+func (s *Signal) Cat(o *Signal) *Signal {
+	return s.binop(ir.OpCat, o, ir.UIntType(s.ground().Width+o.ground().Width))
+}
+
+// Bits extracts the inclusive bit range [hi:lo].
+func (s *Signal) Bits(hi, lo int) *Signal {
+	if lo < 0 || hi < lo || hi >= s.ground().Width {
+		panic(fmt.Sprintf("generator: bits(%d, %d) out of range for width %d", hi, lo, s.ground().Width))
+	}
+	return s.derive(ir.NewPrimP(ir.OpBits, []int{hi, lo}, s.expr), ir.UIntType(hi-lo+1))
+}
+
+// Bit extracts a single bit.
+func (s *Signal) Bit(i int) *Signal { return s.Bits(i, i) }
+
+// Reduction operators; all return UInt<1>.
+
+func (s *Signal) AndR() *Signal { return s.derive(ir.NewPrim(ir.OpAndR, s.expr), ir.UIntType(1)) }
+func (s *Signal) OrR() *Signal  { return s.derive(ir.NewPrim(ir.OpOrR, s.expr), ir.UIntType(1)) }
+func (s *Signal) XorR() *Signal { return s.derive(ir.NewPrim(ir.OpXorR, s.expr), ir.UIntType(1)) }
+
+// Pad zero-extends (or sign-extends, for SInt) to at least width n.
+func (s *Signal) Pad(n int) *Signal {
+	g := s.ground()
+	w := g.Width
+	if n > w {
+		w = n
+	}
+	return s.derive(ir.NewPrimP(ir.OpPad, []int{n}, s.expr), ir.Ground{Kind: g.Kind, Width: w})
+}
+
+// AsSInt reinterprets the bits as signed.
+func (s *Signal) AsSInt() *Signal {
+	return s.derive(ir.NewPrim(ir.OpAsSInt, s.expr), ir.SIntType(s.ground().Width))
+}
+
+// AsUInt reinterprets the bits as unsigned.
+func (s *Signal) AsUInt() *Signal {
+	return s.derive(ir.NewPrim(ir.OpAsUInt, s.expr), ir.UIntType(s.ground().Width))
+}
+
+// SignExtend sign-extends a UInt as if it were signed, returning a UInt
+// of width n.
+func (s *Signal) SignExtend(n int) *Signal {
+	return s.AsSInt().Pad(n).AsUInt()
+}
+
+// Mux returns sel ? s : o.
+func (s *Signal) Mux(sel, o *Signal) *Signal {
+	g := s.ground()
+	w := maxInt(g.Width, o.ground().Width)
+	return s.derive(ir.Mux{Cond: sel.expr, T: s.expr, F: o.expr}, ir.Ground{Kind: g.Kind, Width: w})
+}
+
+// MuxOf is the free-function form: MuxOf(sel, t, f).
+func MuxOf(sel, t, f *Signal) *Signal { return t.Mux(sel, f) }

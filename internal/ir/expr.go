@@ -1,0 +1,258 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is the interface implemented by all IR expressions.
+type Expr interface {
+	exprNode()
+	// String renders the expression in a FIRRTL-like textual form. The
+	// rendering is stable and is used both for diagnostics and as the
+	// canonical key for common sub-expression elimination.
+	String() string
+}
+
+// Ref names a wire, node, register, port, or (after lowering) any ground
+// signal in the enclosing module.
+type Ref struct {
+	Name string
+}
+
+func (r Ref) exprNode()      {}
+func (r Ref) String() string { return r.Name }
+
+// SubField selects a named field of a bundle-typed expression.
+type SubField struct {
+	E    Expr
+	Name string
+}
+
+func (s SubField) exprNode()      {}
+func (s SubField) String() string { return s.E.String() + "." + s.Name }
+
+// SubIndex selects a statically known element of a vector-typed
+// expression.
+type SubIndex struct {
+	E     Expr
+	Index int
+}
+
+func (s SubIndex) exprNode()      {}
+func (s SubIndex) String() string { return fmt.Sprintf("%s[%d]", s.E.String(), s.Index) }
+
+// SubAccess selects a dynamically addressed element of a vector-typed
+// expression. Lowering turns reads into mux trees and writes into
+// per-element enables.
+type SubAccess struct {
+	E     Expr
+	Index Expr
+}
+
+func (s SubAccess) exprNode()      {}
+func (s SubAccess) String() string { return fmt.Sprintf("%s[%s]", s.E.String(), s.Index.String()) }
+
+// Const is an integer literal with an explicit width and signedness.
+type Const struct {
+	Value  uint64
+	Width  int
+	Signed bool
+}
+
+func (c Const) exprNode() {}
+func (c Const) String() string {
+	k := "UInt"
+	if c.Signed {
+		k = "SInt"
+	}
+	return fmt.Sprintf("%s<%d>(%d)", k, c.Width, c.Value)
+}
+
+// ConstUInt returns an unsigned literal of the given width.
+func ConstUInt(v uint64, width int) Const { return Const{Value: v, Width: width} }
+
+// ConstBool returns a 1-bit literal: 1 when v is true, 0 otherwise.
+func ConstBool(v bool) Const {
+	if v {
+		return Const{Value: 1, Width: 1}
+	}
+	return Const{Value: 0, Width: 1}
+}
+
+// PrimOp enumerates the primitive operations of the IR.
+type PrimOp int
+
+const (
+	OpAdd PrimOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpEq
+	OpNeq
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // bitwise complement
+	OpNeg // arithmetic negation
+	OpShl // static left shift, shamt in Params[0]
+	OpShr // static right shift, shamt in Params[0]
+	OpDshl
+	OpDshr
+	OpCat
+	OpBits // bit extract, Params = [hi, lo]
+	OpHead // Params = [n]
+	OpTail // Params = [n]
+	OpAndR
+	OpOrR
+	OpXorR
+	OpPad // Params = [width]
+	OpAsUInt
+	OpAsSInt
+)
+
+var primOpNames = map[PrimOp]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpLt: "lt", OpLeq: "leq", OpGt: "gt", OpGeq: "geq", OpEq: "eq", OpNeq: "neq",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not", OpNeg: "neg",
+	OpShl: "shl", OpShr: "shr", OpDshl: "dshl", OpDshr: "dshr",
+	OpCat: "cat", OpBits: "bits", OpHead: "head", OpTail: "tail",
+	OpAndR: "andr", OpOrR: "orr", OpXorR: "xorr", OpPad: "pad",
+	OpAsUInt: "asUInt", OpAsSInt: "asSInt",
+}
+
+func (op PrimOp) String() string {
+	if s, ok := primOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("primop(%d)", int(op))
+}
+
+// Prim applies a primitive operation to argument expressions, with
+// static integer parameters (shift amounts, bit ranges, pad widths).
+type Prim struct {
+	Op     PrimOp
+	Args   []Expr
+	Params []int
+}
+
+func (p Prim) exprNode() {}
+func (p Prim) String() string {
+	var sb strings.Builder
+	sb.WriteString(p.Op.String())
+	sb.WriteString("(")
+	for i, a := range p.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	for _, prm := range p.Params {
+		sb.WriteString(", ")
+		sb.WriteString(strconv.Itoa(prm))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Mux selects T when Cond is non-zero and F otherwise.
+type Mux struct {
+	Cond Expr
+	T    Expr
+	F    Expr
+}
+
+func (m Mux) exprNode() {}
+func (m Mux) String() string {
+	return fmt.Sprintf("mux(%s, %s, %s)", m.Cond.String(), m.T.String(), m.F.String())
+}
+
+// MemRead is a combinational read of a memory defined with DefMem.
+type MemRead struct {
+	Mem  string
+	Addr Expr
+}
+
+func (m MemRead) exprNode()      {}
+func (m MemRead) String() string { return fmt.Sprintf("%s[%s]", m.Mem, m.Addr.String()) }
+
+// NewPrim is a convenience constructor for Prim expressions.
+func NewPrim(op PrimOp, args ...Expr) Prim { return Prim{Op: op, Args: args} }
+
+// NewPrimP constructs a Prim with static parameters.
+func NewPrimP(op PrimOp, params []int, args ...Expr) Prim {
+	return Prim{Op: op, Args: args, Params: params}
+}
+
+// WalkExpr invokes fn on e and every sub-expression of e, parents first.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case SubField:
+		WalkExpr(x.E, fn)
+	case SubIndex:
+		WalkExpr(x.E, fn)
+	case SubAccess:
+		WalkExpr(x.E, fn)
+		WalkExpr(x.Index, fn)
+	case Prim:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	case Mux:
+		WalkExpr(x.Cond, fn)
+		WalkExpr(x.T, fn)
+		WalkExpr(x.F, fn)
+	case MemRead:
+		WalkExpr(x.Addr, fn)
+	}
+}
+
+// MapExpr rebuilds e bottom-up, replacing every sub-expression with
+// fn(sub). fn receives an expression whose children have already been
+// mapped.
+func MapExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case SubField:
+		return fn(SubField{E: MapExpr(x.E, fn), Name: x.Name})
+	case SubIndex:
+		return fn(SubIndex{E: MapExpr(x.E, fn), Index: x.Index})
+	case SubAccess:
+		return fn(SubAccess{E: MapExpr(x.E, fn), Index: MapExpr(x.Index, fn)})
+	case Prim:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = MapExpr(a, fn)
+		}
+		return fn(Prim{Op: x.Op, Args: args, Params: x.Params})
+	case Mux:
+		return fn(Mux{Cond: MapExpr(x.Cond, fn), T: MapExpr(x.T, fn), F: MapExpr(x.F, fn)})
+	case MemRead:
+		return fn(MemRead{Mem: x.Mem, Addr: MapExpr(x.Addr, fn)})
+	default:
+		return fn(e)
+	}
+}
+
+// RefsIn collects the names of all Refs appearing in e.
+func RefsIn(e Expr) []string {
+	var out []string
+	WalkExpr(e, func(sub Expr) {
+		if r, ok := sub.(Ref); ok {
+			out = append(out, r.Name)
+		}
+	})
+	return out
+}

@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderInfix renders an expression in C-like infix syntax, the format
+// stored in the symbol table's enable-condition column and understood by
+// the debugger's expression evaluator (internal/expr). Every operator it
+// emits can be parsed back by that package.
+func RenderInfix(e Expr) string {
+	switch x := e.(type) {
+	case Ref:
+		return x.Name
+	case Const:
+		if x.Signed {
+			// Render as the signed numeric value.
+			v := x.Value
+			if x.Width < 64 && v&(uint64(1)<<uint(x.Width-1)) != 0 {
+				return fmt.Sprintf("%d", int64(v|^((uint64(1)<<uint(x.Width))-1)))
+			}
+			return fmt.Sprintf("%d", int64(v))
+		}
+		return fmt.Sprintf("%d", x.Value)
+	case SubField:
+		return RenderInfix(x.E) + "." + x.Name
+	case SubIndex:
+		return fmt.Sprintf("%s[%d]", RenderInfix(x.E), x.Index)
+	case SubAccess:
+		return fmt.Sprintf("%s[%s]", RenderInfix(x.E), RenderInfix(x.Index))
+	case MemRead:
+		return fmt.Sprintf("%s[%s]", x.Mem, RenderInfix(x.Addr))
+	case Mux:
+		return fmt.Sprintf("(%s ? %s : %s)", RenderInfix(x.Cond), RenderInfix(x.T), RenderInfix(x.F))
+	case Prim:
+		return renderPrimInfix(x)
+	}
+	return e.String()
+}
+
+var infixOps = map[PrimOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpLt: "<", OpLeq: "<=", OpGt: ">", OpGeq: ">=", OpEq: "==", OpNeq: "!=",
+	OpAnd: "&", OpOr: "|", OpXor: "^",
+	OpDshl: "<<", OpDshr: ">>",
+}
+
+func renderPrimInfix(p Prim) string {
+	if sym, ok := infixOps[p.Op]; ok && len(p.Args) == 2 {
+		return fmt.Sprintf("(%s %s %s)", RenderInfix(p.Args[0]), sym, RenderInfix(p.Args[1]))
+	}
+	switch p.Op {
+	case OpNot:
+		return "(~" + RenderInfix(p.Args[0]) + ")"
+	case OpNeg:
+		return "(-" + RenderInfix(p.Args[0]) + ")"
+	case OpShl:
+		return fmt.Sprintf("(%s << %d)", RenderInfix(p.Args[0]), p.Params[0])
+	case OpShr:
+		return fmt.Sprintf("(%s >> %d)", RenderInfix(p.Args[0]), p.Params[0])
+	case OpBits:
+		return fmt.Sprintf("%s[%d:%d]", RenderInfix(p.Args[0]), p.Params[0], p.Params[1])
+	case OpCat, OpAndR, OpOrR, OpXorR, OpPad, OpAsUInt, OpAsSInt, OpHead, OpTail:
+		// Function-call style for ops without an infix form.
+		var args []string
+		for _, a := range p.Args {
+			args = append(args, RenderInfix(a))
+		}
+		for _, prm := range p.Params {
+			args = append(args, fmt.Sprintf("%d", prm))
+		}
+		return fmt.Sprintf("%s(%s)", p.Op, strings.Join(args, ", "))
+	}
+	return p.String()
+}

@@ -1,0 +1,347 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroundTypes(t *testing.T) {
+	u := UIntType(8)
+	if u.BitWidth() != 8 || u.Signed() {
+		t.Fatalf("UIntType(8) = %v", u)
+	}
+	s := SIntType(16)
+	if !s.Signed() || s.String() != "SInt<16>" {
+		t.Fatalf("SIntType(16) = %v (%s)", s, s)
+	}
+	if ClockType().String() != "Clock" {
+		t.Fatalf("clock string = %s", ClockType())
+	}
+	if ResetType().Width != 1 {
+		t.Fatalf("reset width = %d", ResetType().Width)
+	}
+}
+
+func TestBundleAndVec(t *testing.T) {
+	b := Bundle{Fields: []Field{
+		{Name: "valid", Type: UIntType(1)},
+		{Name: "bits", Type: UIntType(32)},
+		{Name: "ready", Flip: true, Type: UIntType(1)},
+	}}
+	if b.BitWidth() != 34 {
+		t.Fatalf("bundle width = %d, want 34", b.BitWidth())
+	}
+	if f, ok := b.FieldByName("bits"); !ok || f.Type.BitWidth() != 32 {
+		t.Fatalf("FieldByName(bits) = %v, %v", f, ok)
+	}
+	if _, ok := b.FieldByName("missing"); ok {
+		t.Fatal("found nonexistent field")
+	}
+	if !strings.Contains(b.String(), "flip ready") {
+		t.Fatalf("bundle string missing flip: %s", b)
+	}
+	v := Vec{Elem: UIntType(8), Len: 4}
+	if v.BitWidth() != 32 || v.String() != "UInt<8>[4]" {
+		t.Fatalf("vec = %v (%s)", v, v)
+	}
+}
+
+func TestTypesEqual(t *testing.T) {
+	a := Bundle{Fields: []Field{{Name: "x", Type: UIntType(4)}}}
+	b := Bundle{Fields: []Field{{Name: "x", Type: UIntType(4)}}}
+	c := Bundle{Fields: []Field{{Name: "x", Type: UIntType(5)}}}
+	if !TypesEqual(a, b) {
+		t.Fatal("identical bundles unequal")
+	}
+	if TypesEqual(a, c) {
+		t.Fatal("different widths equal")
+	}
+	if TypesEqual(a, UIntType(4)) {
+		t.Fatal("bundle equal to ground")
+	}
+	if !TypesEqual(Vec{Elem: UIntType(1), Len: 2}, Vec{Elem: UIntType(1), Len: 2}) {
+		t.Fatal("identical vecs unequal")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Prim{Op: OpAdd, Args: []Expr{Ref{Name: "a"}, ConstUInt(3, 8)}}
+	if e.String() != "add(a, UInt<8>(3))" {
+		t.Fatalf("prim string = %s", e)
+	}
+	m := Mux{Cond: Ref{Name: "sel"}, T: Ref{Name: "x"}, F: Ref{Name: "y"}}
+	if m.String() != "mux(sel, x, y)" {
+		t.Fatalf("mux string = %s", m)
+	}
+	sf := SubField{E: Ref{Name: "io"}, Name: "out"}
+	if sf.String() != "io.out" {
+		t.Fatalf("subfield string = %s", sf)
+	}
+	si := SubIndex{E: Ref{Name: "v"}, Index: 2}
+	if si.String() != "v[2]" {
+		t.Fatalf("subindex string = %s", si)
+	}
+	bits := NewPrimP(OpBits, []int{7, 0}, Ref{Name: "w"})
+	if bits.String() != "bits(w, 7, 0)" {
+		t.Fatalf("bits string = %s", bits)
+	}
+	mr := MemRead{Mem: "regfile", Addr: Ref{Name: "rs1"}}
+	if mr.String() != "regfile[rs1]" {
+		t.Fatalf("memread string = %s", mr)
+	}
+}
+
+func TestConstBool(t *testing.T) {
+	if ConstBool(true).Value != 1 || ConstBool(false).Value != 0 {
+		t.Fatal("ConstBool wrong")
+	}
+	if ConstBool(true).Width != 1 {
+		t.Fatal("ConstBool width != 1")
+	}
+}
+
+func TestWalkAndMapExpr(t *testing.T) {
+	e := Mux{
+		Cond: Ref{Name: "c"},
+		T:    Prim{Op: OpAdd, Args: []Expr{Ref{Name: "a"}, Ref{Name: "b"}}},
+		F:    ConstUInt(0, 8),
+	}
+	count := 0
+	WalkExpr(e, func(Expr) { count++ })
+	if count != 6 {
+		t.Fatalf("WalkExpr visited %d nodes, want 6", count)
+	}
+	refs := RefsIn(e)
+	if len(refs) != 3 {
+		t.Fatalf("RefsIn = %v", refs)
+	}
+	// Rename every ref by appending a suffix.
+	mapped := MapExpr(e, func(sub Expr) Expr {
+		if r, ok := sub.(Ref); ok {
+			return Ref{Name: r.Name + "_0"}
+		}
+		return sub
+	})
+	want := "mux(c_0, add(a_0, b_0), UInt<8>(0))"
+	if mapped.String() != want {
+		t.Fatalf("MapExpr = %s, want %s", mapped, want)
+	}
+	// Original untouched.
+	if e.String() != "mux(c, add(a, b), UInt<8>(0))" {
+		t.Fatalf("MapExpr mutated original: %s", e)
+	}
+}
+
+func TestInfoString(t *testing.T) {
+	if NoInfo.Valid() {
+		t.Fatal("NoInfo is valid")
+	}
+	i := Info{File: "fpu.go", Line: 42}
+	if !i.Valid() || i.String() != "fpu.go:42" {
+		t.Fatalf("info = %s", i)
+	}
+	j := Info{File: "fpu.go", Line: 42, Col: 7}
+	if j.String() != "fpu.go:42:7" {
+		t.Fatalf("info with col = %s", j)
+	}
+}
+
+func buildTestCircuit() *Circuit {
+	child := &Module{
+		Name: "Child",
+		Ports: []Port{
+			{Name: "in", Dir: Input, Tpe: UIntType(8)},
+			{Name: "out", Dir: Output, Tpe: UIntType(8)},
+		},
+		Body: []Stmt{
+			&Connect{Loc: Ref{Name: "out"}, Value: Ref{Name: "in"}},
+		},
+	}
+	top := &Module{
+		Name: "Top",
+		Ports: []Port{
+			{Name: "clock", Dir: Input, Tpe: ClockType()},
+			{Name: "x", Dir: Input, Tpe: UIntType(8)},
+			{Name: "y", Dir: Output, Tpe: UIntType(8)},
+		},
+		Body: []Stmt{
+			&DefInstance{Name: "c0", Module: "Child"},
+			&Connect{Loc: SubField{E: Ref{Name: "c0"}, Name: "in"}, Value: Ref{Name: "x"}},
+			&Connect{Loc: Ref{Name: "y"}, Value: SubField{E: Ref{Name: "c0"}, Name: "out"}},
+		},
+	}
+	return &Circuit{Main: "Top", Modules: []*Module{top, child}}
+}
+
+func TestCircuitValidate(t *testing.T) {
+	c := buildTestCircuit()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+	// Missing main.
+	bad := &Circuit{Main: "Nope", Modules: c.Modules}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("missing main accepted")
+	}
+	// Duplicate declaration.
+	dup := &Module{
+		Name: "Dup",
+		Body: []Stmt{
+			&DefWire{Name: "w", Tpe: UIntType(1)},
+			&DefWire{Name: "w", Tpe: UIntType(1)},
+		},
+	}
+	bad2 := &Circuit{Main: "Dup", Modules: []*Module{dup}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("duplicate declaration accepted")
+	}
+	// Unknown instance target.
+	orphan := &Module{
+		Name: "Orphan",
+		Body: []Stmt{&DefInstance{Name: "u", Module: "Ghost"}},
+	}
+	bad3 := &Circuit{Main: "Orphan", Modules: []*Module{orphan}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("unknown instance module accepted")
+	}
+}
+
+func TestInstanceGraph(t *testing.T) {
+	c := buildTestCircuit()
+	g := c.InstanceGraph()
+	if len(g["Top"]) != 1 || g["Top"][0].Module != "Child" || g["Top"][0].Instance != "c0" {
+		t.Fatalf("instance graph = %v", g)
+	}
+	if len(g["Child"]) != 0 {
+		t.Fatalf("child has instances: %v", g["Child"])
+	}
+}
+
+func TestAddModuleReplaces(t *testing.T) {
+	c := buildTestCircuit()
+	replacement := &Module{Name: "Child"}
+	c.AddModule(replacement)
+	if len(c.Modules) != 2 {
+		t.Fatalf("AddModule duplicated: %d modules", len(c.Modules))
+	}
+	if c.Module("Child") != replacement {
+		t.Fatal("AddModule did not replace")
+	}
+	extra := &Module{Name: "New"}
+	c.AddModule(extra)
+	if len(c.Modules) != 3 {
+		t.Fatal("AddModule did not append new module")
+	}
+}
+
+func TestPrintCircuit(t *testing.T) {
+	c := buildTestCircuit()
+	s := CircuitString(c)
+	for _, want := range []string{"circuit Top :", "module Top :", "inst c0 of Child", "c0.in <= x", "module Child :"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("printed circuit missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTypeEnvBasics(t *testing.T) {
+	c := buildTestCircuit()
+	env := NewTypeEnv(c, c.MainModule())
+	tt, err := env.TypeOf(SubField{E: Ref{Name: "c0"}, Name: "out"})
+	if err != nil {
+		t.Fatalf("TypeOf instance port: %v", err)
+	}
+	if tt.BitWidth() != 8 {
+		t.Fatalf("instance port width = %d", tt.BitWidth())
+	}
+	if _, err := env.TypeOf(Ref{Name: "ghost"}); err == nil {
+		t.Fatal("undeclared ref typed")
+	}
+}
+
+func TestPrimTypeRules(t *testing.T) {
+	m := &Module{Name: "M", Ports: []Port{
+		{Name: "a", Dir: Input, Tpe: UIntType(8)},
+		{Name: "b", Dir: Input, Tpe: UIntType(4)},
+		{Name: "s", Dir: Input, Tpe: SIntType(8)},
+	}}
+	env := NewTypeEnv(nil, m)
+	cases := []struct {
+		e     Expr
+		width int
+		kind  GroundKind
+	}{
+		{NewPrim(OpAdd, Ref{"a"}, Ref{"b"}), 9, UInt},
+		{NewPrim(OpSub, Ref{"a"}, Ref{"a"}), 9, UInt},
+		{NewPrim(OpMul, Ref{"a"}, Ref{"b"}), 12, UInt},
+		{NewPrim(OpDiv, Ref{"a"}, Ref{"b"}), 8, UInt},
+		{NewPrim(OpDiv, Ref{"s"}, Ref{"s"}), 9, SInt},
+		{NewPrim(OpRem, Ref{"a"}, Ref{"b"}), 4, UInt},
+		{NewPrim(OpLt, Ref{"a"}, Ref{"b"}), 1, UInt},
+		{NewPrim(OpEq, Ref{"a"}, Ref{"b"}), 1, UInt},
+		{NewPrim(OpAnd, Ref{"a"}, Ref{"b"}), 8, UInt},
+		{NewPrim(OpNot, Ref{"a"}), 8, UInt},
+		{NewPrim(OpNeg, Ref{"a"}), 9, SInt},
+		{NewPrimP(OpShl, []int{2}, Ref{"a"}), 10, UInt},
+		{NewPrimP(OpShr, []int{3}, Ref{"a"}), 5, UInt},
+		{NewPrim(OpCat, Ref{"a"}, Ref{"b"}), 12, UInt},
+		{NewPrimP(OpBits, []int{3, 1}, Ref{"a"}), 3, UInt},
+		{NewPrim(OpOrR, Ref{"a"}), 1, UInt},
+		{NewPrimP(OpPad, []int{16}, Ref{"b"}), 16, UInt},
+		{NewPrim(OpAsSInt, Ref{"a"}), 8, SInt},
+		{NewPrim(OpAsUInt, Ref{"s"}), 8, UInt},
+	}
+	for _, tc := range cases {
+		tt, err := env.TypeOf(tc.e)
+		if err != nil {
+			t.Fatalf("TypeOf(%s): %v", tc.e, err)
+		}
+		g := GroundOf(tt)
+		if g.Width != tc.width || g.Kind != tc.kind {
+			t.Errorf("TypeOf(%s) = %s, want %s<%d>", tc.e, g, tc.kind, tc.width)
+		}
+	}
+	// Error cases.
+	if _, err := env.TypeOf(NewPrimP(OpBits, []int{9, 0}, Ref{"a"})); err == nil {
+		t.Fatal("out-of-range bits accepted")
+	}
+	if _, err := env.TypeOf(NewPrim(OpAdd, Ref{"a"})); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+// Property: MapExpr with the identity function reproduces the same
+// rendered expression for arbitrary expression shapes.
+func TestMapExprIdentityProperty(t *testing.T) {
+	f := func(names []string, depth uint8) bool {
+		e := genExpr(names, int(depth)%4, 0)
+		mapped := MapExpr(e, func(x Expr) Expr { return x })
+		return mapped.String() == e.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// genExpr deterministically builds a nested expression from a name pool.
+func genExpr(names []string, depth, salt int) Expr {
+	name := func(i int) string {
+		if len(names) == 0 {
+			return "x"
+		}
+		n := names[(i+salt)%len(names)]
+		if n == "" {
+			return "x"
+		}
+		return n
+	}
+	if depth <= 0 {
+		return Ref{Name: name(0)}
+	}
+	return Mux{
+		Cond: Ref{Name: name(1)},
+		T:    NewPrim(OpAdd, genExpr(names, depth-1, salt+1), ConstUInt(uint64(depth), 8)),
+		F:    genExpr(names, depth-1, salt+2),
+	}
+}

@@ -1,0 +1,167 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Direction is the direction of a module port.
+type Direction int
+
+const (
+	// Input ports are driven by the environment.
+	Input Direction = iota
+	// Output ports are driven by the module.
+	Output
+)
+
+func (d Direction) String() string {
+	if d == Input {
+		return "input"
+	}
+	return "output"
+}
+
+// Port is a module boundary signal. Aggregate-typed ports are flattened
+// by the LowerAggregates pass.
+type Port struct {
+	Name string
+	Dir  Direction
+	Tpe  Type
+	Info Info
+}
+
+// Module is one hardware module: a port list and a statement body.
+type Module struct {
+	Name  string
+	Ports []Port
+	Body  []Stmt
+	// Attrs carries pass-to-pass annotations keyed by attribute name.
+	// The Annotate/Collect passes of Algorithm 1 use it to persist
+	// DontTouch marks and symbol annotations across optimization.
+	Attrs map[string]string
+}
+
+// PortByName returns the port with the given name and whether it exists.
+func (m *Module) PortByName(name string) (Port, bool) {
+	for _, p := range m.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Circuit is a complete design: a set of modules and the name of the
+// top-level (main) module.
+type Circuit struct {
+	Main    string
+	Modules []*Module
+}
+
+// Module returns the module with the given name, or nil when absent.
+func (c *Circuit) Module(name string) *Module {
+	for _, m := range c.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MainModule returns the top-level module, or nil when the circuit is
+// inconsistent.
+func (c *Circuit) MainModule() *Module { return c.Module(c.Main) }
+
+// AddModule appends m, replacing any existing module of the same name.
+func (c *Circuit) AddModule(m *Module) {
+	for i, old := range c.Modules {
+		if old.Name == m.Name {
+			c.Modules[i] = m
+			return
+		}
+	}
+	c.Modules = append(c.Modules, m)
+}
+
+// Validate performs structural sanity checks: the main module exists,
+// instance targets resolve, and names within each module are unique.
+func (c *Circuit) Validate() error {
+	if c.MainModule() == nil {
+		return fmt.Errorf("ir: main module %q not found", c.Main)
+	}
+	for _, m := range c.Modules {
+		seen := map[string]Info{}
+		declare := func(name string, info Info) error {
+			if prev, ok := seen[name]; ok {
+				return fmt.Errorf("ir: module %s: %q redeclared at %s (previous at %s)", m.Name, name, info, prev)
+			}
+			seen[name] = info
+			return nil
+		}
+		for _, p := range m.Ports {
+			if err := declare(p.Name, p.Info); err != nil {
+				return err
+			}
+		}
+		var err error
+		WalkStmts(m.Body, func(s Stmt) {
+			if err != nil {
+				return
+			}
+			switch d := s.(type) {
+			case *DefWire:
+				err = declare(d.Name, d.Info)
+			case *DefReg:
+				err = declare(d.Name, d.Info)
+			case *DefNode:
+				err = declare(d.Name, d.Info)
+			case *DefMem:
+				err = declare(d.Name, d.Info)
+			case *DefInstance:
+				if e := declare(d.Name, d.Info); e != nil {
+					err = e
+				} else if c.Module(d.Module) == nil {
+					err = fmt.Errorf("ir: module %s: instance %q references unknown module %q", m.Name, d.Name, d.Module)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstanceGraph returns, for each module name, the list of (instance
+// name, child module name) pairs it instantiates.
+func (c *Circuit) InstanceGraph() map[string][]InstanceEdge {
+	g := make(map[string][]InstanceEdge, len(c.Modules))
+	for _, m := range c.Modules {
+		var edges []InstanceEdge
+		WalkStmts(m.Body, func(s Stmt) {
+			if inst, ok := s.(*DefInstance); ok {
+				edges = append(edges, InstanceEdge{Instance: inst.Name, Module: inst.Module})
+			}
+		})
+		g[m.Name] = edges
+	}
+	return g
+}
+
+// InstanceEdge is one instantiation arc in the module hierarchy.
+type InstanceEdge struct {
+	Instance string
+	Module   string
+}
+
+// SortedModuleNames returns module names in lexical order, useful for
+// deterministic output.
+func (c *Circuit) SortedModuleNames() []string {
+	names := make([]string, 0, len(c.Modules))
+	for _, m := range c.Modules {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return names
+}

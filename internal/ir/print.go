@@ -1,0 +1,74 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Print writes a FIRRTL-like textual rendering of the circuit to w.
+// The format is for humans and golden tests; it is not re-parsed.
+func Print(w io.Writer, c *Circuit) {
+	fmt.Fprintf(w, "circuit %s :\n", c.Main)
+	for _, m := range c.Modules {
+		PrintModule(w, m, "  ")
+	}
+}
+
+// PrintModule writes a single module with the given indentation prefix.
+func PrintModule(w io.Writer, m *Module, indent string) {
+	fmt.Fprintf(w, "%smodule %s :\n", indent, m.Name)
+	for _, p := range m.Ports {
+		fmt.Fprintf(w, "%s  %s %s : %s\n", indent, p.Dir, p.Name, p.Tpe)
+	}
+	printStmts(w, m.Body, indent+"  ")
+}
+
+func printStmts(w io.Writer, body []Stmt, indent string) {
+	for _, s := range body {
+		printStmt(w, s, indent)
+	}
+}
+
+func printStmt(w io.Writer, s Stmt, indent string) {
+	loc := ""
+	if s.Locator().Valid() {
+		loc = " @[" + s.Locator().String() + "]"
+	}
+	switch d := s.(type) {
+	case *DefWire:
+		fmt.Fprintf(w, "%swire %s : %s%s\n", indent, d.Name, d.Tpe, loc)
+	case *DefReg:
+		if d.Init != nil {
+			fmt.Fprintf(w, "%sreg %s : %s, reset => %s%s\n", indent, d.Name, d.Tpe, d.Init, loc)
+		} else {
+			fmt.Fprintf(w, "%sreg %s : %s%s\n", indent, d.Name, d.Tpe, loc)
+		}
+	case *DefNode:
+		fmt.Fprintf(w, "%snode %s = %s%s\n", indent, d.Name, d.Value, loc)
+	case *DefMem:
+		fmt.Fprintf(w, "%smem %s : %s[%d]%s\n", indent, d.Name, d.Tpe, d.Depth, loc)
+	case *MemWrite:
+		fmt.Fprintf(w, "%swrite %s[%s] <= %s when %s%s\n", indent, d.Mem, d.Addr, d.Data, d.En, loc)
+	case *Connect:
+		fmt.Fprintf(w, "%s%s <= %s%s\n", indent, d.Loc, d.Value, loc)
+	case *When:
+		fmt.Fprintf(w, "%swhen %s :%s\n", indent, d.Cond, loc)
+		printStmts(w, d.Then, indent+"  ")
+		if len(d.Else) > 0 {
+			fmt.Fprintf(w, "%selse :\n", indent)
+			printStmts(w, d.Else, indent+"  ")
+		}
+	case *DefInstance:
+		fmt.Fprintf(w, "%sinst %s of %s%s\n", indent, d.Name, d.Module, loc)
+	default:
+		fmt.Fprintf(w, "%s<unknown stmt %T>\n", indent, s)
+	}
+}
+
+// CircuitString renders the whole circuit to a string.
+func CircuitString(c *Circuit) string {
+	var sb strings.Builder
+	Print(&sb, c)
+	return sb.String()
+}

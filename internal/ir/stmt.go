@@ -1,0 +1,143 @@
+package ir
+
+import "fmt"
+
+// Info is a source locator pointing back at the generator program that
+// produced an IR node. It fills the role DWARF line records play for
+// software debuggers: hgdb maps Info values to breakpoints.
+type Info struct {
+	File string
+	Line int
+	Col  int
+}
+
+// NoInfo is the zero locator used for synthesized statements.
+var NoInfo = Info{}
+
+// Valid reports whether the locator points at real source.
+func (i Info) Valid() bool { return i.File != "" && i.Line > 0 }
+
+func (i Info) String() string {
+	if !i.Valid() {
+		return "<unknown>"
+	}
+	if i.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d", i.File, i.Line, i.Col)
+	}
+	return fmt.Sprintf("%s:%d", i.File, i.Line)
+}
+
+// Stmt is the interface implemented by all IR statements.
+type Stmt interface {
+	stmtNode()
+	// Locator returns the source locator attached to the statement.
+	Locator() Info
+}
+
+// DefWire declares a named wire of the given type. Wires obey
+// last-connect semantics until ExpandWhens rewrites them into
+// single-assignment nodes.
+type DefWire struct {
+	Name string
+	Tpe  Type
+	Info Info
+}
+
+func (s *DefWire) stmtNode()     {}
+func (s *DefWire) Locator() Info { return s.Info }
+
+// DefReg declares a clocked register. Init, when non-nil, is the
+// synchronous reset value; the register resets when the module reset is
+// asserted.
+type DefReg struct {
+	Name string
+	Tpe  Type
+	Init Expr // nil means no reset value
+	Info Info
+}
+
+func (s *DefReg) stmtNode()     {}
+func (s *DefReg) Locator() Info { return s.Info }
+
+// DefNode binds a name to the value of an expression. Nodes are
+// single-assignment by construction.
+type DefNode struct {
+	Name  string
+	Value Expr
+	Info  Info
+}
+
+func (s *DefNode) stmtNode()     {}
+func (s *DefNode) Locator() Info { return s.Info }
+
+// DefMem declares a memory with combinational reads (via MemRead
+// expressions) and synchronous writes (via MemWrite statements).
+type DefMem struct {
+	Name  string
+	Tpe   Ground // element type
+	Depth int
+	Info  Info
+}
+
+func (s *DefMem) stmtNode()     {}
+func (s *DefMem) Locator() Info { return s.Info }
+
+// MemWrite performs a synchronous write of Data at Addr when En is
+// non-zero at the clock edge.
+type MemWrite struct {
+	Mem  string
+	Addr Expr
+	Data Expr
+	En   Expr
+	Info Info
+}
+
+func (s *MemWrite) stmtNode()     {}
+func (s *MemWrite) Locator() Info { return s.Info }
+
+// Connect drives Loc with Value. Under High-form last-connect
+// semantics, later connects (conditionally) override earlier ones.
+type Connect struct {
+	Loc   Expr
+	Value Expr
+	Info  Info
+}
+
+func (s *Connect) stmtNode()     {}
+func (s *Connect) Locator() Info { return s.Info }
+
+// When executes Then when Cond is non-zero and Else otherwise; it is
+// the IR form of the generator's When/Otherwise construct and the
+// carrier of breakpoint enable conditions.
+type When struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Info Info
+}
+
+func (s *When) stmtNode()     {}
+func (s *When) Locator() Info { return s.Info }
+
+// DefInstance instantiates a child module under the given name. The
+// instance's ports are referenced as SubField(Ref(name), port).
+type DefInstance struct {
+	Name   string
+	Module string
+	Info   Info
+}
+
+func (s *DefInstance) stmtNode()     {}
+func (s *DefInstance) Locator() Info { return s.Info }
+
+// WalkStmts invokes fn on every statement in body, recursing into When
+// branches, parents first.
+func WalkStmts(body []Stmt, fn func(Stmt)) {
+	for _, s := range body {
+		fn(s)
+		if w, ok := s.(*When); ok {
+			WalkStmts(w.Then, fn)
+			WalkStmts(w.Else, fn)
+		}
+	}
+}

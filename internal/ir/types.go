@@ -1,0 +1,196 @@
+// Package ir defines a FIRRTL-like intermediate representation for
+// hardware generator frameworks. Designs enter the IR in "High" form
+// (aggregate types, when-blocks, last-connect semantics) carrying source
+// locators that point back at the generator program, and are lowered by
+// the passes in internal/passes into a ground-typed, single-assignment
+// "Low" form suitable for simulation and RTL emission.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GroundKind enumerates the scalar type kinds of the IR.
+type GroundKind int
+
+const (
+	// UInt is an unsigned integer of a fixed width.
+	UInt GroundKind = iota
+	// SInt is a two's-complement signed integer of a fixed width.
+	SInt
+	// ClockKind is a clock signal (width 1, not usable in arithmetic).
+	ClockKind
+	// ResetKind is a synchronous reset signal (width 1).
+	ResetKind
+)
+
+func (k GroundKind) String() string {
+	switch k {
+	case UInt:
+		return "UInt"
+	case SInt:
+		return "SInt"
+	case ClockKind:
+		return "Clock"
+	case ResetKind:
+		return "Reset"
+	}
+	return fmt.Sprintf("GroundKind(%d)", int(k))
+}
+
+// Type is the interface implemented by all IR types. High-form types
+// include aggregates (Bundle, Vec); Low-form designs use only Ground.
+type Type interface {
+	// BitWidth returns the total number of bits occupied by a value of
+	// this type (the sum of field widths for aggregates).
+	BitWidth() int
+	// String renders the type in FIRRTL-like notation.
+	String() string
+	typeNode()
+}
+
+// Ground is a scalar type: an unsigned/signed integer, clock, or reset.
+type Ground struct {
+	Kind  GroundKind
+	Width int
+}
+
+// UIntType returns the unsigned integer type of the given width.
+func UIntType(width int) Ground { return Ground{Kind: UInt, Width: width} }
+
+// SIntType returns the signed integer type of the given width.
+func SIntType(width int) Ground { return Ground{Kind: SInt, Width: width} }
+
+// ClockType returns the clock type.
+func ClockType() Ground { return Ground{Kind: ClockKind, Width: 1} }
+
+// ResetType returns the synchronous reset type.
+func ResetType() Ground { return Ground{Kind: ResetKind, Width: 1} }
+
+// BitWidth implements Type.
+func (g Ground) BitWidth() int { return g.Width }
+
+func (g Ground) String() string {
+	switch g.Kind {
+	case ClockKind:
+		return "Clock"
+	case ResetKind:
+		return "Reset"
+	default:
+		return fmt.Sprintf("%s<%d>", g.Kind, g.Width)
+	}
+}
+
+func (Ground) typeNode() {}
+
+// Signed reports whether the ground type is a signed integer.
+func (g Ground) Signed() bool { return g.Kind == SInt }
+
+// Field is one named member of a Bundle. Flip reverses the direction of
+// the field relative to the bundle (used for ready/valid style ports).
+type Field struct {
+	Name string
+	Flip bool
+	Type Type
+}
+
+// Bundle is a record type grouping named fields, the IR analog of a
+// Chisel Bundle.
+type Bundle struct {
+	Fields []Field
+}
+
+// BitWidth implements Type.
+func (b Bundle) BitWidth() int {
+	total := 0
+	for _, f := range b.Fields {
+		total += f.Type.BitWidth()
+	}
+	return total
+}
+
+func (b Bundle) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, f := range b.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if f.Flip {
+			sb.WriteString("flip ")
+		}
+		sb.WriteString(f.Name)
+		sb.WriteString(": ")
+		sb.WriteString(f.Type.String())
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func (Bundle) typeNode() {}
+
+// FieldByName returns the field with the given name and whether it was
+// found.
+func (b Bundle) FieldByName(name string) (Field, bool) {
+	for _, f := range b.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Vec is a fixed-length homogeneous vector type.
+type Vec struct {
+	Elem Type
+	Len  int
+}
+
+// BitWidth implements Type.
+func (v Vec) BitWidth() int { return v.Elem.BitWidth() * v.Len }
+
+func (v Vec) String() string { return fmt.Sprintf("%s[%d]", v.Elem.String(), v.Len) }
+
+func (Vec) typeNode() {}
+
+// IsGround reports whether t is a scalar (non-aggregate) type.
+func IsGround(t Type) bool {
+	_, ok := t.(Ground)
+	return ok
+}
+
+// GroundOf returns t as a Ground type, panicking when t is an aggregate.
+// It is used by Low-form consumers after aggregate lowering.
+func GroundOf(t Type) Ground {
+	g, ok := t.(Ground)
+	if !ok {
+		panic(fmt.Sprintf("ir: expected ground type, got %s", t))
+	}
+	return g
+}
+
+// TypesEqual reports structural equality between two types.
+func TypesEqual(a, b Type) bool {
+	switch at := a.(type) {
+	case Ground:
+		bt, ok := b.(Ground)
+		return ok && at == bt
+	case Vec:
+		bt, ok := b.(Vec)
+		return ok && at.Len == bt.Len && TypesEqual(at.Elem, bt.Elem)
+	case Bundle:
+		bt, ok := b.(Bundle)
+		if !ok || len(at.Fields) != len(bt.Fields) {
+			return false
+		}
+		for i := range at.Fields {
+			af, bf := at.Fields[i], bt.Fields[i]
+			if af.Name != bf.Name || af.Flip != bf.Flip || !TypesEqual(af.Type, bf.Type) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,345 @@
+package ir
+
+import "fmt"
+
+// TypeEnv resolves names to declared types within one module. Passes
+// build it once per module and use it to type expressions.
+type TypeEnv struct {
+	types   map[string]Type
+	mems    map[string]*DefMem
+	circuit *Circuit
+	modules map[string]string // instance name -> module name
+}
+
+// NewTypeEnv builds the type environment of m within circuit c.
+// c may be nil when the module has no instances.
+func NewTypeEnv(c *Circuit, m *Module) *TypeEnv {
+	env := &TypeEnv{
+		types:   make(map[string]Type),
+		mems:    make(map[string]*DefMem),
+		circuit: c,
+		modules: make(map[string]string),
+	}
+	for _, p := range m.Ports {
+		env.types[p.Name] = p.Tpe
+	}
+	WalkStmts(m.Body, func(s Stmt) {
+		switch d := s.(type) {
+		case *DefWire:
+			env.types[d.Name] = d.Tpe
+		case *DefReg:
+			env.types[d.Name] = d.Tpe
+		case *DefMem:
+			env.mems[d.Name] = d
+		case *DefInstance:
+			env.modules[d.Name] = d.Module
+		}
+	})
+	// Nodes depend on expression types; resolve them by sweeping to a
+	// fixpoint so declaration order does not matter. Nodes left untyped
+	// after the fixpoint participate in a combinational cycle or
+	// reference undeclared names; their uses will fail with a clear
+	// error.
+	for {
+		progressed := false
+		WalkStmts(m.Body, func(s Stmt) {
+			d, ok := s.(*DefNode)
+			if !ok {
+				return
+			}
+			if _, done := env.types[d.Name]; done {
+				return
+			}
+			t, err := env.TypeOf(d.Value)
+			if err == nil {
+				env.types[d.Name] = t
+				progressed = true
+			}
+		})
+		if !progressed {
+			break
+		}
+	}
+	return env
+}
+
+// Declare records an additional name/type binding (used by passes that
+// synthesize temporaries).
+func (env *TypeEnv) Declare(name string, t Type) { env.types[name] = t }
+
+// Lookup returns the declared type of a name.
+func (env *TypeEnv) Lookup(name string) (Type, bool) {
+	t, ok := env.types[name]
+	return t, ok
+}
+
+// TypeOf computes the type of an expression.
+func (env *TypeEnv) TypeOf(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case Ref:
+		if t, ok := env.types[x.Name]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("ir: undeclared reference %q", x.Name)
+	case Const:
+		if x.Signed {
+			return SIntType(x.Width), nil
+		}
+		return UIntType(x.Width), nil
+	case SubField:
+		// Instance port access: inst.port
+		if ref, ok := x.E.(Ref); ok {
+			if modName, isInst := env.modules[ref.Name]; isInst && env.circuit != nil {
+				child := env.circuit.Module(modName)
+				if child == nil {
+					return nil, fmt.Errorf("ir: instance %q references unknown module %q", ref.Name, modName)
+				}
+				p, ok := child.PortByName(x.Name)
+				if !ok {
+					return nil, fmt.Errorf("ir: module %q has no port %q", modName, x.Name)
+				}
+				return p.Tpe, nil
+			}
+		}
+		base, err := env.TypeOf(x.E)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := base.(Bundle)
+		if !ok {
+			return nil, fmt.Errorf("ir: subfield .%s of non-bundle %s", x.Name, base)
+		}
+		f, ok := b.FieldByName(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("ir: bundle has no field %q", x.Name)
+		}
+		return f.Type, nil
+	case SubIndex:
+		base, err := env.TypeOf(x.E)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := base.(Vec)
+		if !ok {
+			return nil, fmt.Errorf("ir: subindex of non-vec %s", base)
+		}
+		if x.Index < 0 || x.Index >= v.Len {
+			return nil, fmt.Errorf("ir: index %d out of range for %s", x.Index, v)
+		}
+		return v.Elem, nil
+	case SubAccess:
+		base, err := env.TypeOf(x.E)
+		if err != nil {
+			return nil, err
+		}
+		v, ok := base.(Vec)
+		if !ok {
+			return nil, fmt.Errorf("ir: subaccess of non-vec %s", base)
+		}
+		return v.Elem, nil
+	case MemRead:
+		mem, ok := env.mems[x.Mem]
+		if !ok {
+			return nil, fmt.Errorf("ir: read of undeclared memory %q", x.Mem)
+		}
+		return mem.Tpe, nil
+	case Mux:
+		t, err := env.TypeOf(x.T)
+		if err != nil {
+			return nil, err
+		}
+		f, err := env.TypeOf(x.F)
+		if err != nil {
+			return nil, err
+		}
+		tg, tok := t.(Ground)
+		fg, fok := f.(Ground)
+		if tok && fok {
+			w := tg.Width
+			if fg.Width > w {
+				w = fg.Width
+			}
+			kind := tg.Kind
+			return Ground{Kind: kind, Width: w}, nil
+		}
+		return t, nil
+	case Prim:
+		return env.primType(x)
+	}
+	return nil, fmt.Errorf("ir: cannot type %T", e)
+}
+
+// WidthOf returns the bit width of a ground-typed expression.
+func (env *TypeEnv) WidthOf(e Expr) (int, error) {
+	t, err := env.TypeOf(e)
+	if err != nil {
+		return 0, err
+	}
+	g, ok := t.(Ground)
+	if !ok {
+		return 0, fmt.Errorf("ir: expression %s has aggregate type %s", e, t)
+	}
+	return g.Width, nil
+}
+
+func (env *TypeEnv) primType(p Prim) (Type, error) {
+	argG := make([]Ground, len(p.Args))
+	for i, a := range p.Args {
+		t, err := env.TypeOf(a)
+		if err != nil {
+			return nil, err
+		}
+		g, ok := t.(Ground)
+		if !ok {
+			return nil, fmt.Errorf("ir: primop %s on aggregate operand %s", p.Op, a)
+		}
+		argG[i] = g
+	}
+	need := func(n int) error {
+		if len(argG) != n {
+			return fmt.Errorf("ir: primop %s expects %d args, got %d", p.Op, n, len(argG))
+		}
+		return nil
+	}
+	maxW := func(a, b Ground) int {
+		if a.Width > b.Width {
+			return a.Width
+		}
+		return b.Width
+	}
+	switch p.Op {
+	case OpAdd, OpSub:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Ground{Kind: argG[0].Kind, Width: maxW(argG[0], argG[1]) + 1}, nil
+	case OpMul:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return Ground{Kind: argG[0].Kind, Width: argG[0].Width + argG[1].Width}, nil
+	case OpDiv:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		w := argG[0].Width
+		if argG[0].Kind == SInt {
+			w++
+		}
+		return Ground{Kind: argG[0].Kind, Width: w}, nil
+	case OpRem:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		w := argG[0].Width
+		if argG[1].Width < w {
+			w = argG[1].Width
+		}
+		return Ground{Kind: argG[0].Kind, Width: w}, nil
+	case OpLt, OpLeq, OpGt, OpGeq, OpEq, OpNeq:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return UIntType(1), nil
+	case OpAnd, OpOr, OpXor:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return UIntType(maxW(argG[0], argG[1])), nil
+	case OpNot:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return UIntType(argG[0].Width), nil
+	case OpNeg:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return SIntType(argG[0].Width + 1), nil
+	case OpShl:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return Ground{Kind: argG[0].Kind, Width: argG[0].Width + p.Params[0]}, nil
+	case OpShr:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		w := argG[0].Width - p.Params[0]
+		if w < 1 {
+			w = 1
+		}
+		return Ground{Kind: argG[0].Kind, Width: w}, nil
+	case OpDshl:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		extra := (1 << argG[1].Width) - 1
+		w := argG[0].Width + extra
+		if w > 64 {
+			w = 64
+		}
+		return Ground{Kind: argG[0].Kind, Width: w}, nil
+	case OpDshr:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return argG[0], nil
+	case OpCat:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return UIntType(argG[0].Width + argG[1].Width), nil
+	case OpBits:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if len(p.Params) != 2 {
+			return nil, fmt.Errorf("ir: bits expects [hi, lo] params")
+		}
+		hi, lo := p.Params[0], p.Params[1]
+		if lo < 0 || hi < lo || hi >= argG[0].Width {
+			return nil, fmt.Errorf("ir: bits(%d, %d) out of range for width %d", hi, lo, argG[0].Width)
+		}
+		return UIntType(hi - lo + 1), nil
+	case OpHead:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return UIntType(p.Params[0]), nil
+	case OpTail:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		w := argG[0].Width - p.Params[0]
+		if w < 1 {
+			w = 1
+		}
+		return UIntType(w), nil
+	case OpAndR, OpOrR, OpXorR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return UIntType(1), nil
+	case OpPad:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		w := argG[0].Width
+		if p.Params[0] > w {
+			w = p.Params[0]
+		}
+		return Ground{Kind: argG[0].Kind, Width: w}, nil
+	case OpAsUInt:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return UIntType(argG[0].Width), nil
+	case OpAsSInt:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return SIntType(argG[0].Width), nil
+	}
+	return nil, fmt.Errorf("ir: unknown primop %v", p.Op)
+}

@@ -1,0 +1,69 @@
+package passes
+
+import (
+	"repro/internal/ir"
+)
+
+// Annotate is the first pass of the paper's Algorithm 1. It walks the
+// (still conditional, pre-SSA) IR and attaches to every statement of
+// interest its *enable condition*: the AND-reduction of the `when`
+// condition stack on the path to the statement. This must run while the
+// conditional structure is intact — once ExpandWhens/SSA flattens whens
+// into muxes, the condition stack is gone (the paper makes the same
+// observation about FIRRTL's Low form).
+type Annotate struct{}
+
+// Name implements Pass.
+func (*Annotate) Name() string { return "annotate" }
+
+// Run implements Pass.
+func (*Annotate) Run(comp *Compilation) error {
+	for _, m := range comp.Circuit.Modules {
+		a := &annotator{comp: comp}
+		a.walk(m.Body, nil)
+	}
+	return nil
+}
+
+type annotator struct {
+	comp *Compilation
+}
+
+// andReduce folds a condition stack into a single expression; nil means
+// "always enabled".
+func andReduce(conds []ir.Expr) ir.Expr {
+	if len(conds) == 0 {
+		return nil
+	}
+	result := conds[0]
+	for _, c := range conds[1:] {
+		result = ir.NewPrim(ir.OpAnd, result, c)
+	}
+	return result
+}
+
+func (a *annotator) walk(body []ir.Stmt, conds []ir.Expr) {
+	for _, s := range body {
+		switch d := s.(type) {
+		case *ir.When:
+			a.annotate(s, conds)
+			a.walk(d.Then, append(conds, d.Cond))
+			a.walk(d.Else, append(conds, ir.NewPrim(ir.OpNot, d.Cond)))
+		case *ir.Connect, *ir.MemWrite, *ir.DefNode:
+			a.annotate(s, conds)
+		}
+	}
+}
+
+func (a *annotator) annotate(s ir.Stmt, conds []ir.Expr) {
+	info := s.Locator()
+	if !info.Valid() {
+		return
+	}
+	enable := andReduce(conds)
+	src := ""
+	if enable != nil {
+		src = ir.RenderInfix(enable)
+	}
+	a.comp.Annotations[s] = &Annotation{Info: info, Enable: enable, EnableSrc: src}
+}

@@ -1,0 +1,112 @@
+package passes
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Collect is the second pass of the paper's Algorithm 1: after
+// optimization it checks which annotated IR nodes still exist in the
+// circuit state, applies optimization renames, and computes the final
+// symbol information. Variables that were optimized away disappear from
+// frames, and breakpoints whose enable condition no longer exists are
+// dropped entirely — the same observable behavior as debugging -O2
+// software builds.
+type Collect struct{}
+
+// Name implements Pass.
+func (*Collect) Name() string { return "collect" }
+
+// Run implements Pass.
+func (*Collect) Run(comp *Compilation) error {
+	// Gather surviving signal names per module.
+	surviving := map[string]map[string]bool{}
+	for _, m := range comp.Circuit.Modules {
+		set := map[string]bool{}
+		for _, p := range m.Ports {
+			set[p.Name] = true
+		}
+		ir.WalkStmts(m.Body, func(s ir.Stmt) {
+			switch d := s.(type) {
+			case *ir.DefNode:
+				set[d.Name] = true
+			case *ir.DefReg:
+				set[d.Name] = true
+			case *ir.DefMem:
+				set[d.Name] = true
+			case *ir.DefInstance:
+				set[d.Name] = true
+			}
+		})
+		surviving[m.Name] = set
+	}
+
+	resolve := func(module, name string) (string, bool) {
+		name = comp.resolveRename(module, name)
+		if comp.isRemoved(module, name) {
+			return "", false
+		}
+		return name, surviving[module][name]
+	}
+
+	var kept []*SymbolEntry
+	for _, e := range comp.Symbols {
+		// Rewrite the enable expression through renames; drop the
+		// breakpoint if any referenced signal is gone.
+		enableAlive := true
+		if e.Enable != nil {
+			e.Enable = ir.MapExpr(e.Enable, func(sub ir.Expr) ir.Expr {
+				if r, ok := sub.(ir.Ref); ok {
+					if to, alive := resolve(e.Module, r.Name); alive {
+						return ir.Ref{Name: to}
+					}
+					enableAlive = false
+				}
+				return sub
+			})
+		}
+		if !enableAlive {
+			continue
+		}
+		vars := map[string]string{}
+		for src, rtl := range e.Vars {
+			if to, alive := resolve(e.Module, rtl); alive {
+				// Present flattened aggregates under their dotted source
+				// path when one was recorded.
+				srcName := src
+				if dotted, ok := comp.FlatVar[e.Module][src]; ok {
+					srcName = dotted
+				}
+				vars[srcName] = to
+			}
+		}
+		e.Vars = vars
+		kept = append(kept, e)
+	}
+	sort.SliceStable(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		return a.Order < b.Order
+	})
+	comp.Symbols = kept
+
+	// Prune generator variables whose RTL signals were optimized away.
+	for mod, gvs := range comp.GenVars {
+		var keptGV []GenVar
+		for _, gv := range gvs {
+			if gv.Kind == "mem" || gv.Kind == "instance" {
+				keptGV = append(keptGV, gv)
+				continue
+			}
+			if to, alive := resolve(mod, gv.RTL); alive {
+				gv.RTL = to
+				keptGV = append(keptGV, gv)
+			}
+		}
+		comp.GenVars[mod] = keptGV
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+package passes
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// LowerAggregates flattens bundle- and vec-typed ports, wires, and
+// registers into ground-typed signals joined with underscores
+// (io.out.bits → io_out_bits), expands aggregate connects field-wise
+// (respecting flips), and rewrites dynamic vector accesses into mux
+// trees (reads) or per-element conditional writes. It records the
+// flattened-name → dotted-source-path map used later to reconstruct
+// structured variables in debugger frames, exactly the facility §4.2 of
+// the paper uses to show dcmp.io as a PortBundle.
+type LowerAggregates struct{}
+
+// Name implements Pass.
+func (*LowerAggregates) Name() string { return "lower-aggregates" }
+
+// Run implements Pass.
+func (*LowerAggregates) Run(comp *Compilation) error {
+	// Snapshot original modules so parents can resolve the pre-lowering
+	// port types of their children while being rewritten themselves.
+	originals := map[string]*ir.Module{}
+	for _, m := range comp.Circuit.Modules {
+		originals[m.Name] = m
+	}
+	origCircuit := &ir.Circuit{Main: comp.Circuit.Main}
+	for _, m := range comp.Circuit.Modules {
+		origCircuit.Modules = append(origCircuit.Modules, m)
+	}
+
+	lowered := make([]*ir.Module, 0, len(comp.Circuit.Modules))
+	for _, m := range comp.Circuit.Modules {
+		lm := &loweringCtx{
+			comp:     comp,
+			orig:     m,
+			env:      ir.NewTypeEnv(origCircuit, m),
+			origMods: originals,
+			flatVar:  map[string]string{},
+		}
+		nm, err := lm.lowerModule()
+		if err != nil {
+			return err
+		}
+		comp.FlatVar[m.Name] = lm.flatVar
+		lowered = append(lowered, nm)
+	}
+	comp.Circuit = &ir.Circuit{Main: comp.Circuit.Main, Modules: lowered}
+	return nil
+}
+
+type loweringCtx struct {
+	comp     *Compilation
+	orig     *ir.Module
+	env      *ir.TypeEnv
+	origMods map[string]*ir.Module
+	flatVar  map[string]string // flat name -> dotted source path
+}
+
+// flattenType expands an aggregate type into (suffix path, ground,
+// flip) leaves. The suffix is "" for a ground type.
+type leaf struct {
+	suffix string // "_field_0" style; "" for ground
+	dotted string // ".field[0]" style for presentation
+	tpe    ir.Ground
+	flip   bool
+}
+
+func flattenType(t ir.Type) []leaf {
+	switch x := t.(type) {
+	case ir.Ground:
+		return []leaf{{tpe: x}}
+	case ir.Bundle:
+		var out []leaf
+		for _, f := range x.Fields {
+			for _, l := range flattenType(f.Type) {
+				out = append(out, leaf{
+					suffix: "_" + f.Name + l.suffix,
+					dotted: "." + f.Name + l.dotted,
+					tpe:    l.tpe,
+					flip:   f.Flip != l.flip,
+				})
+			}
+		}
+		return out
+	case ir.Vec:
+		var out []leaf
+		for i := 0; i < x.Len; i++ {
+			for _, l := range flattenType(x.Elem) {
+				out = append(out, leaf{
+					suffix: "_" + strconv.Itoa(i) + l.suffix,
+					dotted: "[" + strconv.Itoa(i) + "]" + l.dotted,
+					tpe:    l.tpe,
+					flip:   l.flip,
+				})
+			}
+		}
+		return out
+	}
+	panic(fmt.Sprintf("passes: unknown type %T", t))
+}
+
+func (lc *loweringCtx) lowerModule() (*ir.Module, error) {
+	nm := &ir.Module{Name: lc.orig.Name, Attrs: lc.orig.Attrs}
+	if nm.Attrs == nil {
+		nm.Attrs = map[string]string{}
+	}
+	var genVars []GenVar
+	for _, p := range lc.orig.Ports {
+		for _, l := range flattenType(p.Tpe) {
+			dir := p.Dir
+			if l.flip {
+				if dir == ir.Input {
+					dir = ir.Output
+				} else {
+					dir = ir.Input
+				}
+			}
+			flat := p.Name + l.suffix
+			nm.Ports = append(nm.Ports, ir.Port{Name: flat, Dir: dir, Tpe: l.tpe, Info: p.Info})
+			if l.suffix != "" {
+				lc.flatVar[flat] = p.Name + l.dotted
+			}
+			if p.Name != "clock" && p.Name != "reset" {
+				genVars = append(genVars, GenVar{Name: p.Name + l.dotted, RTL: flat, Kind: "port"})
+			}
+		}
+	}
+	body, gv, err := lc.lowerStmts(lc.orig.Body)
+	if err != nil {
+		return nil, fmt.Errorf("module %s: %w", lc.orig.Name, err)
+	}
+	genVars = append(genVars, gv...)
+	nm.Body = body
+	lc.comp.GenVars[lc.orig.Name] = genVars
+	return nm, nil
+}
+
+func (lc *loweringCtx) lowerStmts(body []ir.Stmt) ([]ir.Stmt, []GenVar, error) {
+	var out []ir.Stmt
+	var genVars []GenVar
+	for _, s := range body {
+		switch d := s.(type) {
+		case *ir.DefWire:
+			for _, l := range flattenType(d.Tpe) {
+				flat := d.Name + l.suffix
+				out = append(out, &ir.DefWire{Name: flat, Tpe: l.tpe, Info: d.Info})
+				if l.suffix != "" {
+					lc.flatVar[flat] = d.Name + l.dotted
+				}
+				genVars = append(genVars, GenVar{Name: d.Name + l.dotted, RTL: flat, Kind: "wire"})
+			}
+		case *ir.DefReg:
+			leaves := flattenType(d.Tpe)
+			if d.Init != nil && len(leaves) > 1 {
+				return nil, nil, fmt.Errorf("aggregate register %q cannot have a reset value", d.Name)
+			}
+			for _, l := range leaves {
+				flat := d.Name + l.suffix
+				var init ir.Expr
+				if d.Init != nil {
+					init = lc.lowerExpr(d.Init)
+				}
+				out = append(out, &ir.DefReg{Name: flat, Tpe: l.tpe, Init: init, Info: d.Info})
+				if l.suffix != "" {
+					lc.flatVar[flat] = d.Name + l.dotted
+				}
+				genVars = append(genVars, GenVar{Name: d.Name + l.dotted, RTL: flat, Kind: "reg"})
+			}
+		case *ir.DefNode:
+			t, err := lc.env.TypeOf(d.Value)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ir.IsGround(t) {
+				return nil, nil, fmt.Errorf("aggregate-typed node %q not supported; connect through a wire", d.Name)
+			}
+			out = append(out, &ir.DefNode{Name: d.Name, Value: lc.lowerExpr(d.Value), Info: d.Info})
+			genVars = append(genVars, GenVar{Name: d.Name, RTL: d.Name, Kind: "node"})
+		case *ir.DefMem:
+			out = append(out, d)
+			genVars = append(genVars, GenVar{Name: d.Name, RTL: d.Name, Kind: "mem"})
+		case *ir.MemWrite:
+			out = append(out, &ir.MemWrite{
+				Mem:  d.Mem,
+				Addr: lc.lowerExpr(d.Addr),
+				Data: lc.lowerExpr(d.Data),
+				En:   lc.lowerExpr(d.En),
+				Info: d.Info,
+			})
+		case *ir.DefInstance:
+			out = append(out, d)
+			genVars = append(genVars, GenVar{Name: d.Name, RTL: d.Name, Kind: "instance"})
+		case *ir.Connect:
+			stmts, err := lc.lowerConnect(d)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, stmts...)
+		case *ir.When:
+			thenB, gv1, err := lc.lowerStmts(d.Then)
+			if err != nil {
+				return nil, nil, err
+			}
+			elseB, gv2, err := lc.lowerStmts(d.Else)
+			if err != nil {
+				return nil, nil, err
+			}
+			genVars = append(genVars, gv1...)
+			genVars = append(genVars, gv2...)
+			out = append(out, &ir.When{Cond: lc.lowerExpr(d.Cond), Then: thenB, Else: elseB, Info: d.Info})
+		default:
+			return nil, nil, fmt.Errorf("unsupported statement %T", s)
+		}
+	}
+	return out, genVars, nil
+}
+
+// lowerConnect expands a (possibly aggregate) connect into ground
+// connects, handling flips and dynamic-index writes.
+func (lc *loweringCtx) lowerConnect(c *ir.Connect) ([]ir.Stmt, error) {
+	t, err := lc.env.TypeOf(c.Loc)
+	if err != nil {
+		return nil, err
+	}
+	return lc.expandConnect(c.Loc, c.Value, t, c.Info)
+}
+
+func (lc *loweringCtx) expandConnect(loc, val ir.Expr, t ir.Type, info ir.Info) ([]ir.Stmt, error) {
+	switch x := t.(type) {
+	case ir.Ground:
+		// A dynamic-index write becomes a per-element conditional write.
+		if sa, ok := loc.(ir.SubAccess); ok {
+			baseT, err := lc.env.TypeOf(sa.E)
+			if err != nil {
+				return nil, err
+			}
+			vec, ok := baseT.(ir.Vec)
+			if !ok {
+				return nil, fmt.Errorf("dynamic write to non-vec %s", sa.E)
+			}
+			idx := lc.lowerExpr(sa.Index)
+			idxW := lc.indexWidth(vec.Len)
+			var out []ir.Stmt
+			for i := 0; i < vec.Len; i++ {
+				elemConnects, err := lc.expandConnect(ir.SubIndex{E: sa.E, Index: i}, val, vec.Elem, info)
+				if err != nil {
+					return nil, err
+				}
+				cond := ir.NewPrim(ir.OpEq, idx, ir.ConstUInt(uint64(i), idxW))
+				out = append(out, &ir.When{Cond: cond, Then: elemConnects, Info: info})
+			}
+			return out, nil
+		}
+		return []ir.Stmt{&ir.Connect{Loc: lc.lowerExpr(loc), Value: lc.lowerExpr(val), Info: info}}, nil
+	case ir.Bundle:
+		var out []ir.Stmt
+		for _, f := range x.Fields {
+			locF := ir.SubField{E: loc, Name: f.Name}
+			valF := ir.SubField{E: val, Name: f.Name}
+			var stmts []ir.Stmt
+			var err error
+			if f.Flip {
+				stmts, err = lc.expandConnect(valF, locF, f.Type, info)
+			} else {
+				stmts, err = lc.expandConnect(locF, valF, f.Type, info)
+			}
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmts...)
+		}
+		return out, nil
+	case ir.Vec:
+		var out []ir.Stmt
+		for i := 0; i < x.Len; i++ {
+			stmts, err := lc.expandConnect(ir.SubIndex{E: loc, Index: i}, ir.SubIndex{E: val, Index: i}, x.Elem, info)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, stmts...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown type %T", t)
+}
+
+func (lc *loweringCtx) indexWidth(n int) int {
+	w := 1
+	for (1 << uint(w)) < n {
+		w++
+	}
+	return w
+}
+
+// lowerExpr rewrites an expression to reference only flattened ground
+// signals.
+func (lc *loweringCtx) lowerExpr(e ir.Expr) ir.Expr {
+	switch x := e.(type) {
+	case ir.Ref, ir.Const:
+		return e
+	case ir.SubField, ir.SubIndex:
+		if flat, ok := lc.flattenPath(e); ok {
+			return flat
+		}
+		return e
+	case ir.SubAccess:
+		// Dynamic read: mux tree over the statically indexed elements.
+		baseT, err := lc.env.TypeOf(x.E)
+		if err != nil {
+			return e
+		}
+		vec, ok := baseT.(ir.Vec)
+		if !ok {
+			return e
+		}
+		idx := lc.lowerExpr(x.Index)
+		idxW := lc.indexWidth(vec.Len)
+		result := lc.lowerExpr(ir.SubIndex{E: x.E, Index: vec.Len - 1})
+		for i := vec.Len - 2; i >= 0; i-- {
+			cond := ir.NewPrim(ir.OpEq, idx, ir.ConstUInt(uint64(i), idxW))
+			result = ir.Mux{Cond: cond, T: lc.lowerExpr(ir.SubIndex{E: x.E, Index: i}), F: result}
+		}
+		return result
+	case ir.Prim:
+		args := make([]ir.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = lc.lowerExpr(a)
+		}
+		return ir.Prim{Op: x.Op, Args: args, Params: x.Params}
+	case ir.Mux:
+		return ir.Mux{Cond: lc.lowerExpr(x.Cond), T: lc.lowerExpr(x.T), F: lc.lowerExpr(x.F)}
+	case ir.MemRead:
+		return ir.MemRead{Mem: x.Mem, Addr: lc.lowerExpr(x.Addr)}
+	}
+	return e
+}
+
+// flattenPath converts a SubField/SubIndex chain rooted at a local
+// aggregate or an instance into a flattened reference. Returns false
+// when the chain involves dynamic accesses (handled elsewhere).
+func (lc *loweringCtx) flattenPath(e ir.Expr) (ir.Expr, bool) {
+	var suffix string
+	cur := e
+	for {
+		switch x := cur.(type) {
+		case ir.SubField:
+			// Is the base an instance? Then the remaining suffix is a
+			// child port name.
+			if ref, ok := x.E.(ir.Ref); ok {
+				if childMod := lc.instanceModule(ref.Name); childMod != nil {
+					if _, isPort := childMod.PortByName(x.Name); isPort {
+						return ir.SubField{E: ref, Name: x.Name + suffix}, true
+					}
+				}
+			}
+			suffix = "_" + x.Name + suffix
+			cur = x.E
+		case ir.SubIndex:
+			suffix = "_" + strconv.Itoa(x.Index) + suffix
+			cur = x.E
+		case ir.Ref:
+			return ir.Ref{Name: x.Name + suffix}, true
+		default:
+			return nil, false
+		}
+	}
+}
+
+// instanceModule resolves the original (pre-lowering) module definition
+// of a named instance within the current module, or nil.
+func (lc *loweringCtx) instanceModule(instName string) *ir.Module {
+	var modName string
+	ir.WalkStmts(lc.orig.Body, func(s ir.Stmt) {
+		if inst, ok := s.(*ir.DefInstance); ok && inst.Name == instName {
+			modName = inst.Module
+		}
+	})
+	if modName == "" {
+		return nil
+	}
+	return lc.origMods[modName]
+}

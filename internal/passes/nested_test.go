@@ -1,0 +1,249 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+)
+
+// simEval compiles a circuit and evaluates its single output for given
+// inputs via direct Low-form interpretation through the rtl/sim stack
+// indirectly — here we only verify structural properties; behavioral
+// equivalence is covered in internal/sim. These tests focus on SSA
+// structure for deeply nested control flow.
+
+func TestSSANestedWhens(t *testing.T) {
+	c := generator.NewCircuit("N")
+	m := c.NewModule("N")
+	a := m.Input("a", ir.UIntType(1))
+	b := m.Input("b", ir.UIntType(1))
+	cc := m.Input("c", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(4))
+	w := m.Wire("w", ir.UIntType(4))
+	w.Set(m.Lit(0, 4))
+	m.When(a, func() {
+		w.Set(m.Lit(1, 4))
+		m.When(b, func() {
+			w.Set(m.Lit(2, 4))
+			m.When(cc, func() {
+				w.Set(m.Lit(3, 4))
+			})
+		})
+	})
+	out.Set(w)
+	comp, err := Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the deepest entry: its enable condition must AND all three
+	// inputs.
+	var deepest *SymbolEntry
+	for _, e := range comp.Symbols {
+		if e.Enable != nil {
+			refs := ir.RefsIn(e.Enable)
+			if len(refs) >= 3 {
+				deepest = e
+			}
+		}
+	}
+	if deepest == nil {
+		t.Fatalf("no triple-nested enable found in %d symbols", len(comp.Symbols))
+	}
+	src := ir.RenderInfix(deepest.Enable)
+	for _, name := range []string{"a", "b", "c"} {
+		if !strings.Contains(src, name) {
+			t.Fatalf("deep enable %q missing %s", src, name)
+		}
+	}
+}
+
+func TestSSAElseWhenChain(t *testing.T) {
+	c := generator.NewCircuit("E")
+	m := c.NewModule("E")
+	sel := m.Input("sel", ir.UIntType(2))
+	out := m.Output("out", ir.UIntType(4))
+	w := m.Wire("w", ir.UIntType(4))
+	w.Set(m.Lit(0, 4))
+	m.When(sel.Eq(m.Lit(0, 2)), func() {
+		w.Set(m.Lit(10, 4))
+	}).ElseWhen(sel.Eq(m.Lit(1, 2)), func() {
+		w.Set(m.Lit(11, 4))
+	}).Otherwise(func() {
+		w.Set(m.Lit(12, 4))
+	})
+	out.Set(w)
+	comp, err := Compile(c.MustBuild(), true) // debug keeps everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The else-when arm's enable must include the negation of the first
+	// condition.
+	foundNegated := false
+	for _, e := range comp.Symbols {
+		if e.EnableSrc != "" && strings.Contains(e.EnableSrc, "~") {
+			foundNegated = true
+		}
+	}
+	if !foundNegated {
+		t.Fatal("no negated enable condition from else branches")
+	}
+}
+
+func TestLowerVecOfBundles(t *testing.T) {
+	c := generator.NewCircuit("VB")
+	m := c.NewModule("VB")
+	entryT := ir.Bundle{Fields: []ir.Field{
+		{Name: "tag", Type: ir.UIntType(4)},
+		{Name: "data", Type: ir.UIntType(8)},
+	}}
+	tbl := m.Wire("tbl", ir.Vec{Elem: entryT, Len: 2})
+	out := m.Output("out", ir.UIntType(8))
+	for i := 0; i < 2; i++ {
+		tbl.Idx(i).Field("tag").Set(m.Lit(uint64(i), 4))
+		tbl.Idx(i).Field("data").Set(m.Lit(uint64(i*7), 8))
+	}
+	out.Set(tbl.Idx(1).Field("data"))
+	comp, err := Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatalf("vec-of-bundles: %v", err)
+	}
+	// Flattened names recorded with combined [i].field paths.
+	fv := comp.FlatVar["VB"]
+	if fv["tbl_1_data"] != "tbl[1].data" {
+		t.Fatalf("FlatVar = %v", fv)
+	}
+}
+
+func TestAggregateConnect(t *testing.T) {
+	// Whole-bundle connect expands field-wise with flips honored.
+	c := generator.NewCircuit("AC")
+	m := c.NewModule("AC")
+	chanT := ir.Bundle{Fields: []ir.Field{
+		{Name: "bits", Type: ir.UIntType(8)},
+		{Name: "valid", Type: ir.UIntType(1)},
+		{Name: "ready", Flip: true, Type: ir.UIntType(1)},
+	}}
+	in := m.Input("a", chanT)    // a.ready is an output of this module
+	outP := m.Output("b", chanT) // b.ready is an input of this module
+	outP.Set(in)                 // bulk connect
+	circ := c.MustBuild()
+	comp, err := Compile(circ, false)
+	if err != nil {
+		t.Fatalf("bulk connect: %v", err)
+	}
+	mod := comp.Circuit.MainModule()
+	// After compilation, b_bits and b_valid are driven from a_*, and
+	// a_ready is driven from b_ready (flip reversal).
+	var connects []string
+	ir.WalkStmts(mod.Body, func(s ir.Stmt) {
+		if cn, ok := s.(*ir.Connect); ok {
+			connects = append(connects, cn.Loc.String()+"<="+cn.Value.String())
+		}
+	})
+	joined := strings.Join(connects, ";")
+	if !strings.Contains(joined, "a_ready<=") {
+		t.Fatalf("flipped field not driven back: %v", connects)
+	}
+	if !strings.Contains(joined, "b_bits<=") || !strings.Contains(joined, "b_valid<=") {
+		t.Fatalf("forward fields not driven: %v", connects)
+	}
+}
+
+func TestRegWithoutResetHolds(t *testing.T) {
+	c := generator.NewCircuit("H")
+	m := c.NewModule("H")
+	en := m.Input("en", ir.UIntType(1))
+	d := m.Input("d", ir.UIntType(8))
+	q := m.Output("q", ir.UIntType(8))
+	r := m.Reg("r", ir.UIntType(8)) // no reset
+	m.When(en, func() {
+		r.Set(d)
+	})
+	q.Set(r)
+	comp, err := Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The next-value expression must include the hold path (the reg
+	// itself) but NOT a reset mux.
+	var next ir.Expr
+	ir.WalkStmts(comp.Circuit.MainModule().Body, func(s ir.Stmt) {
+		if cn, ok := s.(*ir.Connect); ok {
+			if ref, isRef := cn.Loc.(ir.Ref); isRef && ref.Name == "r" {
+				next = cn.Value
+			}
+		}
+	})
+	if next == nil {
+		t.Fatal("no next-value connect")
+	}
+	// Resolve through intermediate nodes (the merge mux lives in a
+	// _GEN node) and check the transitive expression: hold path (the
+	// register itself) present, reset absent.
+	defs := map[string]ir.Expr{}
+	ir.WalkStmts(comp.Circuit.MainModule().Body, func(s ir.Stmt) {
+		if n, ok := s.(*ir.DefNode); ok {
+			defs[n.Name] = n.Value
+		}
+	})
+	seen := map[string]bool{}
+	var holdsItself, seesReset bool
+	var visit func(e ir.Expr)
+	visit = func(e ir.Expr) {
+		for _, name := range ir.RefsIn(e) {
+			switch name {
+			case "r":
+				holdsItself = true
+			case "reset":
+				seesReset = true
+			default:
+				if def, ok := defs[name]; ok && !seen[name] {
+					seen[name] = true
+					visit(def)
+				}
+			}
+		}
+	}
+	visit(next)
+	if seesReset {
+		t.Fatalf("un-reset register gained a reset mux: %s", next)
+	}
+	if !holdsItself {
+		t.Fatalf("hold path missing from %s", next)
+	}
+}
+
+// Property: compiling the same generated circuit twice (fresh builds)
+// yields identical Low-form text — determinism matters for symbol
+// table stability and caching.
+func TestCompileDeterminismProperty(t *testing.T) {
+	build := func(n int) string {
+		c := generator.NewCircuit("D")
+		m := c.NewModule("D")
+		x := m.Input("x", ir.UIntType(8))
+		out := m.Output("out", ir.UIntType(8))
+		w := m.Wire("w", ir.UIntType(8))
+		w.Set(m.Lit(0, 8))
+		for i := 0; i < n; i++ {
+			m.When(x.Bit(i%8), func() {
+				w.Set(w.AddMod(m.Lit(uint64(i+1), 8)))
+			})
+		}
+		out.Set(w)
+		comp, err := Compile(c.MustBuild(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ir.CircuitString(comp.Circuit)
+	}
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		return build(n) == build(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

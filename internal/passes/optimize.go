@@ -1,0 +1,309 @@
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/ir"
+)
+
+// ConstProp folds constant sub-expressions and propagates constant and
+// alias nodes into their uses, the FIRRTL-style optimization the paper
+// names as one reason generated RTL is hard to debug. Renames caused by
+// alias folding are recorded for the Collect pass.
+type ConstProp struct{}
+
+// Name implements Pass.
+func (*ConstProp) Name() string { return "const-prop" }
+
+// Run implements Pass.
+func (p *ConstProp) Run(comp *Compilation) error {
+	for _, m := range comp.Circuit.Modules {
+		if err := p.runModule(comp, m); err != nil {
+			return fmt.Errorf("module %s: %w", m.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *ConstProp) runModule(comp *Compilation, m *ir.Module) error {
+	env := ir.NewTypeEnv(comp.Circuit, m)
+	// consts maps node name -> literal value; aliases maps node name ->
+	// the name it is a pure copy of.
+	consts := map[string]ir.Const{}
+	aliases := map[string]string{}
+
+	fold := func(e ir.Expr) ir.Expr {
+		return ir.MapExpr(e, func(sub ir.Expr) ir.Expr {
+			switch x := sub.(type) {
+			case ir.Ref:
+				if c, ok := consts[x.Name]; ok {
+					return c
+				}
+				if a, ok := aliases[x.Name]; ok {
+					return ir.Ref{Name: a}
+				}
+				return x
+			case ir.Prim:
+				return foldPrim(x, env)
+			case ir.Mux:
+				if c, ok := x.Cond.(ir.Const); ok {
+					if c.Value != 0 {
+						return x.T
+					}
+					return x.F
+				}
+				if exprEqual(x.T, x.F) {
+					return x.T
+				}
+				return x
+			default:
+				return sub
+			}
+		})
+	}
+
+	var out []ir.Stmt
+	for _, s := range m.Body {
+		switch d := s.(type) {
+		case *ir.DefNode:
+			v := fold(d.Value)
+			// Record constant and alias nodes for propagation, but keep
+			// DontTouch-marked nodes addressable.
+			if !comp.isDontTouch(m.Name, d.Name) {
+				switch val := v.(type) {
+				case ir.Const:
+					// Normalize the constant to the node's declared width
+					// so propagation does not change widths.
+					if w, err := env.WidthOf(ir.Ref{Name: d.Name}); err == nil && w >= val.Width {
+						val = ir.Const{Value: val.Value, Width: w, Signed: val.Signed}
+					}
+					consts[d.Name] = val
+				case ir.Ref:
+					target := val.Name
+					if a, ok := aliases[target]; ok {
+						target = a
+					}
+					aliases[d.Name] = target
+					comp.recordRename(m.Name, d.Name, target)
+				}
+			}
+			out = append(out, &ir.DefNode{Name: d.Name, Value: v, Info: d.Info})
+		case *ir.Connect:
+			out = append(out, &ir.Connect{Loc: d.Loc, Value: fold(d.Value), Info: d.Info})
+		case *ir.MemWrite:
+			out = append(out, &ir.MemWrite{Mem: d.Mem, Addr: fold(d.Addr), Data: fold(d.Data), En: fold(d.En), Info: d.Info})
+		default:
+			out = append(out, s)
+		}
+	}
+	m.Body = out
+	return nil
+}
+
+// foldPrim evaluates a primitive op when all arguments are literals.
+// Sub-expressions were already folded (MapExpr is bottom-up).
+func foldPrim(x ir.Prim, env *ir.TypeEnv) ir.Expr {
+	args := make([]ir.Const, len(x.Args))
+	for i, a := range x.Args {
+		c, ok := a.(ir.Const)
+		if !ok {
+			return simplifyAlgebraic(x)
+		}
+		args[i] = c
+	}
+	vals := make([]eval.Value, len(args))
+	for i, c := range args {
+		vals[i] = eval.FromConst(c)
+	}
+	res, err := eval.Prim(x.Op, x.Params, vals)
+	if err != nil {
+		return x
+	}
+	return ir.Const{Value: res.Bits, Width: res.Width, Signed: res.Signed}
+}
+
+// simplifyAlgebraic applies width-preserving identities: x&0=0, x|0=x,
+// x^0=x, x*1 and x+0 are left alone (they change widths in this IR).
+func simplifyAlgebraic(x ir.Prim) ir.Expr {
+	if len(x.Args) != 2 {
+		return x
+	}
+	a, b := x.Args[0], x.Args[1]
+	isZero := func(e ir.Expr) bool {
+		c, ok := e.(ir.Const)
+		return ok && c.Value == 0
+	}
+	switch x.Op {
+	case ir.OpAnd:
+		if isZero(a) || isZero(b) {
+			w := 1
+			if ca, ok := a.(ir.Const); ok && ca.Width > w {
+				w = ca.Width
+			}
+			if cb, ok := b.(ir.Const); ok && cb.Width > w {
+				w = cb.Width
+			}
+			return ir.Const{Value: 0, Width: w}
+		}
+	case ir.OpEq:
+		if exprEqual(a, b) {
+			return ir.ConstBool(true)
+		}
+	case ir.OpNeq:
+		if exprEqual(a, b) {
+			return ir.ConstBool(false)
+		}
+	}
+	return x
+}
+
+// CSE eliminates duplicate node definitions: two nodes computing the
+// same (rendered) expression fold onto the first, with the second
+// recorded as a rename so symbol entries follow.
+type CSE struct{}
+
+// Name implements Pass.
+func (*CSE) Name() string { return "cse" }
+
+// Run implements Pass.
+func (*CSE) Run(comp *Compilation) error {
+	for _, m := range comp.Circuit.Modules {
+		seen := map[string]string{} // expr string -> first node name
+		rename := map[string]string{}
+		subst := func(e ir.Expr) ir.Expr {
+			return ir.MapExpr(e, func(sub ir.Expr) ir.Expr {
+				if r, ok := sub.(ir.Ref); ok {
+					if to, ok := rename[r.Name]; ok {
+						return ir.Ref{Name: to}
+					}
+				}
+				return sub
+			})
+		}
+		var out []ir.Stmt
+		for _, s := range m.Body {
+			switch d := s.(type) {
+			case *ir.DefNode:
+				v := subst(d.Value)
+				key := v.String()
+				if first, dup := seen[key]; dup && !comp.isDontTouch(m.Name, d.Name) && !isTrivialExpr(v) {
+					rename[d.Name] = first
+					comp.recordRename(m.Name, d.Name, first)
+					continue // drop the duplicate definition
+				}
+				if _, dup := seen[key]; !dup {
+					seen[key] = d.Name
+				}
+				out = append(out, &ir.DefNode{Name: d.Name, Value: v, Info: d.Info})
+			case *ir.Connect:
+				out = append(out, &ir.Connect{Loc: d.Loc, Value: subst(d.Value), Info: d.Info})
+			case *ir.MemWrite:
+				out = append(out, &ir.MemWrite{Mem: d.Mem, Addr: subst(d.Addr), Data: subst(d.Data), En: subst(d.En), Info: d.Info})
+			default:
+				out = append(out, s)
+			}
+		}
+		m.Body = out
+	}
+	return nil
+}
+
+// isTrivialExpr reports whether an expression is so cheap that CSE-ing
+// it would only churn names (bare refs and literals).
+func isTrivialExpr(e ir.Expr) bool {
+	switch e.(type) {
+	case ir.Ref, ir.Const:
+		return true
+	}
+	return false
+}
+
+// DCE removes node definitions that nothing observes: not referenced by
+// outputs, register next-values, memory writes, instance connections, or
+// other live nodes. Removed names are recorded so Collect can drop
+// symbol entries whose variables were optimized away — the behavior the
+// paper notes is "consistent with software compilers".
+type DCE struct{}
+
+// Name implements Pass.
+func (*DCE) Name() string { return "dce" }
+
+// Run implements Pass.
+func (*DCE) Run(comp *Compilation) error {
+	for _, m := range comp.Circuit.Modules {
+		live := map[string]bool{}
+		var mark func(e ir.Expr)
+		mark = func(e ir.Expr) {
+			ir.WalkExpr(e, func(sub ir.Expr) {
+				if r, ok := sub.(ir.Ref); ok {
+					live[r.Name] = true
+				}
+			})
+		}
+		// Roots: everything except plain node definitions.
+		nodeDefs := map[string]*ir.DefNode{}
+		var order []string
+		for _, s := range m.Body {
+			switch d := s.(type) {
+			case *ir.DefNode:
+				nodeDefs[d.Name] = d
+				order = append(order, d.Name)
+				if comp.isDontTouch(m.Name, d.Name) {
+					live[d.Name] = true
+				}
+			case *ir.Connect:
+				mark(d.Value)
+			case *ir.MemWrite:
+				mark(d.Addr)
+				mark(d.Data)
+				mark(d.En)
+			case *ir.DefReg:
+				// reg declarations carry no expressions in Low form
+			}
+		}
+		// Propagate liveness backwards through node definitions. Nodes
+		// are in definition order, so a reverse sweep reaches a fixpoint
+		// in one pass.
+		for i := len(order) - 1; i >= 0; i-- {
+			name := order[i]
+			if live[name] {
+				mark(nodeDefs[name].Value)
+			}
+		}
+		var out []ir.Stmt
+		removed := 0
+		for _, s := range m.Body {
+			if d, ok := s.(*ir.DefNode); ok && !live[d.Name] {
+				comp.recordRemoved(m.Name, d.Name)
+				removed++
+				continue
+			}
+			out = append(out, s)
+		}
+		m.Body = out
+	}
+	return nil
+}
+
+// DontTouchAll protects every signal referenced by symbol entries from
+// optimization — the paper's debug mode (DontTouchAnnotation, gcc -O0).
+type DontTouchAll struct{}
+
+// Name implements Pass.
+func (*DontTouchAll) Name() string { return "dont-touch-all" }
+
+// Run implements Pass.
+func (*DontTouchAll) Run(comp *Compilation) error {
+	for _, entry := range comp.Symbols {
+		for _, rtl := range entry.Vars {
+			comp.markDontTouch(entry.Module, rtl)
+		}
+		if entry.Enable != nil {
+			for _, name := range ir.RefsIn(entry.Enable) {
+				comp.markDontTouch(entry.Module, name)
+			}
+		}
+	}
+	return nil
+}

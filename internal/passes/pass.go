@@ -1,0 +1,200 @@
+// Package passes implements the compiler pipeline that lowers High-form
+// IR to simulatable Low form while extracting the hgdb symbol table, the
+// paper's Algorithm 1: a first pass annotates statements with enable
+// conditions while the IR still resembles the generator source, and a
+// second pass collects surviving annotations after optimization.
+//
+// Pipeline (optimized build):
+//
+//	LowerAggregates → Annotate → SSA → ConstProp → CSE → DCE → Collect
+//
+// In debug mode (the paper's -O0 analog) the optimization passes are
+// skipped, so every SSA temporary survives into the symbol table — the
+// paper reports this grows the table by roughly 30%.
+package passes
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// SymbolEntry describes one emulated breakpoint: a generator source
+// location inside a module definition, the condition under which the
+// statement is "executing", and the variable bindings visible there.
+type SymbolEntry struct {
+	// Module is the *definition* name; one entry expands to one
+	// breakpoint per instance of the module at debug time.
+	Module string
+	File   string
+	Line   int
+	Col    int
+	// Order is the lexical order of the statement within the module,
+	// used by the scheduler to order same-cycle breakpoints.
+	Order int
+	// Enable is the Low-form enable condition over module-local signal
+	// names. Nil means always enabled.
+	Enable ir.Expr
+	// EnableSrc is the human-readable High-form condition (the paper
+	// shows e.g. "data[0] % 2" next to Listing 2).
+	EnableSrc string
+	// Vars maps source-level variable names to module-local Low-form
+	// signal names valid at this statement (SSA-resolved).
+	Vars map[string]string
+}
+
+// Compilation carries the circuit and all cross-pass state.
+type Compilation struct {
+	Circuit *ir.Circuit
+	// Debug selects the -O0 style build: optimizations skipped,
+	// everything preserved for debugging.
+	Debug bool
+
+	// Annotations maps statements (by identity) to their computed
+	// enable conditions; written by Annotate, read by SSA.
+	Annotations map[ir.Stmt]*Annotation
+
+	// Symbols is the symbol information produced by the SSA pass and
+	// pruned by Collect.
+	Symbols []*SymbolEntry
+
+	// FlatVar maps, per module, flattened signal names back to their
+	// dotted source paths ("io_out_bits" → "io.out.bits"), recorded by
+	// LowerAggregates and used to present structured variables.
+	FlatVar map[string]map[string]string
+
+	// DontTouch lists, per module, signal names that optimization
+	// passes must preserve.
+	DontTouch map[string]map[string]bool
+
+	// Renames records, per module, signal renamings performed by
+	// optimization passes (CSE folds duplicates onto the first name;
+	// const-prop folds aliases). Queried transitively by Collect.
+	Renames map[string]map[string]string
+
+	// Removed records, per module, signals deleted by DCE.
+	Removed map[string]map[string]bool
+
+	// GenVars lists, per module, the "generator variables" — the
+	// module-level named objects (ports, registers, wires, instances)
+	// that populate the debugger's generator-scope pane.
+	GenVars map[string][]GenVar
+}
+
+// Annotation is the result of Algorithm 1's first pass for a single
+// statement.
+type Annotation struct {
+	Info      ir.Info
+	Enable    ir.Expr // High-form enable condition (pre-SSA names)
+	EnableSrc string
+}
+
+// GenVar is one generator-level variable: a named module member and the
+// flattened RTL signals that carry it.
+type GenVar struct {
+	Name string // dotted source name, e.g. "io.out.bits"
+	RTL  string // flattened module-local signal name
+	Kind string // "port", "reg", "wire", "node", "mem", "instance"
+}
+
+// NewCompilation wraps a circuit for compilation.
+func NewCompilation(c *ir.Circuit, debug bool) *Compilation {
+	return &Compilation{
+		Circuit:     c,
+		Debug:       debug,
+		Annotations: map[ir.Stmt]*Annotation{},
+		FlatVar:     map[string]map[string]string{},
+		DontTouch:   map[string]map[string]bool{},
+		Renames:     map[string]map[string]string{},
+		Removed:     map[string]map[string]bool{},
+		GenVars:     map[string][]GenVar{},
+	}
+}
+
+// Pass is a single compilation pass.
+type Pass interface {
+	Name() string
+	Run(*Compilation) error
+}
+
+// Compile runs the standard pipeline on a High-form circuit and returns
+// the compilation with Low-form modules and collected symbols.
+func Compile(c *ir.Circuit, debug bool) (*Compilation, error) {
+	comp := NewCompilation(c, debug)
+	pipeline := []Pass{
+		&LowerAggregates{},
+		&Annotate{},
+		&SSA{},
+	}
+	if debug {
+		// The paper's debug mode inserts DontTouch annotations and
+		// disables optimization; we skip the optimization passes, which
+		// is equivalent and faster to compile.
+		pipeline = append(pipeline, &DontTouchAll{})
+	} else {
+		pipeline = append(pipeline, &ConstProp{}, &CSE{}, &DCE{})
+	}
+	pipeline = append(pipeline, &Collect{})
+	for _, p := range pipeline {
+		if err := p.Run(comp); err != nil {
+			return nil, fmt.Errorf("passes: %s: %w", p.Name(), err)
+		}
+	}
+	return comp, nil
+}
+
+// resolveRename chases the per-module rename chain for a signal name.
+func (comp *Compilation) resolveRename(module, name string) string {
+	renames := comp.Renames[module]
+	if renames == nil {
+		return name
+	}
+	for i := 0; i < 1000; i++ { // cycle guard
+		next, ok := renames[name]
+		if !ok {
+			return name
+		}
+		name = next
+	}
+	return name
+}
+
+// markDontTouch records that a module-local signal must be preserved.
+func (comp *Compilation) markDontTouch(module, name string) {
+	m := comp.DontTouch[module]
+	if m == nil {
+		m = map[string]bool{}
+		comp.DontTouch[module] = m
+	}
+	m[name] = true
+}
+
+// isDontTouch reports whether a signal is protected.
+func (comp *Compilation) isDontTouch(module, name string) bool {
+	return comp.DontTouch[module][name]
+}
+
+// recordRename notes that old is now represented by new within module.
+func (comp *Compilation) recordRename(module, old, new string) {
+	m := comp.Renames[module]
+	if m == nil {
+		m = map[string]string{}
+		comp.Renames[module] = m
+	}
+	m[old] = new
+}
+
+// recordRemoved notes that a signal was deleted within module.
+func (comp *Compilation) recordRemoved(module, name string) {
+	m := comp.Removed[module]
+	if m == nil {
+		m = map[string]bool{}
+		comp.Removed[module] = m
+	}
+	m[name] = true
+}
+
+// isRemoved reports whether a signal was deleted.
+func (comp *Compilation) isRemoved(module, name string) bool {
+	return comp.Removed[module][name]
+}

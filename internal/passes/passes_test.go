@@ -1,0 +1,538 @@
+package passes
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+)
+
+// buildAccumulator reproduces the paper's Listing 1: a two-iteration
+// accumulation loop where `sum` is conditionally updated. Returns the
+// circuit and the source line of the accumulation statement.
+func buildAccumulator(t *testing.T) (*ir.Circuit, int) {
+	t.Helper()
+	c := generator.NewCircuit("Acc")
+	m := c.NewModule("Acc")
+	data := []*generator.Signal{
+		m.Input("data_0", ir.UIntType(8)),
+		m.Input("data_1", ir.UIntType(8)),
+	}
+	out := m.Output("out", ir.UIntType(8))
+	sum := m.Wire("sum", ir.UIntType(8))
+	sum.Set(m.Lit(0, 8))
+	var accLine int
+	for i := 0; i < 2; i++ {
+		m.When(data[i].Bit(0), func() {
+			sum.Set(sum.AddMod(data[i])) // Listing 1 line 4
+			accLine = curLine() - 1
+		})
+	}
+	out.Set(sum)
+	return c.MustBuild(), accLine
+}
+
+func curLine() int {
+	// helper so tests can capture their own line numbers
+	var pcs [1]uintptr
+	n := runtimeCallers(2, pcs[:])
+	if n == 0 {
+		return 0
+	}
+	return pcLine(pcs[0])
+}
+
+func TestLowerAggregatesBundle(t *testing.T) {
+	c := generator.NewCircuit("B")
+	m := c.NewModule("B")
+	bundleT := ir.Bundle{Fields: []ir.Field{
+		{Name: "bits", Type: ir.UIntType(8)},
+		{Name: "valid", Type: ir.UIntType(1)},
+		{Name: "ready", Flip: true, Type: ir.UIntType(1)},
+	}}
+	io := m.Output("io", bundleT)
+	busy := m.Output("busy", ir.UIntType(1))
+	io.Field("bits").Set(m.Lit(5, 8))
+	io.Field("valid").Set(m.Lit(1, 1))
+	busy.Set(io.Field("ready").Not())
+	circ := c.MustBuild()
+
+	comp := NewCompilation(circ, false)
+	if err := (&LowerAggregates{}).Run(comp); err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	mod := comp.Circuit.MainModule()
+	byName := map[string]ir.Port{}
+	for _, p := range mod.Ports {
+		byName[p.Name] = p
+	}
+	if p, ok := byName["io_bits"]; !ok || p.Dir != ir.Output || p.Tpe.BitWidth() != 8 {
+		t.Fatalf("io_bits port: %+v ok=%v", p, ok)
+	}
+	// Flipped field becomes an input.
+	if p, ok := byName["io_ready"]; !ok || p.Dir != ir.Input {
+		t.Fatalf("io_ready port: %+v ok=%v", p, ok)
+	}
+	if comp.FlatVar["B"]["io_bits"] != "io.bits" {
+		t.Fatalf("FlatVar = %v", comp.FlatVar["B"])
+	}
+}
+
+func TestLowerAggregatesVecDynamicRead(t *testing.T) {
+	c := generator.NewCircuit("V")
+	m := c.NewModule("V")
+	v := m.Wire("v", ir.Vec{Elem: ir.UIntType(8), Len: 4})
+	idx := m.Input("idx", ir.UIntType(2))
+	out := m.Output("out", ir.UIntType(8))
+	for i := 0; i < 4; i++ {
+		v.Idx(i).Set(m.Lit(uint64(i*10), 8))
+	}
+	out.Set(v.IdxDyn(idx))
+	circ := c.MustBuild()
+
+	comp := NewCompilation(circ, false)
+	if err := (&LowerAggregates{}).Run(comp); err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	s := ir.CircuitString(comp.Circuit)
+	// The dynamic read becomes a mux tree over v_0..v_3.
+	for _, want := range []string{"v_0", "v_3", "mux(eq(idx,"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in lowered:\n%s", want, s)
+		}
+	}
+}
+
+func TestLowerAggregatesVecDynamicWrite(t *testing.T) {
+	c := generator.NewCircuit("VW")
+	m := c.NewModule("VW")
+	v := m.Wire("v", ir.Vec{Elem: ir.UIntType(8), Len: 2})
+	idx := m.Input("idx", ir.UIntType(1))
+	din := m.Input("din", ir.UIntType(8))
+	out := m.Output("out", ir.UIntType(8))
+	v.Idx(0).Set(m.Lit(0, 8))
+	v.Idx(1).Set(m.Lit(0, 8))
+	v.IdxDyn(idx).Set(din)
+	out.Set(v.Idx(0))
+	circ := c.MustBuild()
+
+	comp := NewCompilation(circ, false)
+	if err := (&LowerAggregates{}).Run(comp); err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	// Dynamic write becomes per-element conditional writes.
+	whens := 0
+	ir.WalkStmts(comp.Circuit.MainModule().Body, func(s ir.Stmt) {
+		if _, ok := s.(*ir.When); ok {
+			whens++
+		}
+	})
+	if whens != 2 {
+		t.Fatalf("whens = %d, want 2 (one per element)", whens)
+	}
+}
+
+func TestAnnotateEnableConditions(t *testing.T) {
+	circ, _ := buildAccumulator(t)
+	comp := NewCompilation(circ, false)
+	if err := (&LowerAggregates{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Annotate{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	// Find the annotations for connects inside whens: they must carry
+	// the bit-test enable condition (the paper's "data[0] % 2").
+	var conditional []string
+	for s, ann := range comp.Annotations {
+		if _, ok := s.(*ir.Connect); ok && ann.Enable != nil {
+			conditional = append(conditional, ann.EnableSrc)
+		}
+	}
+	if len(conditional) != 2 {
+		t.Fatalf("conditional connects = %d, want 2 (unrolled loop)", len(conditional))
+	}
+	for _, src := range conditional {
+		if !strings.Contains(src, "data_") || !strings.Contains(src, "[0:0]") {
+			t.Fatalf("enable source %q does not reference the bit test", src)
+		}
+	}
+}
+
+// TestSSAListing2 is the golden reproduction of the paper's Listing 2:
+// loop unrolling + SSA yields sum_0, sum_1, sum_2 temporaries, a
+// trailing alias node for `sum`, and per-statement enable conditions.
+func TestSSAListing2(t *testing.T) {
+	circ, accLine := buildAccumulator(t)
+	comp := NewCompilation(circ, false)
+	for _, p := range []Pass{&LowerAggregates{}, &Annotate{}, &SSA{}} {
+		if err := p.Run(comp); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+	}
+	mod := comp.Circuit.MainModule()
+	nodes := map[string]ir.Expr{}
+	for _, s := range mod.Body {
+		if n, ok := s.(*ir.DefNode); ok {
+			nodes[n.Name] = n.Value
+		}
+	}
+	// Listing 2's temporaries.
+	for _, want := range []string{"sum_0", "sum_1", "sum_2", "sum"} {
+		if _, ok := nodes[want]; !ok {
+			t.Fatalf("missing SSA temp %q; have %v", want, keys(nodes))
+		}
+	}
+	// sum_0 is the initial constant.
+	if c, ok := nodes["sum_0"].(ir.Const); !ok || c.Value != 0 {
+		t.Fatalf("sum_0 = %v, want const 0", nodes["sum_0"])
+	}
+	// The final alias resolves the merge chain (last value may come
+	// through a _GEN mux because assignments are conditional).
+	if !strings.Contains(nodes["sum"].String(), "_GEN") && !strings.Contains(nodes["sum"].String(), "sum_2") {
+		t.Fatalf("sum alias = %v", nodes["sum"])
+	}
+
+	// The paper: a user breakpoint at the accumulation line expands to
+	// TWO emulated breakpoints (one per unrolled iteration), each with
+	// its own enable condition and its own binding for `sum`.
+	var hits []*SymbolEntry
+	for _, e := range comp.Symbols {
+		if e.Line == accLine {
+			hits = append(hits, e)
+		}
+	}
+	if len(hits) != 2 {
+		t.Fatalf("breakpoints at line %d = %d, want 2; symbols: %+v", accLine, len(hits), comp.Symbols)
+	}
+	// gdb stop-before semantics: at the first hit sum reads sum_0, at
+	// the second sum reads the merge of iteration 0.
+	if hits[0].Vars["sum"] != "sum_0" {
+		t.Fatalf("first hit binds sum=%s, want sum_0", hits[0].Vars["sum"])
+	}
+	if hits[0].Enable == nil || hits[1].Enable == nil {
+		t.Fatal("conditional breakpoints missing enable conditions")
+	}
+	if exprEqual(hits[0].Enable, hits[1].Enable) {
+		t.Fatalf("both hits share enable %s", hits[0].Enable)
+	}
+	// Scheduler ordering is lexical.
+	if hits[0].Order >= hits[1].Order {
+		t.Fatalf("orders not increasing: %d, %d", hits[0].Order, hits[1].Order)
+	}
+}
+
+func TestSSARegisterHoldAndReset(t *testing.T) {
+	c := generator.NewCircuit("R")
+	m := c.NewModule("R")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	r := m.RegInit("r", ir.UIntType(8), m.Lit(7, 8))
+	m.When(en, func() {
+		r.Set(r.AddMod(m.Lit(1, 8)))
+	})
+	out.Set(r)
+	circ := c.MustBuild()
+	comp := NewCompilation(circ, false)
+	for _, p := range []Pass{&LowerAggregates{}, &Annotate{}, &SSA{}} {
+		if err := p.Run(comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The register's next-value connect must include both the hold path
+	// (register itself) and the reset mux.
+	var regNext ir.Expr
+	for _, s := range comp.Circuit.MainModule().Body {
+		if cn, ok := s.(*ir.Connect); ok {
+			if ref, isRef := cn.Loc.(ir.Ref); isRef && ref.Name == "r" {
+				regNext = cn.Value
+			}
+		}
+	}
+	if regNext == nil {
+		t.Fatal("no register next connect")
+	}
+	str := regNext.String()
+	if !strings.Contains(str, "reset") {
+		t.Fatalf("reg next %s missing reset mux", str)
+	}
+}
+
+func TestSSAUninitializedWireError(t *testing.T) {
+	c := generator.NewCircuit("U")
+	m := c.NewModule("U")
+	w := m.Wire("w", ir.UIntType(4))
+	out := m.Output("out", ir.UIntType(4))
+	out.Set(w) // read before any assignment
+	circ := c.MustBuild()
+	comp := NewCompilation(circ, false)
+	if err := (&LowerAggregates{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&SSA{}).Run(comp); err == nil {
+		t.Fatal("read of unassigned wire accepted")
+	}
+}
+
+func TestSSAConditionalOnlyAssignmentError(t *testing.T) {
+	c := generator.NewCircuit("CO")
+	m := c.NewModule("CO")
+	en := m.Input("en", ir.UIntType(1))
+	w := m.Wire("w", ir.UIntType(4))
+	out := m.Output("out", ir.UIntType(4))
+	m.When(en, func() {
+		w.Set(m.Lit(1, 4))
+	})
+	out.Set(w)
+	circ := c.MustBuild()
+	comp := NewCompilation(circ, false)
+	if err := (&LowerAggregates{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&SSA{}).Run(comp); err == nil {
+		t.Fatal("conditionally-assigned wire without default accepted")
+	}
+}
+
+func TestSSAUnassignedOutputError(t *testing.T) {
+	circ := &ir.Circuit{Main: "O", Modules: []*ir.Module{{
+		Name: "O",
+		Ports: []ir.Port{
+			{Name: "clock", Dir: ir.Input, Tpe: ir.ClockType()},
+			{Name: "reset", Dir: ir.Input, Tpe: ir.ResetType()},
+			{Name: "out", Dir: ir.Output, Tpe: ir.UIntType(1)},
+		},
+	}}}
+	comp := NewCompilation(circ, false)
+	if err := (&SSA{}).Run(comp); err == nil {
+		t.Fatal("unassigned output accepted")
+	}
+}
+
+func TestConstProp(t *testing.T) {
+	circ := &ir.Circuit{Main: "CP", Modules: []*ir.Module{{
+		Name: "CP",
+		Ports: []ir.Port{
+			{Name: "clock", Dir: ir.Input, Tpe: ir.ClockType()},
+			{Name: "reset", Dir: ir.Input, Tpe: ir.ResetType()},
+			{Name: "x", Dir: ir.Input, Tpe: ir.UIntType(8)},
+			{Name: "out", Dir: ir.Output, Tpe: ir.UIntType(9)},
+		},
+		Body: []ir.Stmt{
+			&ir.DefNode{Name: "a", Value: ir.ConstUInt(3, 8)},
+			&ir.DefNode{Name: "b", Value: ir.NewPrim(ir.OpAdd, ir.Ref{Name: "a"}, ir.ConstUInt(4, 8))},
+			&ir.DefNode{Name: "c", Value: ir.Ref{Name: "x"}}, // alias
+			&ir.DefNode{Name: "d", Value: ir.NewPrim(ir.OpAdd, ir.Ref{Name: "c"}, ir.Ref{Name: "b"})},
+			&ir.Connect{Loc: ir.Ref{Name: "out"}, Value: ir.Ref{Name: "d"}},
+		},
+	}}}
+	comp := NewCompilation(circ, false)
+	if err := (&ConstProp{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[string]ir.Expr{}
+	for _, s := range circ.MainModule().Body {
+		if n, ok := s.(*ir.DefNode); ok {
+			nodes[n.Name] = n.Value
+		}
+	}
+	// b = 3 + 4 folds to constant 7.
+	if c, ok := nodes["b"].(ir.Const); !ok || c.Value != 7 {
+		t.Fatalf("b = %v, want const 7", nodes["b"])
+	}
+	// d's use of alias c becomes x, and use of b becomes the constant.
+	dStr := nodes["d"].String()
+	if !strings.Contains(dStr, "x") || !strings.Contains(dStr, "(7)") {
+		t.Fatalf("d = %s", dStr)
+	}
+	// Alias rename recorded.
+	if comp.resolveRename("CP", "c") != "x" {
+		t.Fatalf("rename c -> %s, want x", comp.resolveRename("CP", "c"))
+	}
+}
+
+func TestCSE(t *testing.T) {
+	dup := ir.NewPrim(ir.OpAdd, ir.Ref{Name: "x"}, ir.Ref{Name: "y"})
+	circ := &ir.Circuit{Main: "C", Modules: []*ir.Module{{
+		Name: "C",
+		Ports: []ir.Port{
+			{Name: "clock", Dir: ir.Input, Tpe: ir.ClockType()},
+			{Name: "reset", Dir: ir.Input, Tpe: ir.ResetType()},
+			{Name: "x", Dir: ir.Input, Tpe: ir.UIntType(8)},
+			{Name: "y", Dir: ir.Input, Tpe: ir.UIntType(8)},
+			{Name: "out", Dir: ir.Output, Tpe: ir.UIntType(10)},
+		},
+		Body: []ir.Stmt{
+			&ir.DefNode{Name: "a", Value: dup},
+			&ir.DefNode{Name: "b", Value: ir.NewPrim(ir.OpAdd, ir.Ref{Name: "x"}, ir.Ref{Name: "y"})},
+			&ir.DefNode{Name: "s", Value: ir.NewPrim(ir.OpAdd, ir.Ref{Name: "a"}, ir.Ref{Name: "b"})},
+			&ir.Connect{Loc: ir.Ref{Name: "out"}, Value: ir.Ref{Name: "s"}},
+		},
+	}}}
+	comp := NewCompilation(circ, false)
+	if err := (&CSE{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, s := range circ.MainModule().Body {
+		if n, ok := s.(*ir.DefNode); ok {
+			if n.Name == "b" {
+				t.Fatal("duplicate node b survived CSE")
+			}
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("nodes after CSE = %d, want 2", count)
+	}
+	if comp.resolveRename("C", "b") != "a" {
+		t.Fatalf("rename b -> %s", comp.resolveRename("C", "b"))
+	}
+	// s must now reference a twice.
+	for _, s := range circ.MainModule().Body {
+		if n, ok := s.(*ir.DefNode); ok && n.Name == "s" {
+			if n.Value.String() != "add(a, a)" {
+				t.Fatalf("s = %s", n.Value)
+			}
+		}
+	}
+}
+
+func TestDCE(t *testing.T) {
+	circ := &ir.Circuit{Main: "D", Modules: []*ir.Module{{
+		Name: "D",
+		Ports: []ir.Port{
+			{Name: "clock", Dir: ir.Input, Tpe: ir.ClockType()},
+			{Name: "reset", Dir: ir.Input, Tpe: ir.ResetType()},
+			{Name: "x", Dir: ir.Input, Tpe: ir.UIntType(8)},
+			{Name: "out", Dir: ir.Output, Tpe: ir.UIntType(8)},
+		},
+		Body: []ir.Stmt{
+			&ir.DefNode{Name: "live1", Value: ir.Ref{Name: "x"}},
+			&ir.DefNode{Name: "dead1", Value: ir.NewPrim(ir.OpNot, ir.Ref{Name: "x"})},
+			&ir.DefNode{Name: "dead2", Value: ir.NewPrim(ir.OpNot, ir.Ref{Name: "dead1"})},
+			&ir.DefNode{Name: "protected", Value: ir.NewPrim(ir.OpNot, ir.Ref{Name: "x"})},
+			&ir.Connect{Loc: ir.Ref{Name: "out"}, Value: ir.Ref{Name: "live1"}},
+		},
+	}}}
+	comp := NewCompilation(circ, false)
+	comp.markDontTouch("D", "protected")
+	if err := (&DCE{}).Run(comp); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range circ.MainModule().Body {
+		if n, ok := s.(*ir.DefNode); ok {
+			names[n.Name] = true
+		}
+	}
+	if names["dead1"] || names["dead2"] {
+		t.Fatalf("dead nodes survived: %v", names)
+	}
+	if !names["live1"] || !names["protected"] {
+		t.Fatalf("live/protected nodes removed: %v", names)
+	}
+	if !comp.isRemoved("D", "dead2") {
+		t.Fatal("removal not recorded")
+	}
+}
+
+func TestCompileEndToEndOptimizedVsDebug(t *testing.T) {
+	build := func() *ir.Circuit {
+		circ, _ := buildAccumulator(t)
+		return circ
+	}
+	opt, err := Compile(build(), false)
+	if err != nil {
+		t.Fatalf("optimized compile: %v", err)
+	}
+	dbg, err := Compile(build(), true)
+	if err != nil {
+		t.Fatalf("debug compile: %v", err)
+	}
+	if len(opt.Symbols) == 0 || len(dbg.Symbols) == 0 {
+		t.Fatal("no symbols collected")
+	}
+	// Debug mode preserves at least as much symbol information (the
+	// paper reports ~30% growth).
+	optVars, dbgVars := countVars(opt.Symbols), countVars(dbg.Symbols)
+	if dbgVars < optVars {
+		t.Fatalf("debug symtab (%d vars) smaller than optimized (%d)", dbgVars, optVars)
+	}
+	// Optimized circuit body is no larger than debug body.
+	if len(opt.Circuit.MainModule().Body) > len(dbg.Circuit.MainModule().Body) {
+		t.Fatalf("optimized body (%d) larger than debug (%d)",
+			len(opt.Circuit.MainModule().Body), len(dbg.Circuit.MainModule().Body))
+	}
+}
+
+func countVars(symbols []*SymbolEntry) int {
+	n := 0
+	for _, e := range symbols {
+		n += len(e.Vars)
+	}
+	return n
+}
+
+func TestCollectDropsOptimizedAwayVars(t *testing.T) {
+	circ, _ := buildAccumulator(t)
+	comp, err := Compile(circ, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving var must point at a real signal in the module.
+	mod := comp.Circuit.MainModule()
+	existing := map[string]bool{}
+	for _, p := range mod.Ports {
+		existing[p.Name] = true
+	}
+	ir.WalkStmts(mod.Body, func(s ir.Stmt) {
+		switch d := s.(type) {
+		case *ir.DefNode:
+			existing[d.Name] = true
+		case *ir.DefReg:
+			existing[d.Name] = true
+		}
+	})
+	for _, e := range comp.Symbols {
+		for src, rtl := range e.Vars {
+			if !existing[rtl] {
+				t.Fatalf("symbol var %s -> %s references removed signal", src, rtl)
+			}
+		}
+		if e.Enable != nil {
+			for _, name := range ir.RefsIn(e.Enable) {
+				if !existing[name] {
+					t.Fatalf("enable %s references removed signal %s", e.Enable, name)
+				}
+			}
+		}
+	}
+}
+
+func TestGenVarsRecorded(t *testing.T) {
+	circ, _ := buildAccumulator(t)
+	comp, err := Compile(circ, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, gv := range comp.GenVars["Acc"] {
+		kinds[gv.Name] = gv.Kind
+	}
+	if kinds["data_0"] != "port" || kinds["out"] != "port" {
+		t.Fatalf("gen vars = %v", kinds)
+	}
+	if kinds["sum"] != "wire" {
+		t.Fatalf("sum kind = %q", kinds["sum"])
+	}
+}
+
+func keys(m map[string]ir.Expr) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

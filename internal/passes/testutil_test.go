@@ -1,0 +1,15 @@
+package passes
+
+import "runtime"
+
+// runtimeCallers and pcLine wrap the runtime package so tests can
+// capture their own source line numbers when asserting on locators.
+func runtimeCallers(skip int, pcs []uintptr) int {
+	return runtime.Callers(skip+1, pcs)
+}
+
+func pcLine(pc uintptr) int {
+	frames := runtime.CallersFrames([]uintptr{pc})
+	frame, _ := frames.Next()
+	return frame.Line
+}

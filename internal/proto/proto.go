@@ -1,0 +1,119 @@
+// Package proto defines the JSON debugging protocol spoken between the
+// hgdb runtime and debugger clients over WebSocket — the paper's
+// "RPC-based debugging protocol similar to the gdb remote protocol"
+// (§3.5). Every request carries a token echoed in its response; stop
+// events arrive unsolicited whenever a breakpoint hits.
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Request is a client → runtime message.
+type Request struct {
+	// Type selects the operation: "breakpoint", "command", "evaluate",
+	// "get-value", "set-value", "info".
+	Type string `json:"type"`
+	// Token is echoed in the response for matching.
+	Token string `json:"token,omitempty"`
+
+	// breakpoint fields
+	Action    string `json:"action,omitempty"` // add | remove | clear | list
+	Filename  string `json:"filename,omitempty"`
+	Line      int    `json:"line,omitempty"`
+	Condition string `json:"condition,omitempty"`
+
+	// command field: continue | step | reverse-step | detach | pause
+	Command string `json:"command,omitempty"`
+
+	// evaluate fields
+	Instance   string `json:"instance,omitempty"`
+	Expression string `json:"expression,omitempty"`
+
+	// value fields
+	Path  string `json:"path,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+
+	// info field: files | lines | instances | status
+	Topic string `json:"topic,omitempty"`
+
+	// watch fields (Action: add | remove | list; Expression + Instance
+	// for add, WatchID for remove)
+	WatchID int `json:"watch_id,omitempty"`
+}
+
+// Response is a runtime → client reply.
+type Response struct {
+	Type   string          `json:"type"` // always "response"
+	Token  string          `json:"token,omitempty"`
+	Status string          `json:"status"` // ok | error
+	Reason string          `json:"reason,omitempty"`
+	Data   json.RawMessage `json:"data,omitempty"`
+}
+
+// Event is an unsolicited runtime → client message.
+type Event struct {
+	Type string          `json:"type"` // "stop" | "welcome" | "goodbye"
+	Stop *core.StopEvent `json:"stop,omitempty"`
+	// Welcome payload
+	Top   string `json:"top,omitempty"`
+	Mode  string `json:"mode,omitempty"`
+	Files int    `json:"files,omitempty"`
+}
+
+// OK builds a success response with a JSON payload.
+func OK(token string, payload any) (*Response, error) {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	return &Response{Type: "response", Token: token, Status: "ok", Data: raw}, nil
+}
+
+// Error builds an error response.
+func Error(token, format string, args ...any) *Response {
+	return &Response{
+		Type:   "response",
+		Token:  token,
+		Status: "error",
+		Reason: fmt.Sprintf(format, args...),
+	}
+}
+
+// ParseCommand converts the wire command to a core.Command.
+func ParseCommand(s string) (core.Command, error) {
+	switch s {
+	case "continue":
+		return core.CmdContinue, nil
+	case "step":
+		return core.CmdStep, nil
+	case "reverse-step":
+		return core.CmdReverseStep, nil
+	case "detach":
+		return core.CmdDetach, nil
+	}
+	return 0, fmt.Errorf("proto: unknown command %q", s)
+}
+
+// BreakpointInfo is the wire form of an armed breakpoint.
+type BreakpointInfo struct {
+	ID        int64  `json:"id"`
+	Filename  string `json:"filename"`
+	Line      int    `json:"line"`
+	Instance  string `json:"instance"`
+	Enable    string `json:"enable,omitempty"`
+	EnableSrc string `json:"enable_src,omitempty"`
+}
+
+// ValueInfo is the wire form of an evaluated value.
+type ValueInfo struct {
+	Value uint64 `json:"value"`
+	Width int    `json:"width"`
+}

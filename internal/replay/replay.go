@@ -1,0 +1,136 @@
+// Package replay implements the paper's trace-based replay backend: the
+// same unified simulator interface as a live simulation, but backed by
+// a parsed VCD trace. Because SetTime works in both directions, the
+// hgdb runtime can extend intra-cycle reverse debugging to full reverse
+// debugging — stepping to previous clock cycles and re-running the
+// breakpoint schedule in reverse order (§3.2).
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/rtl"
+	"repro/internal/vcd"
+	"repro/internal/vpi"
+)
+
+// Engine replays a VCD trace behind the vpi.Interface.
+type Engine struct {
+	trace     *vcd.Trace
+	time      uint64
+	callbacks map[int]func(uint64)
+	cbOrder   []int
+	nextCB    int
+}
+
+var _ vpi.Interface = (*Engine)(nil)
+
+// New wraps a parsed trace.
+func New(trace *vcd.Trace) *Engine {
+	return &Engine{trace: trace, callbacks: map[int]func(uint64){}}
+}
+
+// MaxTime returns the final timestamp in the trace.
+func (e *Engine) MaxTime() uint64 { return e.trace.MaxTime }
+
+// GetValue implements vpi.Interface: the signal's recorded value at the
+// current replay time.
+func (e *Engine) GetValue(path string) (eval.Value, error) {
+	ts, ok := e.trace.Signal(path)
+	if !ok {
+		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
+	}
+	return eval.Make(ts.ValueAt(e.time), ts.Width, false), nil
+}
+
+// Hierarchy implements vpi.Interface with the scope tree reconstructed
+// from the trace (hierarchy only — no definition information, as the
+// paper notes for VCD).
+func (e *Engine) Hierarchy() *rtl.InstanceNode { return e.trace.Hierarchy }
+
+// ClockName implements vpi.Interface.
+func (e *Engine) ClockName() string {
+	if e.trace.Hierarchy == nil {
+		return "clock"
+	}
+	return e.trace.Hierarchy.Path + ".clock"
+}
+
+// OnClockEdge implements vpi.Interface.
+func (e *Engine) OnClockEdge(cb func(time uint64)) int {
+	id := e.nextCB
+	e.nextCB++
+	e.callbacks[id] = cb
+	e.cbOrder = append(e.cbOrder, id)
+	return id
+}
+
+// RemoveCallback implements vpi.Interface.
+func (e *Engine) RemoveCallback(id int) {
+	delete(e.callbacks, id)
+	for i, v := range e.cbOrder {
+		if v == id {
+			e.cbOrder = append(e.cbOrder[:i], e.cbOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Time implements vpi.Interface.
+func (e *Engine) Time() uint64 { return e.time }
+
+// SetTime implements vpi.Interface — the primitive that unlocks reverse
+// debugging. Seeking does not fire edge callbacks; use StepForward and
+// StepBackward to emulate clock edges.
+func (e *Engine) SetTime(t uint64) error {
+	if t > e.trace.MaxTime {
+		return fmt.Errorf("replay: time %d beyond end of trace (%d)", t, e.trace.MaxTime)
+	}
+	e.time = t
+	return nil
+}
+
+// SetValue implements vpi.Interface; traces are immutable.
+func (e *Engine) SetValue(string, uint64) error {
+	return fmt.Errorf("%w: cannot set values on a trace file", vpi.ErrNotSupported)
+}
+
+func (e *Engine) fire() {
+	for _, id := range e.cbOrder {
+		if cb, ok := e.callbacks[id]; ok {
+			cb(e.time)
+		}
+	}
+}
+
+// StepForward advances one cycle and fires edge callbacks; returns
+// false at the end of the trace.
+func (e *Engine) StepForward() bool {
+	if e.time >= e.trace.MaxTime {
+		return false
+	}
+	e.time++
+	e.fire()
+	return true
+}
+
+// StepBackward rewinds one cycle and fires edge callbacks; returns
+// false at time zero.
+func (e *Engine) StepBackward() bool {
+	if e.time == 0 {
+		return false
+	}
+	e.time--
+	e.fire()
+	return true
+}
+
+// Run advances up to n cycles, stopping at the end of the trace.
+func (e *Engine) Run(n int) {
+	for i := 0; i < n; i++ {
+		if !e.StepForward() {
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package replay
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+	"repro/internal/vcd"
+	"repro/internal/vpi"
+)
+
+func makeTrace(t *testing.T) *vcd.Trace {
+	t.Helper()
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8)))
+	})
+	out.Set(count)
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(nl)
+	var buf bytes.Buffer
+	rec := vcd.NewRecorder(s, &buf)
+	s.Reset("Counter.reset", 1)
+	s.Poke("Counter.en", 1)
+	s.Run(10)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := vcd.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReplayForwardMatchesRecording(t *testing.T) {
+	e := New(makeTrace(t))
+	// Walk forward; count increases by one per enabled cycle.
+	e.SetTime(2)
+	v2, err := e.GetValue("Counter.count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTime(5)
+	v5, _ := e.GetValue("Counter.count")
+	if v5.Bits-v2.Bits != 3 {
+		t.Fatalf("count delta = %d, want 3 (v2=%d v5=%d)", v5.Bits-v2.Bits, v2.Bits, v5.Bits)
+	}
+}
+
+func TestReverseTime(t *testing.T) {
+	e := New(makeTrace(t))
+	e.SetTime(8)
+	v8, _ := e.GetValue("Counter.count")
+	if !e.StepBackward() {
+		t.Fatal("step backward failed")
+	}
+	v7, _ := e.GetValue("Counter.count")
+	if v7.Bits != v8.Bits-1 {
+		t.Fatalf("reverse step: %d -> %d", v8.Bits, v7.Bits)
+	}
+	// Rewind to zero.
+	e.SetTime(0)
+	if e.StepBackward() {
+		t.Fatal("stepped before time zero")
+	}
+	v0, _ := e.GetValue("Counter.count")
+	if v0.Bits != 0 {
+		t.Fatalf("count at 0 = %d", v0.Bits)
+	}
+}
+
+func TestStepForwardStopsAtEnd(t *testing.T) {
+	e := New(makeTrace(t))
+	e.SetTime(e.MaxTime())
+	if e.StepForward() {
+		t.Fatal("stepped past end of trace")
+	}
+	if err := e.SetTime(e.MaxTime() + 1); err == nil {
+		t.Fatal("SetTime past end accepted")
+	}
+}
+
+func TestCallbacksFireOnSteps(t *testing.T) {
+	e := New(makeTrace(t))
+	var times []uint64
+	id := e.OnClockEdge(func(tm uint64) { times = append(times, tm) })
+	e.Run(3)
+	e.StepBackward()
+	if len(times) != 4 {
+		t.Fatalf("callbacks fired %d times, want 4", len(times))
+	}
+	if times[3] != times[2]-1 {
+		t.Fatalf("reverse callback time: %v", times)
+	}
+	e.RemoveCallback(id)
+	e.Run(1)
+	if len(times) != 4 {
+		t.Fatal("callback fired after removal")
+	}
+}
+
+func TestSetValueUnsupported(t *testing.T) {
+	e := New(makeTrace(t))
+	err := e.SetValue("Counter.count", 1)
+	if !errors.Is(err, vpi.ErrNotSupported) {
+		t.Fatalf("err = %v, want ErrNotSupported", err)
+	}
+}
+
+func TestUnknownSignal(t *testing.T) {
+	e := New(makeTrace(t))
+	if _, err := e.GetValue("Counter.ghost"); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+}
+
+func TestHierarchyAndClock(t *testing.T) {
+	e := New(makeTrace(t))
+	if e.Hierarchy() == nil || e.Hierarchy().Name != "Counter" {
+		t.Fatalf("hierarchy = %+v", e.Hierarchy())
+	}
+	if e.ClockName() != "Counter.clock" {
+		t.Fatalf("clock = %s", e.ClockName())
+	}
+}

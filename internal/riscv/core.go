@@ -1,0 +1,307 @@
+package riscv
+
+import (
+	"repro/internal/generator"
+	"repro/internal/ir"
+)
+
+// Memory geometry (words).
+const (
+	// IMemWords is the instruction memory depth (64 KiB).
+	IMemWords = 16384
+	// DMemWords is the data memory depth (128 KiB).
+	DMemWords = 32768
+)
+
+// BuildCore generates a single-cycle RV32IM core with the repo's HGF.
+// The control logic deliberately uses wires with default-then-override
+// `When` chains: that is the style hgdb's SSA breakpoints are designed
+// for, so every decode arm below is a breakpointable source line with
+// an enable condition.
+//
+// Ports: hartid (in, 32), halted (out, 1), retired (out, 32),
+// pc_out (out, 32). Memories: imem, dmem, regs (x0 is never written, so
+// it reads as zero).
+//
+// ISA notes: MULHSU executes as MULH (none of the bundled kernels use
+// it); FENCE is a no-op; ECALL halts the core; CSRRS reads mhartid
+// (0xF14) and cycle (0xC00) only.
+func BuildCore(c *generator.Circuit, name string) *generator.ModuleBuilder {
+	m := c.NewModule(name)
+	u32 := ir.UIntType(32)
+
+	hartid := m.Input("hartid", u32)
+	haltedOut := m.Output("halted", ir.UIntType(1))
+	retiredOut := m.Output("retired", u32)
+	pcOut := m.Output("pc_out", u32)
+
+	imem := m.Mem("imem", ir.UIntType(32), IMemWords)
+	dmem := m.Mem("dmem", ir.UIntType(32), DMemWords)
+	regs := m.Mem("regs", ir.UIntType(32), 32)
+
+	pc := m.RegInit("pc", u32, m.Lit(0, 32))
+	halted := m.RegInit("halted_r", ir.UIntType(1), m.Lit(0, 1))
+	retired := m.RegInit("retired_r", u32, m.Lit(0, 32))
+	cycle := m.RegInit("cycle_r", u32, m.Lit(0, 32))
+	cycle.Set(cycle.AddMod(m.Lit(1, 32)))
+
+	// Fetch.
+	instr := m.Node("instr", imem.Read(pc.Bits(31, 2)))
+
+	// Decode fields.
+	opcode := m.Node("opcode", instr.Bits(6, 0))
+	rd := m.Node("rd", instr.Bits(11, 7))
+	funct3 := m.Node("funct3", instr.Bits(14, 12))
+	rs1 := m.Node("rs1", instr.Bits(19, 15))
+	rs2 := m.Node("rs2", instr.Bits(24, 20))
+	funct7 := m.Node("funct7", instr.Bits(31, 25))
+
+	// Immediates.
+	immI := m.Node("immI", instr.Bits(31, 20).SignExtend(32))
+	immS := m.Node("immS", instr.Bits(31, 25).Cat(instr.Bits(11, 7)).SignExtend(32))
+	immB := m.Node("immB",
+		instr.Bit(31).Cat(instr.Bit(7)).Cat(instr.Bits(30, 25)).Cat(instr.Bits(11, 8)).
+			Cat(m.Lit(0, 1)).SignExtend(32))
+	immU := m.Node("immU", instr.Bits(31, 12).Cat(m.Lit(0, 12)))
+	immJ := m.Node("immJ",
+		instr.Bit(31).Cat(instr.Bits(19, 12)).Cat(instr.Bit(20)).Cat(instr.Bits(30, 21)).
+			Cat(m.Lit(0, 1)).SignExtend(32))
+
+	// Register file reads (x0 reads zero because it is never written).
+	rv1 := m.Node("rv1", regs.Read(rs1))
+	rv2 := m.Node("rv2", regs.Read(rs2))
+
+	// Opcode classes.
+	op := func(v uint64) *generator.Signal { return opcode.Eq(m.Lit(v, 7)) }
+	isLui := m.Node("isLui", op(0x37))
+	isAuipc := m.Node("isAuipc", op(0x17))
+	isJal := m.Node("isJal", op(0x6F))
+	isJalr := m.Node("isJalr", op(0x67))
+	isBranch := m.Node("isBranch", op(0x63))
+	isLoad := m.Node("isLoad", op(0x03))
+	isStore := m.Node("isStore", op(0x23))
+	isOpImm := m.Node("isOpImm", op(0x13))
+	isOp := m.Node("isOp", op(0x33))
+	isSystem := m.Node("isSystem", op(0x73))
+	isEcall := m.Node("isEcall",
+		isSystem.And(funct3.Eq(m.Lit(0, 3))).And(instr.Bits(31, 20).Eq(m.Lit(0, 12))))
+	isCsr := m.Node("isCsr", isSystem.And(funct3.Eq(m.Lit(2, 3))))
+	isMul := m.Node("isMul", isOp.And(funct7.Eq(m.Lit(1, 7))))
+
+	// CSR read data.
+	csrAddr := m.Node("csrAddr", instr.Bits(31, 20))
+	csrVal := m.Wire("csrVal", u32)
+	csrVal.Set(m.Lit(0, 32))
+	m.When(csrAddr.Eq(m.Lit(0xF14, 12)), func() { // mhartid
+		csrVal.Set(hartid)
+	})
+	m.When(csrAddr.Eq(m.Lit(0xC00, 12)), func() { // cycle
+		csrVal.Set(cycle)
+	})
+
+	// ALU.
+	useImm := m.Node("useImm", isOpImm)
+	aluB := m.Node("aluB", immI.Mux(useImm, rv2))
+	shamt := m.Node("shamt", aluB.Bits(4, 0))
+	aluOut := m.Wire("aluOut", u32)
+	aluOut.Set(rv1.AddMod(aluB)) // default: ADD/ADDI
+
+	subSra := funct7.Eq(m.Lit(0x20, 7))
+	m.When(isMul.Not(), func() {
+		m.When(funct3.Eq(m.Lit(0, 3)).And(isOp).And(subSra), func() {
+			aluOut.Set(rv1.SubMod(aluB)) // SUB
+		})
+		m.When(funct3.Eq(m.Lit(1, 3)), func() { // SLL
+			aluOut.Set(rv1.Dshl(shamt).Bits(31, 0))
+		})
+		m.When(funct3.Eq(m.Lit(2, 3)), func() { // SLT
+			aluOut.Set(rv1.AsSInt().Lt(aluB.AsSInt()).Pad(32))
+		})
+		m.When(funct3.Eq(m.Lit(3, 3)), func() { // SLTU
+			aluOut.Set(rv1.Lt(aluB).Pad(32))
+		})
+		m.When(funct3.Eq(m.Lit(4, 3)), func() { // XOR
+			aluOut.Set(rv1.Xor(aluB))
+		})
+		m.When(funct3.Eq(m.Lit(5, 3)), func() { // SRL / SRA
+			m.When(subSra, func() {
+				aluOut.Set(rv1.AsSInt().Dshr(shamt).AsUInt())
+			}).Otherwise(func() {
+				aluOut.Set(rv1.Dshr(shamt))
+			})
+		})
+		m.When(funct3.Eq(m.Lit(6, 3)), func() { // OR
+			aluOut.Set(rv1.Or(aluB))
+		})
+		m.When(funct3.Eq(m.Lit(7, 3)), func() { // AND
+			aluOut.Set(rv1.And(aluB))
+		})
+	})
+
+	// M extension.
+	rv2Zero := m.Node("rv2Zero", rv2.Eq(m.Lit(0, 32)))
+	m.When(isMul, func() {
+		m.When(funct3.Eq(m.Lit(0, 3)), func() { // MUL
+			aluOut.Set(rv1.Mul(rv2).Bits(31, 0))
+		})
+		m.When(funct3.Eq(m.Lit(1, 3)).Or(funct3.Eq(m.Lit(2, 3))), func() { // MULH (and MULHSU alias)
+			aluOut.Set(rv1.AsSInt().Mul(rv2.AsSInt()).AsUInt().Bits(63, 32))
+		})
+		m.When(funct3.Eq(m.Lit(3, 3)), func() { // MULHU
+			aluOut.Set(rv1.Mul(rv2).Bits(63, 32))
+		})
+		m.When(funct3.Eq(m.Lit(4, 3)), func() { // DIV
+			m.When(rv2Zero, func() {
+				aluOut.Set(m.Lit(0xFFFFFFFF, 32))
+			}).Otherwise(func() {
+				aluOut.Set(rv1.AsSInt().Div(rv2.AsSInt()).AsUInt().Bits(31, 0))
+			})
+		})
+		m.When(funct3.Eq(m.Lit(5, 3)), func() { // DIVU
+			m.When(rv2Zero, func() {
+				aluOut.Set(m.Lit(0xFFFFFFFF, 32))
+			}).Otherwise(func() {
+				aluOut.Set(rv1.Div(rv2))
+			})
+		})
+		m.When(funct3.Eq(m.Lit(6, 3)), func() { // REM
+			m.When(rv2Zero, func() {
+				aluOut.Set(rv1)
+			}).Otherwise(func() {
+				aluOut.Set(rv1.AsSInt().Rem(rv2.AsSInt()).AsUInt())
+			})
+		})
+		m.When(funct3.Eq(m.Lit(7, 3)), func() { // REMU
+			m.When(rv2Zero, func() {
+				aluOut.Set(rv1)
+			}).Otherwise(func() {
+				aluOut.Set(rv1.Rem(rv2))
+			})
+		})
+	})
+
+	// Branch resolution.
+	brEq := m.Node("brEq", rv1.Eq(rv2))
+	brLt := m.Node("brLt", rv1.AsSInt().Lt(rv2.AsSInt()))
+	brLtu := m.Node("brLtu", rv1.Lt(rv2))
+	taken := m.Wire("taken", ir.UIntType(1))
+	taken.Set(m.Lit(0, 1))
+	m.When(isBranch, func() {
+		m.When(funct3.Eq(m.Lit(0, 3)), func() { taken.Set(brEq) })
+		m.When(funct3.Eq(m.Lit(1, 3)), func() { taken.Set(brEq.Not()) })
+		m.When(funct3.Eq(m.Lit(4, 3)), func() { taken.Set(brLt) })
+		m.When(funct3.Eq(m.Lit(5, 3)), func() { taken.Set(brLt.Not()) })
+		m.When(funct3.Eq(m.Lit(6, 3)), func() { taken.Set(brLtu) })
+		m.When(funct3.Eq(m.Lit(7, 3)), func() { taken.Set(brLtu.Not()) })
+	})
+
+	// Data memory access.
+	memImm := m.Node("memImm", immS.Mux(isStore, immI))
+	addr := m.Node("addr", rv1.AddMod(memImm))
+	wordAddr := m.Node("wordAddr", addr.Bits(31, 2))
+	byteOff := m.Node("byteOff", addr.Bits(1, 0))
+	shiftBits := m.Node("shiftBits", byteOff.Cat(m.Lit(0, 3))) // byteOff * 8
+	loadWord := m.Node("loadWord", dmem.Read(wordAddr))
+	loadShifted := m.Node("loadShifted", loadWord.Dshr(shiftBits))
+
+	loadVal := m.Wire("loadVal", u32)
+	loadVal.Set(loadWord)                   // LW default
+	m.When(funct3.Eq(m.Lit(0, 3)), func() { // LB
+		loadVal.Set(loadShifted.Bits(7, 0).SignExtend(32))
+	})
+	m.When(funct3.Eq(m.Lit(1, 3)), func() { // LH
+		loadVal.Set(loadShifted.Bits(15, 0).SignExtend(32))
+	})
+	m.When(funct3.Eq(m.Lit(4, 3)), func() { // LBU
+		loadVal.Set(loadShifted.Bits(7, 0).Pad(32))
+	})
+	m.When(funct3.Eq(m.Lit(5, 3)), func() { // LHU
+		loadVal.Set(loadShifted.Bits(15, 0).Pad(32))
+	})
+
+	// Store data: read-modify-write for sub-word stores.
+	storeData := m.Wire("storeData", u32)
+	storeData.Set(rv2) // SW default
+	byteMask := m.Node("byteMask", m.Lit(0xFF, 32).Dshl(shiftBits).Bits(31, 0))
+	byteData := m.Node("byteData", rv2.Bits(7, 0).Pad(32).Dshl(shiftBits).Bits(31, 0))
+	halfMask := m.Node("halfMask", m.Lit(0xFFFF, 32).Dshl(shiftBits).Bits(31, 0))
+	halfData := m.Node("halfData", rv2.Bits(15, 0).Pad(32).Dshl(shiftBits).Bits(31, 0))
+	m.When(funct3.Eq(m.Lit(0, 3)), func() { // SB
+		storeData.Set(loadWord.And(byteMask.Not()).Or(byteData))
+	})
+	m.When(funct3.Eq(m.Lit(1, 3)), func() { // SH
+		storeData.Set(loadWord.And(halfMask.Not()).Or(halfData))
+	})
+	dmem.Write(wordAddr, storeData, isStore.And(halted.Not()))
+
+	// Register write-back.
+	rdVal := m.Wire("rdVal", u32)
+	rdVal.Set(aluOut)
+	m.When(isLui, func() { rdVal.Set(immU) })
+	m.When(isAuipc, func() { rdVal.Set(pc.AddMod(immU)) })
+	m.When(isJal.Or(isJalr), func() { rdVal.Set(pc.AddMod(m.Lit(4, 32))) })
+	m.When(isLoad, func() { rdVal.Set(loadVal) })
+	m.When(isCsr, func() { rdVal.Set(csrVal) })
+
+	writesRd := m.Node("writesRd",
+		isOp.Or(isOpImm).Or(isLui).Or(isAuipc).Or(isJal).Or(isJalr).Or(isLoad).Or(isCsr))
+	wen := m.Node("wen", writesRd.And(rd.Neq(m.Lit(0, 5))).And(halted.Not()))
+	regs.Write(rd, rdVal, wen)
+
+	// Next PC.
+	nextPC := m.Wire("nextPC", u32)
+	nextPC.Set(pc.AddMod(m.Lit(4, 32)))
+	m.When(isJal, func() { nextPC.Set(pc.AddMod(immJ)) })
+	m.When(isJalr, func() {
+		nextPC.Set(rv1.AddMod(immI).And(m.Lit(0xFFFFFFFE, 32)))
+	})
+	m.When(isBranch.And(taken), func() { nextPC.Set(pc.AddMod(immB)) })
+
+	m.When(halted.Not(), func() {
+		pc.Set(nextPC)
+		retired.Set(retired.AddMod(m.Lit(1, 32)))
+		m.When(isEcall, func() {
+			halted.Set(m.Lit(1, 1))
+		})
+	})
+
+	haltedOut.Set(halted)
+	retiredOut.Set(retired)
+	pcOut.Set(pc)
+	return m
+}
+
+// BuildSoC generates the top level: nCores instances of the core (named
+// core0, core1, …) each with a distinct hartid — the paper's mt-*
+// workloads run on the two-core build, and the concurrent instances are
+// exactly the "threads" of Fig. 4 B.
+func BuildSoC(nCores int, coreName, topName string) (*ir.Circuit, error) {
+	c := generator.NewCircuit(topName)
+	coreMod := BuildCore(c, coreName)
+	top := c.NewModule(topName)
+	allHalted := top.Bool(true)
+	for i := 0; i < nCores; i++ {
+		inst := top.Instance("core"+itoa(i), coreMod)
+		inst.IO("hartid").Set(top.Lit(uint64(i), 32))
+		allHalted = allHalted.And(inst.IO("halted"))
+		out := top.Output("retired"+itoa(i), ir.UIntType(32))
+		out.Set(inst.IO("retired"))
+	}
+	haltedOut := top.Output("all_halted", ir.UIntType(1))
+	haltedOut.Set(allHalted)
+	return c.Build()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}

@@ -1,0 +1,779 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Workload is one Figure 5 benchmark: an assembly kernel plus a Go
+// reference model that predicts the checksum the kernel stores at its
+// `result` label before halting.
+type Workload struct {
+	Name string
+	// MT marks the dual-core workloads (mt-vvadd, mt-matmul).
+	MT bool
+	// Prog is the assembled kernel (shared by all cores; cores pick
+	// their slice of work via mhartid).
+	Prog *Program
+	// Expected returns the reference checksum for a given hart.
+	Expected func(hart int) uint32
+	// MaxCycles bounds the simulation.
+	MaxCycles int
+}
+
+// lcg is the deterministic data generator shared by kernels and
+// reference models.
+func lcg(seed uint32) func() uint32 {
+	state := seed
+	return func() uint32 {
+		state = state*1664525 + 1013904223
+		return state
+	}
+}
+
+func words(vals []uint32) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return ".word " + strings.Join(parts, ", ")
+}
+
+func genData(seed uint32, n int, mod uint32) []uint32 {
+	g := lcg(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = g() % mod
+	}
+	return out
+}
+
+const prologue = `
+    li sp, 0x20000
+`
+
+const epilogue = `
+    la t0, result
+    sw a0, 0(t0)
+    ecall
+`
+
+// --- vvadd -----------------------------------------------------------
+
+const vvaddN = 256
+
+func buildVVAdd() *Workload {
+	a := genData(1, vvaddN, 1000)
+	b := genData(2, vvaddN, 1000)
+	src := `
+.data
+va: ` + words(a) + `
+vb: ` + words(b) + `
+vc: .space ` + fmt.Sprintf("%d", vvaddN*4) + `
+result: .word 0
+.text
+` + prologue + `
+    la t0, va
+    la t1, vb
+    la t2, vc
+    li t3, ` + fmt.Sprintf("%d", vvaddN) + `
+    li t4, 0
+loop:
+    slli t5, t4, 2
+    add a4, t0, t5
+    lw a1, 0(a4)
+    add a4, t1, t5
+    lw a2, 0(a4)
+    add a3, a1, a2
+    add a4, t2, t5
+    sw a3, 0(a4)
+    addi t4, t4, 1
+    blt t4, t3, loop
+    li t4, 0
+    li a0, 0
+sum:
+    slli t5, t4, 2
+    add a4, t2, t5
+    lw a1, 0(a4)
+    add a0, a0, a1
+    addi t4, t4, 1
+    blt t4, t3, sum
+` + epilogue
+	expect := uint32(0)
+	for i := 0; i < vvaddN; i++ {
+		expect += a[i] + b[i]
+	}
+	return &Workload{
+		Name:      "vvadd",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// --- mt-vvadd: each hart sums its half -------------------------------
+
+func buildMTVVAdd() *Workload {
+	a := genData(3, vvaddN, 1000)
+	b := genData(4, vvaddN, 1000)
+	half := vvaddN / 2
+	src := `
+.data
+va: ` + words(a) + `
+vb: ` + words(b) + `
+vc: .space ` + fmt.Sprintf("%d", vvaddN*4) + `
+result: .word 0
+.text
+` + prologue + `
+    csrrs s1, 0xF14, x0      # hartid
+    li t3, ` + fmt.Sprintf("%d", half) + `
+    mul t4, s1, t3           # start = hart*half
+    add t3, t4, t3           # end = start+half
+    la t0, va
+    la t1, vb
+    la t2, vc
+loop:
+    slli t5, t4, 2
+    add a4, t0, t5
+    lw a1, 0(a4)
+    add a4, t1, t5
+    lw a2, 0(a4)
+    add a3, a1, a2
+    add a4, t2, t5
+    sw a3, 0(a4)
+    addi t4, t4, 1
+    blt t4, t3, loop
+    # checksum own half
+    li t4, ` + fmt.Sprintf("%d", half) + `
+    mul t4, s1, t4
+    li a0, 0
+    li t5, 0
+sum:
+    slli a4, t4, 2
+    add a4, t2, a4
+    lw a1, 0(a4)
+    add a0, a0, a1
+    addi t4, t4, 1
+    addi t5, t5, 1
+    li a4, ` + fmt.Sprintf("%d", half) + `
+    blt t5, a4, sum
+` + epilogue
+	expect := func(hart int) uint32 {
+		s := uint32(0)
+		for i := hart * half; i < (hart+1)*half; i++ {
+			s += a[i] + b[i]
+		}
+		return s
+	}
+	return &Workload{
+		Name:      "mt-vvadd",
+		MT:        true,
+		Prog:      MustAssemble(src),
+		Expected:  expect,
+		MaxCycles: 80000,
+	}
+}
+
+// --- multiply: software shift-add multiply vs hardware results -------
+
+const multiplyN = 96
+
+func buildMultiply() *Workload {
+	a := genData(5, multiplyN, 1<<12)
+	b := genData(6, multiplyN, 1<<12)
+	src := `
+.data
+ma: ` + words(a) + `
+mb: ` + words(b) + `
+result: .word 0
+.text
+` + prologue + `
+    la s0, ma
+    la s1, mb
+    li s2, ` + fmt.Sprintf("%d", multiplyN) + `
+    li s3, 0                 # i
+    li a0, 0                 # acc
+outer:
+    slli t5, s3, 2
+    add t6, s0, t5
+    lw a1, 0(t6)             # x
+    add t6, s1, t5
+    lw a2, 0(t6)             # y
+    li a3, 0                 # product
+    li t0, 32                # bit counter
+mulbit:
+    andi t1, a2, 1
+    beqz t1, skip
+    add a3, a3, a1
+skip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    addi t0, t0, -1
+    bnez a2, mulbit          # early out when multiplier exhausted
+    add a0, a0, a3
+    addi s3, s3, 1
+    blt s3, s2, outer
+` + epilogue
+	expect := uint32(0)
+	for i := 0; i < multiplyN; i++ {
+		expect += a[i] * b[i]
+	}
+	return &Workload{
+		Name:      "multiply",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// --- mm: dense matrix multiply ---------------------------------------
+
+const mmN = 10
+
+func buildMM() *Workload {
+	a := genData(7, mmN*mmN, 100)
+	b := genData(8, mmN*mmN, 100)
+	src := `
+.data
+mma: ` + words(a) + `
+mmb: ` + words(b) + `
+mmc: .space ` + fmt.Sprintf("%d", mmN*mmN*4) + `
+result: .word 0
+.text
+` + prologue + `
+    la s0, mma
+    la s1, mmb
+    la s2, mmc
+    li s3, ` + fmt.Sprintf("%d", mmN) + `
+    li t0, 0                 # i
+iloop:
+    li t1, 0                 # j
+jloop:
+    li t2, 0                 # k
+    li a3, 0                 # acc
+kloop:
+    mul t3, t0, s3
+    add t3, t3, t2           # i*N+k
+    slli t3, t3, 2
+    add t3, s0, t3
+    lw a1, 0(t3)
+    mul t3, t2, s3
+    add t3, t3, t1           # k*N+j
+    slli t3, t3, 2
+    add t3, s1, t3
+    lw a2, 0(t3)
+    mul a4, a1, a2
+    add a3, a3, a4
+    addi t2, t2, 1
+    blt t2, s3, kloop
+    mul t3, t0, s3
+    add t3, t3, t1
+    slli t3, t3, 2
+    add t3, s2, t3
+    sw a3, 0(t3)
+    addi t1, t1, 1
+    blt t1, s3, jloop
+    addi t0, t0, 1
+    blt t0, s3, iloop
+    # checksum C
+    li t0, 0
+    li a0, 0
+csum:
+    slli t3, t0, 2
+    add t3, s2, t3
+    lw a1, 0(t3)
+    add a0, a0, a1
+    addi t0, t0, 1
+    li t4, ` + fmt.Sprintf("%d", mmN*mmN) + `
+    blt t0, t4, csum
+` + epilogue
+	expect := uint32(0)
+	for i := 0; i < mmN; i++ {
+		for j := 0; j < mmN; j++ {
+			acc := uint32(0)
+			for k := 0; k < mmN; k++ {
+				acc += a[i*mmN+k] * b[k*mmN+j]
+			}
+			expect += acc
+		}
+	}
+	return &Workload{
+		Name:      "mm",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// --- mt-matmul: rows split across harts ------------------------------
+
+func buildMTMatmul() *Workload {
+	a := genData(9, mmN*mmN, 100)
+	b := genData(10, mmN*mmN, 100)
+	rows := mmN / 2
+	src := `
+.data
+mma: ` + words(a) + `
+mmb: ` + words(b) + `
+mmc: .space ` + fmt.Sprintf("%d", mmN*mmN*4) + `
+result: .word 0
+.text
+` + prologue + `
+    csrrs s5, 0xF14, x0      # hartid
+    li t0, ` + fmt.Sprintf("%d", rows) + `
+    mul s6, s5, t0           # start row
+    add s7, s6, t0           # end row
+    la s0, mma
+    la s1, mmb
+    la s2, mmc
+    li s3, ` + fmt.Sprintf("%d", mmN) + `
+    mv t0, s6
+iloop:
+    li t1, 0
+jloop:
+    li t2, 0
+    li a3, 0
+kloop:
+    mul t3, t0, s3
+    add t3, t3, t2
+    slli t3, t3, 2
+    add t3, s0, t3
+    lw a1, 0(t3)
+    mul t3, t2, s3
+    add t3, t3, t1
+    slli t3, t3, 2
+    add t3, s1, t3
+    lw a2, 0(t3)
+    mul a4, a1, a2
+    add a3, a3, a4
+    addi t2, t2, 1
+    blt t2, s3, kloop
+    mul t3, t0, s3
+    add t3, t3, t1
+    slli t3, t3, 2
+    add t3, s2, t3
+    sw a3, 0(t3)
+    addi t1, t1, 1
+    blt t1, s3, jloop
+    addi t0, t0, 1
+    blt t0, s7, iloop
+    # checksum own rows
+    mul t0, s6, s3
+    mul t4, s7, s3
+    li a0, 0
+csum:
+    slli t3, t0, 2
+    add t3, s2, t3
+    lw a1, 0(t3)
+    add a0, a0, a1
+    addi t0, t0, 1
+    blt t0, t4, csum
+` + epilogue
+	expect := func(hart int) uint32 {
+		s := uint32(0)
+		for i := hart * rows; i < (hart+1)*rows; i++ {
+			for j := 0; j < mmN; j++ {
+				acc := uint32(0)
+				for k := 0; k < mmN; k++ {
+					acc += a[i*mmN+k] * b[k*mmN+j]
+				}
+				s += acc
+			}
+		}
+		return s
+	}
+	return &Workload{
+		Name:      "mt-matmul",
+		MT:        true,
+		Prog:      MustAssemble(src),
+		Expected:  expect,
+		MaxCycles: 80000,
+	}
+}
+
+// --- qsort (sorting workload; selection sort kernel) ------------------
+
+const qsortN = 48
+
+func buildQsort() *Workload {
+	data := genData(11, qsortN, 10000)
+	src := `
+.data
+arr: ` + words(data) + `
+result: .word 0
+.text
+` + prologue + `
+    la s0, arr
+    li s1, ` + fmt.Sprintf("%d", qsortN) + `
+    li t0, 0                 # i
+oloop:
+    addi t4, s1, -1
+    bge t0, t4, sorted
+    mv t1, t0                # min index
+    addi t2, t0, 1           # j
+sloop:
+    slli t3, t2, 2
+    add t3, s0, t3
+    lw a1, 0(t3)
+    slli t3, t1, 2
+    add t3, s0, t3
+    lw a2, 0(t3)
+    bgeu a1, a2, noswapidx
+    mv t1, t2
+noswapidx:
+    addi t2, t2, 1
+    blt t2, s1, sloop
+    # swap arr[i], arr[min]
+    slli t3, t0, 2
+    add t3, s0, t3
+    lw a1, 0(t3)
+    slli t4, t1, 2
+    add t4, s0, t4
+    lw a2, 0(t4)
+    sw a2, 0(t3)
+    sw a1, 0(t4)
+    addi t0, t0, 1
+    j oloop
+sorted:
+    # checksum: sum of arr[i] * (i+1) proves ordering matters
+    li t0, 0
+    li a0, 0
+wsum:
+    slli t3, t0, 2
+    add t3, s0, t3
+    lw a1, 0(t3)
+    addi t4, t0, 1
+    mul a1, a1, t4
+    add a0, a0, a1
+    addi t0, t0, 1
+    blt t0, s1, wsum
+` + epilogue
+	sorted := append([]uint32(nil), data...)
+	for i := 0; i < len(sorted); i++ {
+		min := i
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[min] {
+				min = j
+			}
+		}
+		sorted[i], sorted[min] = sorted[min], sorted[i]
+	}
+	expect := uint32(0)
+	for i, v := range sorted {
+		expect += v * uint32(i+1)
+	}
+	return &Workload{
+		Name:      "qsort",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// --- dhrystone: synthetic integer mix --------------------------------
+
+const dhryIters = 300
+
+func buildDhrystone() *Workload {
+	src := `
+.data
+scratch: .space 32
+result: .word 0
+.text
+` + prologue + `
+    la s0, scratch
+    li s1, ` + fmt.Sprintf("%d", dhryIters) + `
+    li t0, 0                 # i
+    li a1, 12345             # x
+    li a0, 0                 # y
+dloop:
+    li t2, 13
+    mul a1, a1, t2
+    addi a1, a1, 7
+    li t2, 1000
+    remu a1, a1, t2
+    andi t3, t0, 7
+    slli t3, t3, 2
+    add t3, s0, t3
+    sw a1, 0(t3)
+    addi t4, t0, 3
+    andi t4, t4, 7
+    slli t4, t4, 2
+    add t4, s0, t4
+    lw a2, 0(t4)
+    xor a2, a2, a1
+    add a0, a0, a2
+    andi t5, t0, 1
+    beqz t5, even
+    sub a0, a0, t0
+    j postbr
+even:
+    add a0, a0, t0
+postbr:
+    addi t0, t0, 1
+    blt t0, s1, dloop
+` + epilogue
+	// Reference model.
+	expect := func(int) uint32 {
+		scratch := make([]uint32, 8)
+		x := uint32(12345)
+		y := uint32(0)
+		for i := uint32(0); i < dhryIters; i++ {
+			x = (x*13 + 7) % 1000
+			scratch[i&7] = x
+			v := scratch[(i+3)&7] ^ x
+			y += v
+			if i&1 == 1 {
+				y -= i
+			} else {
+				y += i
+			}
+		}
+		return y
+	}
+	return &Workload{
+		Name:      "dhrystone",
+		Prog:      MustAssemble(src),
+		Expected:  expect,
+		MaxCycles: 80000,
+	}
+}
+
+// --- median: 3-point median filter -----------------------------------
+
+const medianN = 256
+
+func buildMedian() *Workload {
+	data := genData(12, medianN, 256)
+	src := `
+.data
+min: ` + words(data) + `
+mout: .space ` + fmt.Sprintf("%d", medianN*4) + `
+result: .word 0
+.text
+` + prologue + `
+    la s0, min
+    la s1, mout
+    li s2, ` + fmt.Sprintf("%d", medianN-1) + `
+    li t0, 1                 # i
+mloop:
+    slli t3, t0, 2
+    add t4, s0, t3
+    lw a1, -4(t4)            # lo candidate
+    lw a2, 0(t4)
+    lw a3, 4(t4)
+    # median of a1,a2,a3 -> a4 (sort the three)
+    bleu a1, a2, m1
+    mv t5, a1
+    mv a1, a2
+    mv a2, t5
+m1:
+    bleu a2, a3, m2
+    mv t5, a2
+    mv a2, a3
+    mv a3, t5
+m2:
+    bleu a1, a2, m3
+    mv t5, a1
+    mv a1, a2
+    mv a2, t5
+m3:
+    add t4, s1, t3
+    sw a2, 0(t4)
+    addi t0, t0, 1
+    blt t0, s2, mloop
+    # checksum mout[1..N-2]
+    li t0, 1
+    li a0, 0
+msum:
+    slli t3, t0, 2
+    add t4, s1, t3
+    lw a1, 0(t4)
+    add a0, a0, a1
+    addi t0, t0, 1
+    blt t0, s2, msum
+` + epilogue
+	expect := uint32(0)
+	med3 := func(a, b, c uint32) uint32 {
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			b = a
+		}
+		return b
+	}
+	for i := 1; i < medianN-1; i++ {
+		expect += med3(data[i-1], data[i], data[i+1])
+	}
+	return &Workload{
+		Name:      "median",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// --- towers: recursive Towers of Hanoi -------------------------------
+
+const towersDisks = 9
+
+func buildTowers() *Workload {
+	// True double recursion: hanoi(n) = hanoi(n-1) + 1 + hanoi(n-1),
+	// exercising call/return and stack traffic 2^n times.
+	src := `
+.data
+result: .word 0
+.text
+` + prologue + `
+    li a0, ` + fmt.Sprintf("%d", towersDisks) + `
+    call hanoi
+` + epilogue + `
+hanoi:
+    addi sp, sp, -12
+    sw ra, 8(sp)
+    sw s0, 4(sp)
+    sw s1, 0(sp)
+    mv s0, a0
+    li t0, 2
+    blt a0, t0, base
+    addi a0, s0, -1
+    call hanoi
+    mv s1, a0
+    addi a0, s0, -1
+    call hanoi
+    add a0, a0, s1
+    addi a0, a0, 1
+    j hdone
+base:
+    li a0, 1
+hdone:
+    lw s1, 0(sp)
+    lw s0, 4(sp)
+    lw ra, 8(sp)
+    addi sp, sp, 12
+    ret
+`
+	expect := uint32(1<<towersDisks) - 1 // 2^n - 1 moves
+	return &Workload{
+		Name:      "towers",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// --- spmv: sparse matrix-vector multiply (CSR) ------------------------
+
+func buildSpmv() *Workload {
+	const n = 64
+	// Build a deterministic sparse matrix: ~5 nonzeros per row.
+	g := lcg(13)
+	var rowptr []uint32
+	var colidx, vals []uint32
+	rowptr = append(rowptr, 0)
+	for i := 0; i < n; i++ {
+		nnz := 4 + int(g()%3)
+		for k := 0; k < nnz; k++ {
+			colidx = append(colidx, g()%n)
+			vals = append(vals, g()%50)
+		}
+		rowptr = append(rowptr, uint32(len(colidx)))
+	}
+	x := genData(14, n, 100)
+	src := `
+.data
+rowptr: ` + words(rowptr) + `
+colidx: ` + words(colidx) + `
+vals: ` + words(vals) + `
+vx: ` + words(x) + `
+vy: .space ` + fmt.Sprintf("%d", n*4) + `
+result: .word 0
+.text
+` + prologue + `
+    la s0, rowptr
+    la s1, colidx
+    la s2, vals
+    la s3, vx
+    la s4, vy
+    li s5, ` + fmt.Sprintf("%d", n) + `
+    li t0, 0                 # row
+rloop:
+    slli t3, t0, 2
+    add t4, s0, t3
+    lw a1, 0(t4)             # start
+    lw a2, 4(t4)             # end
+    li a3, 0                 # acc
+eloop:
+    bge a1, a2, edone
+    slli t4, a1, 2
+    add t5, s1, t4
+    lw a4, 0(t5)             # col
+    add t5, s2, t4
+    lw a5, 0(t5)             # val
+    slli a4, a4, 2
+    add a4, s3, a4
+    lw a6, 0(a4)             # x[col]
+    mul a5, a5, a6
+    add a3, a3, a5
+    addi a1, a1, 1
+    j eloop
+edone:
+    add t4, s4, t3
+    sw a3, 0(t4)
+    addi t0, t0, 1
+    blt t0, s5, rloop
+    # checksum y
+    li t0, 0
+    li a0, 0
+ysum:
+    slli t3, t0, 2
+    add t4, s4, t3
+    lw a1, 0(t4)
+    add a0, a0, a1
+    addi t0, t0, 1
+    blt t0, s5, ysum
+` + epilogue
+	expect := uint32(0)
+	for i := 0; i < n; i++ {
+		acc := uint32(0)
+		for k := rowptr[i]; k < rowptr[i+1]; k++ {
+			acc += vals[k] * x[colidx[k]]
+		}
+		expect += acc
+	}
+	return &Workload{
+		Name:      "spmv",
+		Prog:      MustAssemble(src),
+		Expected:  func(int) uint32 { return expect },
+		MaxCycles: 80000,
+	}
+}
+
+// Workloads returns the ten Figure 5 benchmarks in the paper's order.
+func Workloads() []*Workload {
+	return []*Workload{
+		buildMultiply(),
+		buildMM(),
+		buildMTMatmul(),
+		buildVVAdd(),
+		buildQsort(),
+		buildDhrystone(),
+		buildMedian(),
+		buildTowers(),
+		buildSpmv(),
+		buildMTVVAdd(),
+	}
+}
+
+// ResultAddr returns the byte address of the workload's `result` word.
+func (w *Workload) ResultAddr() (uint32, error) {
+	addr, ok := w.Prog.Symbols["result"]
+	if !ok {
+		return 0, fmt.Errorf("riscv: workload %s has no result symbol", w.Name)
+	}
+	return addr, nil
+}

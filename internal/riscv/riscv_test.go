@@ -1,0 +1,296 @@
+package riscv
+
+import (
+	"testing"
+)
+
+func TestAssemblerBasicEncodings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint32
+	}{
+		{"add x1, x2, x3", 0x003100B3},
+		{"sub x1, x2, x3", 0x403100B3},
+		{"addi x1, x2, -1", 0xFFF10093},
+		{"lw a0, 4(sp)", 0x00412503},
+		{"sw a0, 8(sp)", 0x00A12423},
+		{"lui t0, 0x12345", 0x123452B7},
+		{"jalr x0, 0(ra)", 0x00008067},
+		{"ecall", 0x00000073},
+		{"mul a0, a1, a2", 0x02C58533},
+		{"divu a0, a1, a2", 0x02C5D533},
+		{"slli a0, a1, 3", 0x00359513},
+		{"srai a0, a1, 3", 0x4035D513},
+	}
+	for _, c := range cases {
+		p, err := Assemble(c.src)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", c.src, err)
+		}
+		if len(p.Text) != 1 || p.Text[0] != c.want {
+			t.Errorf("%q = %#08x, want %#08x", c.src, p.Text[0], c.want)
+		}
+	}
+}
+
+func TestAssemblerBranchesAndLabels(t *testing.T) {
+	src := `
+start:
+    addi x1, x0, 5
+loop:
+    addi x1, x1, -1
+    bnez x1, loop
+    j start
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 4 {
+		t.Fatalf("words = %d", len(p.Text))
+	}
+	if p.Symbols["start"] != 0 || p.Symbols["loop"] != 4 {
+		t.Fatalf("symbols = %v", p.Symbols)
+	}
+	// bnez at pc=8 targets loop (4): offset -4.
+	// beq encoding check: bne x1, x0, -4
+	if p.Text[2] != 0xFE009EE3 {
+		t.Fatalf("bnez = %#08x", p.Text[2])
+	}
+}
+
+func TestAssemblerPseudoExpansion(t *testing.T) {
+	p, err := Assemble("li a0, 0x12345678")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Text) != 2 {
+		t.Fatalf("li expands to %d words", len(p.Text))
+	}
+	// lui must compensate for the sign of the low part.
+	// 0x12345678: lo = 0x678, hi = 0x12345.
+	if p.Text[0] != 0x12345537 {
+		t.Fatalf("lui = %#08x", p.Text[0])
+	}
+	if p.Text[1] != 0x67850513 {
+		t.Fatalf("addi = %#08x", p.Text[1])
+	}
+	// li with a low part that sign-extends negative.
+	p2, err := Assemble("li a0, 0x12345FFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hi must round up to 0x12346, lo = -1.
+	if p2.Text[0] != 0x12346537 {
+		t.Fatalf("rounded lui = %#08x", p2.Text[0])
+	}
+}
+
+func TestAssemblerData(t *testing.T) {
+	src := `
+.data
+tbl: .word 1, 2, 3
+buf: .space 8
+end: .word 0xdeadbeef
+.text
+    la t0, tbl
+    la t1, end
+    ecall
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != 6 {
+		t.Fatalf("data words = %d", len(p.Data))
+	}
+	if p.Data[5] != 0xdeadbeef {
+		t.Fatalf("data = %#x", p.Data)
+	}
+	if p.Symbols["tbl"] != 0 || p.Symbols["buf"] != 12 || p.Symbols["end"] != 20 {
+		t.Fatalf("symbols = %v", p.Symbols)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate x1, x2",
+		"add x1, x2",         // wrong arity
+		"addi x1, x2, 99999", // imm out of range
+		"lw a0, nope",        // bad mem operand
+		"add q9, x1, x2",     // bad register
+		"beq x1, x2, faraway_undefined",
+		"dup: nop\ndup: nop", // duplicate label
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// runWorkload executes a workload on a fresh machine and validates the
+// checksum against the Go reference model.
+func runWorkload(t *testing.T, w *Workload, debug bool) *RunResult {
+	t.Helper()
+	nCores := 1
+	if w.MT {
+		nCores = 2
+	}
+	m, err := NewMachine(nCores, debug)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	res, err := m.RunProgram(w.Prog, w.MaxCycles)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Halted {
+		pc0, _ := m.PC(0)
+		t.Fatalf("%s did not halt in %d cycles (pc=%#x)", w.Name, w.MaxCycles, pc0)
+	}
+	addr, err := w.ResultAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < nCores; core++ {
+		got, err := m.ReadWord(core, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.Expected(core)
+		if got != want {
+			t.Errorf("%s core %d: result = %d, want %d", w.Name, core, got, want)
+		}
+	}
+	return res
+}
+
+func TestAllWorkloadsProduceCorrectResults(t *testing.T) {
+	for _, w := range Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := runWorkload(t, w, false)
+			if res.Retired[0] == 0 {
+				t.Fatal("no instructions retired")
+			}
+			// Single-cycle core: CPI is exactly 1 during execution, so
+			// cycles ≈ retired + reset/halt padding.
+			if res.Cycles < res.Retired[0] {
+				t.Fatalf("cycles %d < retired %d", res.Cycles, res.Retired[0])
+			}
+		})
+	}
+}
+
+func TestDebugBuildMatchesOptimized(t *testing.T) {
+	// The debug (unoptimized) build must produce identical results —
+	// the same guarantee -O0 gives software.
+	w := buildVVAdd()
+	opt := runWorkload(t, w, false)
+	dbg := runWorkload(t, w, true)
+	if opt.Retired[0] != dbg.Retired[0] {
+		t.Fatalf("retired differs: %d vs %d", opt.Retired[0], dbg.Retired[0])
+	}
+	if opt.Cycles != dbg.Cycles {
+		t.Fatalf("cycles differ: %d vs %d", opt.Cycles, dbg.Cycles)
+	}
+}
+
+func TestMTWorkloadsUseBothCores(t *testing.T) {
+	for _, w := range Workloads() {
+		if !w.MT {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := runWorkload(t, w, false)
+			if len(res.Retired) != 2 {
+				t.Fatalf("cores = %d", len(res.Retired))
+			}
+			if res.Retired[0] == 0 || res.Retired[1] == 0 {
+				t.Fatalf("idle core: retired = %v", res.Retired)
+			}
+		})
+	}
+}
+
+func TestISABasics(t *testing.T) {
+	// Direct ISA sanity: small programs with architectural checks.
+	cases := []struct {
+		name string
+		src  string
+		reg  uint32 // register to check (a0 = 10)
+		want uint32
+	}{
+		{"addi", "li a0, 41\naddi a0, a0, 1\necall", 10, 42},
+		{"sub", "li a0, 10\nli a1, 3\nsub a0, a0, a1\necall", 10, 7},
+		{"slt-true", "li a1, -5\nli a2, 3\nslt a0, a1, a2\necall", 10, 1},
+		{"sltu-false", "li a1, -5\nli a2, 3\nsltu a0, a1, a2\necall", 10, 0},
+		{"xor", "li a0, 0b1100\nxori a0, a0, 0b1010\necall", 10, 0b0110},
+		{"sll", "li a0, 1\nslli a0, a0, 31\nsrli a0, a0, 28\necall", 10, 8},
+		{"sra", "li a0, -16\nsrai a0, a0, 2\necall", 10, 0xFFFFFFFC},
+		{"mul", "li a1, 1000\nli a2, 1000\nmul a0, a1, a2\necall", 10, 1000000},
+		{"mulhu", "li a1, 0x10000\nli a2, 0x10000\nmulhu a0, a1, a2\necall", 10, 1},
+		{"div", "li a1, -100\nli a2, 7\ndiv a0, a1, a2\necall", 10, 0xFFFFFFF2}, // -14
+		{"div0", "li a1, 5\nli a2, 0\ndiv a0, a1, a2\necall", 10, 0xFFFFFFFF},
+		{"rem", "li a1, -100\nli a2, 7\nrem a0, a1, a2\necall", 10, 0xFFFFFFFE}, // -2
+		{"remu0", "li a1, 5\nli a2, 0\nremu a0, a1, a2\necall", 10, 5},
+		{"lui-auipc", "lui a0, 1\nsrli a0, a0, 12\necall", 10, 1},
+		{"jal-link", "jal ra, 8\nnop\nmv a0, ra\necall", 10, 4},
+		{"x0-immutable", "li x0, 99\nmv a0, x0\necall", 10, 0},
+		{"byte-store", "li sp, 0x10000\nli a1, 0x11223344\nsw a1, 0(sp)\nli a2, 0xAA\nsb a2, 1(sp)\nlw a0, 0(sp)\necall", 10, 0x1122AA44},
+		{"half-load", "li sp, 0x10000\nli a1, 0x8000FFFF\nsw a1, 0(sp)\nlh a0, 2(sp)\necall", 10, 0xFFFF8000},
+		{"lbu", "li sp, 0x10000\nli a1, 0xFF\nsw a1, 0(sp)\nlbu a0, 0(sp)\necall", 10, 0xFF},
+		{"lb-signext", "li sp, 0x10000\nli a1, 0x80\nsw a1, 0(sp)\nlb a0, 0(sp)\necall", 10, 0xFFFFFF80},
+		{"csr-hartid", "csrrs a0, 0xF14, x0\naddi a0, a0, 7\necall", 10, 7},
+		{"branch-taken", "li a0, 0\nli a1, 1\nbeq a1, a1, over\nli a0, 99\nover: addi a0, a0, 1\necall", 10, 1},
+	}
+	m, err := NewMachine(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			prog, err := Assemble(c.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			// Fresh state: reload zeroed memories by zero-filling regs.
+			for r := uint32(1); r < 32; r++ {
+				m.Sim.WriteMem(m.Cores[0]+".regs", uint64(r), 0)
+			}
+			for i := 0; i < IMemWords; i++ {
+				if i < len(prog.Text) {
+					m.Sim.WriteMem(m.Cores[0]+".imem", uint64(i), uint64(prog.Text[i]))
+				} else if i < 64 {
+					m.Sim.WriteMem(m.Cores[0]+".imem", uint64(i), 0)
+				} else {
+					break
+				}
+			}
+			for i, w := range prog.Data {
+				m.Sim.WriteMem(m.Cores[0]+".dmem", uint64(i), uint64(w))
+			}
+			if err := m.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Halted {
+				pc, _ := m.PC(0)
+				t.Fatalf("did not halt (pc=%#x)", pc)
+			}
+			got, err := m.ReadReg(0, c.reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Fatalf("reg = %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,203 @@
+package rtl
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/ir"
+)
+
+// Compiled is a pre-resolved expression: signal references are bound to
+// dense value-array indices so evaluation performs no name lookups.
+type Compiled interface {
+	Eval(st *EvalState) eval.Value
+}
+
+// EvalState is the mutable simulation state a compiled expression reads.
+type EvalState struct {
+	// Values is indexed by Signal.Index.
+	Values []eval.Value
+	// MemData maps memory names to their backing storage.
+	MemData map[string][]uint64
+	// MemWidth caches element widths for reads.
+	MemWidth map[string]int
+}
+
+type cRef struct {
+	idx int
+}
+
+func (c cRef) Eval(st *EvalState) eval.Value { return st.Values[c.idx] }
+
+type cConst struct {
+	v eval.Value
+}
+
+func (c cConst) Eval(*EvalState) eval.Value { return c.v }
+
+type cPrim struct {
+	op     ir.PrimOp
+	params []int
+	args   []Compiled
+	// buf is reused across evaluations; compiled expressions are only
+	// ever evaluated by the single simulation goroutine.
+	buf []eval.Value
+}
+
+func (c *cPrim) Eval(st *EvalState) eval.Value {
+	for i, a := range c.args {
+		c.buf[i] = a.Eval(st)
+	}
+	v, err := eval.Prim(c.op, c.params, c.buf)
+	if err != nil {
+		// Compilation type-checked the expression; a runtime failure
+		// here is a simulator bug worth crashing on.
+		panic(fmt.Sprintf("rtl: eval %s: %v", c.op, err))
+	}
+	return v
+}
+
+// cPrim2 specializes the dominant two-argument case to avoid the
+// argument slice allocation on the hot path.
+type cPrim2 struct {
+	op   ir.PrimOp
+	a, b Compiled
+}
+
+func (c cPrim2) Eval(st *EvalState) eval.Value {
+	var args [2]eval.Value
+	args[0] = c.a.Eval(st)
+	args[1] = c.b.Eval(st)
+	v, err := eval.Prim(c.op, nil, args[:])
+	if err != nil {
+		panic(fmt.Sprintf("rtl: eval %s: %v", c.op, err))
+	}
+	return v
+}
+
+type cMux struct {
+	cond, t, f Compiled
+}
+
+func (c cMux) Eval(st *EvalState) eval.Value {
+	// Both branches are evaluated (they are pure) so the result width
+	// matches the static max-width rule regardless of the selection.
+	return eval.Mux(c.cond.Eval(st), c.t.Eval(st), c.f.Eval(st))
+}
+
+type cMemRead struct {
+	mem  string
+	addr Compiled
+}
+
+func (c cMemRead) Eval(st *EvalState) eval.Value {
+	data := st.MemData[c.mem]
+	w := st.MemWidth[c.mem]
+	a := c.addr.Eval(st).Bits
+	if a >= uint64(len(data)) {
+		return eval.Make(0, w, false)
+	}
+	return eval.Make(data[a], w, false)
+}
+
+// exprCompiler binds names to signals within one instance scope.
+type exprCompiler struct {
+	nl     *Netlist
+	prefix string // instance path prefix ("Top.cpu0."), "" only for root
+}
+
+func (ec *exprCompiler) compile(e ir.Expr) (Compiled, error) {
+	switch x := e.(type) {
+	case ir.Ref:
+		sig, ok := ec.nl.byName[ec.prefix+x.Name]
+		if !ok {
+			return nil, fmt.Errorf("rtl: unresolved signal %q", ec.prefix+x.Name)
+		}
+		return cRef{idx: sig.Index}, nil
+	case ir.Const:
+		return cConst{v: eval.FromConst(x)}, nil
+	case ir.SubField:
+		// Instance port reference: inst.port.
+		ref, ok := x.E.(ir.Ref)
+		if !ok {
+			return nil, fmt.Errorf("rtl: unexpected subfield %s in Low form", e)
+		}
+		full := ec.prefix + ref.Name + "." + x.Name
+		sig, found := ec.nl.byName[full]
+		if !found {
+			return nil, fmt.Errorf("rtl: unresolved instance port %q", full)
+		}
+		return cRef{idx: sig.Index}, nil
+	case ir.Prim:
+		args := make([]Compiled, len(x.Args))
+		for i, a := range x.Args {
+			c, err := ec.compile(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		if len(args) == 2 && len(x.Params) == 0 {
+			return cPrim2{op: x.Op, a: args[0], b: args[1]}, nil
+		}
+		return &cPrim{op: x.Op, params: x.Params, args: args, buf: make([]eval.Value, len(args))}, nil
+	case ir.Mux:
+		cond, err := ec.compile(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		t, err := ec.compile(x.T)
+		if err != nil {
+			return nil, err
+		}
+		f, err := ec.compile(x.F)
+		if err != nil {
+			return nil, err
+		}
+		return cMux{cond: cond, t: t, f: f}, nil
+	case ir.MemRead:
+		addr, err := ec.compile(x.Addr)
+		if err != nil {
+			return nil, err
+		}
+		return cMemRead{mem: ec.prefix + x.Mem, addr: addr}, nil
+	}
+	return nil, fmt.Errorf("rtl: cannot compile %T (%s) — not Low form", e, e)
+}
+
+// collectRefs returns the full signal names an expression references
+// (used for topological sorting). Instance port references contribute
+// the dotted port net, not the bare instance name.
+func collectRefs(prefix string, e ir.Expr) []string {
+	var out []string
+	var visit func(ir.Expr)
+	visit = func(sub ir.Expr) {
+		switch x := sub.(type) {
+		case ir.Ref:
+			out = append(out, prefix+x.Name)
+		case ir.SubField:
+			if ref, ok := x.E.(ir.Ref); ok {
+				out = append(out, prefix+ref.Name+"."+x.Name)
+				return
+			}
+			visit(x.E)
+		case ir.SubIndex:
+			visit(x.E)
+		case ir.SubAccess:
+			visit(x.E)
+			visit(x.Index)
+		case ir.Prim:
+			for _, a := range x.Args {
+				visit(a)
+			}
+		case ir.Mux:
+			visit(x.Cond)
+			visit(x.T)
+			visit(x.F)
+		case ir.MemRead:
+			visit(x.Addr)
+		}
+	}
+	visit(e)
+	return out
+}

@@ -1,0 +1,262 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Elaborate flattens a Low-form circuit into a Netlist: instances are
+// inlined with dot-separated path prefixes, combinational assignments
+// are topologically sorted (combinational loops are reported as
+// errors), and all expressions are compiled against dense signal
+// indices.
+func Elaborate(c *ir.Circuit) (*Netlist, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nl := &Netlist{Top: c.Main, byName: map[string]*Signal{}}
+	el := &elaborator{c: c, nl: nl, typeEnvs: map[string]*ir.TypeEnv{}}
+
+	root := &InstanceNode{Name: c.Main, Module: c.Main, Path: c.Main}
+	nl.Hierarchy = root
+	if err := el.instantiate(c.Main+".", c.MainModule(), root, true); err != nil {
+		return nil, err
+	}
+	if err := el.finish(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+type pendingAssign struct {
+	dst    string // full signal name
+	expr   ir.Expr
+	prefix string // expression name scope
+	isReg  bool
+}
+
+type elaborator struct {
+	c        *ir.Circuit
+	nl       *Netlist
+	typeEnvs map[string]*ir.TypeEnv
+	assigns  []pendingAssign
+	memWr    []pendingMemWrite
+}
+
+type pendingMemWrite struct {
+	mem    string // full memory name
+	w      *ir.MemWrite
+	prefix string
+}
+
+func (el *elaborator) typeEnv(m *ir.Module) *ir.TypeEnv {
+	env, ok := el.typeEnvs[m.Name]
+	if !ok {
+		env = ir.NewTypeEnv(el.c, m)
+		el.typeEnvs[m.Name] = env
+	}
+	return env
+}
+
+func (el *elaborator) instantiate(prefix string, m *ir.Module, node *InstanceNode, isTop bool) error {
+	env := el.typeEnv(m)
+	// Ports first.
+	for _, p := range m.Ports {
+		g, ok := p.Tpe.(ir.Ground)
+		if !ok {
+			return fmt.Errorf("rtl: aggregate port %s.%s reached elaboration", m.Name, p.Name)
+		}
+		kind := KindNode
+		if isTop && p.Dir == ir.Input {
+			kind = KindInput
+		}
+		sig := el.nl.addSignal(prefix+p.Name, g.Width, g.Signed(), kind)
+		node.Signals = append(node.Signals, p.Name)
+		if isTop {
+			if p.Dir == ir.Input {
+				el.nl.Inputs = append(el.nl.Inputs, sig)
+			} else {
+				el.nl.Outputs = append(el.nl.Outputs, sig)
+			}
+		}
+	}
+	regNames := map[string]bool{}
+	for _, s := range m.Body {
+		switch d := s.(type) {
+		case *ir.DefNode:
+			t, err := env.TypeOf(d.Value)
+			if err != nil {
+				return fmt.Errorf("rtl: %s: node %s cannot be typed (combinational loop or undeclared reference): %w", m.Name, d.Name, err)
+			}
+			g := ir.GroundOf(t)
+			el.nl.addSignal(prefix+d.Name, g.Width, g.Signed(), KindNode)
+			node.Signals = append(node.Signals, d.Name)
+			el.assigns = append(el.assigns, pendingAssign{dst: prefix + d.Name, expr: d.Value, prefix: prefix})
+		case *ir.DefReg:
+			g := ir.GroundOf(d.Tpe)
+			el.nl.addSignal(prefix+d.Name, g.Width, g.Signed(), KindReg)
+			node.Signals = append(node.Signals, d.Name)
+			regNames[d.Name] = true
+		case *ir.DefMem:
+			el.nl.Mems = append(el.nl.Mems, &MemSpec{
+				Name:  prefix + d.Name,
+				Width: d.Tpe.Width,
+				Depth: d.Depth,
+			})
+		case *ir.MemWrite:
+			el.memWr = append(el.memWr, pendingMemWrite{mem: prefix + d.Mem, w: d, prefix: prefix})
+		case *ir.DefInstance:
+			child := el.c.Module(d.Module)
+			childNode := &InstanceNode{Name: d.Name, Module: d.Module, Path: prefix + d.Name}
+			node.Children = append(node.Children, childNode)
+			if err := el.instantiate(prefix+d.Name+".", child, childNode, false); err != nil {
+				return err
+			}
+		case *ir.Connect:
+			switch loc := d.Loc.(type) {
+			case ir.Ref:
+				el.assigns = append(el.assigns, pendingAssign{
+					dst:    prefix + loc.Name,
+					expr:   d.Value,
+					prefix: prefix,
+					isReg:  regNames[loc.Name],
+				})
+			case ir.SubField:
+				ref, ok := loc.E.(ir.Ref)
+				if !ok {
+					return fmt.Errorf("rtl: unsupported connect target %s", d.Loc)
+				}
+				el.assigns = append(el.assigns, pendingAssign{
+					dst:    prefix + ref.Name + "." + loc.Name,
+					expr:   d.Value,
+					prefix: prefix,
+				})
+			default:
+				return fmt.Errorf("rtl: unsupported connect target %s", d.Loc)
+			}
+		default:
+			return fmt.Errorf("rtl: unexpected statement %T in Low form module %s", s, m.Name)
+		}
+	}
+	return nil
+}
+
+// finish topologically sorts the combinational assignments, compiles
+// all expressions, and wires memory write ports.
+func (el *elaborator) finish() error {
+	// Split reg-next assigns from combinational assigns.
+	combByDst := map[string]*pendingAssign{}
+	var combOrder []string
+	for i := range el.assigns {
+		pa := &el.assigns[i]
+		if pa.isReg {
+			continue
+		}
+		if prev, dup := combByDst[pa.dst]; dup {
+			return fmt.Errorf("rtl: signal %q assigned twice (%s and %s)", pa.dst, prev.expr, pa.expr)
+		}
+		combByDst[pa.dst] = pa
+		combOrder = append(combOrder, pa.dst)
+	}
+
+	// Topological sort with cycle detection (white/grey/black DFS).
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var sorted []string
+	var visit func(name string, stack []string) error
+	visit = func(name string, stack []string) error {
+		switch color[name] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("rtl: combinational loop through %q (path: %v)", name, stack)
+		}
+		color[name] = grey
+		pa, isComb := combByDst[name]
+		if isComb {
+			for _, dep := range collectRefs(pa.prefix, pa.expr) {
+				if _, combDep := combByDst[dep]; combDep {
+					if err := visit(dep, append(stack, name)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		color[name] = black
+		if isComb {
+			sorted = append(sorted, name)
+		}
+		return nil
+	}
+	for _, dst := range combOrder {
+		if err := visit(dst, nil); err != nil {
+			return err
+		}
+	}
+
+	for _, dst := range sorted {
+		pa := combByDst[dst]
+		sig, ok := el.nl.byName[dst]
+		if !ok {
+			return fmt.Errorf("rtl: assignment to unknown signal %q", dst)
+		}
+		ec := &exprCompiler{nl: el.nl, prefix: pa.prefix}
+		compiled, err := ec.compile(pa.expr)
+		if err != nil {
+			return err
+		}
+		el.nl.Assigns = append(el.nl.Assigns, Assign{Dst: sig, Expr: compiled})
+	}
+
+	// Register next-values.
+	for i := range el.assigns {
+		pa := &el.assigns[i]
+		if !pa.isReg {
+			continue
+		}
+		sig, ok := el.nl.byName[pa.dst]
+		if !ok {
+			return fmt.Errorf("rtl: next-value for unknown register %q", pa.dst)
+		}
+		ec := &exprCompiler{nl: el.nl, prefix: pa.prefix}
+		compiled, err := ec.compile(pa.expr)
+		if err != nil {
+			return err
+		}
+		el.nl.Regs = append(el.nl.Regs, RegSpec{Sig: sig, Next: compiled})
+	}
+	sort.Slice(el.nl.Regs, func(i, j int) bool { return el.nl.Regs[i].Sig.Name < el.nl.Regs[j].Sig.Name })
+
+	// Memory write ports.
+	memByName := map[string]*MemSpec{}
+	for _, mem := range el.nl.Mems {
+		memByName[mem.Name] = mem
+	}
+	for _, pw := range el.memWr {
+		mem, ok := memByName[pw.mem]
+		if !ok {
+			return fmt.Errorf("rtl: write to unknown memory %q", pw.mem)
+		}
+		ec := &exprCompiler{nl: el.nl, prefix: pw.prefix}
+		addr, err := ec.compile(pw.w.Addr)
+		if err != nil {
+			return err
+		}
+		data, err := ec.compile(pw.w.Data)
+		if err != nil {
+			return err
+		}
+		en, err := ec.compile(pw.w.En)
+		if err != nil {
+			return err
+		}
+		mem.Writes = append(mem.Writes, MemWritePort{Addr: addr, Data: data, En: en})
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package rtl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// EmitVerilog renders a Low-form circuit as Verilog-2001-style text.
+// It exists to demonstrate the paper's Listing 3/Listing 4 gap: the
+// generated RTL (with its _T_n and _GEN_n temporaries) no longer
+// conveys the generator source's intent, which is exactly why hgdb maps
+// simulation state back to source-level variables instead of making
+// users read this output.
+func EmitVerilog(w io.Writer, c *ir.Circuit) error {
+	for i, m := range c.Modules {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := emitModule(w, c, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerilogString renders the whole circuit to a string.
+func VerilogString(c *ir.Circuit) (string, error) {
+	var sb strings.Builder
+	if err := EmitVerilog(&sb, c); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func vrange(width int) string {
+	if width <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("[%d:0] ", width-1)
+}
+
+// sanitize makes a Low-form name a legal Verilog identifier (instance
+// port nets use dots internally).
+func sanitize(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}
+
+func emitModule(w io.Writer, c *ir.Circuit, m *ir.Module) error {
+	env := ir.NewTypeEnv(c, m)
+	var portNames []string
+	for _, p := range m.Ports {
+		portNames = append(portNames, p.Name)
+	}
+	fmt.Fprintf(w, "module %s(\n", m.Name)
+	for i, p := range m.Ports {
+		comma := ","
+		if i == len(m.Ports)-1 {
+			comma = ""
+		}
+		g := ir.GroundOf(p.Tpe)
+		fmt.Fprintf(w, "  %s %s%s%s\n", p.Dir, vrange(g.Width), p.Name, comma)
+	}
+	fmt.Fprintf(w, ");\n")
+
+	regNames := map[string]bool{}
+	var regNext []*ir.Connect
+	for _, s := range m.Body {
+		switch d := s.(type) {
+		case *ir.DefReg:
+			g := ir.GroundOf(d.Tpe)
+			fmt.Fprintf(w, "  reg %s%s;\n", vrange(g.Width), d.Name)
+			regNames[d.Name] = true
+		case *ir.DefMem:
+			fmt.Fprintf(w, "  reg %s%s [0:%d];\n", vrange(d.Tpe.Width), d.Name, d.Depth-1)
+		}
+	}
+	for _, s := range m.Body {
+		switch d := s.(type) {
+		case *ir.DefNode:
+			width, err := env.WidthOf(ir.Ref{Name: d.Name})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "  wire %s%s = %s;\n", vrange(width), sanitize(d.Name), vexpr(d.Value))
+		case *ir.DefInstance:
+			child := c.Module(d.Module)
+			fmt.Fprintf(w, "  %s %s(", d.Module, d.Name)
+			var conns []string
+			for _, p := range child.Ports {
+				conns = append(conns, fmt.Sprintf(".%s(%s)", p.Name, sanitize(d.Name+"."+p.Name)))
+			}
+			fmt.Fprintf(w, "%s);\n", strings.Join(conns, ", "))
+			// Declare the port nets.
+			for _, p := range child.Ports {
+				g := ir.GroundOf(p.Tpe)
+				fmt.Fprintf(w, "  wire %s%s;\n", vrange(g.Width), sanitize(d.Name+"."+p.Name))
+			}
+		case *ir.Connect:
+			switch loc := d.Loc.(type) {
+			case ir.Ref:
+				if regNames[loc.Name] {
+					regNext = append(regNext, d)
+					continue
+				}
+				fmt.Fprintf(w, "  assign %s = %s;\n", loc.Name, vexpr(d.Value))
+			case ir.SubField:
+				ref := loc.E.(ir.Ref)
+				fmt.Fprintf(w, "  assign %s = %s;\n", sanitize(ref.Name+"."+loc.Name), vexpr(d.Value))
+			}
+		}
+	}
+	if len(regNext) > 0 || hasMemWrite(m) {
+		fmt.Fprintf(w, "  always @(posedge clock) begin\n")
+		for _, d := range regNext {
+			fmt.Fprintf(w, "    %s <= %s;\n", d.Loc.(ir.Ref).Name, vexpr(d.Value))
+		}
+		for _, s := range m.Body {
+			if mw, ok := s.(*ir.MemWrite); ok {
+				fmt.Fprintf(w, "    if (%s) %s[%s] <= %s;\n", vexpr(mw.En), mw.Mem, vexpr(mw.Addr), vexpr(mw.Data))
+			}
+		}
+		fmt.Fprintf(w, "  end\n")
+	}
+	fmt.Fprintf(w, "endmodule // %s\n", m.Name)
+	_ = portNames
+	return nil
+}
+
+func hasMemWrite(m *ir.Module) bool {
+	for _, s := range m.Body {
+		if _, ok := s.(*ir.MemWrite); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// vexpr renders a Low-form expression as Verilog.
+func vexpr(e ir.Expr) string {
+	switch x := e.(type) {
+	case ir.Ref:
+		return sanitize(x.Name)
+	case ir.Const:
+		if x.Signed {
+			return fmt.Sprintf("%d'sh%x", x.Width, x.Value)
+		}
+		return fmt.Sprintf("%d'h%x", x.Width, x.Value)
+	case ir.SubField:
+		if ref, ok := x.E.(ir.Ref); ok {
+			return sanitize(ref.Name + "." + x.Name)
+		}
+		return sanitize(x.String())
+	case ir.Mux:
+		return fmt.Sprintf("(%s ? %s : %s)", vexpr(x.Cond), vexpr(x.T), vexpr(x.F))
+	case ir.MemRead:
+		return fmt.Sprintf("%s[%s]", x.Mem, vexpr(x.Addr))
+	case ir.Prim:
+		return vprim(x)
+	}
+	return e.String()
+}
+
+func vprim(p ir.Prim) string {
+	if sym, ok := infixVerilog[p.Op]; ok && len(p.Args) == 2 {
+		return fmt.Sprintf("(%s %s %s)", vexpr(p.Args[0]), sym, vexpr(p.Args[1]))
+	}
+	switch p.Op {
+	case ir.OpNot:
+		return "(~" + vexpr(p.Args[0]) + ")"
+	case ir.OpNeg:
+		return "(-" + vexpr(p.Args[0]) + ")"
+	case ir.OpAndR:
+		return "(&" + vexpr(p.Args[0]) + ")"
+	case ir.OpOrR:
+		return "(|" + vexpr(p.Args[0]) + ")"
+	case ir.OpXorR:
+		return "(^" + vexpr(p.Args[0]) + ")"
+	case ir.OpShl:
+		return fmt.Sprintf("(%s << %d)", vexpr(p.Args[0]), p.Params[0])
+	case ir.OpShr:
+		return fmt.Sprintf("(%s >> %d)", vexpr(p.Args[0]), p.Params[0])
+	case ir.OpBits:
+		if p.Params[0] == p.Params[1] {
+			return fmt.Sprintf("%s[%d]", vexpr(p.Args[0]), p.Params[0])
+		}
+		return fmt.Sprintf("%s[%d:%d]", vexpr(p.Args[0]), p.Params[0], p.Params[1])
+	case ir.OpCat:
+		return fmt.Sprintf("{%s, %s}", vexpr(p.Args[0]), vexpr(p.Args[1]))
+	case ir.OpPad:
+		return vexpr(p.Args[0]) // widths are implicit in Verilog context
+	case ir.OpAsUInt, ir.OpAsSInt:
+		return fmt.Sprintf("$%s(%s)", map[ir.PrimOp]string{ir.OpAsUInt: "unsigned", ir.OpAsSInt: "signed"}[p.Op], vexpr(p.Args[0]))
+	case ir.OpHead:
+		return fmt.Sprintf("%s[+:%d]", vexpr(p.Args[0]), p.Params[0])
+	case ir.OpTail:
+		return fmt.Sprintf("%s[%d:0]", vexpr(p.Args[0]), p.Params[0])
+	}
+	return p.String()
+}
+
+var infixVerilog = map[ir.PrimOp]string{
+	ir.OpAdd: "+", ir.OpSub: "-", ir.OpMul: "*", ir.OpDiv: "/", ir.OpRem: "%",
+	ir.OpLt: "<", ir.OpLeq: "<=", ir.OpGt: ">", ir.OpGeq: ">=",
+	ir.OpEq: "==", ir.OpNeq: "!=",
+	ir.OpAnd: "&", ir.OpOr: "|", ir.OpXor: "^",
+	ir.OpDshl: "<<", ir.OpDshr: ">>",
+}

@@ -1,0 +1,327 @@
+// Package server exposes an hgdb runtime over the WebSocket debugging
+// protocol: it owns the bridge between the simulation thread (where the
+// runtime's handler blocks on a stop) and the connected debugger
+// client, matching the architecture of Figure 1 — the runtime sits
+// inside the simulator; debugger tools attach over RPC.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/ws"
+)
+
+// Server bridges one hgdb runtime to debugger clients.
+type Server struct {
+	rt *core.Runtime
+
+	mu      sync.Mutex
+	client  *ws.Conn
+	pending chan core.Command // non-nil while stopped at a breakpoint
+	ln      net.Listener
+	httpSrv *http.Server
+	log     *log.Logger
+}
+
+// New wires a server to a runtime. The runtime's handler is replaced:
+// stops are forwarded to the connected client and the simulation blocks
+// until the client answers with a command. With no client connected,
+// stops auto-continue.
+func New(rt *core.Runtime, logger *log.Logger) *Server {
+	s := &Server{rt: rt, log: logger}
+	rt.SetHandler(s.onStop)
+	return s
+}
+
+// Runtime returns the wrapped runtime.
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// onStop runs on the simulation goroutine.
+func (s *Server) onStop(ev *core.StopEvent) core.Command {
+	s.mu.Lock()
+	client := s.client
+	if client == nil {
+		s.mu.Unlock()
+		return core.CmdContinue
+	}
+	resume := make(chan core.Command, 1)
+	s.pending = resume
+	s.mu.Unlock()
+
+	msg, err := json.Marshal(proto.Event{Type: "stop", Stop: ev})
+	if err == nil {
+		err = client.WriteText(msg)
+	}
+	if err != nil {
+		s.logf("server: dropping client: %v", err)
+		s.dropClient()
+		return core.CmdContinue
+	}
+	cmd := <-resume
+	s.mu.Lock()
+	s.pending = nil
+	s.mu.Unlock()
+	return cmd
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+func (s *Server) dropClient() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.client != nil {
+		s.client.Close()
+		s.client = nil
+	}
+	if s.pending != nil {
+		s.pending <- core.CmdContinue
+		s.pending = nil
+	}
+}
+
+// Listen starts serving the debugging protocol on addr
+// (host:port). It returns the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleWS)
+	s.httpSrv = &http.Server{Handler: mux}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.dropClient()
+	if s.httpSrv != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if s.client != nil {
+		s.mu.Unlock()
+		msg, _ := json.Marshal(proto.Error("", "another debugger is already attached"))
+		conn.WriteText(msg)
+		conn.Close()
+		return
+	}
+	s.client = conn
+	s.mu.Unlock()
+
+	welcome, _ := json.Marshal(proto.Event{
+		Type:  "welcome",
+		Top:   s.rt.Table().Top(),
+		Mode:  s.rt.Table().Mode(),
+		Files: len(s.rt.Table().Files()),
+	})
+	conn.WriteText(welcome)
+
+	for {
+		raw, err := conn.ReadText()
+		if err != nil {
+			s.logf("server: client gone: %v", err)
+			s.dropClient()
+			return
+		}
+		var req proto.Request
+		if err := json.Unmarshal(raw, &req); err != nil {
+			s.reply(conn, proto.Error("", "bad request: %v", err))
+			continue
+		}
+		s.reply(conn, s.dispatch(&req))
+	}
+}
+
+func (s *Server) reply(conn *ws.Conn, resp *proto.Response) {
+	msg, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	conn.WriteText(msg)
+}
+
+// dispatch executes one request. It runs on the connection goroutine —
+// never on the simulation goroutine — so value queries work while the
+// simulator is paused at a stop.
+func (s *Server) dispatch(req *proto.Request) *proto.Response {
+	switch req.Type {
+	case "breakpoint":
+		return s.handleBreakpoint(req)
+	case "command":
+		return s.handleCommand(req)
+	case "evaluate":
+		v, err := s.rt.Evaluate(req.Instance, req.Expression)
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, err := proto.OK(req.Token, proto.ValueInfo{Value: v.Bits, Width: v.Width})
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		return resp
+	case "get-value":
+		v, err := s.rt.Backend().GetValue(req.Path)
+		if err != nil {
+			// Try symtab-relative paths too.
+			v, err = s.rt.Backend().GetValue(s.rt.Remap().ToSim(req.Path))
+		}
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, _ := proto.OK(req.Token, proto.ValueInfo{Value: v.Bits, Width: v.Width})
+		return resp
+	case "set-value":
+		err := s.rt.Backend().SetValue(req.Path, req.Value)
+		if err != nil {
+			err = s.rt.Backend().SetValue(s.rt.Remap().ToSim(req.Path), req.Value)
+		}
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, _ := proto.OK(req.Token, nil)
+		return resp
+	case "info":
+		return s.handleInfo(req)
+	case "watch":
+		return s.handleWatch(req)
+	}
+	return proto.Error(req.Token, "unknown request type %q", req.Type)
+}
+
+func (s *Server) handleWatch(req *proto.Request) *proto.Response {
+	switch req.Action {
+	case "add":
+		id, err := s.rt.AddWatch(req.Instance, req.Expression)
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, _ := proto.OK(req.Token, map[string]any{"id": id})
+		return resp
+	case "remove":
+		if !s.rt.RemoveWatch(req.WatchID) {
+			return proto.Error(req.Token, "no watchpoint %d", req.WatchID)
+		}
+		resp, _ := proto.OK(req.Token, nil)
+		return resp
+	case "list":
+		type wire struct {
+			ID       int    `json:"id"`
+			Instance string `json:"instance"`
+			Expr     string `json:"expr"`
+		}
+		var out []wire
+		for _, w := range s.rt.Watches() {
+			out = append(out, wire{ID: w.ID, Instance: w.Instance, Expr: w.Expr})
+		}
+		resp, _ := proto.OK(req.Token, out)
+		return resp
+	}
+	return proto.Error(req.Token, "unknown watch action %q", req.Action)
+}
+
+func (s *Server) handleBreakpoint(req *proto.Request) *proto.Response {
+	switch req.Action {
+	case "add":
+		ids, err := s.rt.AddBreakpoint(req.Filename, req.Line, req.Condition)
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, _ := proto.OK(req.Token, map[string]any{"ids": ids})
+		return resp
+	case "remove":
+		n := s.rt.RemoveBreakpoint(req.Filename, req.Line)
+		resp, _ := proto.OK(req.Token, map[string]any{"removed": n})
+		return resp
+	case "clear":
+		s.rt.ClearBreakpoints()
+		resp, _ := proto.OK(req.Token, nil)
+		return resp
+	case "list":
+		var infos []proto.BreakpointInfo
+		for _, bp := range s.rt.ListBreakpoints() {
+			infos = append(infos, proto.BreakpointInfo{
+				ID: bp.ID, Filename: bp.Filename, Line: bp.Line,
+				Instance: bp.InstanceName, Enable: bp.Enable, EnableSrc: bp.EnableSrc,
+			})
+		}
+		resp, _ := proto.OK(req.Token, infos)
+		return resp
+	}
+	return proto.Error(req.Token, "unknown breakpoint action %q", req.Action)
+}
+
+func (s *Server) handleCommand(req *proto.Request) *proto.Response {
+	if req.Command == "pause" {
+		s.rt.InterruptNext()
+		resp, _ := proto.OK(req.Token, nil)
+		return resp
+	}
+	cmd, err := proto.ParseCommand(req.Command)
+	if err != nil {
+		return proto.Error(req.Token, "%v", err)
+	}
+	s.mu.Lock()
+	pending := s.pending
+	s.mu.Unlock()
+	if pending == nil {
+		return proto.Error(req.Token, "not stopped at a breakpoint")
+	}
+	pending <- cmd
+	resp, _ := proto.OK(req.Token, nil)
+	return resp
+}
+
+func (s *Server) handleInfo(req *proto.Request) *proto.Response {
+	switch req.Topic {
+	case "files":
+		resp, _ := proto.OK(req.Token, s.rt.Table().Files())
+		return resp
+	case "lines":
+		resp, _ := proto.OK(req.Token, s.rt.Table().Lines(req.Filename))
+		return resp
+	case "instances":
+		resp, _ := proto.OK(req.Token, s.rt.Table().Instances())
+		return resp
+	case "status":
+		evals, stops := s.rt.Stats()
+		resp, _ := proto.OK(req.Token, map[string]any{
+			"time":  s.rt.Backend().Time(),
+			"evals": evals,
+			"stops": stops,
+			"mode":  s.rt.Table().Mode(),
+		})
+		return resp
+	}
+	return proto.Error(req.Token, "unknown info topic %q", req.Topic)
+}
+
+// String describes the server.
+func (s *Server) String() string {
+	if s.ln == nil {
+		return "hgdb server (not listening)"
+	}
+	return fmt.Sprintf("hgdb server on %s", s.ln.Addr())
+}

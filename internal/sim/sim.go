@@ -1,0 +1,272 @@
+// Package sim is a cycle-accurate RTL simulator for elaborated
+// netlists. It implements the two properties the paper's breakpoint
+// emulation relies on (§3): designs are synchronous (state advances only
+// at the positive clock edge) and logic is zero-delay (all combinational
+// values are stable when the edge callback fires). Callbacks registered
+// on the clock edge observe the settled pre-edge state — the same
+// contract hgdb gets from commercial simulators through VPI.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/rtl"
+)
+
+// memCommit is one pending synchronous memory write.
+type memCommit struct {
+	mem  string
+	addr uint64
+	data uint64
+}
+
+// EdgeCallback is invoked once per positive clock edge after
+// combinational logic settles and before registers commit. The paper's
+// hgdb runtime does all breakpoint work inside this callback.
+type EdgeCallback func(time uint64)
+
+// Simulator advances an elaborated netlist cycle by cycle.
+type Simulator struct {
+	nl    *rtl.Netlist
+	state *rtl.EvalState
+	mems  map[string]*rtl.MemSpec
+	time  uint64
+	// pending register values are computed before commit so registers
+	// update atomically.
+	regNext []eval.Value
+	// memCommits is reused across Steps to avoid per-cycle allocation.
+	memCommits []memCommit
+	// callbacks fire at every posedge; removal is by id.
+	callbacks map[int]EdgeCallback
+	cbOrder   []int
+	nextCB    int
+	// changeHooks observe committed value changes (used by VCD dumping).
+	changeHooks []func(sig *rtl.Signal, v eval.Value)
+	prev        []eval.Value
+	trackChange bool
+}
+
+// New builds a simulator. All signals start at zero and memories are
+// zero-filled.
+func New(nl *rtl.Netlist) *Simulator {
+	st := &rtl.EvalState{
+		Values:   make([]eval.Value, len(nl.Signals)),
+		MemData:  map[string][]uint64{},
+		MemWidth: map[string]int{},
+	}
+	for _, sig := range nl.Signals {
+		st.Values[sig.Index] = eval.Make(0, sig.Width, sig.Signed)
+	}
+	mems := map[string]*rtl.MemSpec{}
+	for _, m := range nl.Mems {
+		st.MemData[m.Name] = make([]uint64, m.Depth)
+		st.MemWidth[m.Name] = m.Width
+		mems[m.Name] = m
+	}
+	return &Simulator{
+		nl:        nl,
+		state:     st,
+		mems:      mems,
+		regNext:   make([]eval.Value, len(nl.Regs)),
+		callbacks: map[int]EdgeCallback{},
+	}
+}
+
+// Netlist returns the design under simulation.
+func (s *Simulator) Netlist() *rtl.Netlist { return s.nl }
+
+// Time returns the current simulation time in cycles.
+func (s *Simulator) Time() uint64 { return s.time }
+
+// Peek returns the current value of a signal by full hierarchical name.
+func (s *Simulator) Peek(name string) (eval.Value, error) {
+	sig, ok := s.nl.Signal(name)
+	if !ok {
+		return eval.Value{}, fmt.Errorf("sim: unknown signal %q", name)
+	}
+	return s.state.Values[sig.Index], nil
+}
+
+// Poke sets a top-level input (or forces any signal, which the next
+// settle may overwrite for combinational nodes).
+func (s *Simulator) Poke(name string, v uint64) error {
+	sig, ok := s.nl.Signal(name)
+	if !ok {
+		return fmt.Errorf("sim: unknown signal %q", name)
+	}
+	s.state.Values[sig.Index] = eval.Make(v, sig.Width, sig.Signed)
+	return nil
+}
+
+// PokeReg deposits a value directly into a register, bypassing the
+// next-value logic for the current cycle (the debugger's set-value
+// primitive).
+func (s *Simulator) PokeReg(name string, v uint64) error {
+	sig, ok := s.nl.Signal(name)
+	if !ok {
+		return fmt.Errorf("sim: unknown signal %q", name)
+	}
+	if sig.Kind != rtl.KindReg {
+		return fmt.Errorf("sim: %q is not a register", name)
+	}
+	s.state.Values[sig.Index] = eval.Make(v, sig.Width, sig.Signed)
+	return nil
+}
+
+// WriteMem deposits a word into a memory (testbench program loading).
+func (s *Simulator) WriteMem(mem string, addr uint64, v uint64) error {
+	data, ok := s.state.MemData[mem]
+	if !ok {
+		return fmt.Errorf("sim: unknown memory %q", mem)
+	}
+	if addr >= uint64(len(data)) {
+		return fmt.Errorf("sim: address %d out of range for %q (depth %d)", addr, mem, len(data))
+	}
+	data[addr] = v & eval.Mask(s.state.MemWidth[mem])
+	return nil
+}
+
+// ReadMem reads a word from a memory.
+func (s *Simulator) ReadMem(mem string, addr uint64) (uint64, error) {
+	data, ok := s.state.MemData[mem]
+	if !ok {
+		return 0, fmt.Errorf("sim: unknown memory %q", mem)
+	}
+	if addr >= uint64(len(data)) {
+		return 0, fmt.Errorf("sim: address %d out of range for %q", addr, mem)
+	}
+	return data[addr], nil
+}
+
+// OnClockEdge registers a callback invoked at every positive clock edge
+// with settled combinational state. It returns an id for removal.
+func (s *Simulator) OnClockEdge(cb EdgeCallback) int {
+	id := s.nextCB
+	s.nextCB++
+	s.callbacks[id] = cb
+	s.cbOrder = append(s.cbOrder, id)
+	return id
+}
+
+// RemoveCallback deregisters a clock-edge callback.
+func (s *Simulator) RemoveCallback(id int) {
+	delete(s.callbacks, id)
+	for i, v := range s.cbOrder {
+		if v == id {
+			s.cbOrder = append(s.cbOrder[:i], s.cbOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// OnChange registers a hook observing committed value changes; used by
+// trace writers. Enabling change tracking costs one extra value
+// snapshot per cycle.
+func (s *Simulator) OnChange(hook func(sig *rtl.Signal, v eval.Value)) {
+	s.changeHooks = append(s.changeHooks, hook)
+	if !s.trackChange {
+		s.trackChange = true
+		s.prev = make([]eval.Value, len(s.state.Values))
+		copy(s.prev, s.state.Values)
+		// Report initial values.
+		for _, sig := range s.nl.Signals {
+			for _, h := range s.changeHooks {
+				h(sig, s.state.Values[sig.Index])
+			}
+		}
+	}
+}
+
+// Settle evaluates all combinational logic in topological order. It is
+// called automatically by Step; testbenches call it directly after
+// poking inputs mid-cycle.
+func (s *Simulator) Settle() {
+	for i := range s.nl.Assigns {
+		a := &s.nl.Assigns[i]
+		v := a.Expr.Eval(s.state)
+		// Clamp to declared width (expression widths can exceed the
+		// declared node width only via compiler bugs, but keep the
+		// invariant hard).
+		if v.Width != a.Dst.Width {
+			v = eval.Make(v.Bits, a.Dst.Width, a.Dst.Signed)
+		}
+		s.state.Values[a.Dst.Index] = v
+	}
+}
+
+// Step advances one clock cycle:
+//  1. combinational settle,
+//  2. posedge callbacks observe the stable pre-edge state,
+//  3. registers and memories commit,
+//  4. time advances.
+func (s *Simulator) Step() {
+	s.Settle()
+	for _, id := range s.cbOrder {
+		if cb, ok := s.callbacks[id]; ok {
+			cb(s.time)
+		}
+	}
+	// Compute all register next-values against pre-edge state…
+	for i := range s.nl.Regs {
+		r := &s.nl.Regs[i]
+		v := r.Next.Eval(s.state)
+		if v.Width != r.Sig.Width {
+			v = eval.Make(v.Bits, r.Sig.Width, r.Sig.Signed)
+		}
+		s.regNext[i] = v
+	}
+	// …and memory writes too (read-before-write port semantics).
+	commits := s.memCommits[:0]
+	for _, m := range s.nl.Mems {
+		for _, wp := range m.Writes {
+			if wp.En.Eval(s.state).IsTrue() {
+				addr := wp.Addr.Eval(s.state).Bits
+				if addr < uint64(m.Depth) {
+					commits = append(commits, memCommit{
+						mem:  m.Name,
+						addr: addr,
+						data: wp.Data.Eval(s.state).Bits & eval.Mask(m.Width),
+					})
+				}
+			}
+		}
+	}
+	// Commit.
+	for i := range s.nl.Regs {
+		s.state.Values[s.nl.Regs[i].Sig.Index] = s.regNext[i]
+	}
+	for _, c := range commits {
+		s.state.MemData[c.mem][c.addr] = c.data
+	}
+	s.memCommits = commits[:0]
+	s.time++
+	if s.trackChange {
+		s.Settle() // make post-edge combinational state visible to hooks
+		for _, sig := range s.nl.Signals {
+			cur := s.state.Values[sig.Index]
+			if cur != s.prev[sig.Index] {
+				for _, h := range s.changeHooks {
+					h(sig, cur)
+				}
+				s.prev[sig.Index] = cur
+			}
+		}
+	}
+}
+
+// Run advances n cycles.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Reset asserts the named reset input for n cycles, then deasserts it.
+func (s *Simulator) Reset(resetSignal string, n int) error {
+	if err := s.Poke(resetSignal, 1); err != nil {
+		return err
+	}
+	s.Run(n)
+	return s.Poke(resetSignal, 0)
+}

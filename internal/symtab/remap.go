@@ -1,0 +1,129 @@
+package symtab
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// Remap locates the generated design inside a (possibly larger)
+// simulated hierarchy and returns a mapper from symbol-table instance
+// paths to full simulator paths. This is §3.4's "find the block with
+// matching module/signal names": the symbol table only knows the
+// relative hierarchy under the generator top; the testbench may have
+// wrapped it arbitrarily, but relative structure never changes.
+//
+// Matching strategy, in order:
+//  1. a hierarchy node whose module name equals the symtab top,
+//  2. a hierarchy node whose instance name equals the symtab top,
+//  3. common-substring matching on instance names (for VCD-style
+//     hierarchies with no module information), validated by checking
+//     that the symtab's child instance names exist under the candidate.
+type Remap struct {
+	// nodePath is the full simulator path of the node matching the
+	// symtab top.
+	nodePath string
+	top      string
+}
+
+// NewRemap computes the mapping or reports that the design cannot be
+// located.
+func NewRemap(hier *rtl.InstanceNode, table *Table) (*Remap, error) {
+	if hier == nil {
+		return nil, fmt.Errorf("symtab: empty hierarchy")
+	}
+	top := table.Top()
+	childNames := topLevelChildren(table)
+
+	var byModule, byName, bySubstring []*rtl.InstanceNode
+	hier.Walk(func(n *rtl.InstanceNode) {
+		switch {
+		case n.Module == top:
+			byModule = append(byModule, n)
+		case n.Name == top:
+			byName = append(byName, n)
+		case strings.Contains(n.Name, top) || strings.Contains(top, n.Name):
+			bySubstring = append(bySubstring, n)
+		}
+	})
+	candidates := byModule
+	if len(candidates) == 0 {
+		candidates = byName
+	}
+	if len(candidates) == 0 {
+		candidates = bySubstring
+	}
+	// Validate candidates structurally: all top-level symtab children
+	// must exist under the node.
+	var valid []*rtl.InstanceNode
+	for _, n := range candidates {
+		ok := true
+		for _, c := range childNames {
+			if n.FindChild(c) == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			valid = append(valid, n)
+		}
+	}
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("symtab: cannot locate generated design %q in simulated hierarchy", top)
+	}
+	if len(valid) > 1 {
+		return nil, fmt.Errorf("symtab: design %q matches %d hierarchy nodes; disambiguation required", top, len(valid))
+	}
+	return &Remap{nodePath: valid[0].Path, top: top}, nil
+}
+
+// topLevelChildren extracts the instance names directly under the
+// symtab top from recorded instance paths.
+func topLevelChildren(table *Table) []string {
+	seen := map[string]bool{}
+	prefix := table.Top() + "."
+	for _, p := range table.Instances() {
+		if !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if i := strings.IndexByte(rest, '.'); i >= 0 {
+			rest = rest[:i]
+		}
+		seen[rest] = true
+	}
+	var out []string
+	for c := range seen {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ToSim converts a symtab-relative path ("Top.u0.sig" or "Top.u0") to
+// the full simulator path.
+func (r *Remap) ToSim(symPath string) string {
+	if symPath == r.top {
+		return r.nodePath
+	}
+	if strings.HasPrefix(symPath, r.top+".") {
+		return r.nodePath + symPath[len(r.top):]
+	}
+	// Already instance-relative (no top prefix).
+	return r.nodePath + "." + symPath
+}
+
+// FromSim converts a full simulator path back to the symtab-relative
+// form, returning false when the path is outside the generated design.
+func (r *Remap) FromSim(simPath string) (string, bool) {
+	if simPath == r.nodePath {
+		return r.top, true
+	}
+	if strings.HasPrefix(simPath, r.nodePath+".") {
+		return r.top + simPath[len(r.nodePath):], true
+	}
+	return "", false
+}
+
+// Prefix returns the simulator path matched to the generator top.
+func (r *Remap) Prefix() string { return r.nodePath }

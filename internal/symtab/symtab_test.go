@@ -1,0 +1,338 @@
+package symtab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+)
+
+// buildDualCore makes a top with two instances of a conditional
+// accumulator — the multi-instance case that yields breakpoint
+// "threads".
+func buildDualCore(t *testing.T) (*passes.Compilation, int) {
+	t.Helper()
+	c := generator.NewCircuit("Top")
+	core := c.NewModule("Core")
+	d := core.Input("d", ir.UIntType(8))
+	q := core.Output("q", ir.UIntType(8))
+	acc := core.RegInit("acc", ir.UIntType(8), core.Lit(0, 8))
+	var accLine int
+	core.When(d.Bit(0), func() {
+		acc.Set(acc.AddMod(d)) // breakpoint target line
+		accLine = callerLine() - 1
+	})
+	q.Set(acc)
+
+	top := c.NewModule("Top")
+	x := top.Input("x", ir.UIntType(8))
+	y := top.Output("y", ir.UIntType(8))
+	u0 := top.Instance("u0", core)
+	u1 := top.Instance("u1", core)
+	u0.IO("d").Set(x)
+	u1.IO("d").Set(x.Not())
+	y.Set(u0.IO("q").AddMod(u1.IO("q")))
+
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return comp, accLine
+}
+
+func callerLine() int {
+	var pcs [1]uintptr
+	n := runtimeCallers(2, pcs[:])
+	if n == 0 {
+		return 0
+	}
+	return pcLine(pcs[0])
+}
+
+func TestBuildAndQueryBreakpoints(t *testing.T) {
+	comp, accLine := buildDualCore(t)
+	table, err := Build(comp)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// One statement in Core × two instances ⇒ two breakpoints at the
+	// line (the "threads" of Fig. 4 B).
+	bps := table.BreakpointsAt("symtab_test.go", accLine)
+	if len(bps) != 2 {
+		t.Fatalf("breakpoints = %d, want 2; all: %+v", len(bps), table.AllBreakpoints())
+	}
+	names := []string{bps[0].InstanceName, bps[1].InstanceName}
+	if names[0] != "Top.u0" || names[1] != "Top.u1" {
+		t.Fatalf("instances = %v", names)
+	}
+	// Both carry the enable condition from the when.
+	for _, bp := range bps {
+		if bp.Enable == "" {
+			t.Fatalf("breakpoint %d missing enable", bp.ID)
+		}
+	}
+	// Unknown location ⇒ empty.
+	if got := table.BreakpointsAt("nope.go", 1); len(got) != 0 {
+		t.Fatalf("bogus file matched %d", len(got))
+	}
+}
+
+func TestScopeVarsAndResolution(t *testing.T) {
+	comp, accLine := buildDualCore(t)
+	table, err := Build(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bps := table.BreakpointsAt("symtab_test.go", accLine)
+	if len(bps) == 0 {
+		t.Fatal("no breakpoints")
+	}
+	vars := table.ScopeVars(bps[0].ID)
+	byName := map[string]string{}
+	for _, v := range vars {
+		byName[v.Name] = v.RTL
+	}
+	// The register and the input are visible.
+	if byName["acc"] != "acc" || byName["d"] != "d" {
+		t.Fatalf("scope vars = %v", byName)
+	}
+	full, err := table.ResolveScopedVar(bps[0].ID, "acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != "Top.u0.acc" {
+		t.Fatalf("resolved = %s", full)
+	}
+	if _, err := table.ResolveScopedVar(bps[0].ID, "ghost"); err == nil {
+		t.Fatal("unknown var resolved")
+	}
+	if _, err := table.ResolveScopedVar(9999, "acc"); err == nil {
+		t.Fatal("unknown breakpoint resolved")
+	}
+}
+
+func TestGeneratorVars(t *testing.T) {
+	comp, _ := buildDualCore(t)
+	table, err := Build(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := table.InstanceIDByName("Top.u1")
+	if !ok {
+		t.Fatalf("instance Top.u1 missing; have %v", table.Instances())
+	}
+	gvs := table.GeneratorVars(id)
+	found := map[string]bool{}
+	for _, gv := range gvs {
+		found[gv.Name] = true
+	}
+	for _, want := range []string{"d", "q", "acc"} {
+		if !found[want] {
+			t.Fatalf("generator vars missing %q: %v", want, gvs)
+		}
+	}
+	full, err := table.ResolveInstanceVar("Top.u1", "acc")
+	if err != nil || full != "Top.u1.acc" {
+		t.Fatalf("ResolveInstanceVar = %s, %v", full, err)
+	}
+	if _, err := table.ResolveInstanceVar("Top.zz", "acc"); err == nil {
+		t.Fatal("unknown instance resolved")
+	}
+}
+
+func TestInstancesAndFiles(t *testing.T) {
+	comp, accLine := buildDualCore(t)
+	table, _ := Build(comp)
+	insts := table.Instances()
+	if len(insts) != 3 { // Top, Top.u0, Top.u1
+		t.Fatalf("instances = %v", insts)
+	}
+	files := table.Files()
+	if len(files) != 1 || files[0] != "symtab_test.go" {
+		t.Fatalf("files = %v", files)
+	}
+	lines := table.Lines("symtab_test.go")
+	foundAcc := false
+	for _, l := range lines {
+		if l == accLine {
+			foundAcc = true
+		}
+	}
+	if !foundAcc {
+		t.Fatalf("lines %v missing acc line %d", lines, accLine)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	comp, accLine := buildDualCore(t)
+	table, _ := Build(comp)
+	var buf bytes.Buffer
+	if err := table.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Top() != "Top" {
+		t.Fatalf("top = %s", loaded.Top())
+	}
+	if loaded.Mode() != "optimized" {
+		t.Fatalf("mode = %s", loaded.Mode())
+	}
+	before := table.BreakpointsAt("symtab_test.go", accLine)
+	after := loaded.BreakpointsAt("symtab_test.go", accLine)
+	if len(before) != len(after) {
+		t.Fatalf("breakpoints %d -> %d after round trip", len(before), len(after))
+	}
+	if loaded.TotalRows() != table.TotalRows() {
+		t.Fatalf("rows %d -> %d", table.TotalRows(), loaded.TotalRows())
+	}
+}
+
+func TestDebugModeGrowsSymtab(t *testing.T) {
+	// The §4.1 claim: debug mode grows the symbol table (paper ≈30%).
+	build := func(debug bool) *Table {
+		c := generator.NewCircuit("G")
+		m := c.NewModule("G")
+		a := m.Input("a", ir.UIntType(8))
+		out := m.Output("out", ir.UIntType(8))
+		w := m.Wire("w", ir.UIntType(8))
+		w.Set(m.Lit(0, 8))
+		for i := 0; i < 8; i++ {
+			m.When(a.Bit(i), func() {
+				w.Set(w.AddMod(m.Lit(uint64(i), 8)))
+			})
+		}
+		// tmp is computed but unused — optimized away in release mode.
+		tmp := m.Wire("tmp", ir.UIntType(8))
+		tmp.Set(a.Not())
+		out.Set(w)
+		comp, err := passes.Compile(c.MustBuild(), debug)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := Build(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+	opt := build(false)
+	dbg := build(true)
+	if dbg.TotalRows() <= opt.TotalRows() {
+		t.Fatalf("debug symtab (%d rows) not larger than optimized (%d rows)",
+			dbg.TotalRows(), opt.TotalRows())
+	}
+}
+
+func TestRemapIdentity(t *testing.T) {
+	comp, _ := buildDualCore(t)
+	table, _ := Build(comp)
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRemap(nl.Hierarchy, table)
+	if err != nil {
+		t.Fatalf("remap: %v", err)
+	}
+	if r.ToSim("Top.u0.acc") != "Top.u0.acc" {
+		t.Fatalf("identity remap = %s", r.ToSim("Top.u0.acc"))
+	}
+	back, ok := r.FromSim("Top.u0.acc")
+	if !ok || back != "Top.u0.acc" {
+		t.Fatalf("FromSim = %s, %v", back, ok)
+	}
+}
+
+func TestRemapInsideTestbench(t *testing.T) {
+	comp, _ := buildDualCore(t)
+	table, _ := Build(comp)
+	// Simulate a testbench wrapping: TestHarness -> dut (module Top).
+	dut := &rtl.InstanceNode{Name: "dut", Module: "Top", Path: "TestHarness.dut",
+		Children: []*rtl.InstanceNode{
+			{Name: "u0", Module: "Core", Path: "TestHarness.dut.u0"},
+			{Name: "u1", Module: "Core", Path: "TestHarness.dut.u1"},
+		}}
+	harness := &rtl.InstanceNode{Name: "TestHarness", Path: "TestHarness",
+		Children: []*rtl.InstanceNode{dut}}
+	r, err := NewRemap(harness, table)
+	if err != nil {
+		t.Fatalf("remap: %v", err)
+	}
+	if got := r.ToSim("Top.u0.acc"); got != "TestHarness.dut.u0.acc" {
+		t.Fatalf("ToSim = %s", got)
+	}
+	sym, ok := r.FromSim("TestHarness.dut.u1.q")
+	if !ok || sym != "Top.u1.q" {
+		t.Fatalf("FromSim = %s, %v", sym, ok)
+	}
+	if _, ok := r.FromSim("TestHarness.other.sig"); ok {
+		t.Fatal("outside path mapped")
+	}
+	if r.Prefix() != "TestHarness.dut" {
+		t.Fatalf("prefix = %s", r.Prefix())
+	}
+}
+
+func TestRemapVCDStyleNoModules(t *testing.T) {
+	comp, _ := buildDualCore(t)
+	table, _ := Build(comp)
+	// VCD hierarchies have no module info; match by instance name and
+	// child structure.
+	top := &rtl.InstanceNode{Name: "Top", Path: "TB.Top",
+		Children: []*rtl.InstanceNode{
+			{Name: "u0", Path: "TB.Top.u0"},
+			{Name: "u1", Path: "TB.Top.u1"},
+		}}
+	tb := &rtl.InstanceNode{Name: "TB", Path: "TB", Children: []*rtl.InstanceNode{top}}
+	r, err := NewRemap(tb, table)
+	if err != nil {
+		t.Fatalf("remap: %v", err)
+	}
+	if got := r.ToSim("Top.u1.acc"); got != "TB.Top.u1.acc" {
+		t.Fatalf("ToSim = %s", got)
+	}
+}
+
+func TestRemapAmbiguous(t *testing.T) {
+	comp, _ := buildDualCore(t)
+	table, _ := Build(comp)
+	mk := func(path string) *rtl.InstanceNode {
+		return &rtl.InstanceNode{Name: "dut", Module: "Top", Path: path,
+			Children: []*rtl.InstanceNode{
+				{Name: "u0", Path: path + ".u0"},
+				{Name: "u1", Path: path + ".u1"},
+			}}
+	}
+	root := &rtl.InstanceNode{Name: "TB", Path: "TB",
+		Children: []*rtl.InstanceNode{mk("TB.a"), mk("TB.b")}}
+	if _, err := NewRemap(root, table); err == nil {
+		t.Fatal("ambiguous match accepted")
+	}
+	// And a hierarchy with no match at all.
+	lonely := &rtl.InstanceNode{Name: "X", Path: "X"}
+	if _, err := NewRemap(lonely, table); err == nil {
+		t.Fatal("missing design accepted")
+	}
+}
+
+func TestStatsAndRowCounts(t *testing.T) {
+	comp, _ := buildDualCore(t)
+	table, _ := Build(comp)
+	rows := table.NumRows()
+	if rows["instance"] != 3 {
+		t.Fatalf("instance rows = %d", rows["instance"])
+	}
+	if rows["breakpoint"] == 0 || rows["variable"] == 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if !strings.Contains(table.Stats(), "breakpoint=") {
+		t.Fatalf("stats = %s", table.Stats())
+	}
+}

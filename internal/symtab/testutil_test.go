@@ -1,0 +1,13 @@
+package symtab
+
+import "runtime"
+
+func runtimeCallers(skip int, pcs []uintptr) int {
+	return runtime.Callers(skip+1, pcs)
+}
+
+func pcLine(pc uintptr) int {
+	frames := runtime.CallersFrames([]uintptr{pc})
+	frame, _ := frames.Next()
+	return frame.Line
+}

@@ -1,0 +1,284 @@
+// Package vcd implements writing and parsing of Value Change Dump
+// traces. The paper's replay backend consumes VCD files — which carry
+// design hierarchy but no definition information (§3.3) — so the parser
+// reconstructs an instance tree from $scope nesting and per-signal
+// change timelines that support value-at-time queries for reverse
+// debugging.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+// idCode converts a dense index into a VCD identifier code (printable
+// ASCII 33..126, base 94).
+func idCode(n int) string {
+	var b []byte
+	for {
+		b = append(b, byte('!'+n%94))
+		n /= 94
+		if n == 0 {
+			break
+		}
+	}
+	return string(b)
+}
+
+// Recorder streams a simulation into VCD text as the simulator runs.
+type Recorder struct {
+	w       *bufio.Writer
+	ids     map[string]string // full signal path -> id code
+	widths  map[string]int
+	curTime uint64
+	started bool
+	err     error
+}
+
+// NewRecorder attaches to a simulator and writes the VCD header for its
+// entire hierarchy. Value changes stream out as the simulation steps.
+func NewRecorder(s *sim.Simulator, out io.Writer) *Recorder {
+	r := &Recorder{
+		w:      bufio.NewWriter(out),
+		ids:    map[string]string{},
+		widths: map[string]int{},
+	}
+	nl := s.Netlist()
+	fmt.Fprintf(r.w, "$date\n  repro hgdb trace\n$end\n$version\n  repro vcd 1.0\n$end\n$timescale 1ns $end\n")
+	n := 0
+	var writeScope func(node *rtl.InstanceNode)
+	writeScope = func(node *rtl.InstanceNode) {
+		fmt.Fprintf(r.w, "$scope module %s $end\n", node.Name)
+		for _, local := range node.Signals {
+			full := node.Path + "." + local
+			sig, ok := nl.Signal(full)
+			if !ok {
+				continue
+			}
+			id := idCode(n)
+			n++
+			r.ids[full] = id
+			r.widths[full] = sig.Width
+			fmt.Fprintf(r.w, "$var wire %d %s %s $end\n", sig.Width, id, local)
+		}
+		for _, c := range node.Children {
+			writeScope(c)
+		}
+		fmt.Fprintf(r.w, "$upscope $end\n")
+	}
+	writeScope(nl.Hierarchy)
+	fmt.Fprintf(r.w, "$enddefinitions $end\n$dumpvars\n")
+	s.OnChange(func(sig *rtl.Signal, v eval.Value) {
+		r.change(s.Time(), sig, v)
+	})
+	return r
+}
+
+func (r *Recorder) change(t uint64, sig *rtl.Signal, v eval.Value) {
+	if r.err != nil {
+		return
+	}
+	id, ok := r.ids[sig.Name]
+	if !ok {
+		return
+	}
+	if r.started && t != r.curTime {
+		fmt.Fprintf(r.w, "#%d\n", t)
+		r.curTime = t
+	}
+	if !r.started {
+		r.started = true
+		r.curTime = t
+		if t != 0 {
+			fmt.Fprintf(r.w, "#%d\n", t)
+		}
+	}
+	if sig.Width == 1 {
+		_, r.err = fmt.Fprintf(r.w, "%d%s\n", v.Bits&1, id)
+		return
+	}
+	_, r.err = fmt.Fprintf(r.w, "b%s %s\n", strconv.FormatUint(v.Bits, 2), id)
+}
+
+// Flush completes the trace.
+func (r *Recorder) Flush() error {
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// TraceSignal is one signal's change timeline.
+type TraceSignal struct {
+	Name  string // full hierarchical path
+	Width int
+	times []uint64
+	vals  []uint64
+}
+
+// ValueAt returns the signal value at time t (the most recent change at
+// or before t; zero before the first change).
+func (ts *TraceSignal) ValueAt(t uint64) uint64 {
+	i := sort.Search(len(ts.times), func(i int) bool { return ts.times[i] > t })
+	if i == 0 {
+		return 0
+	}
+	return ts.vals[i-1]
+}
+
+// NumChanges returns how many value changes were recorded.
+func (ts *TraceSignal) NumChanges() int { return len(ts.times) }
+
+// Trace is a parsed VCD file.
+type Trace struct {
+	Signals   map[string]*TraceSignal
+	Hierarchy *rtl.InstanceNode
+	MaxTime   uint64
+}
+
+// Signal returns a signal timeline by full path.
+func (t *Trace) Signal(path string) (*TraceSignal, bool) {
+	s, ok := t.Signals[path]
+	return s, ok
+}
+
+// SignalNames returns all signal paths, sorted.
+func (t *Trace) SignalNames() []string {
+	var names []string
+	for n := range t.Signals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse reads a VCD stream. Only the constructs produced by Recorder
+// and common simulators are supported: $scope/$var/$upscope nesting,
+// scalar and binary vector changes, and #time markers.
+func Parse(rd io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	tr := &Trace{Signals: map[string]*TraceSignal{}}
+	byID := map[string]*TraceSignal{}
+	var scopeStack []string
+	var nodeStack []*rtl.InstanceNode
+	var curTime uint64
+	inDefs := true
+
+	pushChange := func(id string, bits uint64) {
+		ts, ok := byID[id]
+		if !ok {
+			return
+		}
+		ts.times = append(ts.times, curTime)
+		ts.vals = append(ts.vals, bits&eval.Mask(ts.Width))
+	}
+
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$scope"):
+			f := strings.Fields(line)
+			if len(f) < 3 {
+				return nil, fmt.Errorf("vcd: malformed scope line %q", line)
+			}
+			name := f[2]
+			scopeStack = append(scopeStack, name)
+			node := &rtl.InstanceNode{Name: name, Path: strings.Join(scopeStack, ".")}
+			if len(nodeStack) == 0 {
+				tr.Hierarchy = node
+			} else {
+				parent := nodeStack[len(nodeStack)-1]
+				parent.Children = append(parent.Children, node)
+			}
+			nodeStack = append(nodeStack, node)
+		case strings.HasPrefix(line, "$upscope"):
+			if len(scopeStack) > 0 {
+				scopeStack = scopeStack[:len(scopeStack)-1]
+				nodeStack = nodeStack[:len(nodeStack)-1]
+			}
+		case strings.HasPrefix(line, "$var"):
+			// $var wire <width> <id> <name> [...] $end
+			f := strings.Fields(line)
+			if len(f) < 5 {
+				return nil, fmt.Errorf("vcd: malformed var line %q", line)
+			}
+			width, err := strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad width in %q", line)
+			}
+			id, local := f[3], f[4]
+			full := local
+			if len(scopeStack) > 0 {
+				full = strings.Join(scopeStack, ".") + "." + local
+			}
+			ts := &TraceSignal{Name: full, Width: width}
+			tr.Signals[full] = ts
+			byID[id] = ts
+			if len(nodeStack) > 0 {
+				node := nodeStack[len(nodeStack)-1]
+				node.Signals = append(node.Signals, local)
+			}
+		case strings.HasPrefix(line, "$enddefinitions"):
+			inDefs = false
+		case strings.HasPrefix(line, "$"):
+			// Skip other directives ($date/$version/$timescale/$dumpvars).
+			continue
+		case line[0] == '#':
+			t, err := strconv.ParseUint(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad timestamp %q", line)
+			}
+			curTime = t
+			if t > tr.MaxTime {
+				tr.MaxTime = t
+			}
+		case line[0] == 'b' || line[0] == 'B':
+			if inDefs {
+				continue
+			}
+			sp := strings.IndexByte(line, ' ')
+			if sp < 0 {
+				return nil, fmt.Errorf("vcd: malformed vector change %q", line)
+			}
+			raw := line[1:sp]
+			// x/z states decay to 0 (two-state simulation).
+			raw = strings.Map(func(r rune) rune {
+				if r == 'x' || r == 'X' || r == 'z' || r == 'Z' {
+					return '0'
+				}
+				return r
+			}, raw)
+			bits, err := strconv.ParseUint(raw, 2, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vcd: bad vector value %q", line)
+			}
+			pushChange(strings.TrimSpace(line[sp+1:]), bits)
+		case line[0] == '0' || line[0] == '1' || line[0] == 'x' || line[0] == 'z' ||
+			line[0] == 'X' || line[0] == 'Z':
+			if inDefs {
+				continue
+			}
+			var bit uint64
+			if line[0] == '1' {
+				bit = 1
+			}
+			pushChange(line[1:], bit)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,193 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+func buildAndSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8)))
+	})
+	out.Set(count)
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.New(nl)
+}
+
+func recordTrace(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	s := buildAndSim(t)
+	var buf bytes.Buffer
+	rec := NewRecorder(s, &buf)
+	s.Reset("Counter.reset", 1)
+	s.Poke("Counter.en", 1)
+	s.Run(10)
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return &buf
+}
+
+func TestRecorderHeader(t *testing.T) {
+	buf := recordTrace(t)
+	text := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module Counter $end",
+		"$enddefinitions $end",
+		"$var wire 8 ",
+		"$var wire 1 ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in VCD:\n%s", want, text[:400])
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	buf := recordTrace(t)
+	tr, err := Parse(buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ts, ok := tr.Signal("Counter.count")
+	if !ok {
+		t.Fatalf("count not in trace; have %v", tr.SignalNames())
+	}
+	if ts.Width != 8 {
+		t.Fatalf("count width = %d", ts.Width)
+	}
+	// After 1 reset cycle + enable, count at time 1+k is k (commits at
+	// end of each enabled cycle).
+	if got := ts.ValueAt(tr.MaxTime); got == 0 {
+		t.Fatalf("final count = %d, want nonzero", got)
+	}
+	// Monotone counting: value at t+1 >= value at t for our run.
+	var prev uint64
+	for tm := uint64(0); tm <= tr.MaxTime; tm++ {
+		v := ts.ValueAt(tm)
+		if v < prev {
+			t.Fatalf("count decreased: %d -> %d at t=%d", prev, v, tm)
+		}
+		prev = v
+	}
+	if tr.Hierarchy == nil || tr.Hierarchy.Name != "Counter" {
+		t.Fatalf("hierarchy = %+v", tr.Hierarchy)
+	}
+}
+
+func TestValueAtBeforeFirstChange(t *testing.T) {
+	ts := &TraceSignal{Name: "x", Width: 4}
+	if ts.ValueAt(100) != 0 {
+		t.Fatal("empty timeline not zero")
+	}
+	ts.times = []uint64{5, 10}
+	ts.vals = []uint64{3, 7}
+	cases := []struct{ t, want uint64 }{{0, 0}, {4, 0}, {5, 3}, {9, 3}, {10, 7}, {100, 7}}
+	for _, c := range cases {
+		if got := ts.ValueAt(c.t); got != c.want {
+			t.Errorf("ValueAt(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if ts.NumChanges() != 2 {
+		t.Fatalf("NumChanges = %d", ts.NumChanges())
+	}
+}
+
+func TestParseHandlesXZStates(t *testing.T) {
+	src := `$scope module top $end
+$var wire 4 ! sig $end
+$upscope $end
+$enddefinitions $end
+#0
+bx0z1 !
+#1
+b1010 !
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ts, _ := tr.Signal("top.sig")
+	if ts.ValueAt(0) != 0b0001 {
+		t.Fatalf("x/z decay: %b", ts.ValueAt(0))
+	}
+	if ts.ValueAt(1) != 0b1010 {
+		t.Fatalf("value at 1 = %b", ts.ValueAt(1))
+	}
+}
+
+func TestParseScalarChanges(t *testing.T) {
+	src := `$scope module top $end
+$var wire 1 ! clk $end
+$upscope $end
+$enddefinitions $end
+#0
+0!
+#1
+1!
+#2
+0!
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _ := tr.Signal("top.clk")
+	if ts.ValueAt(0) != 0 || ts.ValueAt(1) != 1 || ts.ValueAt(2) != 0 {
+		t.Fatal("scalar timeline wrong")
+	}
+	if tr.MaxTime != 2 {
+		t.Fatalf("MaxTime = %d", tr.MaxTime)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"$scope module\n",          // malformed scope
+		"$var wire x ! sig $end\n", // bad width
+		"$enddefinitions $end\n#zz\n",
+		"$scope module t $end\n$var wire 1 ! s $end\n$enddefinitions $end\n#0\nbxy !\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted malformed VCD %q", src)
+		}
+	}
+}
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for _, ch := range id {
+			if ch < '!' || ch > '~' {
+				t.Fatalf("non-printable id char %q", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package vpi
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+func makeBackend(t *testing.T) *SimBackend {
+	t.Helper()
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8)))
+	})
+	out.Set(count)
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSimBackend(sim.New(nl))
+}
+
+func TestFivePrimitives(t *testing.T) {
+	b := makeBackend(t)
+
+	// Primitive 1: get signal value.
+	v, err := b.GetValue("Counter.count")
+	if err != nil || v.Bits != 0 {
+		t.Fatalf("GetValue = %v, %v", v, err)
+	}
+	if _, err := b.GetValue("Counter.nope"); err == nil {
+		t.Fatal("unknown signal accepted")
+	}
+
+	// Primitive 2: design hierarchy and clock information.
+	h := b.Hierarchy()
+	if h == nil || h.Name != "Counter" {
+		t.Fatalf("hierarchy = %+v", h)
+	}
+	if b.ClockName() != "Counter.clock" {
+		t.Fatalf("clock = %s", b.ClockName())
+	}
+
+	// Primitive 3: clock-edge callbacks.
+	fired := 0
+	id := b.OnClockEdge(func(uint64) { fired++ })
+	b.Sim.Run(3)
+	if fired != 3 {
+		t.Fatalf("callback fired %d times", fired)
+	}
+	b.RemoveCallback(id)
+	b.Sim.Run(1)
+	if fired != 3 {
+		t.Fatal("callback fired after removal")
+	}
+
+	// Primitive 4: get (and for replay backends, set) time.
+	if b.Time() != 4 {
+		t.Fatalf("time = %d", b.Time())
+	}
+	if err := b.SetTime(0); !errors.Is(err, ErrNotSupported) {
+		t.Fatalf("live SetTime = %v, want ErrNotSupported", err)
+	}
+
+	// Primitive 5: set signal value.
+	if err := b.SetValue("Counter.en", 1); err != nil {
+		t.Fatal(err)
+	}
+	b.Sim.Run(2)
+	v, _ = b.GetValue("Counter.count")
+	if v.Bits != 2 {
+		t.Fatalf("count after poke = %d", v.Bits)
+	}
+	// Register deposit path.
+	if err := b.SetValue("Counter.count", 99); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = b.GetValue("Counter.count")
+	if v.Bits != 99 {
+		t.Fatalf("deposited count = %d", v.Bits)
+	}
+	if err := b.SetValue("Counter.ghost", 1); err == nil {
+		t.Fatal("unknown signal poked")
+	}
+}

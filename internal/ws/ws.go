@@ -1,0 +1,278 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation (stdlib
+// only) sufficient for the hgdb debugging protocol: text frames, close
+// handshake, ping/pong. The paper's debuggers connect to the runtime
+// over WebSocket, "similar to the gdb remote protocol" (§3.5).
+//
+// Limitations (by design, documented): no fragmentation (FIN must be
+// set), no extensions, text and control frames only, payloads up to
+// 16 MiB.
+package ws
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// guid is the protocol-mandated accept-key suffix.
+const guid = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// maxPayload guards against absurd frames.
+const maxPayload = 16 << 20
+
+// ErrClosed is returned after the close handshake completes.
+var ErrClosed = errors.New("ws: connection closed")
+
+const (
+	opText  = 0x1
+	opClose = 0x8
+	opPing  = 0x9
+	opPong  = 0xA
+)
+
+// Conn is one WebSocket connection.
+type Conn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	client bool // clients mask outgoing frames
+	wmu    sync.Mutex
+	closed bool
+}
+
+// acceptKey computes the Sec-WebSocket-Accept header value.
+func acceptKey(key string) string {
+	h := sha1.Sum([]byte(key + guid))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Upgrade hijacks an HTTP request and performs the server-side
+// handshake.
+func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") {
+		return nil, fmt.Errorf("ws: not a websocket upgrade request")
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, fmt.Errorf("ws: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, fmt.Errorf("ws: response writer does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, err
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + acceptKey(key) + "\r\n\r\n"
+	if _, err := rw.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Conn{conn: conn, br: rw.Reader}, nil
+}
+
+// Dial connects to a ws:// URL of the form ws://host:port/path.
+func Dial(url string) (*Conn, error) {
+	rest, ok := strings.CutPrefix(url, "ws://")
+	if !ok {
+		return nil, fmt.Errorf("ws: unsupported url %q (want ws://)", url)
+	}
+	host := rest
+	path := "/"
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		host, path = rest[:i], rest[i:]
+	}
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\n"+
+		"Connection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n",
+		path, host, key)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: "GET"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake failed: %s", resp.Status)
+	}
+	if resp.Header.Get("Sec-WebSocket-Accept") != acceptKey(key) {
+		conn.Close()
+		return nil, fmt.Errorf("ws: bad accept key")
+	}
+	return &Conn{conn: conn, br: br, client: true}, nil
+}
+
+// WriteText sends one text message.
+func (c *Conn) WriteText(payload []byte) error {
+	return c.writeFrame(opText, payload)
+}
+
+func (c *Conn) writeFrame(op byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed && op != opClose {
+		return ErrClosed
+	}
+	var hdr [14]byte
+	hdr[0] = 0x80 | op // FIN set
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		copy(hdr[n:n+4], mask[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mask[i%4]
+		}
+		payload = masked
+	}
+	if _, err := c.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// ReadText reads the next text message, transparently answering pings
+// and completing the close handshake.
+func (c *Conn) ReadText() ([]byte, error) {
+	for {
+		op, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case opText:
+			return payload, nil
+		case opPing:
+			if err := c.writeFrame(opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// ignore
+		case opClose:
+			c.writeFrame(opClose, payload)
+			c.closed = true
+			c.conn.Close()
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("ws: unsupported opcode %#x", op)
+		}
+	}
+}
+
+func (c *Conn) readFrame() (byte, []byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	fin := hdr[0]&0x80 != 0
+	op := hdr[0] & 0x0F
+	if !fin {
+		return 0, nil, fmt.Errorf("ws: fragmented frames not supported")
+	}
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxPayload {
+		return 0, nil, fmt.Errorf("ws: frame of %d bytes exceeds limit", length)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err := io.ReadFull(c.br, mask[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return op, payload, nil
+}
+
+// Close performs the close handshake from this side.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	alreadyClosed := c.closed
+	c.closed = true
+	c.wmu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
+	c.writeFrameUnlocked(opClose, nil)
+	return c.conn.Close()
+}
+
+func (c *Conn) writeFrameUnlocked(op byte, payload []byte) {
+	// close frames are best-effort
+	var hdr [2]byte
+	hdr[0] = 0x80 | op
+	hdr[1] = byte(len(payload))
+	c.conn.Write(hdr[:])
+	c.conn.Write(payload)
+}

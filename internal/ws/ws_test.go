@@ -1,0 +1,152 @@
+package ws
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func startEchoServer(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				msg, err := conn.ReadText()
+				if err != nil {
+					return
+				}
+				if err := conn.WriteText(msg); err != nil {
+					return
+				}
+			}
+		}()
+	}))
+	t.Cleanup(srv.Close)
+	return "ws://" + strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	for _, msg := range []string{"hello", "{\"type\":\"breakpoint\"}", ""} {
+		if err := conn.WriteText([]byte(msg)); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got, err := conn.ReadText()
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if string(got) != msg {
+			t.Fatalf("echo = %q, want %q", got, msg)
+		}
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Exercise both the 126 (16-bit) and 127 (64-bit) length encodings.
+	for _, size := range []int{200, 70_000} {
+		big := strings.Repeat("x", size)
+		if err := conn.WriteText([]byte(big)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := conn.ReadText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != size {
+			t.Fatalf("size %d echoed as %d", size, len(got))
+		}
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := conn.WriteText([]byte("after close")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}
+
+func TestAcceptKey(t *testing.T) {
+	// RFC 6455 §1.3 worked example.
+	got := acceptKey("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Fatalf("acceptKey = %q, want %q", got, want)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://example.com"); err == nil {
+		t.Fatal("non-ws scheme accepted")
+	}
+	if _, err := Dial("ws://127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable host accepted")
+	}
+}
+
+func TestUpgradeRejectsPlainRequest(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := Upgrade(w, r); err == nil {
+			t.Error("plain request upgraded")
+		} else {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a ping directly; the peer must answer with a pong, and our
+	// next ReadText must skip it transparently after an echo.
+	if err := conn.writeFrame(opPing, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.WriteText([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.ReadText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Fatalf("got %q", got)
+	}
+}
