@@ -1,0 +1,269 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/expr"
+	"repro/internal/vpi"
+)
+
+// This file is the runtime half of the compiled condition pipeline. At
+// insertion time every breakpoint/watch condition is compiled to a flat
+// register program (expr.Compile) and its signal dependencies are
+// resolved to simulator paths. At each clock edge the scheduler makes
+// one batched backend read covering the union of every armed
+// condition's dependencies (vpi.ReadBatch), caches the values for the
+// cycle, and executes the compiled programs against the cache on a
+// persistent worker pool — replacing the seed's tree-walk + one
+// GetValue per signal per breakpoint + one goroutine spawned per group
+// member per edge.
+
+// workerPool is a fixed set of evaluation goroutines that lives for the
+// runtime's lifetime. The scheduler dispatches each breakpoint group's
+// members onto it (§3.2's parallel evaluation) without the per-edge
+// goroutine spawn cost.
+type workerPool struct {
+	// mu serializes job submission against close, so a Detach issued
+	// from a stop handler (or another goroutine) mid-edge can never
+	// race a send onto the closed channel; once closed, parallel
+	// degrades to inline execution.
+	mu      sync.Mutex
+	size    int
+	started bool
+	closed  bool
+	jobs    chan poolJob
+}
+
+type poolJob struct {
+	fn func(int)
+	i  int
+	wg *sync.WaitGroup
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	// Workers spawn lazily on the first multi-member group, so runtimes
+	// that never evaluate parallel groups (or are dropped without
+	// Detach) hold no goroutines.
+	return &workerPool{size: n, jobs: make(chan poolJob, 4*n)}
+}
+
+func (p *workerPool) worker() {
+	for j := range p.jobs {
+		j.fn(j.i)
+		j.wg.Done()
+	}
+}
+
+// parallel runs fn(0)..fn(n-1) across the pool plus the calling
+// goroutine and returns when every call has completed. Only the
+// simulation goroutine (the clock-edge callback) may call it.
+func (p *workerPool) parallel(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if !p.started {
+		p.started = true
+		for i := 0; i < p.size; i++ {
+			go p.worker()
+		}
+	}
+	wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		p.jobs <- poolJob{fn: fn, i: i, wg: &wg}
+	}
+	p.mu.Unlock()
+	fn(0)
+	wg.Wait()
+}
+
+// close shuts the workers down; idempotent. Workers drain any jobs
+// already submitted (closing the channel lets the range loops consume
+// the buffer first), and later parallel calls run inline.
+func (p *workerPool) close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		if p.started {
+			close(p.jobs)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// resolveSourceName resolves a source-level identifier to a simulator
+// path using the same chain for breakpoint conditions and watchpoints:
+// breakpoint-scoped variable (when bpID >= 0) → generator/instance
+// variable → instance-local RTL name → absolute path as written. The
+// second return value reports whether the path was verified against the
+// symbol table or backend; an unverified name is returned as-is for the
+// caller to probe or defer to evaluation time.
+func (rt *Runtime) resolveSourceName(bpID int64, instance, name string) (string, bool) {
+	if bpID >= 0 {
+		if rtlPath, err := rt.table.ResolveScopedVar(bpID, name); err == nil {
+			return rt.remap.ToSim(rtlPath), true
+		}
+	}
+	if rtlPath, err := rt.table.ResolveInstanceVar(instance, name); err == nil {
+		return rt.remap.ToSim(rtlPath), true
+	}
+	local := rt.remap.ToSim(instance + "." + name)
+	if _, err := rt.backend.GetValue(local); err == nil {
+		return local, true
+	}
+	return name, false
+}
+
+// markDepsDirty schedules a dependency-union rebuild before the next
+// prefetch. Callers must hold rt.mu.
+func (rt *Runtime) markDepsDirty() { rt.depsDirty = true }
+
+// rebuildDeps recomputes the union of every armed condition's simulator
+// paths and assigns each program dependency its slot in the prefetched
+// value slice. Runs on the simulation goroutine.
+func (rt *Runtime) rebuildDeps() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.depUnion = rt.depUnion[:0]
+	slotOf := make(map[string]int)
+	slot := func(path string) int {
+		s, ok := slotOf[path]
+		if !ok {
+			s = len(rt.depUnion)
+			slotOf[path] = s
+			rt.depUnion = append(rt.depUnion, path)
+		}
+		return s
+	}
+	// verified == nil means every path was confirmed at arm time; an
+	// unverified path gets slot -1 (kept out of the union, probed per
+	// evaluation) so it cannot fail the batched read for everyone else.
+	assign := func(paths []string, verified []bool) []int {
+		if len(paths) == 0 {
+			return nil
+		}
+		slots := make([]int, len(paths))
+		for i, p := range paths {
+			if verified != nil && !verified[i] {
+				slots[i] = -1
+				continue
+			}
+			slots[i] = slot(p)
+		}
+		return slots
+	}
+	for _, ibp := range rt.inserted {
+		ibp.enableSlots = assign(ibp.enablePaths, ibp.enableVerified)
+		ibp.condSlots = assign(ibp.condPaths, ibp.condVerified)
+	}
+	for _, w := range rt.watches {
+		w.slots = assign(w.paths, nil)
+	}
+	rt.prefetched = make([]eval.Value, len(rt.depUnion))
+	rt.prefetchOK = make([]bool, len(rt.depUnion))
+	rt.prefetchValid = false
+}
+
+// ensurePrefetch makes the per-cycle value cache current for time t:
+// one batched backend read of the whole dependency union, instead of
+// one GetValue per signal per breakpoint per edge. Values are cached
+// per (cycle, signal); re-entry at the same time (further groups, the
+// watch pass) hits the cache. Runs on the simulation goroutine.
+func (rt *Runtime) ensurePrefetch(t uint64) {
+	rt.mu.Lock()
+	dirty := rt.depsDirty
+	rt.depsDirty = false
+	rt.mu.Unlock()
+	if dirty {
+		rt.rebuildDeps()
+	}
+	if rt.prefetchValid && rt.prefetchTime == t {
+		return
+	}
+	rt.prefetchTime = t
+	rt.prefetchValid = true
+	if len(rt.depUnion) == 0 {
+		return
+	}
+	if err := vpi.ReadBatchInto(rt.backend, rt.depUnion, rt.prefetched); err == nil {
+		for i := range rt.prefetchOK {
+			rt.prefetchOK[i] = true
+		}
+		return
+	}
+	// A path in the union failed (e.g. a condition naming a signal that
+	// only resolves as an absolute path, or not at all). Fall back to
+	// per-path reads so one bad name cannot starve every other
+	// breakpoint; evaluations touching the missing slot fail per-eval,
+	// exactly like the tree-walk reference.
+	for i, p := range rt.depUnion {
+		v, err := rt.backend.GetValue(p)
+		rt.prefetched[i] = v
+		rt.prefetchOK[i] = err == nil
+	}
+}
+
+// invalidatePrefetch drops the cycle cache; called after the stop
+// handler returns, since the user may have deposited values or changed
+// the breakpoint set while the simulation was paused.
+func (rt *Runtime) invalidatePrefetch() { rt.prefetchValid = false }
+
+// fetchDep returns dependency i of a compiled program, preferring the
+// prefetched cycle cache and falling back to a direct backend read for
+// dependencies outside the union (step-mode candidates) or failed
+// slots.
+func (rt *Runtime) fetchDep(paths []string, slots []int, i int) (eval.Value, error) {
+	if slots != nil {
+		// The bounds check is defensive: slot assignments are rebuilt
+		// only before members are snapshotted, but a stale slot must
+		// degrade to a direct read, never an out-of-range panic.
+		if s := slots[i]; s >= 0 && s < len(rt.prefetchOK) && rt.prefetchOK[s] {
+			return rt.prefetched[s], nil
+		}
+	}
+	return rt.backend.GetValue(paths[i])
+}
+
+// execCompiled gathers a program's operands (cache-first) into the
+// caller's scratch buffer and executes it on the caller's machine. It
+// is the single evaluation path for breakpoint and watch conditions;
+// callers own machine/buf exclusively for the duration (each group
+// member is evaluated by exactly one pool worker per edge, watches run
+// on the simulation goroutine), so no locking is needed.
+func (rt *Runtime) execCompiled(prog *expr.Program, paths []string, slots []int, m *eval.Machine, buf *[]eval.Value) (eval.Value, error) {
+	n := len(prog.Deps)
+	if cap(*buf) < n {
+		*buf = make([]eval.Value, n)
+	}
+	ops := (*buf)[:n]
+	for i := range ops {
+		v, err := rt.fetchDep(paths, slots, i)
+		if err != nil {
+			return eval.Value{}, err
+		}
+		ops[i] = v
+	}
+	return prog.Exec(m, ops)
+}
+
+// execProg evaluates one of the breakpoint's compiled conditions with
+// its private scratch.
+func (ibp *insertedBP) execProg(rt *Runtime, prog *expr.Program, paths []string, slots []int) (eval.Value, error) {
+	return rt.execCompiled(prog, paths, slots, &ibp.machine, &ibp.opbuf)
+}

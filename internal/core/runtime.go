@@ -8,9 +8,11 @@ package core
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/symtab"
 	"repro/internal/vpi"
@@ -103,12 +105,33 @@ type Handler func(*StopEvent) Command
 // insertedBP is one armed emulated breakpoint.
 type insertedBP struct {
 	bp     symtab.Breakpoint
-	enable expr.Node // nil = always enabled
-	cond   expr.Node // user condition; nil = none
+	enable expr.Node // nil = always enabled; tree-walk reference form
+	cond   expr.Node // user condition; nil = none; tree-walk reference
 	// paths precomputes name → full simulator path for every identifier
 	// the conditions reference, so per-cycle evaluation allocates
 	// nothing (the timing-sensitive path of §3.3).
 	paths map[string]string
+
+	// Compiled pipeline state: the conditions lowered to register
+	// programs at insertion time, their dependency paths aligned with
+	// each program's Deps order, and the dependencies' slots in the
+	// runtime's per-cycle prefetch cache (-1/nil when not prefetched).
+	enableProg  *expr.Program
+	condProg    *expr.Program
+	enablePaths []string
+	condPaths   []string
+	enableSlots []int
+	condSlots   []int
+	// The verified flags mark dependencies whose path resolution was
+	// confirmed against the backend at arm time; unverified names stay
+	// out of the batched prefetch union so one bad name cannot fail
+	// the whole batch, and are probed per evaluation instead.
+	enableVerified []bool
+	condVerified   []bool
+	// Per-member evaluation scratch. A member is evaluated by exactly
+	// one worker per edge, so no locking is needed.
+	machine eval.Machine
+	opbuf   []eval.Value
 }
 
 // group is a set of breakpoints sharing one source statement; the
@@ -156,6 +179,26 @@ type Runtime struct {
 	stopCount  uint64
 	allGroups  []*group // all symtab statements, for stepping
 	cycleGuard bool
+
+	// pool evaluates breakpoint group members; it lives for the
+	// runtime's lifetime (workers park between edges) instead of
+	// spawning goroutines per edge.
+	pool *workerPool
+
+	// Per-cycle prefetch cache (simulation-goroutine state, except
+	// depsDirty which rt.mu guards): the union of every armed
+	// condition's dependency paths, their batched values for the
+	// current cycle, and per-slot fetch success.
+	depsDirty     bool
+	depUnion      []string
+	prefetched    []eval.Value
+	prefetchOK    []bool
+	prefetchTime  uint64
+	prefetchValid bool
+
+	// evaluateGroup scratch (simulation goroutine only).
+	memberBuf []*insertedBP
+	resultBuf []bool
 }
 
 // New attaches a runtime to a backend and symbol table. The design is
@@ -170,6 +213,7 @@ func New(backend vpi.Interface, table *symtab.Table) (*Runtime, error) {
 		table:    table,
 		remap:    remap,
 		inserted: map[int64]*insertedBP{},
+		pool:     newWorkerPool(goruntime.GOMAXPROCS(0)),
 	}
 	rt.allGroups = rt.buildAllGroups()
 	rt.cbID = backend.OnClockEdge(rt.onEdge)
@@ -218,7 +262,10 @@ func (ibp *insertedBP) key() groupKey {
 	return groupKey{file: ibp.bp.Filename, line: ibp.bp.Line, ordinal: ibp.bp.Order}
 }
 
-// prepare parses the enable and user conditions of a breakpoint.
+// prepare parses and compiles the enable and user conditions of a
+// breakpoint, then resolves every dependency to its simulator path —
+// the compile-once half of the pipeline; per-cycle evaluation only
+// executes the compiled programs.
 func (rt *Runtime) prepare(bp symtab.Breakpoint, userCond string) (*insertedBP, error) {
 	ibp := &insertedBP{bp: bp}
 	if bp.Enable != "" {
@@ -226,53 +273,83 @@ func (rt *Runtime) prepare(bp symtab.Breakpoint, userCond string) (*insertedBP, 
 		if err != nil {
 			return nil, fmt.Errorf("core: bad enable condition %q: %w", bp.Enable, err)
 		}
-		ibp.enable = n
+		p, err := expr.Compile(n)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile enable condition %q: %w", bp.Enable, err)
+		}
+		ibp.enable, ibp.enableProg = n, p
 	}
 	if userCond != "" {
 		n, err := expr.Parse(userCond)
 		if err != nil {
 			return nil, fmt.Errorf("core: bad breakpoint condition %q: %w", userCond, err)
 		}
-		ibp.cond = n
+		p, err := expr.Compile(n)
+		if err != nil {
+			return nil, fmt.Errorf("core: compile breakpoint condition %q: %w", userCond, err)
+		}
+		ibp.cond, ibp.condProg = n, p
 	}
 	rt.precomputePaths(ibp)
 	return ibp, nil
 }
 
 // precomputePaths resolves every identifier in the breakpoint's
-// conditions to its full simulator path once, at arm time.
+// compiled conditions to its full simulator path once, at arm time.
+// The dependency lists come from the compiled programs (constant
+// folding may eliminate references the raw AST still mentions).
 func (rt *Runtime) precomputePaths(ibp *insertedBP) {
 	ibp.paths = map[string]string{}
 	inst := ibp.bp.InstanceName
-	if ibp.enable != nil {
-		// Enable conditions speak in instance-local RTL names.
-		for _, n := range expr.Names(ibp.enable) {
-			ibp.paths[n] = rt.remap.ToSim(inst + "." + n)
+	if ibp.enableProg != nil {
+		// Enable conditions speak in instance-local RTL names. Probe
+		// each mapped path so a signal the backend does not expose
+		// (e.g. optimized away) stays out of the batch union.
+		ibp.enablePaths = make([]string, len(ibp.enableProg.Deps))
+		ibp.enableVerified = make([]bool, len(ibp.enableProg.Deps))
+		for i, n := range ibp.enableProg.Deps {
+			p := rt.remap.ToSim(inst + "." + n)
+			ibp.paths[n] = p
+			ibp.enablePaths[i] = p
+			_, err := rt.backend.GetValue(p)
+			ibp.enableVerified[i] = err == nil
 		}
 	}
-	if ibp.cond != nil {
+	if ibp.condProg != nil {
 		// User conditions speak in source-level names; resolve with the
-		// scope → generator → local-RTL → absolute fallback chain.
-		for _, n := range expr.Names(ibp.cond) {
-			if _, done := ibp.paths[n]; done {
+		// shared scope → generator → local-RTL → absolute chain
+		// (watchpoints use the identical chain, see AddWatch).
+		ibp.condPaths = make([]string, len(ibp.condProg.Deps))
+		ibp.condVerified = make([]bool, len(ibp.condProg.Deps))
+		for i, n := range ibp.condProg.Deps {
+			if p, done := ibp.paths[n]; done {
+				// Shared with the enable condition: inherit its
+				// verification result.
+				ibp.condPaths[i] = p
+				ibp.condVerified[i] = verifiedIn(ibp.enableProg, ibp.enableVerified, n)
 				continue
 			}
-			if rtlPath, err := rt.table.ResolveScopedVar(ibp.bp.ID, n); err == nil {
-				ibp.paths[n] = rt.remap.ToSim(rtlPath)
-				continue
-			}
-			if rtlPath, err := rt.table.ResolveInstanceVar(inst, n); err == nil {
-				ibp.paths[n] = rt.remap.ToSim(rtlPath)
-				continue
-			}
-			local := rt.remap.ToSim(inst + "." + n)
-			if _, err := rt.backend.GetValue(local); err == nil {
-				ibp.paths[n] = local
-				continue
-			}
-			ibp.paths[n] = n // try as an absolute path at eval time
+			// Unverified names stay as written and are probed as
+			// absolute paths at evaluation time.
+			p, ok := rt.resolveSourceName(ibp.bp.ID, inst, n)
+			ibp.paths[n] = p
+			ibp.condPaths[i] = p
+			ibp.condVerified[i] = ok
 		}
 	}
+}
+
+// verifiedIn reports whether name is a verified dependency of prog.
+func verifiedIn(prog *expr.Program, verified []bool, name string) bool {
+	if prog == nil {
+		return false
+	}
+	for i, d := range prog.Deps {
+		if d == name {
+			return verified[i]
+		}
+	}
+	return false
 }
 
 // SetHandler installs the stop handler. Without a handler, hits
@@ -303,6 +380,7 @@ func (rt *Runtime) AddBreakpoint(file string, line int, cond string) ([]int64, e
 		rt.inserted[bp.ID] = ibp
 		ids = append(ids, bp.ID)
 	}
+	rt.markDepsDirty()
 	return ids, nil
 }
 
@@ -328,6 +406,7 @@ func (rt *Runtime) AddBreakpointInstance(file string, line int, instance, cond s
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("core: no breakpoint at %s:%d in instance %s", file, line, instance)
 	}
+	rt.markDepsDirty()
 	return ids, nil
 }
 
@@ -343,6 +422,9 @@ func (rt *Runtime) RemoveBreakpoint(file string, line int) int {
 			removed++
 		}
 	}
+	if removed > 0 {
+		rt.markDepsDirty()
+	}
 	return removed
 }
 
@@ -351,6 +433,7 @@ func (rt *Runtime) ClearBreakpoints() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.inserted = map[int64]*insertedBP{}
+	rt.markDepsDirty()
 }
 
 // ListBreakpoints returns the armed breakpoints in scheduling order.
@@ -380,6 +463,7 @@ func (rt *Runtime) Detach() {
 	if rt.attached {
 		rt.backend.RemoveCallback(rt.cbID)
 		rt.attached = false
+		rt.pool.close()
 	}
 	rt.detached = true
 }

@@ -1,9 +1,5 @@
 package core
 
-import (
-	"sync"
-)
-
 // onEdge is the clock-edge callback: the entire Figure 2 scheduling
 // loop. The first check is the fast path the paper's overhead argument
 // rests on — with no breakpoints inserted and no step pending, the
@@ -30,7 +26,9 @@ func (rt *Runtime) onEdge(time uint64) {
 			rt.mu.Lock()
 			rt.stopCount++
 			rt.mu.Unlock()
-			switch handler(ev) {
+			cmd := handler(ev)
+			rt.invalidatePrefetch()
+			switch cmd {
 			case CmdDetach:
 				rt.Detach()
 				return
@@ -75,7 +73,7 @@ func (rt *Runtime) schedule(time uint64, start int, stepping, reverse bool, hand
 			break
 		}
 		g := rt.allGroups[i]
-		hits := rt.evaluateGroup(g, stepping)
+		hits := rt.evaluateGroup(g, stepping, t)
 		if len(hits) == 0 {
 			i = next(i, reverse)
 			continue
@@ -85,6 +83,9 @@ func (rt *Runtime) schedule(time uint64, start int, stepping, reverse bool, hand
 		rt.stopCount++
 		rt.mu.Unlock()
 		cmd := handler(event)
+		// The paused user may have deposited values or changed the
+		// breakpoint set; refetch before evaluating further groups.
+		rt.invalidatePrefetch()
 		switch cmd {
 		case CmdDetach:
 			rt.Detach()
@@ -133,11 +134,20 @@ func (rt *Runtime) setStep(step, reverse bool) {
 
 // evaluateGroup evaluates all candidate breakpoints of one source
 // statement in parallel (§3.2 step 2) and returns the members that hit.
-func (rt *Runtime) evaluateGroup(g *group, stepping bool) []*insertedBP {
+// Members run as compiled programs against the per-cycle prefetched
+// value cache, dispatched onto the persistent worker pool.
+func (rt *Runtime) evaluateGroup(g *group, stepping bool, t uint64) []*insertedBP {
+	// Refresh the cache (and any pending dependency-union rebuild)
+	// BEFORE snapshotting members: a rebuild reassigns every inserted
+	// breakpoint's cache slots, so it must never run between selecting
+	// a member and evaluating it (a breakpoint removed concurrently by
+	// a connection goroutine would otherwise be evaluated with slots
+	// indexing the rebuilt, possibly shorter, arrays).
+	rt.ensurePrefetch(t)
 	// Select members: inserted breakpoints always; when stepping, every
 	// potential breakpoint participates.
 	rt.mu.Lock()
-	members := make([]*insertedBP, 0, len(g.bps))
+	members := rt.memberBuf[:0]
 	for _, cand := range g.bps {
 		if armed, ok := rt.inserted[cand.bp.ID]; ok {
 			members = append(members, armed)
@@ -145,25 +155,23 @@ func (rt *Runtime) evaluateGroup(g *group, stepping bool) []*insertedBP {
 			members = append(members, cand)
 		}
 	}
+	rt.memberBuf = members
 	rt.evalCount += uint64(len(members))
 	rt.mu.Unlock()
 	if len(members) == 0 {
 		return nil
 	}
 
-	results := make([]bool, len(members))
+	if cap(rt.resultBuf) < len(members) {
+		rt.resultBuf = make([]bool, len(members))
+	}
+	results := rt.resultBuf[:len(members)]
 	if len(members) == 1 {
 		results[0] = rt.evalBP(members[0])
 	} else {
-		var wg sync.WaitGroup
-		for idx := range members {
-			wg.Add(1)
-			go func(k int) {
-				defer wg.Done()
-				results[k] = rt.evalBP(members[k])
-			}(idx)
-		}
-		wg.Wait()
+		rt.pool.parallel(len(members), func(k int) {
+			results[k] = rt.evalBP(members[k])
+		})
 	}
 	var hits []*insertedBP
 	for idx, ok := range results {
@@ -175,8 +183,37 @@ func (rt *Runtime) evaluateGroup(g *group, stepping bool) []*insertedBP {
 }
 
 // evalBP checks one breakpoint: SSA enable condition AND user
-// condition. Name resolution uses the paths precomputed at arm time.
+// condition, both executed as compiled register programs over operands
+// resolved at arm time and prefetched for the cycle. Compiled execution
+// gathers operands eagerly, so a dependency that cannot be fetched
+// fails it even when the tree-walk would short-circuit past that
+// reference; on error the tree-walk reference decides, keeping the two
+// paths semantically identical.
 func (rt *Runtime) evalBP(ibp *insertedBP) bool {
+	if ibp.enableProg != nil {
+		v, err := ibp.execProg(rt, ibp.enableProg, ibp.enablePaths, ibp.enableSlots)
+		if err != nil {
+			v, err = ibp.enable.Eval(ibp.pathResolver(rt))
+		}
+		if err != nil || !v.IsTrue() {
+			return false
+		}
+	}
+	if ibp.condProg != nil {
+		v, err := ibp.execProg(rt, ibp.condProg, ibp.condPaths, ibp.condSlots)
+		if err != nil {
+			v, err = ibp.cond.Eval(ibp.pathResolver(rt))
+		}
+		if err != nil || !v.IsTrue() {
+			return false
+		}
+	}
+	return true
+}
+
+// evalBPTree is the tree-walk reference implementation of evalBP,
+// retained for differential testing of the compiled pipeline.
+func (rt *Runtime) evalBPTree(ibp *insertedBP) bool {
 	resolver := ibp.pathResolver(rt)
 	if ibp.enable != nil {
 		v, err := ibp.enable.Eval(resolver)

@@ -19,16 +19,32 @@ type Watchpoint struct {
 	// Expr is the watched expression source.
 	Expr string
 
-	node  expr.Node
-	paths map[string]string
+	node expr.Node // tree-walk reference form
+	// Compiled pipeline state, mirroring insertedBP: the expression as
+	// a register program, its dependency paths in prog.Deps order, the
+	// dependencies' prefetch-cache slots, and evaluation scratch.
+	prog    *expr.Program
+	paths   []string
+	pathOf  map[string]string // name → sim path, for tree-walk fallback
+	slots   []int
+	machine eval.Machine
+	opbuf   []eval.Value
+
 	last  eval.Value
 	armed bool
 }
 
 // AddWatch registers a watchpoint on an expression evaluated in an
-// instance context; it stops on any value change.
+// instance context; it stops on any value change. The expression is
+// compiled once here and its dependencies resolve through the same
+// chain breakpoint conditions use (resolveSourceName), so watchpoints
+// and breakpoints see identical names.
 func (rt *Runtime) AddWatch(instance, source string) (int, error) {
 	n, err := expr.Parse(source)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := expr.Compile(n)
 	if err != nil {
 		return 0, err
 	}
@@ -36,31 +52,28 @@ func (rt *Runtime) AddWatch(instance, source string) (int, error) {
 		Instance: instance,
 		Expr:     source,
 		node:     n,
-		paths:    map[string]string{},
+		prog:     prog,
+		paths:    make([]string, len(prog.Deps)),
+		pathOf:   make(map[string]string, len(prog.Deps)),
 	}
-	// Resolve names with the generator-variable chain, falling back to
-	// instance-local RTL and absolute paths.
-	for _, name := range expr.Names(n) {
-		if rtlPath, err := rt.table.ResolveInstanceVar(instance, name); err == nil {
-			w.paths[name] = rt.remap.ToSim(rtlPath)
-			continue
+	for i, name := range prog.Deps {
+		path, verified := rt.resolveSourceName(-1, instance, name)
+		if !verified {
+			// Unlike a deferred breakpoint condition, a watch must
+			// resolve at add time: probe the absolute path now.
+			if _, err := rt.backend.GetValue(path); err != nil {
+				return 0, fmt.Errorf("core: watch: cannot resolve %q in %s", name, instance)
+			}
 		}
-		local := rt.remap.ToSim(instance + "." + name)
-		if _, err := rt.backend.GetValue(local); err == nil {
-			w.paths[name] = local
-			continue
-		}
-		if _, err := rt.backend.GetValue(name); err == nil {
-			w.paths[name] = name
-			continue
-		}
-		return 0, fmt.Errorf("core: watch: cannot resolve %q in %s", name, instance)
+		w.paths[i] = path
+		w.pathOf[name] = path
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.nextWatch++
 	w.ID = rt.nextWatch
 	rt.watches = append(rt.watches, w)
+	rt.markDepsDirty()
 	return w.ID, nil
 }
 
@@ -71,6 +84,7 @@ func (rt *Runtime) RemoveWatch(id int) bool {
 	for i, w := range rt.watches {
 		if w.ID == id {
 			rt.watches = append(rt.watches[:i], rt.watches[i+1:]...)
+			rt.markDepsDirty()
 			return true
 		}
 	}
@@ -86,9 +100,16 @@ func (rt *Runtime) Watches() []*Watchpoint {
 	return out
 }
 
+// eval executes the compiled watch program against the per-cycle
+// prefetch cache; on an operand-fetch failure the tree-walk reference
+// decides (see evalBP). Watches run on the simulation goroutine only.
 func (w *Watchpoint) eval(rt *Runtime) (eval.Value, error) {
+	v, err := rt.execCompiled(w.prog, w.paths, w.slots, &w.machine, &w.opbuf)
+	if err == nil {
+		return v, nil
+	}
 	return w.node.Eval(expr.ResolverFunc(func(name string) (eval.Value, error) {
-		if full, ok := w.paths[name]; ok {
+		if full, ok := w.pathOf[name]; ok {
 			return rt.backend.GetValue(full)
 		}
 		return eval.Value{}, fmt.Errorf("core: watch: unresolved %q", name)
@@ -98,6 +119,10 @@ func (w *Watchpoint) eval(rt *Runtime) (eval.Value, error) {
 // checkWatches runs at each clock edge before the breakpoint schedule;
 // it returns a stop event when any watched value changed.
 func (rt *Runtime) checkWatches(time uint64) *StopEvent {
+	// Prefetch (and any pending union rebuild) before snapshotting, so
+	// a concurrent RemoveWatch can never leave a snapshotted watch with
+	// slots indexing rebuilt arrays (see evaluateGroup).
+	rt.ensurePrefetch(time)
 	rt.mu.Lock()
 	watches := rt.watches
 	rt.mu.Unlock()

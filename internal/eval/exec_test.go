@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestMachineBasicProgram(t *testing.T) {
+	// (op0 + op1) == 12
+	p := &Prog{
+		Code: []Instr{
+			{Kind: ISig, Dst: 0, A: 0},
+			{Kind: ISig, Dst: 1, A: 1},
+			{Kind: IPrim2, Op: ir.OpAdd, Dst: 0, A: 0, B: 1},
+			{Kind: IConst, Dst: 1, Const: Make(12, 4, false)},
+			{Kind: IPrim2, Op: ir.OpEq, Dst: 0, A: 0, B: 1},
+		},
+		NumRegs:     2,
+		NumOperands: 2,
+	}
+	var m Machine
+	v, err := m.Exec(p, []Value{Make(5, 8, false), Make(7, 8, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsTrue() || v.Width != 1 {
+		t.Fatalf("got %#v, want true/1-bit", v)
+	}
+}
+
+func TestMachineJumps(t *testing.T) {
+	// op0 ? 3 : 5 via conditional jumps.
+	p := &Prog{
+		Code: []Instr{
+			{Kind: ISig, Dst: 0, A: 0},
+			{Kind: IJumpIfFalse, A: 0, P0: 4},
+			{Kind: IConst, Dst: 0, Const: Make(3, 3, false)},
+			{Kind: IJump, P0: 5},
+			{Kind: IConst, Dst: 0, Const: Make(5, 3, false)},
+		},
+		NumRegs:     1,
+		NumOperands: 1,
+	}
+	var m Machine
+	for _, c := range []struct {
+		in   Value
+		want uint64
+	}{{Make(1, 1, false), 3}, {Make(0, 1, false), 5}} {
+		v, err := m.Exec(p, []Value{c.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Bits != c.want {
+			t.Fatalf("cond=%v: got %d, want %d", c.in.Bits, v.Bits, c.want)
+		}
+	}
+}
+
+func TestMachineShortOperands(t *testing.T) {
+	p := &Prog{Code: []Instr{{Kind: ISig, Dst: 0, A: 0}}, NumRegs: 1, NumOperands: 1}
+	var m Machine
+	if _, err := m.Exec(p, nil); err == nil {
+		t.Fatal("expected error for missing operands")
+	}
+}
+
+// TestMachineReuseGrowsRegisters checks a machine can execute programs
+// of different register pressure back to back.
+func TestMachineReuseGrowsRegisters(t *testing.T) {
+	small := &Prog{Code: []Instr{{Kind: IConst, Dst: 0, Const: Make(1, 1, false)}}, NumRegs: 1}
+	big := &Prog{
+		Code: []Instr{
+			{Kind: IConst, Dst: 7, Const: Make(9, 4, false)},
+			{Kind: IMov, Dst: 0, A: 7},
+		},
+		NumRegs: 8,
+	}
+	var m Machine
+	if v, err := m.Exec(small, nil); err != nil || v.Bits != 1 {
+		t.Fatalf("small: %v %#v", err, v)
+	}
+	if v, err := m.Exec(big, nil); err != nil || v.Bits != 9 {
+		t.Fatalf("big: %v %#v", err, v)
+	}
+	if v, err := m.Exec(small, nil); err != nil || v.Bits != 1 {
+		t.Fatalf("small again: %v %#v", err, v)
+	}
+}

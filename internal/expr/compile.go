@@ -1,0 +1,273 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/ir"
+)
+
+// This file lowers parsed expression ASTs into flat register programs
+// (eval.Prog). The debugger compiles every breakpoint and watchpoint
+// condition once at insertion time and executes the compiled form on
+// each clock edge, replacing the tree-walking Node.Eval in the hot loop
+// (which remains as the reference implementation — see the differential
+// test in compile_test.go).
+
+// Program is a compiled expression: a register program plus the
+// deduplicated list of signal dependencies it reads.
+type Program struct {
+	Prog eval.Prog
+	// Deps are the identifiers the expression references, deduplicated
+	// and sorted. Exec's operands[i] must hold the current value of
+	// Deps[i]; callers prefetch all dependencies in one batched backend
+	// read and evaluate with no further signal access.
+	Deps []string
+}
+
+// Exec runs the compiled program on a machine against pre-fetched
+// operand values ordered like Deps.
+func (p *Program) Exec(m *eval.Machine, operands []eval.Value) (eval.Value, error) {
+	return m.Exec(&p.Prog, operands)
+}
+
+// Compile lowers a parsed expression into a register program, folding
+// constant subexpressions at compile time. Evaluation semantics are
+// bit-exact with Node.Eval, including the short-circuit behavior of
+// &&, || and ?: (the skipped side is never executed).
+func Compile(n Node) (*Program, error) {
+	n = fold(n)
+	deps := Names(n)
+	c := &compiler{depIdx: make(map[string]int, len(deps))}
+	for i, d := range deps {
+		c.depIdx[d] = i
+	}
+	if err := c.compile(n, 0); err != nil {
+		return nil, err
+	}
+	return &Program{
+		Prog: eval.Prog{
+			Code:        c.code,
+			NumRegs:     c.maxReg + 1,
+			NumOperands: len(deps),
+			Result:      0,
+		},
+		Deps: deps,
+	}, nil
+}
+
+// MustCompile is Compile, panicking on error; for statically known
+// inputs.
+func MustCompile(n Node) *Program {
+	p, err := Compile(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// fold rewrites constant subexpressions into literals. A subtree with
+// no signal references evaluates identically on every cycle, so it is
+// evaluated once here; subtrees whose constant evaluation errors are
+// left intact so the error surfaces at run time exactly as the
+// tree-walk would report it.
+func fold(n Node) Node {
+	switch t := n.(type) {
+	case unaryNode:
+		x := fold(t.x)
+		return foldConst(unaryNode{op: t.op, x: x})
+	case binNode:
+		a, b := fold(t.a), fold(t.b)
+		return foldConst(binNode{op: t.op, a: a, b: b})
+	case ternaryNode:
+		cond := fold(t.cond)
+		if c, ok := cond.(numNode); ok {
+			// Constant selector: the other arm is dead, matching the
+			// tree-walk which never evaluates it.
+			if c.v.IsTrue() {
+				return fold(t.t)
+			}
+			return fold(t.f)
+		}
+		return ternaryNode{cond: cond, t: fold(t.t), f: fold(t.f)}
+	case bitsNode:
+		x := fold(t.x)
+		return foldConst(bitsNode{x: x, hi: t.hi, lo: t.lo})
+	default:
+		return n
+	}
+}
+
+// foldConst evaluates a node whose children are all literals.
+func foldConst(n Node) Node {
+	if !childrenConst(n) {
+		return n
+	}
+	v, err := n.Eval(errResolver{})
+	if err != nil {
+		return n
+	}
+	return numNode{v: v}
+}
+
+func childrenConst(n Node) bool {
+	switch t := n.(type) {
+	case unaryNode:
+		return isConst(t.x)
+	case binNode:
+		// && and || short-circuit: a constant left side decides the
+		// result alone when it terminates evaluation early.
+		if a, ok := t.a.(numNode); ok {
+			if (t.op == "&&" && !a.v.IsTrue()) || (t.op == "||" && a.v.IsTrue()) {
+				return true
+			}
+		}
+		return isConst(t.a) && isConst(t.b)
+	case bitsNode:
+		return isConst(t.x)
+	}
+	return false
+}
+
+func isConst(n Node) bool {
+	_, ok := n.(numNode)
+	return ok
+}
+
+// errResolver rejects every lookup; constant folding must never reach a
+// signal reference.
+type errResolver struct{}
+
+func (errResolver) Resolve(name string) (eval.Value, error) {
+	return eval.Value{}, fmt.Errorf("expr: constant fold reached signal %q", name)
+}
+
+type compiler struct {
+	code   []eval.Instr
+	depIdx map[string]int
+	maxReg int
+}
+
+func (c *compiler) emit(in eval.Instr) int {
+	c.code = append(c.code, in)
+	return len(c.code) - 1
+}
+
+func (c *compiler) reg(r int) uint16 {
+	if r > c.maxReg {
+		c.maxReg = r
+	}
+	return uint16(r)
+}
+
+// patch rewrites the jump target of instruction at pc to the current
+// end of the program.
+func (c *compiler) patch(pc int) {
+	c.code[pc].P0 = len(c.code)
+}
+
+// compile emits code leaving the node's value in register dst, using
+// registers > dst as scratch (stack-style allocation: the register
+// count equals the expression's operand depth).
+func (c *compiler) compile(n Node, dst int) error {
+	switch t := n.(type) {
+	case numNode:
+		c.emit(eval.Instr{Kind: eval.IConst, Dst: c.reg(dst), Const: t.v})
+	case nameNode:
+		idx, ok := c.depIdx[t.name]
+		if !ok {
+			return fmt.Errorf("expr: compile: unknown dependency %q", t.name)
+		}
+		c.emit(eval.Instr{Kind: eval.ISig, Dst: c.reg(dst), A: uint16(idx)})
+	case unaryNode:
+		if err := c.compile(t.x, dst); err != nil {
+			return err
+		}
+		switch t.op {
+		case "~":
+			c.emit(eval.Instr{Kind: eval.IPrim1, Op: ir.OpNot, Dst: c.reg(dst), A: uint16(dst)})
+		case "!":
+			c.emit(eval.Instr{Kind: eval.ILogNot, Dst: c.reg(dst), A: uint16(dst)})
+		case "-":
+			c.emit(eval.Instr{Kind: eval.IPrim1, Op: ir.OpNeg, Dst: c.reg(dst), A: uint16(dst)})
+		default:
+			return fmt.Errorf("expr: compile: unknown unary %q", t.op)
+		}
+	case binNode:
+		return c.compileBin(t, dst)
+	case ternaryNode:
+		if err := c.compile(t.cond, dst); err != nil {
+			return err
+		}
+		jElse := c.emit(eval.Instr{Kind: eval.IJumpIfFalse, A: uint16(dst)})
+		if err := c.compile(t.t, dst); err != nil {
+			return err
+		}
+		jEnd := c.emit(eval.Instr{Kind: eval.IJump})
+		c.patch(jElse)
+		if err := c.compile(t.f, dst); err != nil {
+			return err
+		}
+		c.patch(jEnd)
+	case bitsNode:
+		if err := c.compile(t.x, dst); err != nil {
+			return err
+		}
+		c.emit(eval.Instr{Kind: eval.IBits, Dst: c.reg(dst), A: uint16(dst), P0: t.hi, P1: t.lo})
+	default:
+		return fmt.Errorf("expr: compile: unknown node type %T", n)
+	}
+	return nil
+}
+
+func (c *compiler) compileBin(t binNode, dst int) error {
+	// Short-circuit forms compile to branches so the skipped side is
+	// never executed, exactly like the tree-walk.
+	switch t.op {
+	case "&&":
+		if err := c.compile(t.a, dst); err != nil {
+			return err
+		}
+		jFalse := c.emit(eval.Instr{Kind: eval.IJumpIfFalse, A: uint16(dst)})
+		if err := c.compile(t.b, dst); err != nil {
+			return err
+		}
+		c.emit(eval.Instr{Kind: eval.IBool, Dst: c.reg(dst), A: uint16(dst)})
+		jEnd := c.emit(eval.Instr{Kind: eval.IJump})
+		c.patch(jFalse)
+		c.emit(eval.Instr{Kind: eval.IConst, Dst: c.reg(dst), Const: eval.Make(0, 1, false)})
+		c.patch(jEnd)
+		return nil
+	case "||":
+		if err := c.compile(t.a, dst); err != nil {
+			return err
+		}
+		jTrue := c.emit(eval.Instr{Kind: eval.IJumpIfTrue, A: uint16(dst)})
+		if err := c.compile(t.b, dst); err != nil {
+			return err
+		}
+		c.emit(eval.Instr{Kind: eval.IBool, Dst: c.reg(dst), A: uint16(dst)})
+		jEnd := c.emit(eval.Instr{Kind: eval.IJump})
+		c.patch(jTrue)
+		c.emit(eval.Instr{Kind: eval.IConst, Dst: c.reg(dst), Const: eval.Make(1, 1, false)})
+		c.patch(jEnd)
+		return nil
+	}
+	op, ok := binOps[t.op]
+	if !ok {
+		return fmt.Errorf("expr: compile: unknown operator %q", t.op)
+	}
+	if err := c.compile(t.a, dst); err != nil {
+		return err
+	}
+	if err := c.compile(t.b, dst+1); err != nil {
+		return err
+	}
+	if op == ir.OpDshl {
+		// Mirror binNode.Eval: the dynamic-shift amount is capped to 6
+		// bits of magnitude to satisfy eval's width model.
+		c.emit(eval.Instr{Kind: eval.ICapW, Dst: c.reg(dst + 1), A: uint16(dst + 1), P0: 6})
+	}
+	c.emit(eval.Instr{Kind: eval.IPrim2, Op: op, Dst: c.reg(dst), A: uint16(dst), B: uint16(dst + 1)})
+	return nil
+}

@@ -24,7 +24,11 @@ type Engine struct {
 	nextCB    int
 }
 
-var _ vpi.Interface = (*Engine)(nil)
+var (
+	_ vpi.Interface       = (*Engine)(nil)
+	_ vpi.BatchReader     = (*Engine)(nil)
+	_ vpi.BatchReaderInto = (*Engine)(nil)
+)
 
 // New wraps a parsed trace.
 func New(trace *vcd.Trace) *Engine {
@@ -42,6 +46,31 @@ func (e *Engine) GetValue(path string) (eval.Value, error) {
 		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
 	}
 	return eval.Make(ts.ValueAt(e.time), ts.Width, false), nil
+}
+
+// GetValues implements vpi.BatchReader: one trace lookup pass for the
+// whole dependency set at the current replay time.
+func (e *Engine) GetValues(paths []string) ([]eval.Value, error) {
+	out := make([]eval.Value, len(paths))
+	if err := e.GetValuesInto(paths, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetValuesInto implements vpi.BatchReaderInto without allocating.
+func (e *Engine) GetValuesInto(paths []string, dst []eval.Value) error {
+	if len(dst) < len(paths) {
+		return fmt.Errorf("replay: batch destination too short: %d < %d", len(dst), len(paths))
+	}
+	for i, p := range paths {
+		ts, ok := e.trace.Signal(p)
+		if !ok {
+			return fmt.Errorf("replay: unknown signal %q", p)
+		}
+		dst[i] = eval.Make(ts.ValueAt(e.time), ts.Width, false)
+	}
+	return nil
 }
 
 // Hierarchy implements vpi.Interface with the scope tree reconstructed

@@ -88,6 +88,25 @@ func (s *Simulator) Peek(name string) (eval.Value, error) {
 	return s.state.Values[sig.Index], nil
 }
 
+// PeekBatch reads many signals in one call, writing values into out
+// (which must be at least as long as paths). It is the native batched
+// read behind the vpi.BatchReader capability: one call resolves and
+// reads the whole dependency set of the debugger's inserted
+// breakpoints, instead of one Peek round trip per signal.
+func (s *Simulator) PeekBatch(paths []string, out []eval.Value) error {
+	if len(out) < len(paths) {
+		return fmt.Errorf("sim: PeekBatch output too short: %d < %d", len(out), len(paths))
+	}
+	for i, p := range paths {
+		sig, ok := s.nl.Signal(p)
+		if !ok {
+			return fmt.Errorf("sim: unknown signal %q", p)
+		}
+		out[i] = s.state.Values[sig.Index]
+	}
+	return nil
+}
+
 // Poke sets a top-level input (or forces any signal, which the next
 // settle may overwrite for combinational nodes).
 func (s *Simulator) Poke(name string, v uint64) error {
