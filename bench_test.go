@@ -18,7 +18,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/bench"
@@ -28,10 +30,12 @@ import (
 	"repro/internal/generator"
 	"repro/internal/ir"
 	"repro/internal/passes"
+	"repro/internal/replay"
 	"repro/internal/riscv"
 	"repro/internal/rtl"
 	"repro/internal/sim"
 	"repro/internal/symtab"
+	"repro/internal/vcd"
 	"repro/internal/vpi"
 )
 
@@ -358,6 +362,249 @@ func BenchmarkEdgeVsChange(b *testing.B) {
 			s.Step()
 		}
 	})
+}
+
+// --- Trace index & checkpointed replay (§3.3 replay backend) ---
+//
+// The workload for the three benchmarks below is a real generated
+// RISC-V trace: the full optimized SoC running the vvadd kernel with
+// every signal recorded. The benchmarks compare the seed trace path
+// (vcd.Parse eager timelines + binary-search replay) against the
+// streaming block store (vcd.ParseStore + checkpointed replay.Engine)
+// on three axes: parse memory, value-at-time latency, and reverse-step
+// latency. DESIGN.md "Trace index & checkpointing" records reference
+// numbers.
+
+var (
+	replayTraceOnce sync.Once
+	replayTraceData []byte
+	replayTraceErr  error
+)
+
+// riscvTraceVCD records the vvadd workload on the one-core optimized
+// SoC once per process and returns the VCD text.
+func riscvTraceVCD(b *testing.B) []byte {
+	b.Helper()
+	replayTraceOnce.Do(func() {
+		m, err := riscv.NewMachine(1, false)
+		if err != nil {
+			replayTraceErr = err
+			return
+		}
+		var w *riscv.Workload
+		for _, cand := range riscv.Workloads() {
+			if cand.Name == "vvadd" {
+				w = cand
+			}
+		}
+		if w == nil {
+			replayTraceErr = fmt.Errorf("vvadd workload not found")
+			return
+		}
+		var buf bytes.Buffer
+		rec := vcd.NewRecorder(m.Sim, &buf)
+		if _, err := m.RunProgram(w.Prog, w.MaxCycles); err != nil {
+			replayTraceErr = err
+			return
+		}
+		if err := rec.Flush(); err != nil {
+			replayTraceErr = err
+			return
+		}
+		replayTraceData = buf.Bytes()
+	})
+	if replayTraceErr != nil {
+		b.Fatal(replayTraceErr)
+	}
+	return replayTraceData
+}
+
+// BenchmarkTraceParse measures parsing the RISC-V trace. Allocation
+// volume (B/op with -benchmem) is the peak-memory comparison; the
+// retained change-data footprint is reported as the data-bytes metric —
+// 16 bytes per change in eager per-signal slices vs the store's varint
+// blocks plus sparse per-signal block index.
+func BenchmarkTraceParse(b *testing.B) {
+	data := riscvTraceVCD(b)
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			tr, err := vcd.Parse(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				retained := 0
+				changes := 0
+				for _, name := range tr.SignalNames() {
+					ts, _ := tr.Signal(name)
+					retained += ts.NumChanges() * 16
+					changes += ts.NumChanges()
+				}
+				b.ReportMetric(float64(retained), "data-bytes")
+				b.ReportMetric(float64(changes), "changes")
+			}
+		}
+	})
+	b.Run("store", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(st.IndexBytes()), "data-bytes")
+				b.ReportMetric(float64(st.NumChanges()), "changes")
+			}
+		}
+	})
+}
+
+// traceQuerySet picks a deterministic spread of signals for value
+// queries: every 7th signal name, which mixes hot (clock, pc) and cold
+// scopes.
+func traceQuerySet(names []string) []string {
+	var out []string
+	for i := 0; i < len(names); i += 7 {
+		out = append(out, names[i])
+	}
+	return out
+}
+
+// BenchmarkTraceValueAt measures random-access value-at-time queries:
+// the eager binary search, the store's lazy path (sparse block index +
+// one block decode), and the store after materializing the query set
+// (identical binary search, decoded on demand).
+func BenchmarkTraceValueAt(b *testing.B) {
+	data := riscvTraceVCD(b)
+	tr, err := vcd.Parse(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := traceQuerySet(tr.SignalNames())
+	maxT := tr.MaxTime
+	// xorshift keeps query times deterministic without pulling in rand.
+	next := uint64(0x9E3779B97F4A7C15)
+	rnd := func() uint64 {
+		next ^= next << 13
+		next ^= next >> 7
+		next ^= next << 17
+		return next
+	}
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ts, _ := tr.Signal(names[i%len(names)])
+			ts.ValueAt(rnd() % (maxT + 1))
+		}
+	})
+	st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("store-lazy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ts, _ := st.Signal(names[i%len(names)])
+			ts.ValueAt(rnd() % (maxT + 1))
+		}
+	})
+	b.Run("store-materialized", func(b *testing.B) {
+		st.Materialize(names...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts, _ := st.Signal(names[i%len(names)])
+			ts.ValueAt(rnd() % (maxT + 1))
+		}
+	})
+}
+
+// BenchmarkReplayReverseStep measures sequential reverse stepping — the
+// debugger's reverse-execution inner loop — at increasing trace depths:
+// each op is one StepBackward plus a full-state signal read. The store
+// engine's checkpointed restore averages O(checkpoint interval / 2)
+// records per step regardless of depth; the same engine with
+// checkpoints disabled replays from t=0 every step (O(t)), and the
+// eager seed engine answers by binary search but pays the eager parse
+// to exist at all. Compare /t25 vs /t50 vs /t100 (percent of trace
+// depth) within each backend: checkpointed stays flat, no-checkpoint
+// scales linearly.
+func BenchmarkReplayReverseStep(b *testing.B) {
+	data := riscvTraceVCD(b)
+	tr, err := vcd.Parse(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A mid-hierarchy register that is not in any dependency union, so
+	// reading it exercises full-state reconstruction on the store.
+	probe := "SoC.core0.pc"
+	if _, ok := tr.Signal(probe); !ok {
+		b.Fatalf("probe signal %s not in trace", probe)
+	}
+	depths := []struct {
+		name string
+		frac uint64 // rewind depth t = MaxTime / frac
+	}{{"t25", 4}, {"t50", 2}, {"t100", 1}}
+	engines := []struct {
+		name string
+		make func(b *testing.B) *replay.Engine
+	}{
+		{"seed", func(b *testing.B) *replay.Engine {
+			t2, err := vcd.Parse(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return replay.New(t2)
+		}},
+		{"checkpointed", func(b *testing.B) *replay.Engine {
+			st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return replay.NewStore(st)
+		}},
+		{"no-checkpoint", func(b *testing.B) *replay.Engine {
+			st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// An interval beyond the trace end means every backward
+			// seek restores the time-0 state and replays forward — the
+			// un-checkpointed block-store baseline.
+			return replay.NewStore(st, replay.WithCheckpointInterval(st.MaxTime+1))
+		}},
+	}
+	for _, eng := range engines {
+		for _, d := range depths {
+			b.Run(eng.name+"/"+d.name, func(b *testing.B) {
+				e := eng.make(b)
+				tm := e.MaxTime() / d.frac
+				if tm == 0 {
+					b.Skip("trace too short")
+				}
+				// Warm: a forward read at depth populates checkpoints.
+				e.SetTime(tm)
+				if _, err := e.GetValue(probe); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if e.Time() == 0 {
+						e.SetTime(tm)
+					}
+					e.StepBackward()
+					if _, err := e.GetValue(probe); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkParallelEval measures the §3.2 parallel group evaluation on

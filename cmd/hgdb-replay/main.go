@@ -6,15 +6,22 @@
 // Usage:
 //
 //	hgdb-replay -vcd trace.vcd -symtab table.json [-listen :9876]
-//	            [-auto]
+//	            [-auto] [-block N] [-checkpoint N]
 //
 // With -auto the tool replays the trace forward to the end (pausing at
 // breakpoint stops, like a live simulation would); otherwise it holds
 // at time zero and the attached debugger steps through time.
+//
+// The trace is parsed in one streaming pass into a time-blocked change
+// index (-block sets the window width); signal timelines decode only
+// when the debugger's breakpoints need them, and backward time travel
+// restores periodic value-snapshot checkpoints (-checkpoint sets their
+// spacing, 0 = adaptive) instead of rescanning the trace.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"time"
@@ -32,6 +39,8 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9876", "debug protocol listen address")
 	auto := flag.Bool("auto", false, "replay forward automatically")
 	holdFor := flag.Duration("hold", 60*time.Second, "how long to serve before exiting")
+	block := flag.Uint64("block", vcd.DefaultBlockSize, "trace index time-block size (trace timestamp units)")
+	checkpoint := flag.Uint64("checkpoint", 0, "reverse-execution checkpoint interval (trace timestamp units, 0 = adaptive)")
 	flag.Parse()
 	if *vcdPath == "" || *symtabPath == "" {
 		flag.Usage()
@@ -42,7 +51,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("hgdb-replay: %v", err)
 	}
-	trace, err := vcd.Parse(vf)
+	store, err := vcd.ParseStore(vf, vcd.StoreOptions{BlockSize: *block})
 	vf.Close()
 	if err != nil {
 		log.Fatalf("hgdb-replay: parse vcd: %v", err)
@@ -57,7 +66,7 @@ func main() {
 		log.Fatalf("hgdb-replay: load symtab: %v", err)
 	}
 
-	eng := replay.New(trace)
+	eng := replay.NewStore(store, replay.WithCheckpointInterval(*checkpoint))
 	rt, err := core.New(eng, table)
 	if err != nil {
 		log.Fatalf("hgdb-replay: runtime: %v", err)
@@ -67,8 +76,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("hgdb-replay: %v", err)
 	}
-	log.Printf("replaying %s (%d cycles, %d signals) on %s",
-		*vcdPath, trace.MaxTime, len(trace.Signals), addr)
+	log.Printf("replaying %s (%d cycles, %d signals, %d changes in %d blocks, %s index) on %s",
+		*vcdPath, store.MaxTime, store.NumSignals(), store.NumChanges(),
+		store.NumBlocks(), fmtBytes(store.IndexBytes()), addr)
 
 	if *auto {
 		for eng.StepForward() {
@@ -87,4 +97,15 @@ func main() {
 		}
 	}
 	srv.Close()
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }

@@ -76,12 +76,15 @@ func main() {
 	}
 	fmt.Printf("recorded %d cycles of trace (%d bytes of VCD)\n", s.Time(), buf.Len())
 
-	// Phase 2: replay with reverse debugging.
-	trace, err := vcd.Parse(&buf)
+	// Phase 2: replay with reverse debugging, on the checkpointed block
+	// store (the scalable trace path — hgdb-replay uses the same one).
+	// A tiny block size and checkpoint interval make this short trace
+	// still cross several boundaries.
+	store, err := vcd.ParseStore(&buf, vcd.StoreOptions{BlockSize: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := replay.New(trace)
+	eng := replay.NewStore(store, replay.WithCheckpointInterval(4))
 	rt, err := core.New(eng, table)
 	if err != nil {
 		log.Fatal(err)
@@ -116,7 +119,8 @@ func main() {
 
 	eng.SetTime(10)
 	eng.StepForward()
-	fmt.Printf("\nreplay position after session: cycle %d\n", eng.Time())
+	fmt.Printf("\nreplay position after session: cycle %d (%d checkpoints back the reverse steps)\n",
+		eng.Time(), eng.Checkpoints())
 	fmt.Println("note: count values DECREASE across the reverse steps — execution")
 	fmt.Println("appears to run backwards, paper §3.2's illusion, and crossing the")
 	fmt.Println("cycle boundary used the trace backend's SetTime.")

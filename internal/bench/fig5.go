@@ -1,10 +1,12 @@
-// Package bench implements the paper's evaluation harness. Figure 5:
-// simulation time for the RocketChip benchmark suite under four
-// configurations — baseline (optimized), baseline + hgdb, debug
-// (unoptimized), debug + hgdb — normalized per workload to baseline.
-// The paper's claim: hgdb overhead stays below 5% in both build modes,
-// because the only cost with no breakpoint inserted is the clock-edge
-// callback's immediate return.
+// Package bench implements the paper's evaluation harness (§4.3,
+// Figure 5): simulation time for the RocketChip benchmark suite under
+// four configurations — baseline (optimized), baseline + hgdb, debug
+// (unoptimized), debug + hgdb — normalized per workload to baseline,
+// plus the §4.1 symbol-table and netlist size statistics. The paper's
+// claim: hgdb overhead stays below 5% in both build modes, because the
+// only cost with no breakpoint inserted is the clock-edge callback's
+// immediate return. Every measured run is validated against the Go
+// reference models first, so timings measure correct executions.
 package bench
 
 import (

@@ -404,6 +404,73 @@ func TestReplayReverseAcrossCycles(t *testing.T) {
 	}
 }
 
+// TestReplayReverseAcrossCyclesCheckpointed is the block-store twin of
+// TestReplayReverseAcrossCycles: the same reverse schedule, driven
+// through the checkpointed engine. It also checks the Prefetcher wiring
+// — arming the breakpoint must materialize the dependency union in the
+// store — and that crossing cycle boundaries backwards left restore
+// points behind.
+func TestReplayReverseAcrossCyclesCheckpointed(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	var buf bytes.Buffer
+	rec := vcd.NewRecorder(d.sim, &buf)
+	d.sim.Reset("Counter.reset", 1)
+	d.sim.Poke("Counter.en", 1)
+	d.sim.Run(10)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := vcd.ParseStore(&buf, vcd.StoreOptions{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := replay.NewStore(st, replay.WithCheckpointInterval(2))
+	rt, err := New(eng, d.table)
+	if err != nil {
+		t.Fatalf("runtime over checkpointed replay: %v", err)
+	}
+	rt.AddBreakpoint("core_test.go", d.incLine, "")
+	var stops []struct {
+		time  uint64
+		count uint64
+	}
+	rt.SetHandler(func(ev *StopEvent) Command {
+		var cnt uint64
+		for _, v := range ev.Threads[0].Locals {
+			if v.Name == "count" {
+				cnt = v.Value
+			}
+		}
+		stops = append(stops, struct{ time, count uint64 }{ev.Time, cnt})
+		if len(stops) < 8 && ev.Time == stops[0].time {
+			return CmdReverseStep
+		}
+		return CmdDetach
+	})
+	eng.SetTime(5)
+	eng.StepForward() // evaluates at t=6
+	if len(stops) < 2 {
+		t.Fatalf("stops = %+v", stops)
+	}
+	last := stops[len(stops)-1]
+	if last.time >= stops[0].time {
+		t.Fatalf("reverse never crossed the cycle boundary: %+v", stops)
+	}
+	if last.count >= stops[0].count {
+		t.Fatalf("reverse did not observe earlier state: %+v", stops)
+	}
+	// The enable condition's dependency union was advised via Prefetch
+	// at arm time; its signals must be materialized in the store.
+	if sig, ok := st.Signal("Counter.en"); !ok || !sig.Materialized() {
+		t.Fatalf("dependency signal not materialized via Prefetch (ok=%v)", ok)
+	}
+	// Frame reconstruction read unmaterialized locals at each stop,
+	// which syncs replay state and drops checkpoints on the way.
+	if eng.Checkpoints() == 0 {
+		t.Fatal("no checkpoints created by reverse schedule")
+	}
+}
+
 func TestEvaluateWatchExpression(t *testing.T) {
 	d := buildCounterDesign(t, false)
 	rt, err := New(vpi.NewSimBackend(d.sim), d.table)

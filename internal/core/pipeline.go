@@ -178,6 +178,13 @@ func (rt *Runtime) rebuildDeps() {
 	rt.prefetched = make([]eval.Value, len(rt.depUnion))
 	rt.prefetchOK = make([]bool, len(rt.depUnion))
 	rt.prefetchValid = false
+	// Advise capable backends of the per-cycle read set: a replay block
+	// store materializes exactly these signals' timelines, so the
+	// batched read below never decodes trace blocks or moves replay
+	// state mid-schedule.
+	if p, ok := rt.backend.(vpi.Prefetcher); ok && len(rt.depUnion) > 0 {
+		p.Prefetch(rt.depUnion)
+	}
 }
 
 // ensurePrefetch makes the per-cycle value cache current for time t:

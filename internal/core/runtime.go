@@ -1,9 +1,17 @@
-// Package core implements the hgdb debugger runtime: breakpoint
-// insertion against the symbol table, the paper's Figure 2 scheduling
-// loop executed inside the simulator's clock-edge callback, parallel
-// condition evaluation, source-level stack frame reconstruction with
-// structured variables, concurrent instances presented as threads, and
-// intra-cycle plus (on replay backends) full reverse debugging.
+// Package core implements the hgdb debugger runtime — the paper's
+// breakpoint emulation layer (§3.2, Figure 2): breakpoint insertion
+// against the symbol table, the Figure 2 scheduling loop executed
+// inside the simulator's clock-edge callback, parallel condition
+// evaluation of breakpoint groups, source-level stack frame
+// reconstruction with structured variables (§3.4), concurrent
+// instances presented as threads (Figure 4), watchpoints, and
+// intra-cycle plus (on replay backends) full reverse debugging (§3.2).
+//
+// Conditions compile once at insertion time to register bytecode
+// (expr.Compile → eval.Machine) and each edge issues one batched read
+// of the armed dependency union; on backends implementing
+// vpi.Prefetcher (the replay block store) that union is advised ahead
+// of time so per-cycle reads stay off cold trace state. See DESIGN.md.
 package core
 
 import (

@@ -1,8 +1,9 @@
 // Package db is a small embedded relational store standing in for the
-// SQLite database the paper uses for its native symbol table backend.
-// It supports typed schemas, primary keys, secondary indexes, foreign
-// key integrity, predicate and indexed selects, and JSON persistence —
-// the subset of SQL the Figure 3 schema and its queries require.
+// SQLite database the paper uses for its native symbol table backend
+// (§3.1, Figure 3). It supports typed schemas, primary keys, secondary
+// indexes, foreign key integrity, predicate and indexed selects, and
+// JSON persistence — the subset of SQL the Figure 3 breakpoint/variable
+// schema and the debugger's lookup queries require.
 package db
 
 import (

@@ -1,0 +1,376 @@
+package replay
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/vcd"
+)
+
+// storeEngine parses the raw VCD into a block store and wraps it in a
+// checkpointed engine with deliberately tiny blocks and intervals so
+// short test traces still cross many boundaries.
+func storeEngine(t testing.TB, data []byte, interval uint64) *Engine {
+	t.Helper()
+	st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(st, WithCheckpointInterval(interval))
+}
+
+// TestStoreEngineDifferential is the reverse-SetTime correctness
+// contract: across random time jumps (forward and backward), the
+// checkpointed store engine must return bit-identical values to the
+// seed eager-trace implementation for every signal — with none, some,
+// and all signals materialized.
+func TestStoreEngineDifferential(t *testing.T) {
+	data := makeVCD(t)
+	seed := New(makeTrace(t))
+	eng := storeEngine(t, data, 3)
+	names := func() []string {
+		tr, _ := vcd.Parse(bytes.NewReader(data))
+		return tr.SignalNames()
+	}()
+
+	rng := rand.New(rand.NewSource(42))
+	max := seed.MaxTime()
+	if max != eng.MaxTime() {
+		t.Fatalf("MaxTime: store %d, seed %d", eng.MaxTime(), max)
+	}
+	compareAll := func(jump int) {
+		for _, name := range names {
+			want, err := seed.GetValue(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.GetValue(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("jump %d: %s@%d = %v, want %v", jump, name, eng.Time(), got, want)
+			}
+		}
+	}
+	for jump := 0; jump < 200; jump++ {
+		tm := uint64(rng.Int63n(int64(max + 1)))
+		if err := seed.SetTime(tm); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SetTime(tm); err != nil {
+			t.Fatal(err)
+		}
+		compareAll(jump)
+		switch jump {
+		case 66:
+			// Materialize part of the signal set mid-run; answers from
+			// the lazy binary-search path must agree with state sync.
+			eng.Prefetch(names[:len(names)/2])
+		case 133:
+			eng.Prefetch(names)
+		}
+	}
+	if eng.Checkpoints() == 0 {
+		t.Fatal("no checkpoints created across 200 random jumps")
+	}
+}
+
+// TestStoreEngineStepsMatchSeed runs the two engines through the same
+// forward/backward step sequence and compares values and callback
+// times at every point.
+func TestStoreEngineStepsMatchSeed(t *testing.T) {
+	data := makeVCD(t)
+	seed := New(makeTrace(t))
+	eng := storeEngine(t, data, 4)
+	var seedTimes, engTimes []uint64
+	seed.OnClockEdge(func(tm uint64) { seedTimes = append(seedTimes, tm) })
+	eng.OnClockEdge(func(tm uint64) { engTimes = append(engTimes, tm) })
+	step := func(fwd bool) {
+		var a, b bool
+		if fwd {
+			a, b = seed.StepForward(), eng.StepForward()
+		} else {
+			a, b = seed.StepBackward(), eng.StepBackward()
+		}
+		if a != b {
+			t.Fatalf("step(fwd=%v) diverged: seed %v, store %v", fwd, a, b)
+		}
+		v1, err1 := seed.GetValue("Counter.count")
+		v2, err2 := eng.GetValue("Counter.count")
+		if err1 != nil || err2 != nil || v1 != v2 {
+			t.Fatalf("count@%d: seed %v (%v), store %v (%v)", seed.Time(), v1, err1, v2, err2)
+		}
+	}
+	for _, fwd := range []bool{true, true, true, true, true, false, false, true, false, true} {
+		step(fwd)
+	}
+	if len(seedTimes) != len(engTimes) {
+		t.Fatalf("callback counts: seed %d, store %d", len(seedTimes), len(engTimes))
+	}
+	for i := range seedTimes {
+		if seedTimes[i] != engTimes[i] {
+			t.Fatalf("callback[%d]: seed %d, store %d", i, seedTimes[i], engTimes[i])
+		}
+	}
+}
+
+// TestStoreEngineBatchZeroAlloc pins the BatchReaderInto contract on
+// the store backend: once the dependency union is prefetched
+// (materialized), the per-cycle batched read allocates nothing.
+func TestStoreEngineBatchZeroAlloc(t *testing.T) {
+	eng := storeEngine(t, makeVCD(t), 4)
+	paths := []string{"Counter.count", "Counter.out", "Counter.en"}
+	eng.Prefetch(paths)
+	dst := make([]eval.Value, len(paths))
+	eng.SetTime(5)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := eng.GetValuesInto(paths, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("GetValuesInto allocated %.1f per call, want 0", allocs)
+	}
+}
+
+// TestStoreEngineInitialValues pins time-zero semantics: real
+// simulator output dumps nonzero initial values at #0 ($dumpvars), and
+// the store engine must return them — at first read, and again after
+// seeking away and back — identically to the seed engine. The repo's
+// own Recorder happens to dump zeros at #0, which is why the random
+// differential test alone cannot catch this.
+func TestStoreEngineInitialValues(t *testing.T) {
+	const trace = `$scope module Top $end
+$var wire 1 ! rst $end
+$var wire 8 " v $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+b101 "
+#2
+0!
+b110 "
+#4
+b111 "
+`
+	seed := New(func() *vcd.Trace {
+		tr, err := vcd.Parse(bytes.NewReader([]byte(trace)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}())
+	eng := storeEngine(t, []byte(trace), 2)
+	check := func(when string) {
+		for _, tm := range []uint64{0, 1, 2, 3, 4} {
+			seed.SetTime(tm)
+			eng.SetTime(tm)
+			for _, name := range []string{"Top.rst", "Top.v"} {
+				want, err := seed.GetValue(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.GetValue(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("%s: %s@%d = %v, want %v", when, name, tm, got, want)
+				}
+			}
+		}
+	}
+	check("first pass")
+	// Specifically: rst=1, v=5 at t=0 (the reported bug returned 0s).
+	eng.SetTime(0)
+	if v, _ := eng.GetValue("Top.rst"); v.Bits != 1 {
+		t.Fatalf("rst@0 = %d, want 1", v.Bits)
+	}
+	if v, _ := eng.GetValue("Top.v"); v.Bits != 5 {
+		t.Fatalf("v@0 = %d, want 5", v.Bits)
+	}
+	check("after seeks")
+}
+
+// TestStoreEngineSparseGapSync pins sync cost on sparse traces: real
+// dumps count timescale units, so a small explicit checkpoint interval
+// against a #1e9-long record-free gap must not loop (or snapshot) once
+// per boundary. Sweep work is O(records + snapshots actually taken);
+// this test hangs for ~a minute if a per-boundary regression returns.
+func TestStoreEngineSparseGapSync(t *testing.T) {
+	const trace = `$scope module Top $end
+$var wire 1 ! a $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+#1000000000
+0!
+`
+	st, err := vcd.ParseStore(bytes.NewReader([]byte(trace)), vcd.StoreOptions{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewStore(st, WithCheckpointInterval(64))
+	read := func(tm, want uint64) {
+		if err := eng.SetTime(tm); err != nil {
+			t.Fatal(err)
+		}
+		v, err := eng.GetValue("Top.a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Bits != want {
+			t.Fatalf("a@%d = %d, want %d", tm, v.Bits, want)
+		}
+	}
+	read(eng.MaxTime(), 0)   // forward across the gap
+	read(500000000, 1)       // backward into the gap
+	read(eng.MaxTime()-1, 1) // forward again, just before the change
+	read(0, 1)               // all the way back
+	read(eng.MaxTime(), 0)   // and forward once more
+	if n := eng.Checkpoints(); n > 4 {
+		t.Fatalf("checkpoints = %d, want a handful (one per interval containing records, one per gap landing)", n)
+	}
+}
+
+// TestStoreCheckpointOrderInvariant pins the restore lookup's sorted
+// invariant: a partial sweep that consumes a record without crossing
+// its checkpoint boundary, then a gap-jumping long sweep, then a
+// rewind-and-resweep creates an earlier checkpoint AFTER later ones.
+// cpTimes must stay sorted so a backward seek still binary-searches to
+// the nearest checkpoint instead of silently replaying from t=0.
+func TestStoreCheckpointOrderInvariant(t *testing.T) {
+	const trace = `$scope module Top $end
+$var wire 8 ! v $end
+$upscope $end
+$enddefinitions $end
+#5
+b1 !
+#95
+b10 !
+#200
+b11 !
+`
+	st, err := vcd.ParseStore(bytes.NewReader([]byte(trace)), vcd.StoreOptions{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := newStoreBacking(st, WithCheckpointInterval(10))
+	// sync(7) consumes the t=5 record without snapshotting boundary 10;
+	// sync(200) gap-jumps past 10 and snapshots 90/100/200; the rewind
+	// and resweep to 25 finally creates checkpoint 10 — out of creation
+	// order.
+	for _, tm := range []uint64{7, 200, 3, 25} {
+		sb.sync(tm)
+	}
+	for i := 1; i < len(sb.cpTimes); i++ {
+		if sb.cpTimes[i-1] >= sb.cpTimes[i] {
+			t.Fatalf("cpTimes not sorted: %v", sb.cpTimes)
+		}
+	}
+	// A backward seek to 60 must land on checkpoint 10, not reset to
+	// time zero (which would silently degrade reverse seeks to O(t)).
+	sb.sync(200)
+	sb.restore(60)
+	if sb.stateTime != 10 {
+		t.Fatalf("restore(60) landed at %d, want checkpoint 10 (cpTimes %v)", sb.stateTime, sb.cpTimes)
+	}
+	if got, _ := sb.value("Top.v", 60); got.Bits != 1 {
+		t.Fatalf("v@60 = %d, want 1", got.Bits)
+	}
+}
+
+// TestStoreEngineConcurrentReads models the hgdb-replay deployment
+// shape: the simulation goroutine sweeps replay state forward and
+// backward while server connection goroutines issue raw get_value
+// reads and a breakpoint arm materializes the dependency union
+// mid-flight. Values must stay bit-identical to the seed engine
+// throughout; run with -race to catch reader/sync races.
+func TestStoreEngineConcurrentReads(t *testing.T) {
+	data := makeVCD(t)
+	st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := newStoreBacking(st, WithCheckpointInterval(2))
+	seed := New(makeTrace(t))
+	names := func() []string {
+		tr, _ := vcd.Parse(bytes.NewReader(data))
+		return tr.SignalNames()
+	}()
+	max := st.MaxTime
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				tm := uint64((i*7 + g*3) % int(max+1))
+				name := names[(i+g)%len(names)]
+				got, err := sb.value(name, tm)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				ref, ok := seedSignal(seed, name)
+				if !ok {
+					t.Errorf("seed trace missing %s", name)
+					return
+				}
+				if want := ref.ValueAt(tm); got.Bits != want {
+					t.Errorf("%s@%d = %d, want %d", name, tm, got.Bits, want)
+					return
+				}
+				if i == 150 && g == 0 {
+					sb.prefetch(names[:len(names)/2])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// seedSignal resolves a signal on the eager reference engine's trace.
+func seedSignal(e *Engine, name string) (*vcd.TraceSignal, bool) {
+	return e.src.(traceBacking).trace.Signal(name)
+}
+
+// TestStoreEngineReverseUsesCheckpoints checks the mechanism (not just
+// the answers): after a forward sweep, a backward seek restores from a
+// snapshot rather than replaying from zero — observable as checkpoint
+// population plus correct unmaterialized reads straight after the
+// restore.
+func TestStoreEngineReverseUsesCheckpoints(t *testing.T) {
+	data := makeVCD(t)
+	eng := storeEngine(t, data, 2)
+	// Forward sweep with an unmaterialized read each cycle populates
+	// every boundary snapshot.
+	for eng.StepForward() {
+		if _, err := eng.GetValue("Counter.count"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := int(eng.MaxTime() / 2)
+	if got := eng.Checkpoints(); got != want {
+		t.Fatalf("checkpoints after full sweep = %d, want %d", got, want)
+	}
+	seed := New(makeTrace(t))
+	for tm := int64(eng.MaxTime()); tm >= 0; tm-- {
+		eng.SetTime(uint64(tm))
+		seed.SetTime(uint64(tm))
+		got, err := eng.GetValue("Counter.count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantV, _ := seed.GetValue("Counter.count")
+		if got != wantV {
+			t.Fatalf("reverse read@%d = %v, want %v", tm, got, wantV)
+		}
+	}
+}

@@ -1,13 +1,25 @@
 // Package replay implements the paper's trace-based replay backend: the
 // same unified simulator interface as a live simulation, but backed by
-// a parsed VCD trace. Because SetTime works in both directions, the
+// a recorded VCD trace. Because SetTime works in both directions, the
 // hgdb runtime can extend intra-cycle reverse debugging to full reverse
 // debugging — stepping to previous clock cycles and re-running the
 // breakpoint schedule in reverse order (§3.2).
+//
+// Two trace representations are supported behind one Engine type:
+//
+//   - New wraps an eagerly parsed vcd.Trace (every signal's full
+//     timeline in memory) — simple, and the reference implementation
+//     the checkpointed path is differentially tested against.
+//   - NewStore wraps a vcd.Store block index: signal timelines decode
+//     lazily (Prefetch materializes the debugger's dependency union),
+//     and backward SetTime restores the nearest periodic value-snapshot
+//     checkpoint then replays forward deltas, making a reverse step
+//     O(checkpoint interval) instead of O(t) on undecoded state.
 package replay
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/rtl"
@@ -15,10 +27,27 @@ import (
 	"repro/internal/vpi"
 )
 
+// backing is the trace representation behind an Engine. Implementations
+// answer value queries at an arbitrary time; the Engine owns time
+// itself, clock-edge callbacks, and the vpi surface.
+type backing interface {
+	maxTime() uint64
+	hierarchy() *rtl.InstanceNode
+	// value returns the signal's recorded value at time t.
+	value(path string, t uint64) (eval.Value, error)
+	// prefetch advises which paths will be read every cycle.
+	prefetch(paths []string)
+	// checkpoints reports how many restore points exist (stats).
+	checkpoints() int
+}
+
 // Engine replays a VCD trace behind the vpi.Interface.
 type Engine struct {
-	trace     *vcd.Trace
-	time      uint64
+	src backing
+	// time is atomic because the debug server dispatches raw reads on
+	// connection goroutines while the owning goroutine steps/seeks; a
+	// batched read loads it once so one batch sees one instant.
+	time      atomic.Uint64
 	callbacks map[int]func(uint64)
 	cbOrder   []int
 	nextCB    int
@@ -28,24 +57,60 @@ var (
 	_ vpi.Interface       = (*Engine)(nil)
 	_ vpi.BatchReader     = (*Engine)(nil)
 	_ vpi.BatchReaderInto = (*Engine)(nil)
+	_ vpi.Prefetcher      = (*Engine)(nil)
 )
 
-// New wraps a parsed trace.
+// traceBacking adapts an eager vcd.Trace: every query is a binary
+// search over the signal's fully materialized timeline.
+type traceBacking struct {
+	trace *vcd.Trace
+}
+
+func (tb traceBacking) maxTime() uint64              { return tb.trace.MaxTime }
+func (tb traceBacking) hierarchy() *rtl.InstanceNode { return tb.trace.Hierarchy }
+func (tb traceBacking) prefetch([]string)            {}
+func (tb traceBacking) checkpoints() int             { return 0 }
+func (tb traceBacking) value(path string, t uint64) (eval.Value, error) {
+	ts, ok := tb.trace.Signal(path)
+	if !ok {
+		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
+	}
+	return eval.Make(ts.ValueAt(t), ts.Width, false), nil
+}
+
+// New wraps an eagerly parsed trace.
 func New(trace *vcd.Trace) *Engine {
-	return &Engine{trace: trace, callbacks: map[int]func(uint64){}}
+	return newEngine(traceBacking{trace: trace})
+}
+
+// NewStore wraps a block-store trace index with checkpointed state
+// reconstruction; see the package comment and WithCheckpointInterval.
+func NewStore(store *vcd.Store, opts ...StoreEngineOption) *Engine {
+	return newEngine(newStoreBacking(store, opts...))
+}
+
+func newEngine(src backing) *Engine {
+	return &Engine{src: src, callbacks: map[int]func(uint64){}}
 }
 
 // MaxTime returns the final timestamp in the trace.
-func (e *Engine) MaxTime() uint64 { return e.trace.MaxTime }
+func (e *Engine) MaxTime() uint64 { return e.src.maxTime() }
+
+// Checkpoints returns how many value-snapshot restore points the
+// backend currently holds (always 0 for eager traces).
+func (e *Engine) Checkpoints() int { return e.src.checkpoints() }
+
+// Prefetch implements vpi.Prefetcher: the debugger runtime advises the
+// set of signal paths it will read every cycle (its breakpoint/watch
+// dependency union), and the store backend materializes exactly those
+// timelines so per-cycle reads never touch undecoded blocks or move the
+// full replay state.
+func (e *Engine) Prefetch(paths []string) { e.src.prefetch(paths) }
 
 // GetValue implements vpi.Interface: the signal's recorded value at the
 // current replay time.
 func (e *Engine) GetValue(path string) (eval.Value, error) {
-	ts, ok := e.trace.Signal(path)
-	if !ok {
-		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
-	}
-	return eval.Make(ts.ValueAt(e.time), ts.Width, false), nil
+	return e.src.value(path, e.time.Load())
 }
 
 // GetValues implements vpi.BatchReader: one trace lookup pass for the
@@ -63,12 +128,13 @@ func (e *Engine) GetValuesInto(paths []string, dst []eval.Value) error {
 	if len(dst) < len(paths) {
 		return fmt.Errorf("replay: batch destination too short: %d < %d", len(dst), len(paths))
 	}
+	t := e.time.Load()
 	for i, p := range paths {
-		ts, ok := e.trace.Signal(p)
-		if !ok {
-			return fmt.Errorf("replay: unknown signal %q", p)
+		v, err := e.src.value(p, t)
+		if err != nil {
+			return err
 		}
-		dst[i] = eval.Make(ts.ValueAt(e.time), ts.Width, false)
+		dst[i] = v
 	}
 	return nil
 }
@@ -76,14 +142,14 @@ func (e *Engine) GetValuesInto(paths []string, dst []eval.Value) error {
 // Hierarchy implements vpi.Interface with the scope tree reconstructed
 // from the trace (hierarchy only — no definition information, as the
 // paper notes for VCD).
-func (e *Engine) Hierarchy() *rtl.InstanceNode { return e.trace.Hierarchy }
+func (e *Engine) Hierarchy() *rtl.InstanceNode { return e.src.hierarchy() }
 
 // ClockName implements vpi.Interface.
 func (e *Engine) ClockName() string {
-	if e.trace.Hierarchy == nil {
+	if e.src.hierarchy() == nil {
 		return "clock"
 	}
-	return e.trace.Hierarchy.Path + ".clock"
+	return e.src.hierarchy().Path + ".clock"
 }
 
 // OnClockEdge implements vpi.Interface.
@@ -107,16 +173,17 @@ func (e *Engine) RemoveCallback(id int) {
 }
 
 // Time implements vpi.Interface.
-func (e *Engine) Time() uint64 { return e.time }
+func (e *Engine) Time() uint64 { return e.time.Load() }
 
 // SetTime implements vpi.Interface — the primitive that unlocks reverse
 // debugging. Seeking does not fire edge callbacks; use StepForward and
-// StepBackward to emulate clock edges.
+// StepBackward to emulate clock edges. On a store backend a backward
+// seek costs O(checkpoint interval) trace records, not O(t).
 func (e *Engine) SetTime(t uint64) error {
-	if t > e.trace.MaxTime {
-		return fmt.Errorf("replay: time %d beyond end of trace (%d)", t, e.trace.MaxTime)
+	if t > e.src.maxTime() {
+		return fmt.Errorf("replay: time %d beyond end of trace (%d)", t, e.src.maxTime())
 	}
-	e.time = t
+	e.time.Store(t)
 	return nil
 }
 
@@ -128,7 +195,7 @@ func (e *Engine) SetValue(string, uint64) error {
 func (e *Engine) fire() {
 	for _, id := range e.cbOrder {
 		if cb, ok := e.callbacks[id]; ok {
-			cb(e.time)
+			cb(e.time.Load())
 		}
 	}
 }
@@ -136,10 +203,11 @@ func (e *Engine) fire() {
 // StepForward advances one cycle and fires edge callbacks; returns
 // false at the end of the trace.
 func (e *Engine) StepForward() bool {
-	if e.time >= e.trace.MaxTime {
+	t := e.time.Load()
+	if t >= e.src.maxTime() {
 		return false
 	}
-	e.time++
+	e.time.Store(t + 1)
 	e.fire()
 	return true
 }
@@ -147,10 +215,11 @@ func (e *Engine) StepForward() bool {
 // StepBackward rewinds one cycle and fires edge callbacks; returns
 // false at time zero.
 func (e *Engine) StepBackward() bool {
-	if e.time == 0 {
+	t := e.time.Load()
+	if t == 0 {
 		return false
 	}
-	e.time--
+	e.time.Store(t - 1)
 	e.fire()
 	return true
 }

@@ -14,7 +14,9 @@ import (
 	"repro/internal/vpi"
 )
 
-func makeTrace(t *testing.T) *vcd.Trace {
+// makeVCD records the counter design for 10 cycles and returns the raw
+// VCD text, shared by the eager-trace and block-store engine tests.
+func makeVCD(t testing.TB) []byte {
 	t.Helper()
 	c := generator.NewCircuit("Counter")
 	m := c.NewModule("Counter")
@@ -42,7 +44,12 @@ func makeTrace(t *testing.T) *vcd.Trace {
 	if err := rec.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := vcd.Parse(&buf)
+	return buf.Bytes()
+}
+
+func makeTrace(t testing.TB) *vcd.Trace {
+	t.Helper()
+	tr, err := vcd.Parse(bytes.NewReader(makeVCD(t)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,458 @@
+package vcd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/eval"
+	"repro/internal/rtl"
+)
+
+// This file is the trace index: a streaming, single-pass alternative to
+// Parse that emits change records into fixed-size time blocks instead of
+// per-signal in-memory slices. Signals are decoded lazily — only the
+// debugger's breakpoint/watch dependency set is materialized into
+// binary-searchable timelines (Materialize); everything else stays as
+// compact varint records until a query or a replay state sweep touches
+// it. See DESIGN.md "Trace index & checkpointing" for the format and the
+// complexity analysis.
+
+// DefaultBlockSize is the time-window width of one store block. 64
+// cycles keeps single-block decodes (the unit of work for a lazy
+// value-at-time query) small while amortizing per-block overhead across
+// enough records to matter.
+const DefaultBlockSize = 64
+
+// StoreOptions configures ParseStore.
+type StoreOptions struct {
+	// BlockSize is the time-window width of each block (0 = default).
+	BlockSize uint64
+}
+
+// storeBlock holds every change in one time window
+// [win*bs, (win+1)*bs) as a compact record stream: uvarint(signal
+// index), uvarint(time delta from the previous record in the block, or
+// from the window start for the first), uvarint(value bits). Records
+// are in file order, which is non-decreasing time order, so
+// last-write-wins replay is correct. Blocks are SPARSE over time: only
+// windows containing at least one change exist, in ascending window
+// order, so store memory is O(changes) even when timestamps are huge
+// (real simulator dumps count timescale units, not cycles — a 1 s run
+// at 1 ps timescale ends at #1e12).
+type storeBlock struct {
+	win uint64 // window index: this block covers [win*bs, (win+1)*bs)
+	buf []byte
+	// last is the absolute time of the final appended record; parse-time
+	// helper for delta encoding.
+	last uint64
+}
+
+// timeline is a signal's fully decoded change history. It is built
+// complete before being published, and immutable afterwards.
+type timeline struct {
+	times []uint64
+	vals  []uint64
+}
+
+// StoreSignal is one signal in a block store: always its per-block
+// sparse index (which blocks it changed in, and its final value within
+// each), plus — only after Materialize — the fully decoded timeline.
+type StoreSignal struct {
+	Name  string
+	Width int
+
+	store *Store
+	index int
+	n     int // total change count
+
+	// Sparse change runs: blkIdx lists the store's block SLOTS this
+	// signal changed in (ascending; a slot resolves to its time window
+	// through store.blocks[slot].win); blkLast holds the signal's value
+	// after its last change inside that block. Memory is O(blocks
+	// touched), not O(changes).
+	blkIdx  []uint32
+	blkLast []uint64
+
+	// Materialized timeline; nil until Materialize decodes it.
+	// Published atomically only once fully built, so readers on other
+	// goroutines (the debugger's server connections) either see the
+	// complete timeline or fall back to the block index — never a
+	// partial decode.
+	tl atomic.Pointer[timeline]
+}
+
+// Index returns the signal's dense index into replay state arrays.
+func (ts *StoreSignal) Index() int { return ts.index }
+
+// NumChanges returns how many value changes were recorded.
+func (ts *StoreSignal) NumChanges() int { return ts.n }
+
+// Materialized reports whether the full timeline has been decoded.
+func (ts *StoreSignal) Materialized() bool { return ts.tl.Load() != nil }
+
+// ValueAt returns the signal value at time t (the most recent change at
+// or before t; zero before the first change). Materialized signals
+// answer by binary search over the decoded timeline; unmaterialized
+// signals binary-search the sparse block index and decode at most one
+// block.
+func (ts *StoreSignal) ValueAt(t uint64) uint64 {
+	if tl := ts.tl.Load(); tl != nil {
+		i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t })
+		if i == 0 {
+			return 0
+		}
+		return tl.vals[i-1]
+	}
+	b := t / ts.store.blockSize
+	// Latest indexed block whose window is at or before b.
+	blocks := ts.store.blocks
+	k := sort.Search(len(ts.blkIdx), func(i int) bool { return blocks[ts.blkIdx[i]].win > b }) - 1
+	if k < 0 {
+		return 0
+	}
+	if slot := int(ts.blkIdx[k]); blocks[slot].win == b {
+		if v, ok := ts.store.scanBlockFor(slot, ts.index, t); ok {
+			return v
+		}
+		// Every change of this signal in window b is after t; the
+		// previous indexed block's final value rules.
+		k--
+		if k < 0 {
+			return 0
+		}
+	}
+	return ts.blkLast[k]
+}
+
+// Store is a parsed VCD file held as a time-blocked change index.
+type Store struct {
+	Hierarchy *rtl.InstanceNode
+	MaxTime   uint64
+
+	blockSize uint64
+	sigs      map[string]*StoreSignal
+	list      []*StoreSignal // by dense index
+	blocks    []storeBlock
+	changes   int
+
+	// mu serializes lazy materialization (Materialize may be called
+	// from the debugger's arm path while a server goroutine reads other
+	// signals).
+	mu sync.Mutex
+}
+
+// ParseStore reads a VCD stream in a single pass into a block store.
+// Peak memory is the compact record encoding (a few bytes per change in
+// shared block buffers) plus the per-signal sparse block index — no
+// per-signal change slices are built until Materialize asks for them.
+func ParseStore(rd io.Reader, opts StoreOptions) (*Store, error) {
+	bs := opts.BlockSize
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	st := &Store{blockSize: bs, sigs: map[string]*StoreSignal{}}
+	byID := map[string]*StoreSignal{}
+	var h hierBuilder
+	var scratch [3 * binary.MaxVarintLen64]byte
+	maxTime, err := scanVCD(rd, &h, vcdEvents{
+		vardecl: func(id string, width int, full, local string) {
+			ts := &StoreSignal{Name: full, Width: width, store: st, index: len(st.list)}
+			st.sigs[full] = ts
+			st.list = append(st.list, ts)
+			byID[id] = ts
+		},
+		change: func(id string, t uint64, bits uint64) {
+			ts, ok := byID[id]
+			if !ok {
+				return
+			}
+			bits &= eval.Mask(ts.Width)
+			win := t / bs
+			// Timestamps never decrease, so a new window is always
+			// appended after the current last block — empty windows
+			// between changes are never allocated.
+			slot := len(st.blocks) - 1
+			if slot < 0 || st.blocks[slot].win != win {
+				st.blocks = append(st.blocks, storeBlock{win: win, last: win * bs})
+				slot++
+			}
+			b := &st.blocks[slot]
+			n := binary.PutUvarint(scratch[:], uint64(ts.index))
+			n += binary.PutUvarint(scratch[n:], t-b.last)
+			n += binary.PutUvarint(scratch[n:], bits)
+			b.buf = append(b.buf, scratch[:n]...)
+			b.last = t
+			st.changes++
+			if k := len(ts.blkIdx); k > 0 && int(ts.blkIdx[k-1]) == slot {
+				ts.blkLast[k-1] = bits
+			} else {
+				ts.blkIdx = append(ts.blkIdx, uint32(slot))
+				ts.blkLast = append(ts.blkLast, bits)
+			}
+			ts.n++
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.MaxTime = maxTime
+	st.Hierarchy = h.root
+	return st, nil
+}
+
+// BlockSize returns the store's time-window width.
+func (s *Store) BlockSize() uint64 { return s.blockSize }
+
+// NumBlocks returns how many time blocks the store holds.
+func (s *Store) NumBlocks() int { return len(s.blocks) }
+
+// NumChanges returns the total change-record count across all signals.
+func (s *Store) NumChanges() int { return s.changes }
+
+// NumSignals returns the number of declared signals (the length replay
+// state arrays must have).
+func (s *Store) NumSignals() int { return len(s.list) }
+
+// Signal returns a signal by full hierarchical path.
+func (s *Store) Signal(path string) (*StoreSignal, bool) {
+	ts, ok := s.sigs[path]
+	return ts, ok
+}
+
+// SignalNames returns all signal paths, sorted.
+func (s *Store) SignalNames() []string {
+	names := make([]string, 0, len(s.sigs))
+	for n := range s.sigs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// record is one decoded change: which signal, at what absolute time,
+// to what value, and how many encoded bytes it occupied.
+type record struct {
+	sig  int
+	time uint64
+	bits uint64
+	size int
+}
+
+// blockReader iterates a block's compact record stream. It is the one
+// place the record encoding (uvarint signal index, uvarint time delta,
+// uvarint value bits, delta base = previous record or window start) is
+// decoded; every consumer — lazy point queries, materialization, state
+// sweeps — shares it so the format cannot desynchronize between them.
+// next decodes without consuming; commit consumes, which is what lets
+// ApplyUpTo stop exactly before the first record past its target time.
+type blockReader struct {
+	buf  []byte
+	off  int
+	time uint64 // delta base: window start, or a resumed cursor's time
+}
+
+// reader returns a blockReader positioned at the start of block slot b.
+func (s *Store) reader(b int) blockReader {
+	return blockReader{buf: s.blocks[b].buf, time: s.blocks[b].win * s.blockSize}
+}
+
+func (r *blockReader) next() (record, bool) {
+	if r.off >= len(r.buf) {
+		return record{}, false
+	}
+	si, n1 := binary.Uvarint(r.buf[r.off:])
+	dt, n2 := binary.Uvarint(r.buf[r.off+n1:])
+	bits, n3 := binary.Uvarint(r.buf[r.off+n1+n2:])
+	return record{sig: int(si), time: r.time + dt, bits: bits, size: n1 + n2 + n3}, true
+}
+
+func (r *blockReader) commit(rec record) {
+	r.off += rec.size
+	r.time = rec.time
+}
+
+// scanBlockFor decodes block b looking for the last change of signal
+// idx at or before t.
+func (s *Store) scanBlockFor(b, idx int, t uint64) (uint64, bool) {
+	r := s.reader(b)
+	var last uint64
+	found := false
+	for {
+		rec, ok := r.next()
+		if !ok || rec.time > t {
+			break
+		}
+		r.commit(rec)
+		if rec.sig == idx {
+			last, found = rec.bits, true
+		}
+	}
+	return last, found
+}
+
+// Materialize decodes the full timelines of the named signals so their
+// ValueAt queries become binary searches with no block decoding — this
+// is the lazy-materialization hook the debugger uses for its
+// breakpoint/watch dependency union. Signals already materialized (or
+// unknown) are skipped; decoding shares one pass per block across all
+// requested signals.
+func (s *Store) Materialize(paths ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// byIdx maps signal index → pending timeline, so block decoding is
+	// O(records) however many signals the union names; want collects
+	// which blocks need decoding at all. Pending timelines stay private
+	// to this call until fully built; they are published atomically at
+	// the end so concurrent readers never see a partial decode.
+	var pend map[*StoreSignal]*timeline
+	var byIdx []*timeline
+	var want map[uint32]bool
+	for _, p := range paths {
+		ts, ok := s.sigs[p]
+		if !ok || ts.Materialized() {
+			continue
+		}
+		if byIdx == nil {
+			// Deferred until a signal actually needs decoding: Prefetch
+			// re-advises the whole union on every breakpoint change, and
+			// the already-materialized case must stay allocation-free.
+			pend = map[*StoreSignal]*timeline{}
+			byIdx = make([]*timeline, len(s.list))
+			want = map[uint32]bool{}
+		} else if _, dup := pend[ts]; dup {
+			continue
+		}
+		// A zero-change signal gets an empty non-nil timeline, which is
+		// enough to mark it materialized.
+		tl := &timeline{
+			times: make([]uint64, 0, ts.n),
+			vals:  make([]uint64, 0, ts.n),
+		}
+		pend[ts] = tl
+		byIdx[ts.index] = tl
+		for _, bi := range ts.blkIdx {
+			want[bi] = true
+		}
+	}
+	if len(pend) == 0 {
+		return
+	}
+	order := make([]uint32, 0, len(want))
+	for bi := range want {
+		order = append(order, bi)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, bi := range order {
+		r := s.reader(int(bi))
+		for {
+			rec, ok := r.next()
+			if !ok {
+				break
+			}
+			r.commit(rec)
+			if tl := byIdx[rec.sig]; tl != nil {
+				tl.times = append(tl.times, rec.time)
+				tl.vals = append(tl.vals, rec.bits)
+			}
+		}
+	}
+	for ts, tl := range pend {
+		ts.tl.Store(tl)
+	}
+}
+
+// Cursor is a resumable position in the store's change stream, used by
+// replay state sweeps (Store.ApplyUpTo). The zero Cursor is the start
+// of the trace.
+type Cursor struct {
+	// Block is the slot index of the block being read (blocks are
+	// sparse over time; slots are in ascending window order).
+	Block int
+	// Off is the byte offset of the next unread record in that block.
+	Off int
+	// Time is the absolute time of the last consumed record (the delta
+	// base for the next record); block start when Off is 0.
+	Time uint64
+}
+
+// ApplyUpTo replays every change with time <= t, starting at cursor c,
+// into state (indexed by StoreSignal.Index), and returns the advanced
+// cursor. state must have NumSignals elements. Replaying from the zero
+// cursor over a zero state reconstructs exact signal values at t;
+// resuming from a saved cursor/state pair costs only the records in
+// (cursor, t] — the primitive replay checkpointing is built on.
+func (s *Store) ApplyUpTo(c Cursor, t uint64, state []uint64) Cursor {
+	if len(state) < len(s.list) {
+		panic(fmt.Sprintf("vcd: ApplyUpTo state too short: %d < %d", len(state), len(s.list)))
+	}
+	for c.Block < len(s.blocks) {
+		blockStart := s.blocks[c.Block].win * s.blockSize
+		if blockStart > t {
+			return c
+		}
+		if c.Off == 0 {
+			c.Time = blockStart
+		}
+		r := blockReader{buf: s.blocks[c.Block].buf, off: c.Off, time: c.Time}
+		for {
+			rec, ok := r.next()
+			if !ok {
+				break
+			}
+			if rec.time > t {
+				c.Off, c.Time = r.off, r.time
+				return c
+			}
+			r.commit(rec)
+			state[rec.sig] = rec.bits
+		}
+		// Block exhausted; move on only once t covers its whole window,
+		// so a later call never skips records that belong to this block.
+		// The next slot's window start (possibly far later — blocks are
+		// sparse) is picked up at the top of the loop.
+		if blockStart+s.blockSize-1 > t {
+			c.Off, c.Time = r.off, r.time
+			return c
+		}
+		c.Block++
+		c.Off = 0
+	}
+	return c
+}
+
+// NextChangeTime returns the time of the first change record at or
+// after cursor c, if any. Replay sync uses it to jump record-free
+// stretches (sparse blocks can leave enormous gaps) without touching
+// per-boundary state.
+func (s *Store) NextChangeTime(c Cursor) (uint64, bool) {
+	for c.Block < len(s.blocks) {
+		if c.Off == 0 {
+			c.Time = s.blocks[c.Block].win * s.blockSize
+		}
+		r := blockReader{buf: s.blocks[c.Block].buf, off: c.Off, time: c.Time}
+		if rec, ok := r.next(); ok {
+			return rec.time, true
+		}
+		c.Block++
+		c.Off = 0
+	}
+	return 0, false
+}
+
+// IndexBytes returns the approximate heap footprint of the store's
+// change data: block buffers plus the per-signal sparse index, excluding
+// materialized timelines. Reported by tools and benchmarks.
+func (s *Store) IndexBytes() int {
+	total := 0
+	for i := range s.blocks {
+		total += cap(s.blocks[i].buf)
+	}
+	for _, ts := range s.list {
+		total += cap(ts.blkIdx)*4 + cap(ts.blkLast)*8
+	}
+	return total
+}

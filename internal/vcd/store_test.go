@@ -1,0 +1,256 @@
+package vcd
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/sim"
+)
+
+// recordDesign simulates a two-level design (top counter plus two child
+// accumulators) for n cycles and returns the VCD text. Multiple scopes
+// and widths exercise hierarchy reconstruction and vector changes.
+func recordDesign(t testing.TB, n int) []byte {
+	t.Helper()
+	c := generator.NewCircuit("Top")
+	leaf := c.NewModule("Leaf")
+	d := leaf.Input("d", ir.UIntType(8))
+	q := leaf.Output("q", ir.UIntType(8))
+	acc := leaf.RegInit("acc", ir.UIntType(8), leaf.Lit(0, 8))
+	leaf.When(d.Bit(0), func() {
+		acc.Set(acc.AddMod(d))
+	})
+	q.Set(acc)
+	top := c.NewModule("Top")
+	en := top.Input("en", ir.UIntType(1))
+	out := top.Output("out", ir.UIntType(16))
+	count := top.RegInit("count", ir.UIntType(16), top.Lit(0, 16))
+	top.When(en, func() {
+		count.Set(count.AddMod(top.Lit(1, 16)))
+	})
+	u0 := top.Instance("u0", leaf)
+	u1 := top.Instance("u1", leaf)
+	u0.IO("d").Set(count.Bits(7, 0))
+	u1.IO("d").Set(count.Bits(8, 1))
+	out.Set(count.AddMod(count.AddMod(u0.IO("q").Cat(u1.IO("q")))))
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New(nl)
+	var buf bytes.Buffer
+	rec := NewRecorder(s, &buf)
+	if err := s.Reset("Top.reset", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Poke("Top.en", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(n)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreMatchesEagerParse is the parser-level differential: every
+// signal's value at every time must be identical between the eager
+// per-signal timelines and the block store, queried lazily (block
+// decode), again after materialization, and via ApplyUpTo state sweeps.
+func TestStoreMatchesEagerParse(t *testing.T) {
+	data := recordDesign(t, 300)
+	tr, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block size 16 forces many blocks; 300 cycles crosses plenty of
+	// boundaries.
+	st, err := ParseStore(bytes.NewReader(data), StoreOptions{BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxTime != tr.MaxTime {
+		t.Fatalf("MaxTime: store %d, eager %d", st.MaxTime, tr.MaxTime)
+	}
+	names := tr.SignalNames()
+	storeNames := st.SignalNames()
+	if len(names) != len(storeNames) {
+		t.Fatalf("signal count: store %d, eager %d", len(storeNames), len(names))
+	}
+	check := func(phase string) {
+		for _, name := range names {
+			es, _ := tr.Signal(name)
+			ss, ok := st.Signal(name)
+			if !ok {
+				t.Fatalf("%s: store missing signal %q", phase, name)
+			}
+			if ss.NumChanges() != es.NumChanges() {
+				t.Fatalf("%s: %s changes: store %d, eager %d",
+					phase, name, ss.NumChanges(), es.NumChanges())
+			}
+			for tm := uint64(0); tm <= tr.MaxTime; tm++ {
+				if got, want := ss.ValueAt(tm), es.ValueAt(tm); got != want {
+					t.Fatalf("%s: %s@%d = %d, want %d", phase, name, tm, got, want)
+				}
+			}
+		}
+	}
+	check("lazy")
+	// Materialize a subset, then everything; answers must not change.
+	st.Materialize(names[0], names[len(names)/2])
+	if s, _ := st.Signal(names[0]); !s.Materialized() {
+		t.Fatal("signal not materialized")
+	}
+	check("partial")
+	st.Materialize(names...)
+	check("materialized")
+}
+
+// TestStoreApplyUpTo checks cursor-resumed state sweeps against eager
+// per-signal queries: replaying in arbitrary forward increments must
+// land on the exact signal values at every stop.
+func TestStoreApplyUpTo(t *testing.T) {
+	data := recordDesign(t, 200)
+	tr, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseStore(bytes.NewReader(data), StoreOptions{BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]uint64, st.NumSignals())
+	var cur Cursor
+	// Irregular hop sizes: within-block, block-exact, multi-block.
+	var at uint64
+	for _, hop := range []uint64{1, 2, 5, 8, 3, 16, 1, 40, 7, 64, 13} {
+		at += hop
+		if at > st.MaxTime {
+			at = st.MaxTime
+		}
+		cur = st.ApplyUpTo(cur, at, state)
+		for _, name := range tr.SignalNames() {
+			es, _ := tr.Signal(name)
+			ss, _ := st.Signal(name)
+			if got, want := state[ss.Index()], es.ValueAt(at); got != want {
+				t.Fatalf("state[%s]@%d = %d, want %d", name, at, got, want)
+			}
+		}
+	}
+}
+
+// TestStoreHierarchy checks the scope tree matches the eager parser's.
+func TestStoreHierarchy(t *testing.T) {
+	data := recordDesign(t, 10)
+	tr, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ParseStore(bytes.NewReader(data), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flatten func(n *rtl.InstanceNode) []string
+	flatten = func(n *rtl.InstanceNode) []string {
+		if n == nil {
+			return nil
+		}
+		out := []string{n.Path}
+		out = append(out, n.Signals...)
+		for _, c := range n.Children {
+			out = append(out, flatten(c)...)
+		}
+		return out
+	}
+	a, b := flatten(tr.Hierarchy), flatten(st.Hierarchy)
+	if len(a) != len(b) {
+		t.Fatalf("hierarchy size: eager %d, store %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hierarchy[%d]: eager %q, store %q", i, a[i], b[i])
+		}
+	}
+	if st.NumBlocks() == 0 || st.NumChanges() == 0 || st.IndexBytes() == 0 {
+		t.Fatalf("store stats empty: blocks=%d changes=%d bytes=%d",
+			st.NumBlocks(), st.NumChanges(), st.IndexBytes())
+	}
+}
+
+// TestStoreSparseTimestamps pins the sparse-block property: real
+// simulator dumps count timescale units, not cycles, so timestamps can
+// be enormous (#1e12 for a 1 s run at 1 ps) with huge empty gaps.
+// Block memory must scale with changes, not with MaxTime/blockSize,
+// and queries inside and across the gaps must agree with the eager
+// parser.
+func TestStoreSparseTimestamps(t *testing.T) {
+	const trace = `$scope module Top $end
+$var wire 1 ! a $end
+$var wire 8 " v $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+b101 "
+#70
+0!
+#1000000000000
+1!
+b11 "
+#1000000000100
+0!
+`
+	st, err := ParseStore(bytes.NewReader([]byte(trace)), StoreOptions{BlockSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows touched: 0, 1 (t=70), 15625000000 (t=1e12), and t=1e12+100
+	// lands in the next window — 4 non-empty blocks, not ~1.5e10.
+	if got := st.NumBlocks(); got != 4 {
+		t.Fatalf("NumBlocks = %d, want 4 (sparse)", got)
+	}
+	if st.IndexBytes() > 1<<12 {
+		t.Fatalf("IndexBytes = %d, want tiny for 6 changes", st.IndexBytes())
+	}
+	tr, err := Parse(bytes.NewReader([]byte(trace)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []uint64{0, 1, 69, 70, 71, 1000, 999999999999, 1000000000000,
+		1000000000050, 1000000000100, st.MaxTime}
+	check := func(phase string) {
+		for _, name := range []string{"Top.a", "Top.v"} {
+			es, _ := tr.Signal(name)
+			ss, _ := st.Signal(name)
+			for _, tm := range times {
+				if got, want := ss.ValueAt(tm), es.ValueAt(tm); got != want {
+					t.Fatalf("%s: %s@%d = %d, want %d", phase, name, tm, got, want)
+				}
+			}
+		}
+	}
+	check("lazy")
+	// State sweeps must step across the gap without visiting it.
+	state := make([]uint64, st.NumSignals())
+	var cur Cursor
+	for _, tm := range times {
+		cur = st.ApplyUpTo(cur, tm, state)
+		for _, name := range []string{"Top.a", "Top.v"} {
+			es, _ := tr.Signal(name)
+			ss, _ := st.Signal(name)
+			if got, want := state[ss.Index()], es.ValueAt(tm); got != want {
+				t.Fatalf("sweep: %s@%d = %d, want %d", name, tm, got, want)
+			}
+		}
+	}
+	st.Materialize("Top.a", "Top.v")
+	check("materialized")
+}

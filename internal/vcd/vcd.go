@@ -160,28 +160,70 @@ func (t *Trace) SignalNames() []string {
 	return names
 }
 
-// Parse reads a VCD stream. Only the constructs produced by Recorder
-// and common simulators are supported: $scope/$var/$upscope nesting,
-// scalar and binary vector changes, and #time markers.
-func Parse(rd io.Reader) (*Trace, error) {
+// vcdEvents receives the parsed elements of a VCD stream in file order.
+// scanVCD drives it; Parse (eager per-signal timelines) and ParseStore
+// (streaming block store) are both thin sinks over the same scanner, so
+// the two trace representations can never drift on syntax handling.
+type vcdEvents struct {
+	// vardecl declares a signal: its id code, bit width, full
+	// hierarchical path, and scope-local name.
+	vardecl func(id string, width int, full, local string)
+	// change reports one value change for a declared id at absolute
+	// time t (#time markers never decrease, so t is non-decreasing
+	// across calls). Bits are NOT yet masked to the signal width.
+	change func(id string, t uint64, bits uint64)
+}
+
+// hierBuilder reconstructs the instance tree from $scope nesting.
+type hierBuilder struct {
+	scopes []string
+	nodes  []*rtl.InstanceNode
+	root   *rtl.InstanceNode
+}
+
+func (h *hierBuilder) enter(name string) {
+	h.scopes = append(h.scopes, name)
+	node := &rtl.InstanceNode{Name: name, Path: strings.Join(h.scopes, ".")}
+	if len(h.nodes) == 0 {
+		h.root = node
+	} else {
+		parent := h.nodes[len(h.nodes)-1]
+		parent.Children = append(parent.Children, node)
+	}
+	h.nodes = append(h.nodes, node)
+}
+
+func (h *hierBuilder) exit() {
+	if len(h.scopes) > 0 {
+		h.scopes = h.scopes[:len(h.scopes)-1]
+		h.nodes = h.nodes[:len(h.nodes)-1]
+	}
+}
+
+func (h *hierBuilder) declare(local string) (full string) {
+	full = local
+	if len(h.scopes) > 0 {
+		full = strings.Join(h.scopes, ".") + "." + local
+	}
+	if len(h.nodes) > 0 {
+		node := h.nodes[len(h.nodes)-1]
+		node.Signals = append(node.Signals, local)
+	}
+	return full
+}
+
+// scanVCD reads a VCD stream line by line, maintaining scope nesting
+// in h and dispatching declarations and value changes to ev; the
+// current time and the maximum timestamp seen are tracked here, in the
+// one place both parsers share, and the latter is returned. Only the
+// constructs produced by Recorder and common simulators are supported:
+// $scope/$var/$upscope nesting, scalar and binary vector changes, and
+// #time markers.
+func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err error) {
 	sc := bufio.NewScanner(rd)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	tr := &Trace{Signals: map[string]*TraceSignal{}}
-	byID := map[string]*TraceSignal{}
-	var scopeStack []string
-	var nodeStack []*rtl.InstanceNode
-	var curTime uint64
 	inDefs := true
-
-	pushChange := func(id string, bits uint64) {
-		ts, ok := byID[id]
-		if !ok {
-			return
-		}
-		ts.times = append(ts.times, curTime)
-		ts.vals = append(ts.vals, bits&eval.Mask(ts.Width))
-	}
-
+	var curTime uint64
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
@@ -191,45 +233,23 @@ func Parse(rd io.Reader) (*Trace, error) {
 		case strings.HasPrefix(line, "$scope"):
 			f := strings.Fields(line)
 			if len(f) < 3 {
-				return nil, fmt.Errorf("vcd: malformed scope line %q", line)
+				return 0, fmt.Errorf("vcd: malformed scope line %q", line)
 			}
-			name := f[2]
-			scopeStack = append(scopeStack, name)
-			node := &rtl.InstanceNode{Name: name, Path: strings.Join(scopeStack, ".")}
-			if len(nodeStack) == 0 {
-				tr.Hierarchy = node
-			} else {
-				parent := nodeStack[len(nodeStack)-1]
-				parent.Children = append(parent.Children, node)
-			}
-			nodeStack = append(nodeStack, node)
+			h.enter(f[2])
 		case strings.HasPrefix(line, "$upscope"):
-			if len(scopeStack) > 0 {
-				scopeStack = scopeStack[:len(scopeStack)-1]
-				nodeStack = nodeStack[:len(nodeStack)-1]
-			}
+			h.exit()
 		case strings.HasPrefix(line, "$var"):
 			// $var wire <width> <id> <name> [...] $end
 			f := strings.Fields(line)
 			if len(f) < 5 {
-				return nil, fmt.Errorf("vcd: malformed var line %q", line)
+				return 0, fmt.Errorf("vcd: malformed var line %q", line)
 			}
 			width, err := strconv.Atoi(f[2])
 			if err != nil {
-				return nil, fmt.Errorf("vcd: bad width in %q", line)
+				return 0, fmt.Errorf("vcd: bad width in %q", line)
 			}
 			id, local := f[3], f[4]
-			full := local
-			if len(scopeStack) > 0 {
-				full = strings.Join(scopeStack, ".") + "." + local
-			}
-			ts := &TraceSignal{Name: full, Width: width}
-			tr.Signals[full] = ts
-			byID[id] = ts
-			if len(nodeStack) > 0 {
-				node := nodeStack[len(nodeStack)-1]
-				node.Signals = append(node.Signals, local)
-			}
+			ev.vardecl(id, width, h.declare(local), local)
 		case strings.HasPrefix(line, "$enddefinitions"):
 			inDefs = false
 		case strings.HasPrefix(line, "$"):
@@ -238,11 +258,11 @@ func Parse(rd io.Reader) (*Trace, error) {
 		case line[0] == '#':
 			t, err := strconv.ParseUint(line[1:], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("vcd: bad timestamp %q", line)
+				return 0, fmt.Errorf("vcd: bad timestamp %q", line)
 			}
 			curTime = t
-			if t > tr.MaxTime {
-				tr.MaxTime = t
+			if t > maxTime {
+				maxTime = t
 			}
 		case line[0] == 'b' || line[0] == 'B':
 			if inDefs {
@@ -250,7 +270,7 @@ func Parse(rd io.Reader) (*Trace, error) {
 			}
 			sp := strings.IndexByte(line, ' ')
 			if sp < 0 {
-				return nil, fmt.Errorf("vcd: malformed vector change %q", line)
+				return 0, fmt.Errorf("vcd: malformed vector change %q", line)
 			}
 			raw := line[1:sp]
 			// x/z states decay to 0 (two-state simulation).
@@ -262,9 +282,9 @@ func Parse(rd io.Reader) (*Trace, error) {
 			}, raw)
 			bits, err := strconv.ParseUint(raw, 2, 64)
 			if err != nil {
-				return nil, fmt.Errorf("vcd: bad vector value %q", line)
+				return 0, fmt.Errorf("vcd: bad vector value %q", line)
 			}
-			pushChange(strings.TrimSpace(line[sp+1:]), bits)
+			ev.change(strings.TrimSpace(line[sp+1:]), curTime, bits)
 		case line[0] == '0' || line[0] == '1' || line[0] == 'x' || line[0] == 'z' ||
 			line[0] == 'X' || line[0] == 'Z':
 			if inDefs {
@@ -274,11 +294,39 @@ func Parse(rd io.Reader) (*Trace, error) {
 			if line[0] == '1' {
 				bit = 1
 			}
-			pushChange(line[1:], bit)
+			ev.change(line[1:], curTime, bit)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return maxTime, sc.Err()
+}
+
+// Parse reads a VCD stream into eagerly materialized per-signal
+// timelines: every signal's complete change history in memory. Memory
+// scales with the total number of changes in the file; for large traces
+// where only a subset of signals will be inspected, prefer ParseStore.
+func Parse(rd io.Reader) (*Trace, error) {
+	tr := &Trace{Signals: map[string]*TraceSignal{}}
+	byID := map[string]*TraceSignal{}
+	var h hierBuilder
+	maxTime, err := scanVCD(rd, &h, vcdEvents{
+		vardecl: func(id string, width int, full, local string) {
+			ts := &TraceSignal{Name: full, Width: width}
+			tr.Signals[full] = ts
+			byID[id] = ts
+		},
+		change: func(id string, t uint64, bits uint64) {
+			ts, ok := byID[id]
+			if !ok {
+				return
+			}
+			ts.times = append(ts.times, t)
+			ts.vals = append(ts.vals, bits&eval.Mask(ts.Width))
+		},
+	})
+	if err != nil {
 		return nil, err
 	}
+	tr.MaxTime = maxTime
+	tr.Hierarchy = h.root
 	return tr, nil
 }

@@ -77,6 +77,19 @@ type BatchReaderInto interface {
 	GetValuesInto(paths []string, dst []eval.Value) error
 }
 
+// Prefetcher is an optional backend capability: the debugger advises
+// the backend which signal paths it will read every cycle (the union of
+// every armed breakpoint/watch condition's dependencies) so the backend
+// can prepare. A live simulator ignores the hint; the replay block
+// store materializes exactly those signals' timelines, keeping
+// per-cycle condition evaluation off the undecoded trace index. The
+// hint is advisory — reads outside the advised set must still work.
+type Prefetcher interface {
+	// Prefetch advises the per-cycle read set. The slice is owned by
+	// the caller; implementations must not retain it.
+	Prefetch(paths []string)
+}
+
 // ReadBatch reads many signals through the backend's native batch
 // primitive when it implements BatchReader, falling back to one
 // GetValue call per path otherwise. Any unknown path fails the whole
