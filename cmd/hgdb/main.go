@@ -19,7 +19,15 @@
 //	get <path> / set <path> <v>   raw signal access
 //	pause                         break at next statement
 //	detach                        detach runtime, design runs free
+//	sessions                      list attached debugger sessions
+//	release                       hand control to the oldest observer
+//	claim                         take control when it is vacant
 //	q                             quit
+//
+// Any number of hgdb instances may attach to the same runtime. The
+// first to attach holds control (may resume the simulation and set
+// values); the rest observe — they receive every stop broadcast and
+// may inspect state, even while the simulation is running.
 package main
 
 import (
@@ -50,11 +58,13 @@ func main() {
 	// Print events as they arrive.
 	go func() {
 		for ev := range cl.Events {
+			if ev.Type == "disconnect" {
+				fmt.Println("\nconnection closed")
+				os.Exit(0)
+			}
 			printEvent(ev)
 			fmt.Print("(hgdb) ")
 		}
-		fmt.Println("\nconnection closed")
-		os.Exit(0)
 	}()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -73,9 +83,20 @@ func main() {
 func printEvent(ev *proto.Event) {
 	switch ev.Type {
 	case "welcome":
-		fmt.Printf("\nattached: design %s (%s build, %d source files)\n", ev.Top, ev.Mode, ev.Files)
+		fmt.Printf("\nattached: design %s (%s build, %d source files) as session %d [%s], %d session(s) connected\n",
+			ev.Top, ev.Mode, ev.Files, ev.SessionID, ev.Role, ev.Peers)
 	case "stop":
 		printStop(ev.Stop)
+	case "attach":
+		fmt.Printf("\nsession %d attached as %s (%d connected)\n", ev.SessionID, ev.Role, ev.Peers)
+	case "goodbye":
+		if ev.Reason == "shutdown" {
+			fmt.Println("\nserver is shutting down")
+			return
+		}
+		fmt.Printf("\nsession %d detached (%d left)\n", ev.SessionID, ev.Peers)
+	case "control":
+		fmt.Printf("\ncontrol moved to session %d (%s)\n", ev.Controller, ev.Reason)
 	}
 }
 
@@ -154,6 +175,12 @@ func execute(cl *client.Client, line string) bool {
 		doPrint(cl, args)
 	case "watch", "w":
 		doWatch(cl, args)
+	case "sessions":
+		doSessions(cl)
+	case "release":
+		report(cl.Release())
+	case "claim":
+		report(cl.Claim())
 	case "get":
 		if len(args) != 1 {
 			fmt.Println("usage: get <path>")
@@ -177,7 +204,7 @@ func execute(cl *client.Client, line string) bool {
 		}
 		report(cl.SetValue(args[0], v))
 	case "help", "h":
-		fmt.Println("commands: b <file>:<line> [if cond] | watch <expr> [@inst] | delete | info | c | s | rs | p <expr> [@inst] | get | set | pause | detach | q")
+		fmt.Println("commands: b <file>:<line> [if cond] | watch <expr> [@inst] | delete | info | c | s | rs | p <expr> [@inst] | get | set | pause | detach | sessions | release | claim | q")
 	default:
 		fmt.Printf("unknown command %q (try help)\n", cmd)
 	}
@@ -297,6 +324,25 @@ func printJSON(raw json.RawMessage) {
 	}
 	out, _ := json.MarshalIndent(pretty, "  ", "  ")
 	fmt.Println("  " + string(out))
+}
+
+func doSessions(cl *client.Client) {
+	infos, err := cl.Sessions()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, si := range infos {
+		self := ""
+		if si.ID == cl.SessionID() {
+			self = "  (you)"
+		}
+		drops := ""
+		if si.Dropped > 0 {
+			drops = fmt.Sprintf("  %d events dropped", si.Dropped)
+		}
+		fmt.Printf("  session %d  %s%s%s\n", si.ID, si.Role, drops, self)
+	}
 }
 
 func doWatch(cl *client.Client, args []string) {

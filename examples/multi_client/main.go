@@ -1,0 +1,180 @@
+// Multi-client debugging: one runtime, several debugger sessions.
+//
+// A controller and two observers attach to the same simulated design
+// over the WebSocket protocol. Every session receives the same stop
+// broadcasts; only the controller resumes the simulation; the
+// observers keep reading state even while the design is running
+// (served off the runtime's clock-edge query queue, never racing the
+// scheduler); finally the controller releases control and the oldest
+// observer inherits it.
+//
+// Run: go run ./examples/multi_client
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+	"repro/internal/vpi"
+)
+
+func here() int {
+	var pcs [1]uintptr
+	runtime.Callers(2, pcs[:])
+	f, _ := runtime.CallersFrames(pcs[:1]).Next()
+	return f.Line
+}
+
+func main() {
+	// 1. A small design: an enabled 8-bit counter.
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	out := m.Output("out", ir.UIntType(8))
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	var incLine int
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8))) // <- breakpoint target
+		incLine = here() - 1
+	})
+	out.Set(count)
+
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := symtab.Build(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sim.New(nl)
+
+	// 2. Serve the runtime.
+	rt, err := core.New(vpi.NewSimBackend(s), table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(rt, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("runtime serving on %s\n\n", addr)
+
+	// 3. Attach three debugger sessions. First one in owns control.
+	attach := func(name string) *client.Client {
+		cl, err := client.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := cl.WaitEvent("welcome", 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s attached as session %d [%s]\n", name, ev.SessionID, ev.Role)
+		return cl
+	}
+	ctrl := attach("controller")
+	obs1 := attach("observer-1")
+	obs2 := attach("observer-2")
+
+	// 4. Only the controller may arm breakpoints.
+	if _, err := obs1.AddBreakpoint("main.go", incLine, ""); err != nil {
+		fmt.Printf("\nobserver-1 tried to arm a breakpoint: %v\n", err)
+	}
+	if _, err := ctrl.AddBreakpoint("main.go", incLine, "count == 2"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("controller armed main.go:%d if count == 2\n\n", incLine)
+
+	// 5. Run; the stop is broadcast to every session.
+	go func() {
+		s.Poke("Counter.en", 1)
+		s.Run(5)
+	}()
+	for _, cl := range []*client.Client{ctrl, obs1, obs2} {
+		ev, err := cl.WaitEvent("stop", 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("session %d saw stop at %s:%d (time %d, broadcast #%d)\n",
+			cl.SessionID(), ev.Stop.File, ev.Stop.Line, ev.Stop.Time, ev.Seq)
+	}
+
+	// An observer can read while stopped; it cannot resume.
+	v, err := obs1.GetValue("Counter.count")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nobserver-1 reads count = %d at the stop\n", v.Value)
+	if err := obs2.Command("continue"); err != nil {
+		fmt.Printf("observer-2 tried to continue: %v\n", err)
+	}
+	if err := ctrl.Command("continue"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("controller resumed the simulation")
+
+	// 6. Observer reads while the design is free-running.
+	if _, err := ctrl.RemoveBreakpoint("main.go", incLine); err != nil {
+		log.Fatal(err)
+	}
+	var running atomic.Bool
+	running.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for running.Load() {
+			s.Run(1)
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		v, err := obs1.GetValue("Counter.count")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("observer-1 mid-run: count = %3d at time %d\n", v.Value, v.Time)
+		time.Sleep(10 * time.Millisecond)
+	}
+	running.Store(false)
+	<-done
+
+	// 7. Hand control over: the oldest observer inherits it.
+	if err := ctrl.Release(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := obs1.WaitEvent("control", 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter release: observer-1 role = %s, controller session = %d\n",
+		obs1.Role(), obs1.Controller())
+	infos, err := obs1.Sessions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, si := range infos {
+		fmt.Printf("  session %d  %s\n", si.ID, si.Role)
+	}
+
+	ctrl.Close()
+	obs1.Close()
+	obs2.Close()
+	fmt.Println("\ndone")
+}

@@ -1,7 +1,9 @@
 // Package client is the Go client for the hgdb debugging protocol,
 // used by the gdb-like CLI (cmd/hgdb) and by integration tests. It
 // demultiplexes the WebSocket stream into request/response pairs and
-// unsolicited stop events.
+// unsolicited events, tracks this session's id and role as the server
+// broadcasts control transfers, and can reconnect to the same
+// endpoint after a connection loss.
 package client
 
 import (
@@ -16,47 +18,204 @@ import (
 	"repro/internal/ws"
 )
 
-// Client is one attached debugger.
+// Client is one attached debugger session.
 type Client struct {
-	conn *ws.Conn
+	addr string
 
 	mu      sync.Mutex
+	conn    *ws.Conn
+	closed  chan struct{} // closed when the current conn's read loop exits
 	nextTok int
 	waiting map[string]chan *proto.Response
 
-	// Events delivers stop and welcome events; closed when the
-	// connection dies.
-	Events chan *proto.Event
+	// session state, maintained from welcome/control/goodbye events
+	sessionID  int64
+	role       string
+	controller int64
 
-	closed chan struct{}
+	// Events delivers stop, welcome, attach, goodbye and control
+	// events. When the connection dies the client synthesizes a final
+	// {Type: "disconnect"} event; the channel itself stays open so the
+	// client can Reconnect.
+	Events chan *proto.Event
 }
 
 // Dial attaches to a runtime at ws://addr.
 func Dial(addr string) (*Client, error) {
-	conn, err := ws.Dial("ws://" + addr)
-	if err != nil {
-		return nil, err
-	}
 	c := &Client{
-		conn:    conn,
+		addr:    addr,
 		waiting: map[string]chan *proto.Response{},
 		Events:  make(chan *proto.Event, 16),
-		closed:  make(chan struct{}),
 	}
-	go c.readLoop()
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
 	return c, nil
+}
+
+// connect dials and starts a read loop for one connection generation.
+func (c *Client) connect() error {
+	conn, err := ws.Dial("ws://" + c.addr)
+	if err != nil {
+		return err
+	}
+	// Bound every frame write (and the close handshake) so a wedged
+	// server fails requests instead of blocking roundTrip forever
+	// before its 30s timer even starts.
+	conn.SetWriteTimeout(10 * time.Second)
+	conn.SetCloseTimeout(2 * time.Second)
+	closed := make(chan struct{})
+	c.mu.Lock()
+	c.conn = conn
+	c.closed = closed
+	c.mu.Unlock()
+	go c.readLoop(conn, closed)
+	return nil
+}
+
+// Reconnect re-attaches to the same endpoint after a connection loss.
+// The server assigns a fresh session id and role (broadcast state such
+// as armed breakpoints lives in the runtime and survives). Safe to
+// call after the Events channel delivered a "disconnect" event.
+func (c *Client) Reconnect() error {
+	// Detach the old connection first: once c.conn no longer points at
+	// it, its read loop's teardown knows it is stale and will neither
+	// wipe the new generation's waiters nor emit a disconnect event.
+	c.mu.Lock()
+	old := c.conn
+	c.conn = nil
+	c.sessionID, c.role, c.controller = 0, "", 0
+	// Abandon the old generation's in-flight requests: their reply
+	// tokens belong to the dead connection.
+	c.waiting = map[string]chan *proto.Response{}
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	// Everything queued on Events belongs to the dead generation —
+	// including a possible disconnect sentinel that would otherwise be
+	// mistaken for the new connection failing. Drop it all, under the
+	// same lock the sentinel push takes, so a teardown racing this
+	// reconnect can never land its sentinel after the drain.
+	c.mu.Lock()
+drain:
+	for {
+		select {
+		case <-c.Events:
+		default:
+			break drain
+		}
+	}
+	c.mu.Unlock()
+	return c.connect()
 }
 
 // Close detaches.
 func (c *Client) Close() error {
-	return c.conn.Close()
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
 }
 
-func (c *Client) readLoop() {
-	defer close(c.closed)
-	defer close(c.Events)
+// SessionID returns this session's server-assigned id (0 before the
+// welcome event arrives).
+func (c *Client) SessionID() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// Role returns this session's current role ("controller" or
+// "observer"), tracked across control-transfer broadcasts.
+func (c *Client) Role() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.role
+}
+
+// Controller returns the session id currently holding control (0 =
+// vacant or unknown).
+func (c *Client) Controller() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.controller
+}
+
+// observeEvent updates session state from an unsolicited event before
+// it is handed to the consumer.
+func (c *Client) observeEvent(ev *proto.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Type {
+	case "welcome":
+		c.sessionID = ev.SessionID
+		c.role = ev.Role
+		c.controller = ev.Controller
+	case "attach", "goodbye":
+		if ev.Controller != 0 || ev.Type == "goodbye" {
+			c.setControllerLocked(ev.Controller)
+		}
+	case "control":
+		c.setControllerLocked(ev.Controller)
+	}
+}
+
+func (c *Client) setControllerLocked(controller int64) {
+	c.controller = controller
+	if c.sessionID != 0 {
+		if controller == c.sessionID {
+			c.role = proto.RoleController
+		} else {
+			c.role = proto.RoleObserver
+		}
+	}
+}
+
+func (c *Client) readLoop(conn *ws.Conn, closed chan struct{}) {
+	defer func() {
+		// Tear down only if this is still the live generation — a
+		// Reconnect may have already swapped in a fresh connection,
+		// and wiping its waiters or announcing a stale disconnect
+		// would sabotage it.
+		c.mu.Lock()
+		stale := c.conn != conn
+		if !stale {
+			c.waiting = map[string]chan *proto.Response{}
+		}
+		c.mu.Unlock()
+		close(closed)
+		// The disconnect sentinel is the one event the consumer must
+		// not miss: when the buffer is full, evict the oldest queued
+		// event to make room rather than dropping the sentinel. Each
+		// attempt re-checks staleness under the lock Reconnect drains
+		// under, so a racing reconnect can never be poisoned by a
+		// sentinel landing after its drain.
+		ev := &proto.Event{Type: "disconnect"}
+		for {
+			c.mu.Lock()
+			if c.conn != conn {
+				c.mu.Unlock()
+				return
+			}
+			select {
+			case c.Events <- ev:
+				c.mu.Unlock()
+				return
+			default:
+			}
+			select {
+			case <-c.Events:
+			default:
+			}
+			c.mu.Unlock()
+		}
+	}()
 	for {
-		raw, err := c.conn.ReadText()
+		raw, err := conn.ReadText()
 		if err != nil {
 			return
 		}
@@ -86,10 +245,12 @@ func (c *Client) readLoop() {
 		if err := json.Unmarshal(raw, &ev); err != nil {
 			continue
 		}
+		c.observeEvent(&ev)
 		select {
 		case c.Events <- &ev:
 		default:
 			// Drop events if the consumer is not keeping up; the
+			// server already coalesces under backpressure and the
 			// simulator stays paused until a command arrives anyway.
 		}
 	}
@@ -98,17 +259,32 @@ func (c *Client) readLoop() {
 // roundTrip sends a request and waits for its response.
 func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
 	c.mu.Lock()
+	conn, closed := c.conn, c.closed
+	if conn == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("hgdb: not connected")
+	}
 	c.nextTok++
 	req.Token = strconv.Itoa(c.nextTok)
 	ch := make(chan *proto.Response, 1)
 	c.waiting[req.Token] = ch
 	c.mu.Unlock()
 
+	// Any exit that is not a delivered response must retire the waiter,
+	// or timed-out/failed requests leak map entries for the life of
+	// the connection.
+	abandon := func() {
+		c.mu.Lock()
+		delete(c.waiting, req.Token)
+		c.mu.Unlock()
+	}
 	msg, err := json.Marshal(req)
 	if err != nil {
+		abandon()
 		return nil, err
 	}
-	if err := c.conn.WriteText(msg); err != nil {
+	if err := conn.WriteText(msg); err != nil {
+		abandon()
 		return nil, err
 	}
 	select {
@@ -117,9 +293,11 @@ func (c *Client) roundTrip(req *proto.Request) (*proto.Response, error) {
 			return resp, fmt.Errorf("hgdb: %s", resp.Reason)
 		}
 		return resp, nil
-	case <-c.closed:
+	case <-closed:
+		abandon()
 		return nil, fmt.Errorf("hgdb: connection closed")
 	case <-time.After(30 * time.Second):
+		abandon()
 		return nil, fmt.Errorf("hgdb: request timed out")
 	}
 }
@@ -182,13 +360,15 @@ func (c *Client) ClearBreakpoints() error {
 }
 
 // Command resumes a stopped simulation: continue, step, reverse-step,
-// detach, pause.
+// detach, pause. Requires control.
 func (c *Client) Command(cmd string) error {
 	_, err := c.roundTrip(&proto.Request{Type: "command", Command: cmd})
 	return err
 }
 
 // Evaluate computes a watch expression in an instance context.
+// Observers may evaluate while the simulation is running; the value
+// is captured at a clock edge.
 func (c *Client) Evaluate(instance, expression string) (proto.ValueInfo, error) {
 	resp, err := c.roundTrip(&proto.Request{
 		Type: "evaluate", Instance: instance, Expression: expression,
@@ -203,7 +383,8 @@ func (c *Client) Evaluate(instance, expression string) (proto.ValueInfo, error) 
 	return v, nil
 }
 
-// GetValue fetches a signal by full or symtab-relative path.
+// GetValue fetches a signal by full or symtab-relative path. Works
+// for observers mid-run (edge-captured, see Evaluate).
 func (c *Client) GetValue(path string) (proto.ValueInfo, error) {
 	resp, err := c.roundTrip(&proto.Request{Type: "get-value", Path: path})
 	if err != nil {
@@ -216,7 +397,7 @@ func (c *Client) GetValue(path string) (proto.ValueInfo, error) {
 	return v, nil
 }
 
-// SetValue deposits a value into the design.
+// SetValue deposits a value into the design. Requires control.
 func (c *Client) SetValue(path string, v uint64) error {
 	_, err := c.roundTrip(&proto.Request{Type: "set-value", Path: path, Value: v})
 	return err
@@ -232,8 +413,37 @@ func (c *Client) Info(topic, filename string) (json.RawMessage, error) {
 	return resp.Data, nil
 }
 
+// Sessions lists every attached session with its role and dropped
+// event count.
+func (c *Client) Sessions() ([]proto.SessionInfo, error) {
+	resp, err := c.roundTrip(&proto.Request{Type: "session", Action: "list"})
+	if err != nil {
+		return nil, err
+	}
+	var infos []proto.SessionInfo
+	if len(resp.Data) > 0 {
+		if err := json.Unmarshal(resp.Data, &infos); err != nil {
+			return nil, err
+		}
+	}
+	return infos, nil
+}
+
+// Release hands control to the oldest observer (or leaves it vacant
+// when this is the only session). Requires control.
+func (c *Client) Release() error {
+	_, err := c.roundTrip(&proto.Request{Type: "session", Action: "release"})
+	return err
+}
+
+// Claim takes control when it is vacant.
+func (c *Client) Claim() error {
+	_, err := c.roundTrip(&proto.Request{Type: "session", Action: "claim"})
+	return err
+}
+
 // AddWatch sets a data watchpoint on an expression in an instance
-// context; stops fire whenever the value changes.
+// context; stops fire whenever the value changes. Requires control.
 func (c *Client) AddWatch(instance, expression string) (int, error) {
 	resp, err := c.roundTrip(&proto.Request{
 		Type: "watch", Action: "add", Instance: instance, Expression: expression,
@@ -250,26 +460,45 @@ func (c *Client) AddWatch(instance, expression string) (int, error) {
 	return data.ID, nil
 }
 
-// RemoveWatch deletes a watchpoint by id.
+// RemoveWatch deletes a watchpoint by id. Requires control.
 func (c *Client) RemoveWatch(id int) error {
 	_, err := c.roundTrip(&proto.Request{Type: "watch", Action: "remove", WatchID: id})
 	return err
 }
 
-// WaitStop blocks until the next stop event or timeout.
+// WaitStop blocks until the next stop event or timeout, skipping
+// other event kinds.
 func (c *Client) WaitStop(timeout time.Duration) (*core.StopEvent, error) {
 	deadline := time.After(timeout)
 	for {
 		select {
-		case ev, ok := <-c.Events:
-			if !ok {
-				return nil, fmt.Errorf("hgdb: connection closed")
-			}
+		case ev := <-c.Events:
 			if ev.Type == "stop" && ev.Stop != nil {
 				return ev.Stop, nil
 			}
+			if ev.Type == "disconnect" {
+				return nil, fmt.Errorf("hgdb: connection closed")
+			}
 		case <-deadline:
 			return nil, fmt.Errorf("hgdb: no stop within %s", timeout)
+		}
+	}
+}
+
+// WaitEvent blocks until the next event of the given type or timeout.
+func (c *Client) WaitEvent(typ string, timeout time.Duration) (*proto.Event, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev := <-c.Events:
+			if ev.Type == typ {
+				return ev, nil
+			}
+			if ev.Type == "disconnect" && typ != "disconnect" {
+				return nil, fmt.Errorf("hgdb: connection closed")
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("hgdb: no %s event within %s", typ, timeout)
 		}
 	}
 }

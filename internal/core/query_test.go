@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/vpi"
+)
+
+// TestQueryWhileRunning drives the simulation from one goroutine and
+// issues queries from another: each query must execute at a clock edge
+// on the simulation goroutine, observing settled state, with no direct
+// backend access from the querying goroutine. Run under -race this is
+// the core guarantee the multi-session server builds on.
+func TestQueryWhileRunning(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No breakpoints armed: queries must still be served off the
+	// fast-path edge callback.
+	var running atomic.Bool
+	running.Store(true)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.sim.Poke("Counter.en", 1)
+		for running.Load() {
+			d.sim.Run(1)
+		}
+	}()
+	defer func() { running.Store(false); <-done }()
+
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		var count, tm uint64
+		err := rt.RunQuery(5*time.Second, func() {
+			v, err := rt.Backend().GetValue("Counter.count")
+			if err != nil {
+				t.Errorf("get mid-run: %v", err)
+				return
+			}
+			count, tm = v.Bits, rt.Backend().Time()
+		})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		// count tracks time while en is held high (modulo the 8-bit
+		// wraparound and the reset cycle offset): the query saw a
+		// consistent (time, value) pair from a settled edge.
+		if uint64(uint8(tm)) != count && uint64(uint8(tm+1)) != count {
+			t.Fatalf("query %d: count=%d at time=%d (torn read?)", i, count, tm)
+		}
+	}
+	// The sim never pauses, so every query must have been served off a
+	// clock edge — an idle fallback would have eaten the grace period.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("10 mid-run queries took %s — served by fallback, not edges", elapsed)
+	}
+	running.Store(false)
+	<-done
+}
+
+// TestQueryIdleFallback: with no simulation activity at all, the
+// query must still complete — inline on the caller after the idle
+// grace period.
+func TestQueryIdleFallback(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	start := time.Now()
+	if err := rt.RunQuery(50*time.Millisecond, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("query did not run")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("idle fallback took far longer than the grace period")
+	}
+	// An edge after the fallback must not re-run the claimed job.
+	d.sim.Run(1)
+}
+
+// TestQueryAfterDetach: once the runtime detaches, the query surface
+// is closed — the free-running design cannot be read safely.
+func TestQueryAfterDetach(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Detach()
+	if err := rt.RunQuery(10*time.Millisecond, func() {}); err != ErrDetached {
+		t.Fatalf("query after detach: err = %v, want ErrDetached", err)
+	}
+}
+
+// TestQueryDrainedDuringStop: while the simulation is parked inside a
+// stop handler, a handler that services rt.Queries() keeps the query
+// surface alive — the pattern the debug server's session loop uses.
+func TestQueryDrainedDuringStop(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddBreakpoint("core_test.go", d.incLine, ""); err != nil {
+		t.Fatal(err)
+	}
+	resume := make(chan Command)
+	stopped := make(chan *StopEvent, 1)
+	rt.SetHandler(func(ev *StopEvent) Command {
+		stopped <- ev
+		for {
+			select {
+			case cmd := <-resume:
+				return cmd
+			case job := <-rt.Queries():
+				job.Run()
+			}
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.sim.Poke("Counter.en", 1)
+		d.sim.Run(2)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no stop")
+	}
+	// The sim goroutine is parked in the handler; the query must be
+	// served promptly by the handler's drain loop, not the idle
+	// fallback (the generous grace period would make that visible).
+	start := time.Now()
+	var v uint64
+	if err := rt.RunQuery(30*time.Second, func() {
+		val, err := rt.Backend().GetValue("Counter.count")
+		if err != nil {
+			t.Errorf("get during stop: %v", err)
+		}
+		v = val.Bits
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("query served after %s — idle fallback instead of stop-loop drain", elapsed)
+	}
+	if v != 0 {
+		t.Fatalf("count at first stop = %d", v)
+	}
+	resume <- CmdDetach
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation stuck")
+	}
+}
+
+// TestQueryQueueDoesNotJamWhenIdle regression-tests the inline
+// fallback's drain duty: jobs claimed inline must not rot in the
+// queue until it permanently fills. More queries than the queue holds
+// must all succeed against a forever-idle simulation.
+func TestQueryQueueDoesNotJamWhenIdle(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < queryQueueDepth+16; i++ {
+		if err := rt.RunQuery(time.Millisecond, func() {}); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+}
+
+// TestConcurrentIdleQueriesSerialized: several goroutines hitting the
+// idle fallback at once must never execute their closures
+// concurrently — the shared plain counter would trip -race otherwise.
+func TestConcurrentIdleQueriesSerialized(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 20
+	total := 0 // deliberately unsynchronized: serialization is the invariant
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := rt.RunQuery(time.Millisecond, func() { total++ }); err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total != workers*perWorker {
+		t.Fatalf("total = %d, want %d (lost updates => unserialized execution)", total, workers*perWorker)
+	}
+}
+
+// TestIdleGraceMemoized: only the first query after quiescence pays
+// the idle-grace latency; subsequent queries against a still-idle
+// simulation run immediately, and an edge restores the full grace.
+func TestIdleGraceMemoized(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grace = 200 * time.Millisecond
+	if err := rt.RunQuery(grace, func() {}); err != nil { // pays the grace
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := rt.RunQuery(grace, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > grace/2 {
+		t.Fatalf("second idle query took %s — memoization did not skip the grace", elapsed)
+	}
+	// An edge invalidates the memo: the next query must go back to
+	// waiting for a drain point (and be served by it).
+	d.sim.Run(1)
+	if err := rt.RunQuery(grace, func() {}); err != nil {
+		t.Fatal(err)
+	}
+}

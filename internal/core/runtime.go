@@ -19,6 +19,7 @@ import (
 	goruntime "runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/expr"
@@ -193,6 +194,21 @@ type Runtime struct {
 	// spawning goroutines per edge.
 	pool *workerPool
 
+	// queries holds pending debugger queries awaiting a drain point
+	// with stable simulation state; execMu serializes every job's
+	// execution across all drain points so two queries can never touch
+	// the unsynchronized backend concurrently; edgeSeen counts clock
+	// edges so the idle fallback can tell a quiet simulator from one
+	// that came alive mid-grace (see query.go).
+	queries  chan *QueryJob
+	execMu   sync.Mutex
+	edgeSeen atomic.Uint64
+	// idleSince memoizes "the simulation was idle at edge count N":
+	// holds edgeSeen+1 as observed by the last inline fallback (0 =
+	// none), letting later queries skip the idle-grace wait until an
+	// edge advances the counter (see query.go).
+	idleSince atomic.Uint64
+
 	// Per-cycle prefetch cache (simulation-goroutine state, except
 	// depsDirty which rt.mu guards): the union of every armed
 	// condition's dependency paths, their batched values for the
@@ -222,6 +238,7 @@ func New(backend vpi.Interface, table *symtab.Table) (*Runtime, error) {
 		remap:    remap,
 		inserted: map[int64]*insertedBP{},
 		pool:     newWorkerPool(goruntime.GOMAXPROCS(0)),
+		queries:  make(chan *QueryJob, queryQueueDepth),
 	}
 	rt.allGroups = rt.buildAllGroups()
 	rt.cbID = backend.OnClockEdge(rt.onEdge)

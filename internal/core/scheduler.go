@@ -6,6 +6,15 @@ package core
 // callback returns immediately and the simulator pays only the cost of
 // the call itself.
 func (rt *Runtime) onEdge(time uint64) {
+	// Serve any queries debugger sessions queued since the last edge:
+	// observers read values mid-run here, with combinational state
+	// settled, instead of racing the simulator from their own
+	// goroutines (see query.go). The edge counter bumps first so an
+	// idle-fallback caller racing this edge knows a live drainer
+	// exists and waits instead of running inline.
+	rt.edgeSeen.Add(1)
+	rt.drainQueries()
+
 	rt.mu.Lock()
 	stepping := rt.stepArmed
 	reverse := rt.reverseArmed

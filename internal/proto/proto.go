@@ -15,13 +15,14 @@ import (
 // Request is a client → runtime message.
 type Request struct {
 	// Type selects the operation: "breakpoint", "command", "evaluate",
-	// "get-value", "set-value", "info".
+	// "get-value", "set-value", "info", "watch", "session".
 	Type string `json:"type"`
 	// Token is echoed in the response for matching.
 	Token string `json:"token,omitempty"`
 
-	// breakpoint fields
-	Action    string `json:"action,omitempty"` // add | remove | clear | list
+	// breakpoint fields (Action: add | remove | clear | list);
+	// session fields (Action: list | release | claim)
+	Action    string `json:"action,omitempty"`
 	Filename  string `json:"filename,omitempty"`
 	Line      int    `json:"line,omitempty"`
 	Condition string `json:"condition,omitempty"`
@@ -54,14 +55,77 @@ type Response struct {
 	Data   json.RawMessage `json:"data,omitempty"`
 }
 
-// Event is an unsolicited runtime → client message.
+// Event is an unsolicited runtime → client message. Broadcast kinds:
+//
+//   - "welcome": sent to a session right after it attaches; carries its
+//     id and role plus the design summary.
+//   - "attach"/"goodbye": a peer session joined/left (SessionID is the
+//     peer; Controller reflects any resulting handoff).
+//   - "control": control of the runtime moved to session Controller
+//     (Reason: "release" | "disconnect" | "claim" | "shutdown").
+//   - "stop": a breakpoint/watch/step stop; delivered to every session.
+//   - "disconnect": synthesized locally by the client library when the
+//     connection dies — it never travels on the wire.
+//
+// Seq orders broadcasts: every session observes the same subsequence
+// of an identical, strictly increasing sequence (a slow session may
+// drop events under backpressure, never reorder them).
 type Event struct {
-	Type string          `json:"type"` // "stop" | "welcome" | "goodbye"
+	Type string          `json:"type"`
+	Seq  uint64          `json:"seq,omitempty"`
 	Stop *core.StopEvent `json:"stop,omitempty"`
 	// Welcome payload
 	Top   string `json:"top,omitempty"`
 	Mode  string `json:"mode,omitempty"`
 	Files int    `json:"files,omitempty"`
+	// Session payload
+	SessionID  int64  `json:"session,omitempty"`
+	Role       string `json:"role,omitempty"`
+	Controller int64  `json:"controller,omitempty"`
+	Peers      int    `json:"peers,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Session roles. Exactly one attached session holds control (may
+// resume the simulation and mutate state); every other session is an
+// observer with read-only access.
+const (
+	RoleController = "controller"
+	RoleObserver   = "observer"
+)
+
+// SessionInfo is the wire form of one attached session, returned by
+// the "session" request's "list" action.
+type SessionInfo struct {
+	ID   int64  `json:"id"`
+	Role string `json:"role"`
+	// Dropped counts broadcast events discarded for this session under
+	// backpressure (its outbound queue was full).
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// knownRequestTypes is the closed set DecodeRequest accepts.
+var knownRequestTypes = map[string]bool{
+	"breakpoint": true, "command": true, "evaluate": true,
+	"get-value": true, "set-value": true, "info": true,
+	"watch": true, "session": true,
+}
+
+// DecodeRequest parses and validates one wire request. The type must
+// be present and known; everything else is operation-specific and left
+// to the dispatcher.
+func DecodeRequest(raw []byte) (*Request, error) {
+	var req Request
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, fmt.Errorf("proto: bad request: %w", err)
+	}
+	if req.Type == "" {
+		return nil, fmt.Errorf("proto: request missing type")
+	}
+	if !knownRequestTypes[req.Type] {
+		return nil, fmt.Errorf("proto: unknown request type %q", req.Type)
+	}
+	return &req, nil
 }
 
 // OK builds a success response with a JSON payload.
@@ -112,8 +176,11 @@ type BreakpointInfo struct {
 	EnableSrc string `json:"enable_src,omitempty"`
 }
 
-// ValueInfo is the wire form of an evaluated value.
+// ValueInfo is the wire form of an evaluated value. Time reports the
+// simulation time the value was captured at — for an observer reading
+// mid-run, that is the clock edge the query executed on.
 type ValueInfo struct {
 	Value uint64 `json:"value"`
 	Width int    `json:"width"`
+	Time  uint64 `json:"time,omitempty"`
 }

@@ -1,8 +1,21 @@
 // Package server exposes an hgdb runtime over the WebSocket debugging
-// protocol: it owns the bridge between the simulation thread (where the
-// runtime's handler blocks on a stop) and the connected debugger
-// client, matching the architecture of Figure 1 — the runtime sits
-// inside the simulator; debugger tools attach over RPC.
+// protocol — the bridge between the simulation thread (where the
+// runtime's handler blocks on a stop) and attached debugger clients,
+// matching the architecture of Figure 1: the runtime sits inside the
+// simulator; debugger tools attach over RPC.
+//
+// The server is a session manager: any number of debugger clients
+// attach concurrently to the one runtime. Each session has an id, a
+// role, and its own backpressured outbound queue drained by a writer
+// goroutine (a slow observer drops broadcast events instead of
+// stalling the simulation). Exactly one session holds control — it
+// alone may resume the simulation or mutate state — arbitrated
+// first-attach-owns, handed off on explicit release or disconnect.
+// Every other session is an observer: it receives the same broadcast
+// stop/attach/goodbye/control events and may run read-only requests
+// (evaluate, get-value, info) even while the simulation is running;
+// those execute through the runtime's clock-edge query queue, never
+// racing the scheduler.
 package server
 
 import (
@@ -12,30 +25,48 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/proto"
 	"repro/internal/ws"
 )
 
-// Server bridges one hgdb runtime to debugger clients.
+// queryGrace is how long state queries wait for a drain point (clock
+// edge or parked stop loop) before concluding the simulation is idle;
+// see core.Runtime.RunQuery.
+var queryGrace = 250 * time.Millisecond
+
+// Server bridges one hgdb runtime to any number of debugger sessions.
 type Server struct {
 	rt *core.Runtime
 
-	mu      sync.Mutex
-	client  *ws.Conn
-	pending chan core.Command // non-nil while stopped at a breakpoint
+	mu          sync.Mutex
+	sessions    map[int64]*Session
+	order       []int64 // attach order; also control succession order
+	controller  int64   // session holding control; 0 = vacant
+	nextSID     int64
+	seq         uint64            // broadcast event sequence
+	pending     chan core.Command // non-nil while stopped at a breakpoint
+	currentStop *core.StopEvent   // the stop being served while pending != nil
+	closing     bool
+
 	ln      net.Listener
 	httpSrv *http.Server
 	log     *log.Logger
 }
 
 // New wires a server to a runtime. The runtime's handler is replaced:
-// stops are forwarded to the connected client and the simulation blocks
-// until the client answers with a command. With no client connected,
-// stops auto-continue.
+// stops are broadcast to every attached session and the simulation
+// blocks until the controlling session answers with a command —
+// serving queued state queries from other sessions while it waits.
+// With no session attached, stops auto-continue.
 func New(rt *core.Runtime, logger *log.Logger) *Server {
-	s := &Server{rt: rt, log: logger}
+	s := &Server{
+		rt:       rt,
+		sessions: map[int64]*Session{},
+		log:      logger,
+	}
 	rt.SetHandler(s.onStop)
 	return s
 }
@@ -43,51 +74,112 @@ func New(rt *core.Runtime, logger *log.Logger) *Server {
 // Runtime returns the wrapped runtime.
 func (s *Server) Runtime() *core.Runtime { return s.rt }
 
-// onStop runs on the simulation goroutine.
-func (s *Server) onStop(ev *core.StopEvent) core.Command {
-	s.mu.Lock()
-	client := s.client
-	if client == nil {
-		s.mu.Unlock()
-		return core.CmdContinue
-	}
-	resume := make(chan core.Command, 1)
-	s.pending = resume
-	s.mu.Unlock()
-
-	msg, err := json.Marshal(proto.Event{Type: "stop", Stop: ev})
-	if err == nil {
-		err = client.WriteText(msg)
-	}
-	if err != nil {
-		s.logf("server: dropping client: %v", err)
-		s.dropClient()
-		return core.CmdContinue
-	}
-	cmd := <-resume
-	s.mu.Lock()
-	s.pending = nil
-	s.mu.Unlock()
-	return cmd
-}
-
 func (s *Server) logf(format string, args ...any) {
 	if s.log != nil {
 		s.log.Printf(format, args...)
 	}
 }
 
-func (s *Server) dropClient() {
+// onStop runs on the simulation goroutine: broadcast the stop to all
+// sessions, then block until the controller resumes — meanwhile
+// serving the runtime's query queue so observers can still read state.
+func (s *Server) onStop(ev *core.StopEvent) core.Command {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.client != nil {
-		s.client.Close()
-		s.client = nil
+	if len(s.sessions) == 0 || s.closing {
+		s.mu.Unlock()
+		return core.CmdContinue
 	}
-	if s.pending != nil {
-		s.pending <- core.CmdContinue
-		s.pending = nil
+	resume := make(chan core.Command, 1)
+	s.pending = resume
+	s.currentStop = ev
+	// Broadcast the stop. For observers a full queue sheds the event
+	// (a slow observer must not stall the simulation), but the
+	// controller's copy is load-bearing — the simulation is about to
+	// park waiting for that session's command. Delivering it out of
+	// band would reorder the session's Seq stream, so instead a
+	// controller that cannot even absorb its stop forfeits control:
+	// it is dropped (outside the lock), which hands control to an
+	// informed session or auto-continues.
+	controllerID := s.controller
+	stopLost := false
+	s.seq++
+	stopEv := &proto.Event{Type: "stop", Stop: ev, Seq: s.seq}
+	if msg, err := json.Marshal(stopEv); err == nil {
+		for _, id := range s.order {
+			sess := s.sessions[id]
+			if id == controllerID {
+				stopLost = !sess.tryEnqueue(msg)
+			} else {
+				sess.enqueueEvent(msg)
+			}
+		}
 	}
+	s.mu.Unlock()
+	if stopLost {
+		s.dropSession(controllerID, "stop event undeliverable (queue full)")
+	}
+
+	for {
+		select {
+		case cmd := <-resume:
+			return cmd
+		case job := <-s.rt.Queries():
+			job.Run()
+		}
+	}
+}
+
+// sendResume hands the stopped simulation its next command. Callers
+// hold s.mu. The buffered send cannot block: pending is cleared on
+// every send, so each resume channel sees at most one.
+func (s *Server) sendResumeLocked(cmd core.Command) bool {
+	if s.pending == nil {
+		return false
+	}
+	s.pending <- cmd
+	s.pending = nil
+	s.currentStop = nil
+	return true
+}
+
+// broadcastLocked stamps the event with the next sequence number and
+// enqueues it to every session. Callers hold s.mu. Enqueues never
+// block (slow sessions drop), so holding the lock is fine.
+func (s *Server) broadcastLocked(ev *proto.Event) {
+	s.broadcastExceptLocked(ev, 0)
+}
+
+// broadcastExceptLocked is broadcastLocked minus one recipient: the
+// event is marshaled once and consumes one sequence number no matter
+// how many sessions receive it, preserving the invariant that every
+// session observes a subsequence of the same stream.
+func (s *Server) broadcastExceptLocked(ev *proto.Event, exclude int64) {
+	s.seq++
+	ev.Seq = s.seq
+	msg, err := json.Marshal(ev)
+	if err != nil {
+		s.logf("server: marshal %s event: %v", ev.Type, err)
+		return
+	}
+	for _, id := range s.order {
+		if id == exclude {
+			continue
+		}
+		s.sessions[id].enqueueEvent(msg)
+	}
+}
+
+// sendEventLocked stamps and enqueues an event to one session,
+// keeping its Seq consistent with the broadcast stream. Callers hold
+// s.mu.
+func (s *Server) sendEventLocked(sess *Session, ev *proto.Event) {
+	s.seq++
+	ev.Seq = s.seq
+	msg, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	sess.enqueueEvent(msg)
 }
 
 // Listen starts serving the debugging protocol on addr
@@ -105,13 +197,133 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the server down.
+// Close shuts the server down gracefully: it stops accepting new
+// sessions, resumes a stopped simulation, sends every session a
+// goodbye, and waits (bounded) for each writer to flush its queue and
+// complete the close handshake.
 func (s *Server) Close() error {
-	s.dropClient()
+	s.mu.Lock()
+	s.closing = true
+	s.sendResumeLocked(core.CmdContinue)
+	drained := make([]*Session, 0, len(s.order))
+	for _, id := range s.order {
+		sess := s.sessions[id]
+		s.sendEventLocked(sess, &proto.Event{
+			Type: "goodbye", SessionID: sess.ID, Reason: "shutdown",
+		})
+		sess.signalQuit()
+		drained = append(drained, sess)
+	}
+	s.sessions = map[int64]*Session{}
+	s.order = nil
+	s.controller = 0
+	s.mu.Unlock()
+
+	// One shared deadline for all writers: shutdown latency is bounded
+	// by the slowest session, not the sum over wedged ones.
+	deadline := time.After(2 * sessionWriteTimeout)
+	for _, sess := range drained {
+		select {
+		case <-sess.writerDone:
+		case <-deadline:
+			s.logf("server: session %d writer did not drain", sess.ID)
+		}
+	}
 	if s.httpSrv != nil {
 		return s.httpSrv.Close()
 	}
 	return nil
+}
+
+// attach registers a new connection as a session: the first attach
+// (or any attach while control is vacant) becomes the controller,
+// everyone else an observer. Returns nil if the server is closing.
+func (s *Server) attach(conn *ws.Conn) *Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil
+	}
+	s.nextSID++
+	role := proto.RoleObserver
+	if s.controller == 0 {
+		role = proto.RoleController
+	}
+	sess := newSession(s, conn, s.nextSID, role)
+	if role == proto.RoleController {
+		s.controller = sess.ID
+	}
+	s.sessions[sess.ID] = sess
+	s.order = append(s.order, sess.ID)
+	go sess.writeLoop()
+
+	s.sendEventLocked(sess, &proto.Event{
+		Type:       "welcome",
+		SessionID:  sess.ID,
+		Role:       role,
+		Controller: s.controller,
+		Peers:      len(s.sessions),
+		Top:        s.rt.Table().Top(),
+		Mode:       s.rt.Table().Mode(),
+		Files:      len(s.rt.Table().Files()),
+	})
+	// A session attaching while the simulation is parked at a stop
+	// must learn about it — it may be promoted to controller later and
+	// would otherwise command a simulator it believes is running.
+	if s.currentStop != nil {
+		s.sendEventLocked(sess, &proto.Event{Type: "stop", Stop: s.currentStop})
+	}
+	// Tell everyone else a peer arrived.
+	s.broadcastExceptLocked(&proto.Event{
+		Type: "attach", SessionID: sess.ID, Role: role,
+		Controller: s.controller, Peers: len(s.sessions),
+	}, sess.ID)
+	return sess
+}
+
+// dropSession removes a session: hands control to the oldest
+// surviving session if the controller left, auto-continues a stopped
+// simulation that just lost its last possible commander, and tells
+// the remaining sessions. Idempotent.
+func (s *Server) dropSession(id int64, reason string) {
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.logf("server: session %d dropped: %s", id, reason)
+	delete(s.sessions, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	wasController := s.controller == id
+	if wasController {
+		s.promoteLocked(0)
+	}
+	if len(s.sessions) == 0 || (wasController && s.controller == 0) {
+		// Nobody can issue continue anymore: a stopped simulation must
+		// not deadlock waiting for a commander that will never come.
+		// Control stays vacant with sessions attached only when every
+		// candidate was too backlogged to take the stop replay — none
+		// of them knows the sim is parked, so resume it.
+		s.sendResumeLocked(core.CmdContinue)
+	}
+	s.broadcastLocked(&proto.Event{
+		Type: "goodbye", SessionID: id,
+		Controller: s.controller, Peers: len(s.sessions),
+		Reason: reason,
+	})
+	if wasController && s.controller != 0 {
+		s.broadcastLocked(&proto.Event{
+			Type: "control", Controller: s.controller, Reason: "disconnect",
+		})
+	}
+	s.mu.Unlock()
+	sess.signalQuit()
 }
 
 func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
@@ -120,112 +332,296 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	if s.client != nil {
-		s.mu.Unlock()
-		msg, _ := json.Marshal(proto.Error("", "another debugger is already attached"))
+	conn.SetWriteTimeout(sessionWriteTimeout)
+	sess := s.attach(conn)
+	if sess == nil {
+		msg, _ := json.Marshal(proto.Error("", "server is shutting down"))
 		conn.WriteText(msg)
 		conn.Close()
 		return
 	}
-	s.client = conn
-	s.mu.Unlock()
 
-	welcome, _ := json.Marshal(proto.Event{
-		Type:  "welcome",
-		Top:   s.rt.Table().Top(),
-		Mode:  s.rt.Table().Mode(),
-		Files: len(s.rt.Table().Files()),
-	})
-	conn.WriteText(welcome)
-
+	// Request loop (this goroutine is the session's reader).
 	for {
 		raw, err := conn.ReadText()
 		if err != nil {
-			s.logf("server: client gone: %v", err)
-			s.dropClient()
+			s.dropSession(sess.ID, fmt.Sprintf("read: %v", err))
 			return
 		}
-		var req proto.Request
-		if err := json.Unmarshal(raw, &req); err != nil {
-			s.reply(conn, proto.Error("", "bad request: %v", err))
+		req, err := proto.DecodeRequest(raw)
+		if err != nil {
+			// Echo the token when the JSON was parseable enough to
+			// carry one, so the client's round trip fails immediately
+			// instead of timing out on an unmatchable response.
+			var head struct {
+				Token string `json:"token"`
+			}
+			json.Unmarshal(raw, &head)
+			s.reply(sess, proto.Error(head.Token, "%v", err))
 			continue
 		}
-		s.reply(conn, s.dispatch(&req))
+		s.reply(sess, s.dispatch(sess, req))
 	}
 }
 
-func (s *Server) reply(conn *ws.Conn, resp *proto.Response) {
+func (s *Server) reply(sess *Session, resp *proto.Response) {
 	msg, err := json.Marshal(resp)
 	if err != nil {
 		return
 	}
-	conn.WriteText(msg)
+	sess.enqueueResponse(msg)
 }
 
-// dispatch executes one request. It runs on the connection goroutine —
-// never on the simulation goroutine — so value queries work while the
-// simulator is paused at a stop.
-func (s *Server) dispatch(req *proto.Request) *proto.Response {
+// promoteLocked moves control to the oldest session in attach order,
+// skipping exclude; with no candidate, control goes vacant. It is the
+// single implementation of the succession policy, shared by
+// disconnect handoff and explicit release. Returns the new controller
+// id (0 = vacant). Callers hold s.mu.
+func (s *Server) promoteLocked(exclude int64) int64 {
+	s.controller = 0
+	for _, id := range s.order {
+		if id == exclude {
+			continue
+		}
+		heir := s.sessions[id]
+		// A session promoted while the simulation is parked at a stop
+		// must know about it — its own copy of the broadcast may have
+		// been shed under backpressure, and the sim now waits on this
+		// session's command. The replay is load-bearing, so it is not
+		// allowed to shed: a candidate too backlogged to take it is
+		// skipped (it stays an observer) and the next in line is
+		// tried. A duplicate stop is cosmetic; a missing one wedges
+		// the simulation.
+		if s.currentStop != nil {
+			s.seq++
+			msg, err := json.Marshal(&proto.Event{
+				Type: "stop", Stop: s.currentStop, Seq: s.seq,
+			})
+			if err != nil || !heir.tryEnqueue(msg) {
+				continue
+			}
+		}
+		heir.role = proto.RoleController
+		s.controller = heir.ID
+		break
+	}
+	return s.controller
+}
+
+// controlErrorLocked builds the denial response for a session without
+// control. Callers hold s.mu and have already found sess not to be
+// the controller.
+func (s *Server) controlErrorLocked(sess *Session, token string) *proto.Response {
+	if s.controller == 0 {
+		return proto.Error(token, "control required (vacant — send {\"type\":\"session\",\"action\":\"claim\"})")
+	}
+	return proto.Error(token, "control required (held by session %d, you are session %d)",
+		s.controller, sess.ID)
+}
+
+// requireControl returns an error response when sess does not hold
+// control, nil when it does. Note the check alone is advisory — a
+// concurrent transfer can land right after it. Actions that must be
+// atomic with the check use withControl or re-check at execution time.
+func (s *Server) requireControl(sess *Session, token string) *proto.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.controller == sess.ID {
+		return nil
+	}
+	return s.controlErrorLocked(sess, token)
+}
+
+// withControl runs fn while holding s.mu with sess verified as the
+// controller — the check and the action are one critical section, so
+// a control transfer can never interleave. Only for fast runtime
+// bookkeeping (fn must not block).
+func (s *Server) withControl(sess *Session, token string, fn func() *proto.Response) *proto.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.controller != sess.ID {
+		return s.controlErrorLocked(sess, token)
+	}
+	return fn()
+}
+
+// runQuery executes fn with simulation state guaranteed stable (see
+// core.Runtime.RunQuery) and returns its response.
+func (s *Server) runQuery(token string, fn func() *proto.Response) *proto.Response {
+	var resp *proto.Response
+	if err := s.rt.RunQuery(queryGrace, func() { resp = fn() }); err != nil {
+		return proto.Error(token, "%v", err)
+	}
+	return resp
+}
+
+// controlledQuery is runQuery for control-gated mutations: a fast
+// pre-check rejects non-controllers before queueing, and the check is
+// repeated inside the job because control may move while it waits for
+// a drain point.
+func (s *Server) controlledQuery(sess *Session, token string, fn func() *proto.Response) *proto.Response {
+	if resp := s.requireControl(sess, token); resp != nil {
+		return resp
+	}
+	return s.runQuery(token, func() *proto.Response {
+		if resp := s.requireControl(sess, token); resp != nil {
+			return resp
+		}
+		return fn()
+	})
+}
+
+// dispatch executes one request on the session's reader goroutine.
+// Requests that touch simulation state run through the runtime's
+// query queue; requests that only touch runtime bookkeeping (which
+// has its own locking) run inline.
+func (s *Server) dispatch(sess *Session, req *proto.Request) *proto.Response {
 	switch req.Type {
 	case "breakpoint":
-		return s.handleBreakpoint(req)
+		return s.handleBreakpoint(sess, req)
 	case "command":
-		return s.handleCommand(req)
+		return s.handleCommand(sess, req)
 	case "evaluate":
-		v, err := s.rt.Evaluate(req.Instance, req.Expression)
-		if err != nil {
-			return proto.Error(req.Token, "%v", err)
-		}
-		resp, err := proto.OK(req.Token, proto.ValueInfo{Value: v.Bits, Width: v.Width})
-		if err != nil {
-			return proto.Error(req.Token, "%v", err)
-		}
-		return resp
+		return s.runQuery(req.Token, func() *proto.Response {
+			v, err := s.rt.Evaluate(req.Instance, req.Expression)
+			if err != nil {
+				return proto.Error(req.Token, "%v", err)
+			}
+			resp, err := proto.OK(req.Token, proto.ValueInfo{
+				Value: v.Bits, Width: v.Width, Time: s.rt.Backend().Time(),
+			})
+			if err != nil {
+				return proto.Error(req.Token, "%v", err)
+			}
+			return resp
+		})
 	case "get-value":
-		v, err := s.rt.Backend().GetValue(req.Path)
-		if err != nil {
-			// Try symtab-relative paths too.
-			v, err = s.rt.Backend().GetValue(s.rt.Remap().ToSim(req.Path))
-		}
-		if err != nil {
-			return proto.Error(req.Token, "%v", err)
-		}
-		resp, _ := proto.OK(req.Token, proto.ValueInfo{Value: v.Bits, Width: v.Width})
-		return resp
+		return s.runQuery(req.Token, func() *proto.Response {
+			v, err := s.rt.Backend().GetValue(req.Path)
+			if err != nil {
+				// Try symtab-relative paths too.
+				v, err = s.rt.Backend().GetValue(s.rt.Remap().ToSim(req.Path))
+			}
+			if err != nil {
+				return proto.Error(req.Token, "%v", err)
+			}
+			resp, _ := proto.OK(req.Token, proto.ValueInfo{
+				Value: v.Bits, Width: v.Width, Time: s.rt.Backend().Time(),
+			})
+			return resp
+		})
 	case "set-value":
-		err := s.rt.Backend().SetValue(req.Path, req.Value)
-		if err != nil {
-			err = s.rt.Backend().SetValue(s.rt.Remap().ToSim(req.Path), req.Value)
-		}
-		if err != nil {
-			return proto.Error(req.Token, "%v", err)
-		}
-		resp, _ := proto.OK(req.Token, nil)
-		return resp
+		return s.controlledQuery(sess, req.Token, func() *proto.Response {
+			err := s.rt.Backend().SetValue(req.Path, req.Value)
+			if err != nil {
+				err = s.rt.Backend().SetValue(s.rt.Remap().ToSim(req.Path), req.Value)
+			}
+			if err != nil {
+				return proto.Error(req.Token, "%v", err)
+			}
+			resp, _ := proto.OK(req.Token, nil)
+			return resp
+		})
 	case "info":
 		return s.handleInfo(req)
 	case "watch":
-		return s.handleWatch(req)
+		return s.handleWatch(sess, req)
+	case "session":
+		return s.handleSession(sess, req)
 	}
 	return proto.Error(req.Token, "unknown request type %q", req.Type)
 }
 
-func (s *Server) handleWatch(req *proto.Request) *proto.Response {
+// handleSession implements the session-management surface: listing
+// attached sessions and moving control between them.
+func (s *Server) handleSession(sess *Session, req *proto.Request) *proto.Response {
+	switch req.Action {
+	case "list":
+		s.mu.Lock()
+		infos := make([]proto.SessionInfo, 0, len(s.order))
+		for _, id := range s.order {
+			o := s.sessions[id]
+			infos = append(infos, proto.SessionInfo{
+				ID: o.ID, Role: o.role, Dropped: o.dropped.Load(),
+			})
+		}
+		s.mu.Unlock()
+		resp, _ := proto.OK(req.Token, infos)
+		return resp
+	case "release":
+		s.mu.Lock()
+		if s.controller != sess.ID {
+			resp := s.controlErrorLocked(sess, req.Token)
+			s.mu.Unlock()
+			return resp
+		}
+		sess.role = proto.RoleObserver
+		// Hand off to the oldest other session; with none, control
+		// goes vacant and the next attach (or claim) takes it.
+		newController := s.promoteLocked(sess.ID)
+		s.broadcastLocked(&proto.Event{
+			Type: "control", Controller: newController, Reason: "release",
+		})
+		s.mu.Unlock()
+		resp, _ := proto.OK(req.Token, map[string]any{"controller": newController})
+		return resp
+	case "claim":
+		s.mu.Lock()
+		if s.controller != 0 && s.controller != sess.ID {
+			id := s.controller
+			s.mu.Unlock()
+			return proto.Error(req.Token, "control is held by session %d", id)
+		}
+		sess.role = proto.RoleController
+		s.controller = sess.ID
+		s.broadcastLocked(&proto.Event{
+			Type: "control", Controller: s.controller, Reason: "claim",
+		})
+		s.mu.Unlock()
+		resp, _ := proto.OK(req.Token, map[string]any{"controller": sess.ID})
+		return resp
+	}
+	return proto.Error(req.Token, "unknown session action %q", req.Action)
+}
+
+// Controller returns the session id currently holding control (0 =
+// vacant).
+func (s *Server) Controller() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.controller
+}
+
+// SessionIDs returns a snapshot of attached session ids in attach
+// order.
+func (s *Server) SessionIDs() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int64, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+func (s *Server) handleWatch(sess *Session, req *proto.Request) *proto.Response {
 	switch req.Action {
 	case "add":
-		id, err := s.rt.AddWatch(req.Instance, req.Expression)
-		if err != nil {
-			return proto.Error(req.Token, "%v", err)
-		}
-		resp, _ := proto.OK(req.Token, map[string]any{"id": id})
-		return resp
+		// AddWatch probes the backend to resolve names: query queue.
+		return s.controlledQuery(sess, req.Token, func() *proto.Response {
+			id, err := s.rt.AddWatch(req.Instance, req.Expression)
+			if err != nil {
+				return proto.Error(req.Token, "%v", err)
+			}
+			resp, _ := proto.OK(req.Token, map[string]any{"id": id})
+			return resp
+		})
 	case "remove":
-		if !s.rt.RemoveWatch(req.WatchID) {
-			return proto.Error(req.Token, "no watchpoint %d", req.WatchID)
-		}
-		resp, _ := proto.OK(req.Token, nil)
-		return resp
+		return s.withControl(sess, req.Token, func() *proto.Response {
+			if !s.rt.RemoveWatch(req.WatchID) {
+				return proto.Error(req.Token, "no watchpoint %d", req.WatchID)
+			}
+			resp, _ := proto.OK(req.Token, nil)
+			return resp
+		})
 	case "list":
 		type wire struct {
 			ID       int    `json:"id"`
@@ -242,23 +638,31 @@ func (s *Server) handleWatch(req *proto.Request) *proto.Response {
 	return proto.Error(req.Token, "unknown watch action %q", req.Action)
 }
 
-func (s *Server) handleBreakpoint(req *proto.Request) *proto.Response {
+func (s *Server) handleBreakpoint(sess *Session, req *proto.Request) *proto.Response {
 	switch req.Action {
 	case "add":
-		ids, err := s.rt.AddBreakpoint(req.Filename, req.Line, req.Condition)
-		if err != nil {
-			return proto.Error(req.Token, "%v", err)
-		}
-		resp, _ := proto.OK(req.Token, map[string]any{"ids": ids})
-		return resp
+		// AddBreakpoint probes the backend while resolving condition
+		// dependencies: query queue.
+		return s.controlledQuery(sess, req.Token, func() *proto.Response {
+			ids, err := s.rt.AddBreakpoint(req.Filename, req.Line, req.Condition)
+			if err != nil {
+				return proto.Error(req.Token, "%v", err)
+			}
+			resp, _ := proto.OK(req.Token, map[string]any{"ids": ids})
+			return resp
+		})
 	case "remove":
-		n := s.rt.RemoveBreakpoint(req.Filename, req.Line)
-		resp, _ := proto.OK(req.Token, map[string]any{"removed": n})
-		return resp
+		return s.withControl(sess, req.Token, func() *proto.Response {
+			n := s.rt.RemoveBreakpoint(req.Filename, req.Line)
+			resp, _ := proto.OK(req.Token, map[string]any{"removed": n})
+			return resp
+		})
 	case "clear":
-		s.rt.ClearBreakpoints()
-		resp, _ := proto.OK(req.Token, nil)
-		return resp
+		return s.withControl(sess, req.Token, func() *proto.Response {
+			s.rt.ClearBreakpoints()
+			resp, _ := proto.OK(req.Token, nil)
+			return resp
+		})
 	case "list":
 		var infos []proto.BreakpointInfo
 		for _, bp := range s.rt.ListBreakpoints() {
@@ -273,25 +677,28 @@ func (s *Server) handleBreakpoint(req *proto.Request) *proto.Response {
 	return proto.Error(req.Token, "unknown breakpoint action %q", req.Action)
 }
 
-func (s *Server) handleCommand(req *proto.Request) *proto.Response {
+func (s *Server) handleCommand(sess *Session, req *proto.Request) *proto.Response {
 	if req.Command == "pause" {
-		s.rt.InterruptNext()
-		resp, _ := proto.OK(req.Token, nil)
-		return resp
+		return s.withControl(sess, req.Token, func() *proto.Response {
+			s.rt.InterruptNext()
+			resp, _ := proto.OK(req.Token, nil)
+			return resp
+		})
 	}
 	cmd, err := proto.ParseCommand(req.Command)
 	if err != nil {
 		return proto.Error(req.Token, "%v", err)
 	}
-	s.mu.Lock()
-	pending := s.pending
-	s.mu.Unlock()
-	if pending == nil {
-		return proto.Error(req.Token, "not stopped at a breakpoint")
-	}
-	pending <- cmd
-	resp, _ := proto.OK(req.Token, nil)
-	return resp
+	// Control check and resume are one critical section: a session
+	// that lost control a moment ago must not resume the simulation
+	// out from under the new controller.
+	return s.withControl(sess, req.Token, func() *proto.Response {
+		if !s.sendResumeLocked(cmd) {
+			return proto.Error(req.Token, "not stopped at a breakpoint")
+		}
+		resp, _ := proto.OK(req.Token, nil)
+		return resp
+	})
 }
 
 func (s *Server) handleInfo(req *proto.Request) *proto.Response {
@@ -306,14 +713,17 @@ func (s *Server) handleInfo(req *proto.Request) *proto.Response {
 		resp, _ := proto.OK(req.Token, s.rt.Table().Instances())
 		return resp
 	case "status":
-		evals, stops := s.rt.Stats()
-		resp, _ := proto.OK(req.Token, map[string]any{
-			"time":  s.rt.Backend().Time(),
-			"evals": evals,
-			"stops": stops,
-			"mode":  s.rt.Table().Mode(),
+		// Time lives in simulation state: query queue.
+		return s.runQuery(req.Token, func() *proto.Response {
+			evals, stops := s.rt.Stats()
+			resp, _ := proto.OK(req.Token, map[string]any{
+				"time":  s.rt.Backend().Time(),
+				"evals": evals,
+				"stops": stops,
+				"mode":  s.rt.Table().Mode(),
+			})
+			return resp
 		})
-		return resp
 	}
 	return proto.Error(req.Token, "unknown info topic %q", req.Topic)
 }
@@ -323,5 +733,8 @@ func (s *Server) String() string {
 	if s.ln == nil {
 		return "hgdb server (not listening)"
 	}
-	return fmt.Sprintf("hgdb server on %s", s.ln.Addr())
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	return fmt.Sprintf("hgdb server on %s (%d sessions)", s.ln.Addr(), n)
 }

@@ -25,9 +25,11 @@ func hereLine() int {
 	return f.Line
 }
 
-// startServer builds a counter design, serves it, and returns the
-// client plus the simulator and breakpointable line.
-func startServer(t *testing.T) (*client.Client, *sim.Simulator, int) {
+// startServerFull builds a counter design and serves it, returning
+// the listen address, the simulator, the breakpointable line, and the
+// server itself. Additional clients may dial the address to form a
+// multi-session debug setup.
+func startServerFull(t *testing.T) (string, *sim.Simulator, int, *Server) {
 	t.Helper()
 	c := generator.NewCircuit("Counter")
 	m := c.NewModule("Counter")
@@ -63,21 +65,40 @@ func startServer(t *testing.T) (*client.Client, *sim.Simulator, int) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
+	return addr, s, incLine, srv
+}
+
+// startServerAddr is startServerFull without the server handle.
+func startServerAddr(t *testing.T) (string, *sim.Simulator, int) {
+	t.Helper()
+	addr, s, incLine, _ := startServerFull(t)
+	return addr, s, incLine
+}
+
+// dialClient attaches one debugger session and consumes its welcome.
+func dialClient(t *testing.T, addr string) *client.Client {
+	t.Helper()
 	cl, err := client.Dial(addr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cl.Close() })
-	// Consume the welcome event.
-	select {
-	case ev := <-cl.Events:
-		if ev.Type != "welcome" || ev.Top != "Counter" {
-			t.Fatalf("welcome = %+v", ev)
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("no welcome event")
+	ev, err := cl.WaitEvent("welcome", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return cl, s, incLine
+	if ev.Top != "Counter" || ev.SessionID == 0 || ev.Role == "" {
+		t.Fatalf("welcome = %+v", ev)
+	}
+	return cl
+}
+
+// startServer builds a counter design, serves it, and returns an
+// attached client plus the simulator and breakpointable line.
+func startServer(t *testing.T) (*client.Client, *sim.Simulator, int) {
+	t.Helper()
+	addr, s, incLine := startServerAddr(t)
+	return dialClient(t, addr), s, incLine
 }
 
 func TestEndToEndBreakpointSession(t *testing.T) {

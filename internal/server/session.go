@@ -1,0 +1,163 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ws"
+)
+
+// Tunables for session I/O. Variables (not constants) so tests can
+// tighten them; set before Listen.
+var (
+	// outQueueDepth is each session's outbound queue capacity. When a
+	// slow session's queue is full, broadcast events are dropped for
+	// that session (counted) instead of blocking the simulation.
+	outQueueDepth = 64
+	// sessionWriteTimeout bounds every frame write to a session.
+	sessionWriteTimeout = 10 * time.Second
+	// responseTimeout bounds how long a request handler waits to
+	// enqueue a response into a full queue before declaring the
+	// session dead.
+	responseTimeout = 5 * time.Second
+	// pingInterval is the keepalive cadence on idle session links.
+	pingInterval = 15 * time.Second
+)
+
+// Session is one attached debugger client. The server goroutines
+// touching it are: the reader (request loop), the writer (outbound
+// queue drain + keepalive), and any goroutine broadcasting events.
+type Session struct {
+	// ID is unique per server, assigned at attach in increasing order;
+	// the attach order is also the control succession order.
+	ID int64
+
+	srv  *Server
+	conn *ws.Conn
+
+	// role is guarded by srv.mu (arbitration is server-global state).
+	role string
+
+	// out carries marshaled frames to the writer goroutine. Never
+	// closed; teardown is signaled on quit so enqueuers can never hit
+	// a closed channel.
+	out chan []byte
+
+	// quit closes (once) when the session is dropped; the writer
+	// flushes what is already queued and closes the connection.
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	// dropped counts broadcast events discarded under backpressure.
+	dropped atomic.Uint64
+	// dead flips when the writer hits an I/O error: frames are
+	// discarded from then on, but the queue keeps draining so
+	// enqueuers never block.
+	dead atomic.Bool
+
+	// writerDone closes when the writer goroutine has flushed the
+	// queue and closed the connection — the drain point for graceful
+	// shutdown.
+	writerDone chan struct{}
+}
+
+func newSession(srv *Server, conn *ws.Conn, id int64, role string) *Session {
+	return &Session{
+		ID:         id,
+		srv:        srv,
+		conn:       conn,
+		role:       role,
+		out:        make(chan []byte, outQueueDepth),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+}
+
+// signalQuit asks the writer to flush and exit; idempotent.
+func (sess *Session) signalQuit() {
+	sess.quitOnce.Do(func() { close(sess.quit) })
+}
+
+// tryEnqueue queues a frame if the session's queue has room,
+// reporting success; a failure is counted as a drop. Never blocks.
+func (sess *Session) tryEnqueue(msg []byte) bool {
+	select {
+	case sess.out <- msg:
+		return true
+	default:
+		sess.dropped.Add(1)
+		return false
+	}
+}
+
+// enqueueEvent queues a broadcast frame, dropping it (and counting the
+// drop) when the session is not keeping up. Never blocks: the
+// simulation goroutine broadcasts stop events from inside the clock
+// callback, and one wedged observer must not stall the design.
+func (sess *Session) enqueueEvent(msg []byte) {
+	sess.tryEnqueue(msg)
+}
+
+// enqueueResponse queues a reply to a request this session made.
+// Responses are never dropped — the client's request loop is stalled
+// without one — but a session that cannot absorb its own response
+// within the timeout is declared dead. Returns false if the session
+// is gone.
+func (sess *Session) enqueueResponse(msg []byte) bool {
+	select {
+	case sess.out <- msg:
+		return true
+	case <-sess.quit:
+		return false
+	case <-time.After(responseTimeout):
+		sess.srv.dropSession(sess.ID, "response queue wedged")
+		return false
+	}
+}
+
+// write sends one frame, marking the session dead (and dropping it)
+// on I/O failure. The conn's write deadline guarantees the call
+// returns even against a wedged peer.
+func (sess *Session) write(msg []byte) {
+	if sess.dead.Load() {
+		return
+	}
+	if err := sess.conn.WriteText(msg); err != nil {
+		sess.dead.Store(true)
+		sess.srv.dropSession(sess.ID, "write: "+err.Error())
+	}
+}
+
+// writeLoop is the session's writer goroutine: it drains the outbound
+// queue, pings the peer when idle, and — once quit is signaled —
+// flushes what remains and runs the (bounded) close handshake.
+func (sess *Session) writeLoop() {
+	defer close(sess.writerDone)
+	ticker := time.NewTicker(pingInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sess.quit:
+			for {
+				select {
+				case msg := <-sess.out:
+					sess.write(msg)
+				default:
+					sess.conn.Close()
+					return
+				}
+			}
+		case msg := <-sess.out:
+			sess.write(msg)
+		case <-ticker.C:
+			if sess.dead.Load() {
+				continue
+			}
+			if err := sess.conn.Ping(nil); err != nil {
+				sess.dead.Store(true)
+				sess.srv.dropSession(sess.ID, "keepalive: "+err.Error())
+			}
+		}
+	}
+}

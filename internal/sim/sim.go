@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/eval"
 	"repro/internal/rtl"
@@ -45,7 +46,24 @@ type Simulator struct {
 	changeHooks []func(sig *rtl.Signal, v eval.Value)
 	prev        []eval.Value
 	trackChange bool
+
+	// gen is the state publication point: every mutating operation
+	// bumps it when done (release), every read loads it first
+	// (acquire). This orders a read that happens after the simulation
+	// went quiet against the final writes of the goroutine that drove
+	// it — the debugger's idle-query fallback relies on this. It does
+	// NOT license truly concurrent access while the simulator is
+	// stepping; the debugger runtime serializes that through its
+	// clock-edge query queue.
+	gen atomic.Uint64
 }
+
+// publish marks the end of a state mutation (release half of the
+// publication point).
+func (s *Simulator) publish() { s.gen.Add(1) }
+
+// syncPoint precedes a state read (acquire half).
+func (s *Simulator) syncPoint() { s.gen.Load() }
 
 // New builds a simulator. All signals start at zero and memories are
 // zero-filled.
@@ -77,10 +95,14 @@ func New(nl *rtl.Netlist) *Simulator {
 func (s *Simulator) Netlist() *rtl.Netlist { return s.nl }
 
 // Time returns the current simulation time in cycles.
-func (s *Simulator) Time() uint64 { return s.time }
+func (s *Simulator) Time() uint64 {
+	s.syncPoint()
+	return s.time
+}
 
 // Peek returns the current value of a signal by full hierarchical name.
 func (s *Simulator) Peek(name string) (eval.Value, error) {
+	s.syncPoint()
 	sig, ok := s.nl.Signal(name)
 	if !ok {
 		return eval.Value{}, fmt.Errorf("sim: unknown signal %q", name)
@@ -97,6 +119,7 @@ func (s *Simulator) PeekBatch(paths []string, out []eval.Value) error {
 	if len(out) < len(paths) {
 		return fmt.Errorf("sim: PeekBatch output too short: %d < %d", len(out), len(paths))
 	}
+	s.syncPoint()
 	for i, p := range paths {
 		sig, ok := s.nl.Signal(p)
 		if !ok {
@@ -115,6 +138,7 @@ func (s *Simulator) Poke(name string, v uint64) error {
 		return fmt.Errorf("sim: unknown signal %q", name)
 	}
 	s.state.Values[sig.Index] = eval.Make(v, sig.Width, sig.Signed)
+	s.publish()
 	return nil
 }
 
@@ -130,6 +154,7 @@ func (s *Simulator) PokeReg(name string, v uint64) error {
 		return fmt.Errorf("sim: %q is not a register", name)
 	}
 	s.state.Values[sig.Index] = eval.Make(v, sig.Width, sig.Signed)
+	s.publish()
 	return nil
 }
 
@@ -143,6 +168,7 @@ func (s *Simulator) WriteMem(mem string, addr uint64, v uint64) error {
 		return fmt.Errorf("sim: address %d out of range for %q (depth %d)", addr, mem, len(data))
 	}
 	data[addr] = v & eval.Mask(s.state.MemWidth[mem])
+	s.publish()
 	return nil
 }
 
@@ -155,6 +181,7 @@ func (s *Simulator) ReadMem(mem string, addr uint64) (uint64, error) {
 	if addr >= uint64(len(data)) {
 		return 0, fmt.Errorf("sim: address %d out of range for %q", addr, mem)
 	}
+	s.syncPoint()
 	return data[addr], nil
 }
 
@@ -212,6 +239,7 @@ func (s *Simulator) Settle() {
 		}
 		s.state.Values[a.Dst.Index] = v
 	}
+	s.publish()
 }
 
 // Step advances one clock cycle:
@@ -272,6 +300,7 @@ func (s *Simulator) Step() {
 			}
 		}
 	}
+	s.publish()
 }
 
 // Run advances n cycles.

@@ -3,6 +3,12 @@
 // handshake, ping/pong. The paper's debuggers connect to the runtime
 // over WebSocket, "similar to the gdb remote protocol" (§3.5).
 //
+// Connections are hardened for the multi-session server: every frame
+// write carries a deadline, the close handshake is bounded (a peer
+// that never answers cannot block Close forever), and Ping lets a
+// writer goroutine keep the link alive. One goroutine may read while
+// another writes; reads themselves must stay on a single goroutine.
+//
 // Limitations (by design, documented): no fragmentation (FIN must be
 // set), no extensions, text and control frames only, payloads up to
 // 16 MiB.
@@ -21,6 +27,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // guid is the protocol-mandated accept-key suffix.
@@ -28,6 +35,18 @@ const guid = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 
 // maxPayload guards against absurd frames.
 const maxPayload = 16 << 20
+
+// maxControlPayload is the RFC 6455 §5.5 limit for control frames.
+const maxControlPayload = 125
+
+// payloadChunk bounds the allocation made before any payload byte has
+// arrived, so a malicious header claiming a 16 MiB frame cannot force
+// a 16 MiB allocation up front.
+const payloadChunk = 64 << 10
+
+// defaultCloseTimeout bounds the close handshake: how long Close waits
+// for the peer's answering close frame before tearing the socket down.
+const defaultCloseTimeout = 5 * time.Second
 
 // ErrClosed is returned after the close handshake completes.
 var ErrClosed = errors.New("ws: connection closed")
@@ -46,7 +65,45 @@ type Conn struct {
 	client bool // clients mask outgoing frames
 	wmu    sync.Mutex
 	closed bool
+
+	// writeTimeout is applied as a deadline to every frame write
+	// (0 = none); closeTimeout bounds the close handshake. Set both
+	// before the connection is shared across goroutines.
+	writeTimeout time.Duration
+	closeTimeout time.Duration
+
+	// rmu serializes all frame reads: the (single) reader goroutine
+	// holds it across each ReadText, and Close's self-drain of the
+	// close handshake takes it too — so the shared bufio.Reader is
+	// never touched from two goroutines at once, even in the window
+	// between a read loop's iterations.
+	rmu sync.Mutex
+	// closeAcked closes when a reader finishes the stream — peer's
+	// close frame consumed, or a terminal read error. Close waits on
+	// it instead of sleeping out its timeout on a dead connection.
+	closeAcked chan struct{}
+	ackOnce    sync.Once
 }
+
+func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
+	return &Conn{
+		conn:         nc,
+		br:           br,
+		client:       client,
+		closeTimeout: defaultCloseTimeout,
+		closeAcked:   make(chan struct{}),
+	}
+}
+
+// SetWriteTimeout bounds every subsequent frame write (including
+// pings and broadcast events): a peer that stopped reading makes the
+// write fail with a timeout instead of blocking the writer forever.
+// Call before sharing the connection across goroutines.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout = d }
+
+// SetCloseTimeout bounds the close handshake performed by Close. Call
+// before sharing the connection across goroutines.
+func (c *Conn) SetCloseTimeout(d time.Duration) { c.closeTimeout = d }
 
 // acceptKey computes the Sec-WebSocket-Accept header value.
 func acceptKey(key string) string {
@@ -84,7 +141,7 @@ func Upgrade(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 		conn.Close()
 		return nil, err
 	}
-	return &Conn{conn: conn, br: rw.Reader}, nil
+	return newConn(conn, rw.Reader, false), nil
 }
 
 // Dial connects to a ws:// URL of the form ws://host:port/path.
@@ -130,7 +187,7 @@ func Dial(url string) (*Conn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("ws: bad accept key")
 	}
-	return &Conn{conn: conn, br: br, client: true}, nil
+	return newConn(conn, br, true), nil
 }
 
 // WriteText sends one text message.
@@ -138,11 +195,28 @@ func (c *Conn) WriteText(payload []byte) error {
 	return c.writeFrame(opText, payload)
 }
 
+// Ping sends a ping control frame (payload ≤ 125 bytes). The peer's
+// pong is consumed transparently by its ReadText loop.
+func (c *Conn) Ping(payload []byte) error {
+	if len(payload) > maxControlPayload {
+		return fmt.Errorf("ws: ping payload of %d bytes exceeds %d", len(payload), maxControlPayload)
+	}
+	return c.writeFrame(opPing, payload)
+}
+
 func (c *Conn) writeFrame(op byte, payload []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.closed && op != opClose {
 		return ErrClosed
+	}
+	return c.writeFrameLocked(op, payload)
+}
+
+// writeFrameLocked encodes and writes one frame. Callers hold wmu.
+func (c *Conn) writeFrameLocked(op byte, payload []byte) error {
+	if c.writeTimeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.writeTimeout))
 	}
 	var hdr [14]byte
 	hdr[0] = 0x80 | op // FIN set
@@ -181,8 +255,21 @@ func (c *Conn) writeFrame(op byte, payload []byte) error {
 }
 
 // ReadText reads the next text message, transparently answering pings
-// and completing the close handshake.
+// and completing the close handshake. At most one goroutine may read
+// at a time.
 func (c *Conn) ReadText() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	msg, err := c.readTextLocked()
+	if err != nil {
+		// The stream is finished (close handshake or terminal error):
+		// release anyone waiting in Close immediately.
+		c.ackOnce.Do(func() { close(c.closeAcked) })
+	}
+	return msg, err
+}
+
+func (c *Conn) readTextLocked() ([]byte, error) {
 	for {
 		op, payload, err := c.readFrame()
 		if err != nil {
@@ -192,14 +279,20 @@ func (c *Conn) ReadText() ([]byte, error) {
 		case opText:
 			return payload, nil
 		case opPing:
-			if err := c.writeFrame(opPong, payload); err != nil {
+			if err := c.writeFrame(opPong, payload); err != nil && !errors.Is(err, ErrClosed) {
 				return nil, err
 			}
 		case opPong:
 			// ignore
 		case opClose:
-			c.writeFrame(opClose, payload)
-			c.closed = true
+			c.wmu.Lock()
+			if !c.closed {
+				c.closed = true
+				// Answer the peer's close; best-effort and bounded.
+				c.conn.SetWriteDeadline(time.Now().Add(c.closeTimeout))
+				c.writeFrameLocked(opClose, payload)
+			}
+			c.wmu.Unlock()
 			c.conn.Close()
 			return nil, ErrClosed
 		default:
@@ -214,12 +307,27 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 		return 0, nil, err
 	}
 	fin := hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return 0, nil, fmt.Errorf("ws: reserved bits set without a negotiated extension")
+	}
 	op := hdr[0] & 0x0F
 	if !fin {
 		return 0, nil, fmt.Errorf("ws: fragmented frames not supported")
 	}
 	masked := hdr[1]&0x80 != 0
+	// RFC 6455 §5.1: client→server frames must be masked, server→client
+	// frames must not be. Enforcing this rejects misbehaving peers (and
+	// reflected plaintext attacks) early.
+	if masked == c.client {
+		if masked {
+			return 0, nil, fmt.Errorf("ws: server sent a masked frame")
+		}
+		return 0, nil, fmt.Errorf("ws: client sent an unmasked frame")
+	}
 	length := uint64(hdr[1] & 0x7F)
+	if op >= opClose && length > maxControlPayload {
+		return 0, nil, fmt.Errorf("ws: control frame payload of %d bytes exceeds %d", length, maxControlPayload)
+	}
 	switch length {
 	case 126:
 		var ext [2]byte
@@ -243,8 +351,8 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 			return 0, nil, err
 		}
 	}
-	payload := make([]byte, length)
-	if _, err := io.ReadFull(c.br, payload); err != nil {
+	payload, err := c.readPayload(length)
+	if err != nil {
 		return 0, nil, err
 	}
 	if masked {
@@ -255,24 +363,81 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 	return op, payload, nil
 }
 
-// Close performs the close handshake from this side.
-func (c *Conn) Close() error {
-	c.wmu.Lock()
-	alreadyClosed := c.closed
-	c.closed = true
-	c.wmu.Unlock()
-	if alreadyClosed {
-		return nil
+// readPayload reads a frame body, growing the buffer chunk by chunk so
+// the allocation tracks bytes actually received rather than the length
+// the header claims.
+func (c *Conn) readPayload(length uint64) ([]byte, error) {
+	if length <= payloadChunk {
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
 	}
-	c.writeFrameUnlocked(opClose, nil)
-	return c.conn.Close()
+	payload := make([]byte, 0, payloadChunk)
+	for uint64(len(payload)) < length {
+		n := length - uint64(len(payload))
+		if n > payloadChunk {
+			n = payloadChunk
+		}
+		start := len(payload)
+		payload = append(payload, zeroChunk[:n]...)
+		if _, err := io.ReadFull(c.br, payload[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
 }
 
-func (c *Conn) writeFrameUnlocked(op byte, payload []byte) {
-	// close frames are best-effort
-	var hdr [2]byte
-	hdr[0] = 0x80 | op
-	hdr[1] = byte(len(payload))
-	c.conn.Write(hdr[:])
-	c.conn.Write(payload)
+// zeroChunk extends the payload buffer chunk by chunk without
+// allocating a fresh zeroed slice per chunk.
+var zeroChunk [payloadChunk]byte
+
+// Close performs the close handshake from this side: it sends a close
+// frame, waits up to the close timeout for the peer's answer (consumed
+// here, or by a concurrent ReadText loop), then tears the socket down.
+// A peer that never answers — or never drains its receive buffer —
+// cannot block Close beyond the timeout.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	if c.closed {
+		c.wmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	// The close frame write is bounded even when no write timeout is
+	// configured: a wedged peer must not stall the handshake's first
+	// half either.
+	c.conn.SetWriteDeadline(time.Now().Add(c.closeTimeout))
+	c.writeFrameLocked(opClose, nil)
+	c.wmu.Unlock()
+
+	deadline := time.Now().Add(c.closeTimeout)
+	if c.rmu.TryLock() {
+		// No reader active: consume the ack ourselves, bounded by a
+		// read deadline so a silent peer cannot wedge us. Holding rmu
+		// blocks a reader that re-enters meanwhile; it will fail its
+		// next read once the socket is torn down below.
+		c.conn.SetReadDeadline(deadline)
+		for {
+			op, _, err := c.readFrame()
+			if err != nil || op == opClose {
+				break
+			}
+		}
+		defer c.rmu.Unlock()
+	} else {
+		// A reader goroutine owns the stream; it will consume the
+		// peer's close frame and signal, or the timeout fires.
+		select {
+		case <-c.closeAcked:
+		case <-time.After(time.Until(deadline)):
+		}
+	}
+	// A reader that consumed the close ack already tore the socket
+	// down; that is a completed handshake, not an error.
+	if err := c.conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
 }

@@ -1,10 +1,14 @@
 package ws
 
 import (
+	"bufio"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func startEchoServer(t *testing.T) string {
@@ -127,6 +131,158 @@ func TestUpgradeRejectsPlainRequest(t *testing.T) {
 	}
 }
 
+// startStalledServer performs the WebSocket handshake and then goes
+// silent: it never reads another byte and never answers the close
+// handshake. Returns the ws URL and a counter of accepted conns.
+func startStalledServer(t *testing.T) (string, *atomic.Int32) {
+	t.Helper()
+	var accepted atomic.Int32
+	hold := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		accepted.Add(1)
+		go func() {
+			<-hold // hold the conn open, reading nothing
+			conn.Close()
+		}()
+	}))
+	t.Cleanup(func() { close(hold); srv.Close() })
+	return "ws://" + strings.TrimPrefix(srv.URL, "http://"), &accepted
+}
+
+func TestCloseDeadlineStalledPeer(t *testing.T) {
+	url, _ := startStalledServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetCloseTimeout(200 * time.Millisecond)
+	start := time.Now()
+	if err := conn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %s against a stalled peer", elapsed)
+	}
+}
+
+func TestCloseDeadlineWithConcurrentReader(t *testing.T) {
+	url, _ := startStalledServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetCloseTimeout(200 * time.Millisecond)
+	readerDone := make(chan error, 1)
+	go func() {
+		_, err := conn.ReadText()
+		readerDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the reader block
+	start := time.Now()
+	if err := conn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %s with a silent peer", elapsed)
+	}
+	select {
+	case <-readerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after Close")
+	}
+}
+
+func TestWriteDeadlineWedgedPeer(t *testing.T) {
+	url, _ := startStalledServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetWriteTimeout(200 * time.Millisecond)
+	conn.SetCloseTimeout(200 * time.Millisecond)
+	// The peer never reads: keep writing until the TCP buffers fill and
+	// the deadline fires. Bound the whole attempt so a missing deadline
+	// fails the test instead of hanging it.
+	errs := make(chan error, 1)
+	go func() {
+		payload := make([]byte, 1<<20)
+		for i := 0; i < 256; i++ {
+			if err := conn.WriteText(payload); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("256 MiB written into a peer that reads nothing")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("write into wedged peer never timed out")
+	}
+}
+
+func TestMaskEnforcement(t *testing.T) {
+	// A server-role conn must reject unmasked frames.
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	go func() {
+		// Raw unmasked text frame "hi" (what a compromised client that
+		// skips masking would send).
+		cl.Write([]byte{0x81, 0x02, 'h', 'i'})
+	}()
+	srvConn := newConn(sv, bufio.NewReader(sv), false)
+	if _, err := srvConn.ReadText(); err == nil {
+		t.Fatal("unmasked client frame accepted")
+	}
+}
+
+func TestControlFrameTooLong(t *testing.T) {
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	go func() {
+		// Masked ping claiming a 126-byte payload: control frames are
+		// capped at 125.
+		cl.Write([]byte{0x89, 0xFE, 0x00, 0x7E})
+	}()
+	srvConn := newConn(sv, bufio.NewReader(sv), false)
+	if _, err := srvConn.ReadText(); err == nil {
+		t.Fatal("oversized control frame accepted")
+	}
+}
+
+func TestPingKeepalive(t *testing.T) {
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Ping([]byte("keepalive")); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if err := conn.Ping(make([]byte, 126)); err == nil {
+		t.Fatal("oversized ping accepted")
+	}
+	// The echo peer answers the ping transparently; a following message
+	// still round-trips.
+	if err := conn.WriteText([]byte("after-ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.ReadText()
+	if err != nil || string(got) != "after-ping" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
 func TestPingPong(t *testing.T) {
 	url := startEchoServer(t)
 	conn, err := Dial(url)
@@ -148,5 +304,37 @@ func TestPingPong(t *testing.T) {
 	}
 	if string(got) != "data" {
 		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCloseWhileReaderBetweenReads(t *testing.T) {
+	// A persistent read loop is momentarily "inactive" between
+	// ReadText calls; Close must still coordinate with it instead of
+	// reading the stream from a second goroutine.
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetCloseTimeout(500 * time.Millisecond)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			if _, err := conn.ReadText(); err != nil {
+				return
+			}
+			time.Sleep(50 * time.Millisecond) // gap between reads
+		}
+	}()
+	conn.WriteText([]byte("tick"))
+	time.Sleep(75 * time.Millisecond) // land inside the reader's gap
+	if err := conn.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case <-readerDone:
+	case <-time.After(3 * time.Second):
+		t.Fatal("reader never unblocked after Close")
 	}
 }
