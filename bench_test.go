@@ -5,6 +5,10 @@
 //   - BenchmarkFig5: simulation time per workload per configuration
 //     (Figure 5's bars; compare ns/op across /baseline, /hgdb, /debug,
 //     /debug-hgdb sub-benchmarks).
+//   - BenchmarkFig5Activity: the activity-driven scheduling extension —
+//     per-edge debugger cost with armed breakpoints on low-activity
+//     scenarios (a clock-gated idle core, sparse bursty traffic),
+//     delta-scheduled vs exhaustive re-evaluation.
 //   - BenchmarkCallbackOverhead: the §4.3 mechanism — cost of the
 //     clock-edge callback with no breakpoints inserted.
 //   - BenchmarkSymtabSize: the §4.1 statistic (reported as custom
@@ -72,6 +76,136 @@ func BenchmarkFig5(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkFig5Activity measures the per-edge debugger cost that
+// activity-driven scheduling removes, on the two low-activity Figure 5
+// scenarios:
+//
+//   - idle-core: a two-core SoC where hart 1 halts immediately (its
+//     registers are clock-gated from then on) while hart 0 spins
+//     forever; breakpoints are armed on the idle core only. With
+//     delta scheduling their per-edge cost collapses to the dirty-set
+//     poll; exhaustive evaluation re-runs every condition each edge.
+//   - bursty: a counter whose enable pulses one cycle in 64, with an
+//     armed never-true condition — sparse bursty traffic where almost
+//     every edge leaves the dependency set untouched.
+//
+// Compare ns/op and the evals/edge metric across /delta vs
+// /exhaustive within a scenario; stop sequences are pinned equal by
+// TestDeltaStopEquivalenceRISCV in internal/bench.
+func BenchmarkFig5Activity(b *testing.B) {
+	schedModes := []struct {
+		name       string
+		exhaustive bool
+	}{{"delta", false}, {"exhaustive", true}}
+
+	b.Run("idle-core", func(b *testing.B) {
+		// hart 1 parks immediately; hart 0 keeps toggling registers so
+		// the design as a whole stays active.
+		prog := riscv.MustAssemble(`
+.text
+    li sp, 0x20000
+    csrrs t0, 0xF14, x0
+    bnez t0, park
+busy:
+    addi t1, t1, 1
+    addi t2, t2, 2
+    j busy
+park:
+    ecall
+`)
+		for _, mode := range schedModes {
+			mode := mode
+			b.Run(mode.name, func(b *testing.B) {
+				m, err := riscv.NewMachine(2, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt, err := core.New(vpi.NewSimBackend(m.Sim), m.Table)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt.SetExhaustiveEval(mode.exhaustive)
+				rt.SetHandler(func(*core.StopEvent) core.Command { return core.CmdContinue })
+				// Arm every conditional statement of the idle core.
+				armed := 0
+				for _, f := range m.Table.Files() {
+					for _, l := range m.Table.Lines(f) {
+						for _, bp := range m.Table.BreakpointsAt(f, l) {
+							if bp.InstanceName == "SoC.core1" && bp.Enable != "" {
+								if _, err := rt.AddBreakpointInstance(f, l, "SoC.core1", "pc == 0xfffc"); err == nil {
+									armed++
+								}
+								break
+							}
+						}
+					}
+				}
+				if armed == 0 {
+					b.Fatal("no breakpoint armed on the idle core")
+				}
+				for i := range m.Cores {
+					if err := m.Load(i, prog); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := m.Reset(); err != nil {
+					b.Fatal(err)
+				}
+				m.Sim.Run(50) // hart 1 reaches its ecall and gates off
+				// Steady-state metrics only: snapshot the counters so
+				// warmup evaluations don't pollute evals/edge.
+				evals0, _ := rt.Stats()
+				skipped0, evaluated0, _ := rt.ActivityStats()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Sim.Step()
+				}
+				b.StopTimer()
+				evals, _ := rt.Stats()
+				skipped, evaluated, _ := rt.ActivityStats()
+				b.ReportMetric(float64(evals-evals0)/float64(b.N), "evals/edge")
+				b.ReportMetric(float64(skipped-skipped0), "groups-skipped")
+				b.ReportMetric(float64(evaluated-evaluated0), "groups-evaluated")
+			})
+		}
+	})
+
+	b.Run("bursty", func(b *testing.B) {
+		for _, mode := range schedModes {
+			mode := mode
+			b.Run(mode.name, func(b *testing.B) {
+				s, table := buildCounterBench(b, false)
+				rt, err := core.New(vpi.NewSimBackend(s), table)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt.SetExhaustiveEval(mode.exhaustive)
+				rt.SetHandler(func(*core.StopEvent) core.Command { return core.CmdContinue })
+				files := table.Files()
+				lines := table.Lines(files[0])
+				if _, err := rt.AddBreakpoint(files[0], lines[0], "count == 70000"); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One enabled cycle in 64: sparse bursts.
+					if i%64 == 0 {
+						s.Poke("Counter.en", 1)
+					} else if i%64 == 1 {
+						s.Poke("Counter.en", 0)
+					}
+					s.Step()
+				}
+				b.StopTimer()
+				evals, _ := rt.Stats()
+				skipped, _, _ := rt.ActivityStats()
+				b.ReportMetric(float64(evals)/float64(b.N), "evals/edge")
+				b.ReportMetric(float64(skipped), "groups-skipped")
+			})
+		}
+	})
 }
 
 // buildCounterNetlist makes a small design for microbenchmarks.

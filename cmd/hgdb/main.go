@@ -138,6 +138,12 @@ func printVars(label string, vars []core.Variable) {
 
 func printStructured(sv core.StructuredVar, indent string) {
 	if sv.Leaf != nil && len(sv.Children) == 0 {
+		if sv.Leaf.Unknown {
+			// The runtime could not read the signal this stop (replay
+			// gap / optimized-away net); keep the slot visible.
+			fmt.Printf("%s%s = <unknown>\n", indent, sv.Name)
+			return
+		}
 		fmt.Printf("%s%s = %d (0x%x, %d bits)\n", indent, sv.Name, sv.Leaf.Value, sv.Leaf.Value, sv.Leaf.Width)
 		return
 	}

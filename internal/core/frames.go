@@ -37,20 +37,12 @@ func (rt *Runtime) buildEvent(g *group, hits []*insertedBP, time uint64, reverse
 		}
 		for _, b := range rt.table.ScopeVars(ibp.bp.ID) {
 			full := rt.remap.ToSim(ibp.bp.InstanceName + "." + b.RTL)
-			v, err := rt.backend.GetValue(full)
-			if err != nil {
-				continue
-			}
-			th.Locals = append(th.Locals, Variable{Name: b.Name, Value: v.Bits, Width: v.Width, RTL: full})
+			th.Locals = append(th.Locals, rt.frameVar(b.Name, full))
 		}
 		if instID, ok := rt.table.InstanceIDByName(ibp.bp.InstanceName); ok {
 			for _, b := range rt.table.GeneratorVars(instID) {
 				full := rt.remap.ToSim(ibp.bp.InstanceName + "." + b.RTL)
-				v, err := rt.backend.GetValue(full)
-				if err != nil {
-					continue
-				}
-				th.Generator = append(th.Generator, Variable{Name: b.Name, Value: v.Bits, Width: v.Width, RTL: full})
+				th.Generator = append(th.Generator, rt.frameVar(b.Name, full))
 			}
 		}
 		sortVars(th.Locals)
@@ -63,6 +55,19 @@ func (rt *Runtime) buildEvent(g *group, hits []*insertedBP, time uint64, reverse
 
 func sortVars(vars []Variable) {
 	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+}
+
+// frameVar reads one frame variable. A failed backend read (a
+// transient replay gap, an optimized-away net) does NOT drop the
+// variable — that would make frame shapes flutter nondeterministically
+// between stops — it emits the variable with the Unknown marker so
+// clients can render a placeholder.
+func (rt *Runtime) frameVar(name, full string) Variable {
+	v, err := rt.backend.GetValue(full)
+	if err != nil {
+		return Variable{Name: name, RTL: full, Unknown: true}
+	}
+	return Variable{Name: name, Value: v.Bits, Width: v.Width, RTL: full}
 }
 
 // Evaluate computes a watch expression in the context of an instance

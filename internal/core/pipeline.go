@@ -168,16 +168,71 @@ func (rt *Runtime) rebuildDeps() {
 		}
 		return slots
 	}
+	// Rebuild the activity-scheduling indexes alongside the slots: the
+	// slot→group inverted index (dirt propagation), each group's slot
+	// list (skip eligibility), armed-member counts, and the clean-miss
+	// flags — all reset, so the first edge after any breakpoint change
+	// evaluates everything.
+	rt.groupArmed = make([]int, len(rt.allGroups))
+	rt.groupStatic = make([]bool, len(rt.allGroups))
+	rt.groupSlots = make([][]int32, len(rt.allGroups))
+	rt.groupSkip = make([]bool, len(rt.allGroups))
+	for i := range rt.groupStatic {
+		rt.groupStatic[i] = true
+	}
+	addGroupSlots := func(gi int, slots []int) bool {
+		ok := true
+		for _, s := range slots {
+			if s < 0 {
+				// Unverified dependency, probed per evaluation: the
+				// group's misses can never be proven stable.
+				ok = false
+				continue
+			}
+			rt.groupSlots[gi] = append(rt.groupSlots[gi], int32(s))
+		}
+		return ok
+	}
 	for _, ibp := range rt.inserted {
 		ibp.enableSlots = assign(ibp.enablePaths, ibp.enableVerified)
 		ibp.condSlots = assign(ibp.condPaths, ibp.condVerified)
+		gi, ok := rt.groupIdx[ibp.key()]
+		if !ok {
+			continue // not a schedulable statement; never evaluated
+		}
+		rt.groupArmed[gi]++
+		if !addGroupSlots(gi, ibp.enableSlots) || !addGroupSlots(gi, ibp.condSlots) {
+			rt.groupStatic[gi] = false
+		}
 	}
 	for _, w := range rt.watches {
 		w.slots = assign(w.paths, nil)
+		w.canSkip = false
+	}
+	// Invert only after every slot is assigned — watch assignment above
+	// still extends the union.
+	rt.slotGroups = make([][]int32, len(rt.depUnion))
+	for gi, slots := range rt.groupSlots {
+		for _, s := range slots {
+			rt.slotGroups[s] = append(rt.slotGroups[s], int32(gi))
+		}
+	}
+	rt.slotWatches = make([][]*Watchpoint, len(rt.depUnion))
+	for _, w := range rt.watches {
+		for _, s := range w.slots {
+			rt.slotWatches[s] = append(rt.slotWatches[s], w)
+		}
 	}
 	rt.prefetched = make([]eval.Value, len(rt.depUnion))
 	rt.prefetchOK = make([]bool, len(rt.depUnion))
 	rt.prefetchValid = false
+	rt.diffBase = false
+	if cap(rt.changedBuf) < len(rt.depUnion) {
+		rt.changedBuf = make([]bool, len(rt.depUnion))
+	}
+	if cap(rt.incoming) < len(rt.depUnion) {
+		rt.incoming = make([]eval.Value, len(rt.depUnion))
+	}
 	// Advise capable backends of the per-cycle read set: a replay block
 	// store materializes exactly these signals' timelines, so the
 	// batched read below never decodes trace blocks or moves replay
@@ -185,13 +240,23 @@ func (rt *Runtime) rebuildDeps() {
 	if p, ok := rt.backend.(vpi.Prefetcher); ok && len(rt.depUnion) > 0 {
 		p.Prefetch(rt.depUnion)
 	}
+	// Register the union as the backend's dirty-set watch list. Always
+	// re-registered (even empty) so a stale list cannot linger; the
+	// first poll after registration reports everything changed.
+	if rt.reporter != nil {
+		rt.reporter.TrackChanges(rt.depUnion)
+	}
 }
 
 // ensurePrefetch makes the per-cycle value cache current for time t:
-// one batched backend read of the whole dependency union, instead of
-// one GetValue per signal per breakpoint per edge. Values are cached
-// per (cycle, signal); re-entry at the same time (further groups, the
-// watch pass) hits the cache. Runs on the simulation goroutine.
+// a batched backend read of the dependency union, instead of one
+// GetValue per signal per breakpoint per edge. Values are cached per
+// (cycle, signal); re-entry at the same time (further groups, the
+// watch pass) hits the cache. When the backend reports per-edge signal
+// activity (vpi.ChangeReporter), only the reported-dirty slots are
+// re-read; every refreshed slot is diffed against its previous value
+// and actual changes clear the clean-miss flags of the groups and
+// watches depending on it. Runs on the simulation goroutine.
 func (rt *Runtime) ensurePrefetch(t uint64) {
 	rt.mu.Lock()
 	dirty := rt.depsDirty
@@ -203,15 +268,52 @@ func (rt *Runtime) ensurePrefetch(t uint64) {
 	if rt.prefetchValid && rt.prefetchTime == t {
 		return
 	}
+	// hadValues: the cache holds an earlier value snapshot of this
+	// union generation (only a dependency rebuild discards it), so a
+	// delta report can bound what to re-read and value diffs against it
+	// are meaningful. A mid-edge invalidation (stop handler returned,
+	// SetTime rewound) clears only prefetchValid — the snapshot is
+	// still the set of values every parked group was last evaluated
+	// against, exactly the baseline the diff must use: handler pokes
+	// and rewinds surface as value differences (or a reporter dirt /
+	// cannot-bound verdict) and un-park precisely the affected groups.
+	hadValues := rt.diffBase
 	rt.prefetchTime = t
 	rt.prefetchValid = true
 	if len(rt.depUnion) == 0 {
 		return
 	}
-	if err := vpi.ReadBatchInto(rt.backend, rt.depUnion, rt.prefetched); err == nil {
-		for i := range rt.prefetchOK {
-			rt.prefetchOK[i] = true
+	if rt.deltaOn() && rt.reporter != nil {
+		// Poll once per refresh. The report window spans since the
+		// previous poll, which is never later than the cache's last
+		// refresh, so a clean verdict always covers the cached value's
+		// lifetime.
+		changed := rt.changedBuf[:len(rt.depUnion)]
+		if rt.reporter.ChangedInto(changed) && hadValues {
+			rt.dirtySlots = rt.dirtySlots[:0]
+			for i := range changed {
+				if changed[i] || !rt.prefetchOK[i] {
+					rt.dirtySlots = append(rt.dirtySlots, i)
+				}
+			}
+			rt.statPartial.Add(1)
+			rt.refreshSlots(rt.dirtySlots)
+			return
 		}
+	}
+	rt.refreshAll(hadValues)
+}
+
+// refreshAll re-reads the whole dependency union, diffing each slot
+// against the previous snapshot (when one exists) to clear clean-miss
+// flags only for dependencies that actually moved.
+func (rt *Runtime) refreshAll(hadValues bool) {
+	in := rt.incoming[:len(rt.depUnion)]
+	if err := vpi.ReadBatchInto(rt.backend, rt.depUnion, in); err == nil {
+		for i := range in {
+			rt.commitSlot(i, in[i], true, hadValues)
+		}
+		rt.diffBase = true
 		return
 	}
 	// A path in the union failed (e.g. a condition naming a signal that
@@ -221,9 +323,76 @@ func (rt *Runtime) ensurePrefetch(t uint64) {
 	// exactly like the tree-walk reference.
 	for i, p := range rt.depUnion {
 		v, err := rt.backend.GetValue(p)
-		rt.prefetched[i] = v
-		rt.prefetchOK[i] = err == nil
+		rt.commitSlot(i, v, err == nil, hadValues)
 	}
+	rt.diffBase = true
+}
+
+// refreshSlots re-reads only the given union slots (the delta-bounded
+// dirty set plus previously failed reads); clean slots keep their
+// cached values, which the reporter contract guarantees are current.
+func (rt *Runtime) refreshSlots(slots []int) {
+	if len(slots) == 0 {
+		return
+	}
+	if cap(rt.pathBuf) < len(slots) {
+		rt.pathBuf = make([]string, len(slots))
+		rt.valBuf = make([]eval.Value, len(slots))
+	}
+	paths, vals := rt.pathBuf[:len(slots)], rt.valBuf[:len(slots)]
+	for k, s := range slots {
+		paths[k] = rt.depUnion[s]
+	}
+	if err := vpi.ReadBatchInto(rt.backend, paths, vals); err == nil {
+		for k, s := range slots {
+			rt.commitSlot(s, vals[k], true, true)
+		}
+		return
+	}
+	for k, s := range slots {
+		v, err := rt.backend.GetValue(paths[k])
+		rt.commitSlot(s, v, err == nil, true)
+	}
+}
+
+// commitSlot stores one refreshed union value. A slot whose value
+// actually differs from the cached one (or whose read failed, or that
+// has no valid baseline) dirties every group and watch depending on
+// it: their last-miss verdicts no longer provably hold.
+func (rt *Runtime) commitSlot(i int, v eval.Value, ok, hadValues bool) {
+	if !hadValues || !ok || !rt.prefetchOK[i] || v != rt.prefetched[i] {
+		rt.markSlotDirty(i)
+	}
+	rt.prefetched[i] = v
+	rt.prefetchOK[i] = ok
+}
+
+// markSlotDirty clears the clean-miss flags of everything depending on
+// union slot i.
+func (rt *Runtime) markSlotDirty(i int) {
+	for _, gi := range rt.slotGroups[i] {
+		rt.groupSkip[gi] = false
+	}
+	for _, w := range rt.slotWatches[i] {
+		w.canSkip = false
+	}
+}
+
+// noteGroupMiss records that group gi was evaluated with no hits. When
+// the group is skip-eligible — every armed member's dependencies are
+// verified, slotted, and currently readable — the miss provably holds
+// until one of those dependencies changes, and the scheduler may skip
+// the group at clean edges.
+func (rt *Runtime) noteGroupMiss(gi int) {
+	if !rt.groupStatic[gi] {
+		return
+	}
+	for _, s := range rt.groupSlots[gi] {
+		if !rt.prefetchOK[s] {
+			return
+		}
+	}
+	rt.groupSkip[gi] = true
 }
 
 // invalidatePrefetch drops the cycle cache; called after the stop

@@ -69,6 +69,12 @@ type Variable struct {
 	Width int `json:"width"`
 	// RTL is the full simulator path the value was fetched from.
 	RTL string `json:"rtl"`
+	// Unknown marks a variable whose backend read failed (a replay gap,
+	// an optimized-away net). The variable is still emitted — frames
+	// keep a deterministic shape — with Value/Width zero and this flag
+	// set, and the marker travels the wire unchanged (core.StopEvent is
+	// the protocol's stop payload).
+	Unknown bool `json:"unknown,omitempty"`
 }
 
 // Thread is one concurrent hardware instance stopped at a source
@@ -220,6 +226,40 @@ type Runtime struct {
 	prefetchTime  uint64
 	prefetchValid bool
 
+	// Activity-driven scheduling state (simulation goroutine only,
+	// except the atomics). The scheduler skips any group whose last
+	// evaluation produced no hit and whose dependency slots have been
+	// clean at every cache refresh since; dirt arrives either from the
+	// backend's vpi.ChangeReporter poll (which also lets the refresh
+	// re-read only the dirty slots) or from value diffing on a full
+	// refresh. See DESIGN.md "Activity-driven scheduling".
+	reporter   vpi.ChangeReporter // backend capability; nil if absent
+	deltaOff   atomic.Bool        // SetExhaustiveEval escape hatch
+	changedBuf []bool             // reporter poll scratch, aligned with depUnion
+	incoming   []eval.Value       // refresh scratch (read-then-diff)
+	dirtySlots []int              // slots to refresh this edge (partial path)
+	pathBuf    []string           // partial-refresh path gather scratch
+	valBuf     []eval.Value       // partial-refresh value scatter scratch
+	diffBase   bool               // prefetched holds values of this union generation
+
+	// Per-group scheduling state, indexed by position in allGroups and
+	// rebuilt with the dependency union: the slot→groups inverted
+	// index, each group's dependency slots, armed-member counts, the
+	// skip-eligibility of each group (every armed member's deps
+	// verified and slotted), and the clean-miss flags themselves.
+	groupIdx    map[groupKey]int
+	slotGroups  [][]int32
+	slotWatches [][]*Watchpoint
+	groupSlots  [][]int32
+	groupArmed  []int
+	groupStatic []bool
+	groupSkip   []bool
+
+	// Activity statistics (atomic: benchmarks read them cross-routine).
+	statSkipped   atomic.Uint64 // armed groups skipped as provably clean misses
+	statEvaluated atomic.Uint64 // groups evaluated with at least one member
+	statPartial   atomic.Uint64 // cache refreshes bounded by a delta report
+
 	// evaluateGroup scratch (simulation goroutine only).
 	memberBuf []*insertedBP
 	resultBuf []bool
@@ -241,9 +281,37 @@ func New(backend vpi.Interface, table *symtab.Table) (*Runtime, error) {
 		queries:  make(chan *QueryJob, queryQueueDepth),
 	}
 	rt.allGroups = rt.buildAllGroups()
+	rt.groupIdx = make(map[groupKey]int, len(rt.allGroups))
+	for i, g := range rt.allGroups {
+		rt.groupIdx[g.key()] = i
+	}
+	if cr, ok := backend.(vpi.ChangeReporter); ok {
+		rt.reporter = cr
+	}
+	// Build the (empty) dependency union and per-group scheduling
+	// arrays up front so the scheduler never sees them nil — stepping
+	// can run before any breakpoint is armed.
+	rt.rebuildDeps()
 	rt.cbID = backend.OnClockEdge(rt.onEdge)
 	rt.attached = true
 	return rt, nil
+}
+
+// SetExhaustiveEval disables (on=true) or re-enables activity-driven
+// scheduling: with exhaustive evaluation every group is re-evaluated at
+// every clock edge, the seed behavior delta scheduling is
+// differentially tested against. Call before driving the simulation.
+func (rt *Runtime) SetExhaustiveEval(on bool) { rt.deltaOff.Store(on) }
+
+// deltaOn reports whether activity-driven scheduling is active.
+func (rt *Runtime) deltaOn() bool { return !rt.deltaOff.Load() }
+
+// ActivityStats returns counters for the activity-driven scheduler:
+// armed groups skipped as provably-clean misses, groups actually
+// evaluated, and cache refreshes that a backend delta report bounded to
+// the dirty subset.
+func (rt *Runtime) ActivityStats() (skipped, evaluated, partialRefreshes uint64) {
+	return rt.statSkipped.Load(), rt.statEvaluated.Load(), rt.statPartial.Load()
 }
 
 // buildAllGroups precomputes the absolute ordering of every potential
@@ -489,6 +557,13 @@ func (rt *Runtime) Detach() {
 		rt.backend.RemoveCallback(rt.cbID)
 		rt.attached = false
 		rt.pool.close()
+		// Release the backend's dirty-signal tracking: an empty
+		// registration disables reporting, so the free-running design
+		// stops paying the per-commit change compares for a debugger
+		// that is gone.
+		if rt.reporter != nil {
+			rt.reporter.TrackChanges(nil)
+		}
 	}
 	rt.detached = true
 }

@@ -72,8 +72,13 @@ func (rt *Runtime) schedule(time uint64, start int, stepping, reverse bool, hand
 			// Fetch-next-breakpoints returned "done" for this cycle.
 			if reverse && i < 0 && t > 0 {
 				// Reverse past the cycle boundary: rewind time if the
-				// backend can.
+				// backend can. The per-edge value cache was fetched
+				// before the rewind and must not survive it: times
+				// alias after SetTime, and serving pre-rewind values at
+				// the rewound time would evaluate conditions against
+				// the wrong cycle.
 				if err := rt.backend.SetTime(t - 1); err == nil {
+					rt.invalidatePrefetch()
 					t--
 					i = len(rt.allGroups) - 1
 					continue
@@ -82,11 +87,36 @@ func (rt *Runtime) schedule(time uint64, start int, stepping, reverse bool, hand
 			break
 		}
 		g := rt.allGroups[i]
+		// Activity-driven skip: outside stepping, a group with no armed
+		// member can never hit, and a group whose last evaluation was a
+		// provable miss with all dependency slots clean since
+		// (ensurePrefetch maintains the flags) must miss again —
+		// skipping it is bit-identical to evaluating it. Stepping
+		// always evaluates everything.
+		if !stepping && rt.deltaOn() {
+			rt.ensurePrefetch(t)
+			if rt.groupArmed[i] == 0 {
+				i = next(i, reverse)
+				continue
+			}
+			if rt.groupSkip[i] {
+				rt.statSkipped.Add(1)
+				i = next(i, reverse)
+				continue
+			}
+		}
 		hits := rt.evaluateGroup(g, stepping, t)
 		if len(hits) == 0 {
+			if !stepping && rt.deltaOn() {
+				rt.noteGroupMiss(i)
+			}
 			i = next(i, reverse)
 			continue
 		}
+		// A hit group stays hot: its condition holds and must re-stop
+		// at every edge until a dependency moves or the user resumes
+		// past it.
+		rt.groupSkip[i] = false
 		event := rt.buildEvent(g, hits, t, reverse, stepping)
 		rt.mu.Lock()
 		rt.stopCount++
@@ -170,6 +200,7 @@ func (rt *Runtime) evaluateGroup(g *group, stepping bool, t uint64) []*insertedB
 	if len(members) == 0 {
 		return nil
 	}
+	rt.statEvaluated.Add(1)
 
 	if cap(rt.resultBuf) < len(members) {
 		rt.resultBuf = make([]bool, len(members))

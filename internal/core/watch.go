@@ -32,6 +32,13 @@ type Watchpoint struct {
 
 	last  eval.Value
 	armed bool
+	// canSkip marks the watch evaluation as provably redundant: the
+	// last evaluation succeeded with every dependency slot readable,
+	// and no dependency has changed at a cache refresh since — so the
+	// watched value cannot have moved and re-evaluating it cannot hit.
+	// Maintained by ensurePrefetch/checkWatches on the simulation
+	// goroutine, reset on every dependency-union rebuild.
+	canSkip bool
 }
 
 // AddWatch registers a watchpoint on an expression evaluated in an
@@ -116,6 +123,21 @@ func (w *Watchpoint) eval(rt *Runtime) (eval.Value, error) {
 	}))
 }
 
+// watchSlotsOK reports whether every dependency of the watch sits in a
+// currently-readable prefetch slot — the eligibility condition for
+// skipping it at clean edges.
+func (rt *Runtime) watchSlotsOK(w *Watchpoint) bool {
+	if len(w.slots) != len(w.paths) {
+		return false // union rebuild pending; stay conservative
+	}
+	for _, s := range w.slots {
+		if s < 0 || s >= len(rt.prefetchOK) || !rt.prefetchOK[s] {
+			return false
+		}
+	}
+	return true
+}
+
 // checkWatches runs at each clock edge before the breakpoint schedule;
 // it returns a stop event when any watched value changed.
 func (rt *Runtime) checkWatches(time uint64) *StopEvent {
@@ -126,11 +148,22 @@ func (rt *Runtime) checkWatches(time uint64) *StopEvent {
 	rt.mu.Lock()
 	watches := rt.watches
 	rt.mu.Unlock()
+	delta := rt.deltaOn()
 	var ev *StopEvent
 	for _, w := range watches {
+		if delta && w.canSkip {
+			// Every dependency is clean since the last successful
+			// evaluation: the watched value is unchanged, so this edge
+			// cannot produce a hit.
+			continue
+		}
 		v, err := w.eval(rt)
 		if err != nil {
+			w.canSkip = false
 			continue
+		}
+		if delta {
+			w.canSkip = rt.watchSlotsOK(w)
 		}
 		if !w.armed {
 			w.armed = true

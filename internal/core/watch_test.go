@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 
+	"repro/internal/replay"
+	"repro/internal/vcd"
 	"repro/internal/vpi"
 )
 
@@ -93,6 +96,237 @@ func TestWatchpointErrors(t *testing.T) {
 	}
 	if _, err := rt.AddWatch("Counter", "count +"); err == nil {
 		t.Fatal("malformed watch accepted")
+	}
+}
+
+// TestWatchHitThenStepMidEdge: a watch handler returning CmdStep must
+// produce a step stop within the same clock edge (the watch pass runs
+// before the breakpoint schedule), at the first enabled statement.
+func TestWatchHitThenStepMidEdge(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddWatch("Counter", "count"); err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		time     uint64
+		line     int
+		watch    bool
+		stepStop bool
+	}
+	var events []ev
+	rt.SetHandler(func(e *StopEvent) Command {
+		events = append(events, ev{e.Time, e.Line, len(e.Watch) > 0, e.StepStop})
+		if len(e.Watch) > 0 {
+			return CmdStep
+		}
+		return CmdDetach
+	})
+	d.sim.Reset("Counter.reset", 1)
+	d.sim.Poke("Counter.en", 1)
+	d.sim.Run(4)
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want watch hit then step stop", events)
+	}
+	if !events[0].watch || events[1].watch {
+		t.Fatalf("event kinds wrong: %+v", events)
+	}
+	if !events[1].stepStop {
+		t.Fatalf("second stop not a step stop: %+v", events)
+	}
+	if events[1].time != events[0].time {
+		t.Fatalf("step left the edge: watch at t=%d, step at t=%d", events[0].time, events[1].time)
+	}
+	if events[1].line != d.defLine {
+		t.Fatalf("step stopped at line %d, want first statement %d", events[1].line, d.defLine)
+	}
+}
+
+// TestWatchHitThenReverseStepMidEdge: on a replay backend, a watch
+// handler returning CmdReverseStep schedules in reverse — the stop is
+// marked Reverse, lands on the last enabled statement of the cycle,
+// and cross-cycle rewinding keeps working from a watch-initiated stop.
+func TestWatchHitThenReverseStepMidEdge(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	var buf bytes.Buffer
+	rec := vcd.NewRecorder(d.sim, &buf)
+	d.sim.Reset("Counter.reset", 1)
+	d.sim.Poke("Counter.en", 1)
+	d.sim.Run(10)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := vcd.ParseStore(&buf, vcd.StoreOptions{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := replay.NewStore(st)
+	rt, err := New(eng, d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddWatch("Counter", "count"); err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		time    uint64
+		watch   bool
+		reverse bool
+		step    bool
+	}
+	var events []ev
+	rt.SetHandler(func(e *StopEvent) Command {
+		events = append(events, ev{e.Time, len(e.Watch) > 0, e.Reverse, e.StepStop})
+		// Keep reversing until execution crosses the cycle boundary.
+		if e.Time < events[0].time || len(events) > 10 {
+			return CmdDetach
+		}
+		return CmdReverseStep
+	})
+	eng.SetTime(5)
+	eng.StepForward() // edge at t=6: first sample arms the watch
+	eng.StepForward() // edge at t=7: count changed, watch fires
+	if len(events) < 3 {
+		t.Fatalf("events = %+v", events)
+	}
+	if !events[0].watch {
+		t.Fatalf("first stop not a watch hit: %+v", events)
+	}
+	if !events[1].reverse || !events[1].step {
+		t.Fatalf("reverse step from watch not marked reverse+step: %+v", events)
+	}
+	if events[1].time != events[0].time {
+		t.Fatalf("first reverse stop left the edge early: %+v", events)
+	}
+	// Continued reversing must eventually cross the cycle boundary.
+	crossed := false
+	for _, e := range events[1:] {
+		if e.time < events[0].time {
+			crossed = true
+		}
+	}
+	if !crossed {
+		t.Fatalf("reverse from watch never crossed a cycle boundary: %+v", events)
+	}
+}
+
+// TestWatchStepCarriedAcrossCycles: stepping armed at the end of one
+// cycle survives the watch stop that opens the next cycle (answered
+// with CmdContinue) and still lands its step stop at the first
+// statement of that cycle — stepping state is carried across both the
+// cycle boundary and intervening watch stops.
+func TestWatchStepCarriedAcrossCycles(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddWatch("Counter", "count"); err != nil {
+		t.Fatal(err)
+	}
+	type ev struct {
+		time  uint64
+		watch bool
+		step  bool
+		line  int
+	}
+	var events []ev
+	steps := 0
+	rt.SetHandler(func(e *StopEvent) Command {
+		events = append(events, ev{e.Time, len(e.Watch) > 0, e.StepStop, e.Line})
+		if len(e.Watch) > 0 {
+			// Watch stops between steps must not cancel the armed step.
+			return CmdContinue
+		}
+		steps++
+		if steps >= 5 {
+			return CmdDetach
+		}
+		return CmdStep
+	})
+	d.sim.Reset("Counter.reset", 1)
+	d.sim.Poke("Counter.en", 1)
+	rt.InterruptNext() // arm a step with no breakpoints inserted
+	d.sim.Run(5)
+
+	var stepStops []ev
+	for _, e := range events {
+		if e.step {
+			stepStops = append(stepStops, e)
+		}
+	}
+	if len(stepStops) < 3 {
+		t.Fatalf("step stops = %+v", events)
+	}
+	// Stepping must have crossed at least one cycle boundary, and the
+	// crossing step stop must have been preceded — same edge — by a
+	// watch stop it survived.
+	crossed := false
+	for i, e := range events {
+		if !e.step || i == 0 {
+			continue
+		}
+		prevStep := -1
+		for j := i - 1; j >= 0; j-- {
+			if events[j].step {
+				prevStep = j
+				break
+			}
+		}
+		if prevStep < 0 || events[prevStep].time >= e.time {
+			continue
+		}
+		crossed = true
+		sawWatch := false
+		for j := prevStep + 1; j < i; j++ {
+			if events[j].watch && events[j].time == e.time {
+				sawWatch = true
+			}
+		}
+		if !sawWatch {
+			t.Fatalf("cycle-crossing step at t=%d had no intervening watch stop: %+v", e.time, events)
+		}
+		if e.line != d.defLine {
+			t.Fatalf("carried step landed at line %d, want first statement %d", e.line, d.defLine)
+		}
+	}
+	if !crossed {
+		t.Fatalf("stepping never crossed a cycle boundary: %+v", events)
+	}
+}
+
+// TestWatchDetach: CmdDetach from a watch stop must silence the
+// runtime permanently even though the watched value keeps changing.
+func TestWatchDetach(t *testing.T) {
+	d := buildCounterDesign(t, false)
+	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddWatch("Counter", "count"); err != nil {
+		t.Fatal(err)
+	}
+	// An armed (never-true) breakpoint rides along: detach must silence
+	// the whole runtime, not just the watch pass.
+	if _, err := rt.AddBreakpoint("core_test.go", d.incLine, "count == 200"); err != nil {
+		t.Fatal(err)
+	}
+	stops := 0
+	rt.SetHandler(func(e *StopEvent) Command {
+		stops++
+		if len(e.Watch) == 0 {
+			t.Errorf("expected only the watch stop, got %+v", e)
+		}
+		return CmdDetach
+	})
+	d.sim.Reset("Counter.reset", 1)
+	d.sim.Poke("Counter.en", 1)
+	d.sim.Run(10)
+	if stops != 1 {
+		t.Fatalf("stops after watch detach = %d, want 1", stops)
 	}
 }
 

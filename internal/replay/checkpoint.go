@@ -82,6 +82,24 @@ type storeBacking struct {
 	// sorted ascending so restore can binary-search the nearest one.
 	cps     map[uint64]*snapshot
 	cpTimes []uint64
+
+	// Dirty-set tracking (vpi.ChangeReporter): trSlot maps signal index
+	// → tracked slot, trCur walks the store's change-record stream so a
+	// forward poll costs exactly the records since the last poll — the
+	// per-block change records the store already holds give the edge's
+	// change set for free. A backward or discontinuous move re-anchors
+	// the cursor with SeekCursor and reports "cannot bound" once.
+	// Tracking state is single-consumer (the debugger runtime polls
+	// from the simulation goroutine) and never touches mu-guarded
+	// replay state.
+	trSlot    []int32
+	trIdx     []int // tracked slot -> signal index, -1 unresolved
+	trPending []bool
+	trAlways  []int // tracked slots with unresolvable paths
+	trCur     vcd.Cursor
+	trLastT   uint64
+	trFresh   bool
+	trActive  bool
 }
 
 func newStoreBacking(st *vcd.Store, opts ...StoreEngineOption) *storeBacking {
@@ -125,6 +143,73 @@ func (sb *storeBacking) checkpoints() int {
 }
 
 func (sb *storeBacking) prefetch(paths []string) { sb.st.Materialize(paths...) }
+
+func (sb *storeBacking) trackChanges(paths []string) {
+	if sb.trSlot == nil && len(paths) > 0 {
+		sb.trSlot = make([]int32, sb.st.NumSignals())
+		for i := range sb.trSlot {
+			sb.trSlot[i] = -1
+		}
+	}
+	// Clear the previous registration via its index list, not a sweep
+	// of every signal in the trace.
+	for _, idx := range sb.trIdx {
+		if idx >= 0 {
+			sb.trSlot[idx] = -1
+		}
+	}
+	sb.trIdx = sb.trIdx[:0]
+	sb.trPending = make([]bool, len(paths))
+	sb.trAlways = sb.trAlways[:0]
+	for slot, p := range paths {
+		ts, ok := sb.st.Signal(p)
+		if !ok {
+			sb.trIdx = append(sb.trIdx, -1)
+			sb.trAlways = append(sb.trAlways, slot)
+			continue
+		}
+		sb.trIdx = append(sb.trIdx, ts.Index())
+		sb.trSlot[ts.Index()] = int32(slot)
+	}
+	sb.trActive = len(paths) > 0
+	sb.trFresh = true
+}
+
+func (sb *storeBacking) changedInto(t uint64, dst []bool) bool {
+	if !sb.trActive || len(dst) < len(sb.trPending) {
+		return false
+	}
+	if sb.trFresh || t < sb.trLastT {
+		// First poll after a registration, or time moved backwards:
+		// nothing bounds the change set. Re-anchor the cursor at t so
+		// the next forward poll scans exactly (t, t'].
+		discontinuous := !sb.trFresh
+		sb.trFresh = false
+		sb.trCur = sb.st.SeekCursor(t)
+		sb.trLastT = t
+		for i := range sb.trPending {
+			sb.trPending[i] = false
+			dst[i] = true
+		}
+		return !discontinuous
+	}
+	// Forward: every change record in (trLastT, t] names a signal whose
+	// value moved; mark the tracked ones.
+	sb.trCur = sb.st.ScanChanges(sb.trCur, t, func(sig int) {
+		if slot := sb.trSlot[sig]; slot >= 0 {
+			sb.trPending[slot] = true
+		}
+	})
+	sb.trLastT = t
+	for i, p := range sb.trPending {
+		dst[i] = p
+		sb.trPending[i] = false
+	}
+	for _, slot := range sb.trAlways {
+		dst[slot] = true
+	}
+	return true
+}
 
 func (sb *storeBacking) value(path string, t uint64) (eval.Value, error) {
 	ts, ok := sb.st.Signal(path)

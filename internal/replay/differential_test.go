@@ -338,7 +338,7 @@ func TestStoreEngineConcurrentReads(t *testing.T) {
 
 // seedSignal resolves a signal on the eager reference engine's trace.
 func seedSignal(e *Engine, name string) (*vcd.TraceSignal, bool) {
-	return e.src.(traceBacking).trace.Signal(name)
+	return e.src.(*traceBacking).trace.Signal(name)
 }
 
 // TestStoreEngineReverseUsesCheckpoints checks the mechanism (not just

@@ -39,6 +39,11 @@ type backing interface {
 	prefetch(paths []string)
 	// checkpoints reports how many restore points exist (stats).
 	checkpoints() int
+	// trackChanges registers the dirty-set watch list and changedInto
+	// reports, for each tracked path, whether it may have changed since
+	// the previous poll (the vpi.ChangeReporter capability at time t).
+	trackChanges(paths []string)
+	changedInto(t uint64, dst []bool) bool
 }
 
 // Engine replays a VCD trace behind the vpi.Interface.
@@ -58,19 +63,28 @@ var (
 	_ vpi.BatchReader     = (*Engine)(nil)
 	_ vpi.BatchReaderInto = (*Engine)(nil)
 	_ vpi.Prefetcher      = (*Engine)(nil)
+	_ vpi.ChangeReporter  = (*Engine)(nil)
 )
 
 // traceBacking adapts an eager vcd.Trace: every query is a binary
 // search over the signal's fully materialized timeline.
 type traceBacking struct {
 	trace *vcd.Trace
+
+	// Dirty-set tracking: per tracked signal, the change count at the
+	// last poll time. Equal counts at two instants bracket no change
+	// record, so the value is identical — which makes the stamp valid
+	// in both time directions (reverse debugging included).
+	tracked   []*vcd.TraceSignal // nil entries: unresolved paths
+	lastCount []int
+	fresh     bool
 }
 
-func (tb traceBacking) maxTime() uint64              { return tb.trace.MaxTime }
-func (tb traceBacking) hierarchy() *rtl.InstanceNode { return tb.trace.Hierarchy }
-func (tb traceBacking) prefetch([]string)            {}
-func (tb traceBacking) checkpoints() int             { return 0 }
-func (tb traceBacking) value(path string, t uint64) (eval.Value, error) {
+func (tb *traceBacking) maxTime() uint64              { return tb.trace.MaxTime }
+func (tb *traceBacking) hierarchy() *rtl.InstanceNode { return tb.trace.Hierarchy }
+func (tb *traceBacking) prefetch([]string)            {}
+func (tb *traceBacking) checkpoints() int             { return 0 }
+func (tb *traceBacking) value(path string, t uint64) (eval.Value, error) {
 	ts, ok := tb.trace.Signal(path)
 	if !ok {
 		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
@@ -78,9 +92,36 @@ func (tb traceBacking) value(path string, t uint64) (eval.Value, error) {
 	return eval.Make(ts.ValueAt(t), ts.Width, false), nil
 }
 
+func (tb *traceBacking) trackChanges(paths []string) {
+	tb.tracked = make([]*vcd.TraceSignal, len(paths))
+	tb.lastCount = make([]int, len(paths))
+	for i, p := range paths {
+		tb.tracked[i], _ = tb.trace.Signal(p)
+	}
+	tb.fresh = true
+}
+
+func (tb *traceBacking) changedInto(t uint64, dst []bool) bool {
+	if tb.tracked == nil || len(dst) < len(tb.tracked) {
+		return false
+	}
+	first := tb.fresh
+	tb.fresh = false
+	for i, ts := range tb.tracked {
+		if ts == nil {
+			dst[i] = true
+			continue
+		}
+		n := ts.ChangeCountAt(t)
+		dst[i] = first || n != tb.lastCount[i]
+		tb.lastCount[i] = n
+	}
+	return true
+}
+
 // New wraps an eagerly parsed trace.
 func New(trace *vcd.Trace) *Engine {
-	return newEngine(traceBacking{trace: trace})
+	return newEngine(&traceBacking{trace: trace})
 }
 
 // NewStore wraps a block-store trace index with checkpointed state
@@ -99,6 +140,18 @@ func (e *Engine) MaxTime() uint64 { return e.src.maxTime() }
 // Checkpoints returns how many value-snapshot restore points the
 // backend currently holds (always 0 for eager traces).
 func (e *Engine) Checkpoints() int { return e.src.checkpoints() }
+
+// TrackChanges implements vpi.ChangeReporter: registers the dirty-set
+// watch list with the trace backend. The eager backend answers polls
+// by change-count stamps on its decoded timelines; the block store
+// derives the per-edge change set from its change-record streams via a
+// resumable cursor.
+func (e *Engine) TrackChanges(paths []string) { e.src.trackChanges(paths) }
+
+// ChangedInto implements vpi.ChangeReporter at the current replay time.
+func (e *Engine) ChangedInto(dst []bool) bool {
+	return e.src.changedInto(e.time.Load(), dst)
+}
 
 // Prefetch implements vpi.Prefetcher: the debugger runtime advises the
 // set of signal paths it will read every cycle (its breakpoint/watch

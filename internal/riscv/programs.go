@@ -174,6 +174,54 @@ sum:
 	}
 }
 
+// --- mt-idle: clock-gated idle core ----------------------------------
+//
+// The low-activity Figure 5 scenario: hart 1 writes its checksum and
+// halts within a handful of instructions — a halted core's registers
+// are clock-gated (`halted_r` guards every architectural update), so
+// its signals freeze for the rest of the run — while hart 0 spins
+// through a long register-only loop. Most of the design is idle for
+// most of the simulation, which is exactly the regime activity-driven
+// breakpoint scheduling exploits: conditions armed on the idle core
+// cost near zero per edge once its dependency signals stop changing.
+
+const idleSpinN = 2000
+
+func buildIdle() *Workload {
+	src := `
+.data
+result: .word 0
+.text
+` + prologue + `
+    csrrs t0, 0xF14, x0      # hartid
+    bnez t0, park
+    # hart 0: long register-only spin, the busy half of the scenario
+    li t1, ` + fmt.Sprintf("%d", idleSpinN) + `
+    li a0, 0
+spin:
+    addi a0, a0, 3
+    addi t1, t1, -1
+    bnez t1, spin
+    j done
+park:
+    # hart 1: immediate result + halt; its clock effectively gates off
+    li a0, 42
+done:
+` + epilogue
+	return &Workload{
+		Name: "mt-idle",
+		MT:   true,
+		Prog: MustAssemble(src),
+		Expected: func(hart int) uint32 {
+			if hart == 0 {
+				return uint32(3 * idleSpinN)
+			}
+			return 42
+		},
+		MaxCycles: 60000,
+	}
+}
+
 // --- multiply: software shift-add multiply vs hardware results -------
 
 const multiplyN = 96
@@ -766,6 +814,7 @@ func Workloads() []*Workload {
 		buildTowers(),
 		buildSpmv(),
 		buildMTVVAdd(),
+		buildIdle(),
 	}
 }
 

@@ -1,0 +1,118 @@
+package sim
+
+import "testing"
+
+// poll drives one ChangedInto call and returns the per-slot report.
+func poll(t *testing.T, s *Simulator, n int) ([]bool, bool) {
+	t.Helper()
+	dst := make([]bool, n)
+	ok := s.ChangedInto(dst)
+	return dst, ok
+}
+
+func TestTrackChangesReportsActivity(t *testing.T) {
+	nl := elaborate(t, buildCounter(), false)
+	s := New(nl)
+	s.TrackChanges([]string{"Counter.count", "Counter.en"})
+
+	// First poll after a registration: everything dirty.
+	dst, ok := poll(t, s, 2)
+	if !ok || !dst[0] || !dst[1] {
+		t.Fatalf("first poll = %v ok=%v, want all dirty", dst, ok)
+	}
+
+	// Idle cycles: nothing changes, nothing reported.
+	s.Run(3)
+	dst, ok = poll(t, s, 2)
+	if !ok || dst[0] || dst[1] {
+		t.Fatalf("idle poll = %v ok=%v, want all clean", dst, ok)
+	}
+
+	// Poke en: only en dirty.
+	s.Poke("Counter.en", 1)
+	dst, ok = poll(t, s, 2)
+	if !ok || dst[0] || !dst[1] {
+		t.Fatalf("after poke = %v ok=%v, want [clean dirty]", dst, ok)
+	}
+
+	// A stepped cycle with en=1 commits count: count dirty; en holds.
+	s.Run(1)
+	dst, ok = poll(t, s, 2)
+	if !ok || !dst[0] || dst[1] {
+		t.Fatalf("after step = %v ok=%v, want [dirty clean]", dst, ok)
+	}
+
+	// Polls consume the pending set: an immediate re-poll is clean.
+	dst, ok = poll(t, s, 2)
+	if !ok || dst[0] || dst[1] {
+		t.Fatalf("re-poll = %v ok=%v, want all clean", dst, ok)
+	}
+
+	// A poke that does not change the value reports nothing.
+	v, _ := s.Peek("Counter.en")
+	s.Poke("Counter.en", v.Bits)
+	dst, _ = poll(t, s, 2)
+	if dst[1] {
+		t.Fatalf("no-op poke reported dirty: %v", dst)
+	}
+}
+
+func TestTrackChangesAccumulatesAcrossSkippedPolls(t *testing.T) {
+	nl := elaborate(t, buildCounter(), false)
+	s := New(nl)
+	s.Poke("Counter.en", 1)
+	s.TrackChanges([]string{"Counter.count"})
+	poll(t, s, 1) // consume the registration report
+
+	// Several cycles without polling: the change must not be lost.
+	s.Run(5)
+	dst, ok := poll(t, s, 1)
+	if !ok || !dst[0] {
+		t.Fatalf("accumulated changes dropped: %v ok=%v", dst, ok)
+	}
+}
+
+func TestTrackChangesUnresolvedAlwaysDirty(t *testing.T) {
+	nl := elaborate(t, buildCounter(), false)
+	s := New(nl)
+	s.TrackChanges([]string{"Counter.count", "Counter.ghost"})
+	poll(t, s, 2)
+	s.Run(1) // en=0: count holds
+	dst, ok := poll(t, s, 2)
+	if !ok {
+		t.Fatal("poll not ok")
+	}
+	if dst[0] {
+		t.Fatalf("idle count reported dirty: %v", dst)
+	}
+	if !dst[1] {
+		t.Fatalf("unresolved path reported clean: %v", dst)
+	}
+}
+
+func TestTrackChangesReRegistration(t *testing.T) {
+	nl := elaborate(t, buildCounter(), false)
+	s := New(nl)
+	s.TrackChanges([]string{"Counter.count"})
+	poll(t, s, 1)
+
+	// Replace the set: the new registration reports fresh, and the old
+	// signal's marks no longer land on stale slots.
+	s.TrackChanges([]string{"Counter.en"})
+	dst, ok := poll(t, s, 1)
+	if !ok || !dst[0] {
+		t.Fatalf("fresh registration poll = %v ok=%v", dst, ok)
+	}
+	s.Poke("Counter.en", 1)
+	s.Run(2) // count changes too, but is no longer tracked
+	dst, _ = poll(t, s, 1)
+	if !dst[0] {
+		t.Fatalf("en change missed after re-registration: %v", dst)
+	}
+
+	// Empty registration disables reporting.
+	s.TrackChanges(nil)
+	if _, ok := poll(t, s, 0); ok {
+		t.Fatal("empty registration still reported ok")
+	}
+}

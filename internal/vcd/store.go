@@ -379,16 +379,13 @@ type Cursor struct {
 	Time uint64
 }
 
-// ApplyUpTo replays every change with time <= t, starting at cursor c,
-// into state (indexed by StoreSignal.Index), and returns the advanced
-// cursor. state must have NumSignals elements. Replaying from the zero
-// cursor over a zero state reconstructs exact signal values at t;
-// resuming from a saved cursor/state pair costs only the records in
-// (cursor, t] — the primitive replay checkpointing is built on.
-func (s *Store) ApplyUpTo(c Cursor, t uint64, state []uint64) Cursor {
-	if len(state) < len(s.list) {
-		panic(fmt.Sprintf("vcd: ApplyUpTo state too short: %d < %d", len(state), len(s.list)))
-	}
+// walkUpTo is the one cursor-advancing record walk: it visits every
+// change record with time <= t starting at cursor c and returns the
+// advanced cursor. Both replay state sync (ApplyUpTo) and dirty-set
+// derivation (ScanChanges) run on it, so the cursor conventions —
+// where a partially consumed block leaves Off/Time, when a block is
+// abandoned for the next slot — cannot desynchronize between them.
+func (s *Store) walkUpTo(c Cursor, t uint64, visit func(rec record)) Cursor {
 	for c.Block < len(s.blocks) {
 		blockStart := s.blocks[c.Block].win * s.blockSize
 		if blockStart > t {
@@ -408,7 +405,7 @@ func (s *Store) ApplyUpTo(c Cursor, t uint64, state []uint64) Cursor {
 				return c
 			}
 			r.commit(rec)
-			state[rec.sig] = rec.bits
+			visit(rec)
 		}
 		// Block exhausted; move on only once t covers its whole window,
 		// so a later call never skips records that belong to this block.
@@ -422,6 +419,47 @@ func (s *Store) ApplyUpTo(c Cursor, t uint64, state []uint64) Cursor {
 		c.Off = 0
 	}
 	return c
+}
+
+// ApplyUpTo replays every change with time <= t, starting at cursor c,
+// into state (indexed by StoreSignal.Index), and returns the advanced
+// cursor. state must have NumSignals elements. Replaying from the zero
+// cursor over a zero state reconstructs exact signal values at t;
+// resuming from a saved cursor/state pair costs only the records in
+// (cursor, t] — the primitive replay checkpointing is built on.
+func (s *Store) ApplyUpTo(c Cursor, t uint64, state []uint64) Cursor {
+	if len(state) < len(s.list) {
+		panic(fmt.Sprintf("vcd: ApplyUpTo state too short: %d < %d", len(state), len(s.list)))
+	}
+	return s.walkUpTo(c, t, func(rec record) { state[rec.sig] = rec.bits })
+}
+
+// ScanChanges invokes fn with the signal index of every change record
+// with time in (cursor, t] and returns the advanced cursor. It is
+// ApplyUpTo without the state writes: the replay backend uses it to
+// derive per-edge dirty-signal sets directly from the block record
+// streams — the cost of one forward edge is the records inside it,
+// near zero on idle stretches.
+func (s *Store) ScanChanges(c Cursor, t uint64, fn func(sig int)) Cursor {
+	return s.walkUpTo(c, t, func(rec record) { fn(rec.sig) })
+}
+
+// SeekCursor returns a cursor positioned just past every change record
+// with time <= t, without replaying state: a binary search over the
+// sparse block index plus at most one block decode. The replay
+// backend's dirty-set cursor re-anchors here after a backward time
+// seek.
+func (s *Store) SeekCursor(t uint64) Cursor {
+	// First block whose window starts after t; everything before it is
+	// at least partially covered.
+	i := sort.Search(len(s.blocks), func(i int) bool { return s.blocks[i].win*s.blockSize > t })
+	if i == 0 {
+		return Cursor{}
+	}
+	// Consume records <= t inside the last covered block, reusing the
+	// exact cursor conventions of ScanChanges/ApplyUpTo.
+	c := Cursor{Block: i - 1}
+	return s.ScanChanges(c, t, func(int) {})
 }
 
 // NextChangeTime returns the time of the first change record at or

@@ -137,6 +137,15 @@ func (ts *TraceSignal) ValueAt(t uint64) uint64 {
 // NumChanges returns how many value changes were recorded.
 func (ts *TraceSignal) NumChanges() int { return len(ts.times) }
 
+// ChangeCountAt returns how many changes were recorded at or before
+// time t. It is a change stamp: two instants with equal counts bracket
+// no change record, so the signal's value is identical at both — which
+// is how the replay backend derives per-edge dirty sets from an eager
+// timeline without re-reading values.
+func (ts *TraceSignal) ChangeCountAt(t uint64) int {
+	return sort.Search(len(ts.times), func(i int) bool { return ts.times[i] > t })
+}
+
 // Trace is a parsed VCD file.
 type Trace struct {
 	Signals   map[string]*TraceSignal

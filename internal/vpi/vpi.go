@@ -90,6 +90,41 @@ type Prefetcher interface {
 	Prefetch(paths []string)
 }
 
+// ChangeReporter is an optional backend capability: per-edge signal
+// activity reporting, the foundation of activity-driven scheduling.
+// The debugger registers the signal paths it reads every cycle (the
+// union of every armed condition's dependencies); at each clock edge it
+// asks which of them may have changed since the previous poll, and
+// skips re-evaluating condition groups whose dependencies are all
+// clean. Hardware signals are mostly idle, so this turns the per-edge
+// breakpoint cost from O(armed conditions) into O(signal activity).
+//
+// The contract is conservative in one direction only: implementations
+// may over-report (a signal marked changed that did not change costs a
+// wasted re-evaluation) but must never under-report — a tracked path
+// whose value differs between two ChangedInto calls must be reported
+// changed, or the debugger would miss stops. The capability assumes a
+// single consumer: TrackChanges replaces any previous registration, and
+// each ChangedInto consumes the pending report.
+type ChangeReporter interface {
+	// TrackChanges registers the paths to report on, replacing any
+	// previous set. The slice is owned by the caller; implementations
+	// must copy what they need. Paths the backend cannot resolve are
+	// permanently reported as changed (the caller treats them
+	// conservatively anyway).
+	TrackChanges(paths []string)
+
+	// ChangedInto fills dst[i] (aligned with the registered path slice,
+	// which must be at least as long) with whether tracked path i may
+	// have changed since the previous ChangedInto call — or since
+	// TrackChanges for the first call, which reports every path
+	// changed. The return value says whether the backend could bound
+	// the change set at all: false means the caller must assume every
+	// signal changed (nothing is registered, or time moved backwards
+	// or discontinuously since the last poll).
+	ChangedInto(dst []bool) bool
+}
+
 // ReadBatch reads many signals through the backend's native batch
 // primitive when it implements BatchReader, falling back to one
 // GetValue call per path otherwise. Any unknown path fails the whole
@@ -138,6 +173,7 @@ var (
 	_ Interface       = (*SimBackend)(nil)
 	_ BatchReader     = (*SimBackend)(nil)
 	_ BatchReaderInto = (*SimBackend)(nil)
+	_ ChangeReporter  = (*SimBackend)(nil)
 )
 
 // NewSimBackend wraps a live simulator.
@@ -162,6 +198,13 @@ func (b *SimBackend) GetValues(paths []string) ([]eval.Value, error) {
 func (b *SimBackend) GetValuesInto(paths []string, dst []eval.Value) error {
 	return b.Sim.PeekBatch(paths, dst)
 }
+
+// TrackChanges implements ChangeReporter with the simulator's native
+// dirty-signal tracking.
+func (b *SimBackend) TrackChanges(paths []string) { b.Sim.TrackChanges(paths) }
+
+// ChangedInto implements ChangeReporter.
+func (b *SimBackend) ChangedInto(dst []bool) bool { return b.Sim.ChangedInto(dst) }
 
 // Hierarchy implements Interface.
 func (b *SimBackend) Hierarchy() *rtl.InstanceNode { return b.Sim.Netlist().Hierarchy }
