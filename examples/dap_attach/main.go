@@ -1,0 +1,221 @@
+// DAP attach: debugging hgdb from any DAP-capable editor.
+//
+// This walkthrough stands up the full editor pipeline in one process:
+// a simulated design served by the hgdb debug server, the DAP adapter
+// (the same internal/dap engine behind cmd/hgdb-dap) bridging it onto
+// a TCP listener, and a minimal scripted DAP client standing in for
+// VS Code — initialize, attach, setBreakpoints, configurationDone,
+// then a stopped/inspect/continue loop over the Debug Adapter
+// Protocol. Point a real editor at cmd/hgdb-dap to get the identical
+// session interactively (see this example's README).
+//
+// Run: go run ./examples/dap_attach
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/dap"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/passes"
+	"repro/internal/rtl"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/symtab"
+	"repro/internal/vpi"
+)
+
+func here() int {
+	var pcs [1]uintptr
+	runtime.Callers(2, pcs[:])
+	f, _ := runtime.CallersFrames(pcs[:1]).Next()
+	return f.Line
+}
+
+func main() {
+	// 1. A small design: an enabled 8-bit counter with a bundle output,
+	// so the DAP variables tree shows a structured PortBundle.
+	c := generator.NewCircuit("Counter")
+	m := c.NewModule("Counter")
+	en := m.Input("en", ir.UIntType(1))
+	io := m.Output("io", ir.Bundle{Fields: []ir.Field{
+		{Name: "bits", Type: ir.UIntType(8)},
+		{Name: "valid", Type: ir.UIntType(1)},
+	}})
+	count := m.RegInit("count", ir.UIntType(8), m.Lit(0, 8))
+	var incLine int
+	m.When(en, func() {
+		count.Set(count.AddMod(m.Lit(1, 8))) // <- breakpoint target
+		incLine = here() - 1
+	})
+	io.Field("bits").Set(count)
+	io.Field("valid").Set(en)
+
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := symtab.Build(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sim.New(nl)
+
+	// 2. The hgdb debug server, as hgdb-sim would run it.
+	rt, err := core.New(vpi.NewSimBackend(s), table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(rt, nil)
+	hgdbAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hgdb server on %s\n", hgdbAddr)
+
+	// 3. The DAP adapter on a TCP listener — exactly what
+	// `hgdb-dap -attach <addr> -listen :4711` does.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DAP listener on %s (an editor would connect here)\n", ln.Addr())
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		ad, err := dap.New(conn, dap.Options{Addr: hgdbAddr})
+		if err != nil {
+			log.Fatalf("adapter: %v", err)
+		}
+		ad.Serve()
+	}()
+
+	// 4. A scripted DAP client, standing in for the editor.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dc := dap.NewConn(conn)
+	events := []*dap.Message{}
+	request := func(command string, args any) *dap.Message {
+		seq, err := dc.SendRequest(command, args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for {
+			msg, err := dc.ReadMessage()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if msg.Type == "event" {
+				events = append(events, msg)
+				continue
+			}
+			if msg.RequestSeq != seq || !msg.Success {
+				log.Fatalf("%s failed: %s", command, msg.Msg)
+			}
+			return msg
+		}
+	}
+	waitEvent := func(name string) *dap.Message {
+		for i, ev := range events {
+			if ev.Event == name {
+				events = append(events[:i], events[i+1:]...)
+				return ev
+			}
+		}
+		for {
+			msg, err := dc.ReadMessage()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if msg.Type == "event" && msg.Event == name {
+				return msg
+			}
+			if msg.Type == "event" {
+				events = append(events, msg)
+			}
+		}
+	}
+
+	resp := request("initialize", map[string]any{"adapterID": "hgdb", "clientID": "example"})
+	var caps dap.Capabilities
+	json.Unmarshal(resp.Body, &caps)
+	fmt.Printf("initialize: configurationDone=%v conditionalBreakpoints=%v stepBack=%v\n",
+		caps.SupportsConfigurationDoneRequest, caps.SupportsConditionalBreakpoints, caps.SupportsStepBack)
+
+	request("attach", nil)
+	waitEvent("initialized")
+
+	resp = request("setBreakpoints", dap.SetBreakpointsArguments{
+		Source:      dap.Source{Path: "main.go"},
+		Breakpoints: []dap.SourceBreakpoint{{Line: incLine}, {Line: incLine + 100}},
+	})
+	var bps dap.SetBreakpointsResponse
+	json.Unmarshal(resp.Body, &bps)
+	for _, bp := range bps.Breakpoints {
+		fmt.Printf("breakpoint line %d: verified=%v %s\n", bp.Line, bp.Verified, bp.Message)
+	}
+	request("configurationDone", nil)
+
+	// 5. Drive the simulation; walk three stops over the protocol.
+	go func() {
+		s.Reset("Counter.reset", 1)
+		s.Poke("Counter.en", 1)
+		s.Run(3)
+	}()
+	for hit := 0; hit < 3; hit++ {
+		var stopped dap.StoppedEvent
+		json.Unmarshal(waitEvent("stopped").Body, &stopped)
+		fmt.Printf("stopped: reason=%s time=%d\n", stopped.Reason, stopped.Time)
+
+		resp = request("stackTrace", map[string]any{"threadId": stopped.ThreadID})
+		var st dap.StackTraceResponse
+		json.Unmarshal(resp.Body, &st)
+		frame := st.StackFrames[0]
+		fmt.Printf("  frame: %s\n", frame.Name)
+
+		resp = request("scopes", map[string]any{"frameId": frame.ID})
+		var scopes dap.ScopesResponse
+		json.Unmarshal(resp.Body, &scopes)
+		for _, sc := range scopes.Scopes {
+			if sc.VariablesReference == 0 {
+				continue
+			}
+			resp = request("variables", map[string]any{"variablesReference": sc.VariablesReference})
+			var vars dap.VariablesResponse
+			json.Unmarshal(resp.Body, &vars)
+			for _, v := range vars.Variables {
+				fmt.Printf("  %s %s = %s\n", sc.Name, v.Name, v.Value)
+				if v.VariablesReference != 0 {
+					// Structured PortBundle: expand one level (§4.2).
+					r := request("variables", map[string]any{"variablesReference": v.VariablesReference})
+					var kids dap.VariablesResponse
+					json.Unmarshal(r.Body, &kids)
+					for _, k := range kids.Variables {
+						fmt.Printf("    .%s = %s\n", k.Name, k.Value)
+					}
+				}
+			}
+		}
+		request("continue", map[string]any{"threadId": stopped.ThreadID})
+		waitEvent("continued")
+	}
+
+	request("disconnect", nil)
+	waitEvent("terminated")
+	fmt.Println("DAP session closed; simulation ran to completion")
+	srv.Close()
+}

@@ -18,6 +18,13 @@ import (
 	"repro/internal/ws"
 )
 
+// typedQueueDepth is the buffer of each per-type event queue behind
+// WaitEvent/WaitStop. Queues are created at delivery time (so an event
+// arriving before its first WaitEvent call is never lost), which means
+// an Events-only consumer pays this buffer per event type seen — keep
+// it as small as the legacy Events buffer.
+const typedQueueDepth = 16
+
 // Client is one attached debugger session.
 type Client struct {
 	addr string
@@ -33,6 +40,17 @@ type Client struct {
 	role       string
 	controller int64
 
+	// Event demultiplexing. Every inbound event is delivered to three
+	// kinds of consumer: the legacy catch-all Events channel, a
+	// per-type queue (auto-created at delivery, so an event arriving
+	// before its first WaitEvent call is never lost), and every
+	// matching Subscription. Waiting for one event type therefore no
+	// longer consumes — and silently drops — interleaved events of
+	// other types.
+	subs    map[int]*Subscription
+	nextSub int
+	typed   map[string]*Subscription
+
 	// Events delivers stop, welcome, attach, goodbye and control
 	// events. When the connection dies the client synthesizes a final
 	// {Type: "disconnect"} event; the channel itself stays open so the
@@ -40,17 +58,129 @@ type Client struct {
 	Events chan *proto.Event
 }
 
-// Dial attaches to a runtime at ws://addr.
-func Dial(addr string) (*Client, error) {
-	c := &Client{
+// New creates a client without connecting, so consumers can Subscribe
+// before the first byte arrives (an event delivered during the welcome
+// exchange — e.g. the stop replay a late attacher receives — is then
+// never missed). Call Connect to attach.
+func New(addr string) *Client {
+	return &Client{
 		addr:    addr,
 		waiting: map[string]chan *proto.Response{},
+		subs:    map[int]*Subscription{},
+		typed:   map[string]*Subscription{},
 		Events:  make(chan *proto.Event, 16),
 	}
+}
+
+// Dial attaches to a runtime at ws://addr.
+func Dial(addr string) (*Client, error) {
+	c := New(addr)
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Connect attaches a client created by New. Use Reconnect after a
+// connection loss.
+func (c *Client) Connect() error { return c.connect() }
+
+// Subscription is one demultiplexed view of the client's event stream,
+// created by Subscribe. C stays open across disconnects (a synthesized
+// {Type: "disconnect"} event arrives instead — delivered to every
+// subscription regardless of its type filter, so filtered consumers
+// still observe termination — and the subscription keeps working after
+// Reconnect). C closes only on Close.
+type Subscription struct {
+	// C delivers matching events in arrival order. When the consumer
+	// falls behind, normal events are dropped at the full buffer; the
+	// disconnect sentinel instead evicts the oldest queued event, so it
+	// is never lost.
+	C chan *proto.Event
+
+	c     *Client
+	id    int
+	types map[string]bool // nil = every type
+}
+
+// Subscribe registers an event consumer for the given types (none =
+// every type). buffer <= 0 selects a default.
+func (c *Client) Subscribe(buffer int, types ...string) *Subscription {
+	if buffer <= 0 {
+		buffer = 16
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sub := &Subscription{C: make(chan *proto.Event, buffer), c: c, id: c.nextSub}
+	c.nextSub++
+	if len(types) > 0 {
+		sub.types = make(map[string]bool, len(types))
+		for _, t := range types {
+			sub.types[t] = true
+		}
+	}
+	c.subs[sub.id] = sub
+	return sub
+}
+
+// Close removes the subscription and closes C.
+func (s *Subscription) Close() {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	if _, ok := s.c.subs[s.id]; !ok {
+		return
+	}
+	delete(s.c.subs, s.id)
+	close(s.C)
+}
+
+// typedLocked returns (creating on demand) the internal per-type queue
+// feeding WaitEvent/WaitStop. Callers hold c.mu.
+func (c *Client) typedLocked(typ string) *Subscription {
+	sub, ok := c.typed[typ]
+	if !ok {
+		sub = &Subscription{C: make(chan *proto.Event, typedQueueDepth), c: c}
+		c.typed[typ] = sub
+	}
+	return sub
+}
+
+// deliverLocked routes one event to every consumer. Callers hold c.mu
+// — the single-producer guarantee that makes the eviction path below
+// reliable. Normal events are dropped at a full consumer (the server
+// already coalesces under backpressure and the simulator stays paused
+// until a command arrives); the disconnect sentinel is the one event
+// no consumer may miss, so it evicts the oldest queued event instead.
+func (c *Client) deliverLocked(ev *proto.Event) {
+	mustDeliver := ev.Type == "disconnect"
+	push := func(ch chan *proto.Event) {
+		select {
+		case ch <- ev:
+			return
+		default:
+		}
+		if !mustDeliver {
+			return
+		}
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	push(c.Events)
+	push(c.typedLocked(ev.Type).C)
+	for _, sub := range c.subs {
+		// The sentinel bypasses type filters: every subscription is
+		// promised a termination signal, or a consumer ranging over a
+		// filtered sub.C would hang forever after a connection loss.
+		if mustDeliver || sub.types == nil || sub.types[ev.Type] {
+			push(sub.C)
+		}
+	}
 }
 
 // connect dials and starts a read loop for one connection generation.
@@ -92,19 +222,18 @@ func (c *Client) Reconnect() error {
 	if old != nil {
 		old.Close()
 	}
-	// Everything queued on Events belongs to the dead generation —
+	// Everything queued for consumers belongs to the dead generation —
 	// including a possible disconnect sentinel that would otherwise be
 	// mistaken for the new connection failing. Drop it all, under the
 	// same lock the sentinel push takes, so a teardown racing this
 	// reconnect can never land its sentinel after the drain.
 	c.mu.Lock()
-drain:
-	for {
-		select {
-		case <-c.Events:
-		default:
-			break drain
-		}
+	drainChan(c.Events)
+	for _, sub := range c.typed {
+		drainChan(sub.C)
+	}
+	for _, sub := range c.subs {
+		drainChan(sub.C)
 	}
 	c.mu.Unlock()
 	return c.connect()
@@ -175,44 +304,35 @@ func (c *Client) setControllerLocked(controller int64) {
 	}
 }
 
+func drainChan(ch chan *proto.Event) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
 func (c *Client) readLoop(conn *ws.Conn, closed chan struct{}) {
 	defer func() {
 		// Tear down only if this is still the live generation — a
 		// Reconnect may have already swapped in a fresh connection,
 		// and wiping its waiters or announcing a stale disconnect
-		// would sabotage it.
+		// would sabotage it. The staleness check, the waiter wipe and
+		// the sentinel delivery share one critical section with
+		// Reconnect's drain, so a racing reconnect can never be
+		// poisoned by a sentinel landing after its drain. The sentinel
+		// is delivered BEFORE closed is closed: a waiter that observes
+		// the closed generation is then guaranteed to find the
+		// sentinel already queued.
 		c.mu.Lock()
-		stale := c.conn != conn
-		if !stale {
+		if c.conn == conn {
 			c.waiting = map[string]chan *proto.Response{}
+			c.deliverLocked(&proto.Event{Type: "disconnect"})
 		}
 		c.mu.Unlock()
 		close(closed)
-		// The disconnect sentinel is the one event the consumer must
-		// not miss: when the buffer is full, evict the oldest queued
-		// event to make room rather than dropping the sentinel. Each
-		// attempt re-checks staleness under the lock Reconnect drains
-		// under, so a racing reconnect can never be poisoned by a
-		// sentinel landing after its drain.
-		ev := &proto.Event{Type: "disconnect"}
-		for {
-			c.mu.Lock()
-			if c.conn != conn {
-				c.mu.Unlock()
-				return
-			}
-			select {
-			case c.Events <- ev:
-				c.mu.Unlock()
-				return
-			default:
-			}
-			select {
-			case <-c.Events:
-			default:
-			}
-			c.mu.Unlock()
-		}
 	}()
 	for {
 		raw, err := conn.ReadText()
@@ -246,13 +366,11 @@ func (c *Client) readLoop(conn *ws.Conn, closed chan struct{}) {
 			continue
 		}
 		c.observeEvent(&ev)
-		select {
-		case c.Events <- &ev:
-		default:
-			// Drop events if the consumer is not keeping up; the
-			// server already coalesces under backpressure and the
-			// simulator stays paused until a command arrives anyway.
+		c.mu.Lock()
+		if c.conn == conn {
+			c.deliverLocked(&ev)
 		}
+		c.mu.Unlock()
 	}
 }
 
@@ -466,39 +584,50 @@ func (c *Client) RemoveWatch(id int) error {
 	return err
 }
 
-// WaitStop blocks until the next stop event or timeout, skipping
-// other event kinds.
+// WaitStop blocks until the next stop event or timeout. Unlike the
+// pre-demux implementation it does not consume events of other types —
+// they stay queued for their own waiters and subscriptions.
 func (c *Client) WaitStop(timeout time.Duration) (*core.StopEvent, error) {
-	deadline := time.After(timeout)
-	for {
-		select {
-		case ev := <-c.Events:
-			if ev.Type == "stop" && ev.Stop != nil {
-				return ev.Stop, nil
-			}
-			if ev.Type == "disconnect" {
-				return nil, fmt.Errorf("hgdb: connection closed")
-			}
-		case <-deadline:
-			return nil, fmt.Errorf("hgdb: no stop within %s", timeout)
-		}
+	ev, err := c.WaitEvent("stop", timeout)
+	if err != nil {
+		return nil, err
 	}
+	if ev.Stop == nil {
+		return nil, fmt.Errorf("hgdb: malformed stop event")
+	}
+	return ev.Stop, nil
 }
 
 // WaitEvent blocks until the next event of the given type or timeout.
+// It reads the client's per-type queue, so events of other types are
+// neither consumed nor dropped while waiting; an event of the wanted
+// type that arrived before this call is returned immediately.
 func (c *Client) WaitEvent(typ string, timeout time.Duration) (*proto.Event, error) {
-	deadline := time.After(timeout)
-	for {
+	c.mu.Lock()
+	sub := c.typedLocked(typ)
+	closed := c.closed // nil before the first connect: blocks in select
+	c.mu.Unlock()
+	// Fast path: already queued (delivered before this call, possibly
+	// right before a disconnect).
+	select {
+	case ev := <-sub.C:
+		return ev, nil
+	default:
+	}
+	select {
+	case ev := <-sub.C:
+		return ev, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("hgdb: no %s event within %s", typ, timeout)
+	case <-closed:
+		// The connection died. Anything delivered before the teardown
+		// — including the disconnect sentinel itself — is still
+		// queued, because the sentinel lands before closed closes.
 		select {
-		case ev := <-c.Events:
-			if ev.Type == typ {
-				return ev, nil
-			}
-			if ev.Type == "disconnect" && typ != "disconnect" {
-				return nil, fmt.Errorf("hgdb: connection closed")
-			}
-		case <-deadline:
-			return nil, fmt.Errorf("hgdb: no %s event within %s", typ, timeout)
+		case ev := <-sub.C:
+			return ev, nil
+		default:
 		}
+		return nil, fmt.Errorf("hgdb: connection closed")
 	}
 }

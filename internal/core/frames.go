@@ -54,7 +54,55 @@ func (rt *Runtime) buildEvent(g *group, hits []*insertedBP, time uint64, reverse
 }
 
 func sortVars(vars []Variable) {
-	sort.Slice(vars, func(i, j int) bool { return vars[i].Name < vars[j].Name })
+	sort.Slice(vars, func(i, j int) bool { return naturalLess(vars[i].Name, vars[j].Name) })
+}
+
+// naturalLess orders variable names with digit runs compared
+// numerically, so flattened vector elements sort as v[2] < v[10]
+// instead of the lexicographic v[10] < v[2] (bracketed indices come
+// from aggregate lowering, see passes.flattenType). Non-digit bytes
+// compare as usual; equal numeric values with different spellings
+// ("07" vs "7") fall back to the raw text so the order stays total.
+func naturalLess(a, b string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if isDigit(a[i]) && isDigit(b[j]) {
+			ia, jb := i, j
+			for ia < len(a) && isDigit(a[ia]) {
+				ia++
+			}
+			for jb < len(b) && isDigit(b[jb]) {
+				jb++
+			}
+			da, db := trimZeros(a[i:ia]), trimZeros(b[j:jb])
+			if len(da) != len(db) {
+				return len(da) < len(db)
+			}
+			if da != db {
+				return da < db
+			}
+			i, j = ia, jb
+			continue
+		}
+		if a[i] != b[j] {
+			return a[i] < b[j]
+		}
+		i++
+		j++
+	}
+	if len(a)-i != len(b)-j {
+		return len(a)-i < len(b)-j
+	}
+	return a < b
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func trimZeros(s string) string {
+	for len(s) > 1 && s[0] == '0' {
+		s = s[1:]
+	}
+	return s
 }
 
 // frameVar reads one frame variable. A failed backend read (a
@@ -124,17 +172,20 @@ func Structure(vars []Variable) []StructuredVar {
 		}
 		cur.leaf = v
 	}
+	sortNames := func(names []string) {
+		sort.Slice(names, func(i, j int) bool { return naturalLess(names[i], names[j]) })
+	}
 	var build func(n *nodeT, name string) StructuredVar
 	build = func(n *nodeT, name string) StructuredVar {
 		sv := StructuredVar{Name: name, Leaf: n.leaf}
-		sort.Strings(n.order)
+		sortNames(n.order)
 		for _, childName := range n.order {
 			sv.Children = append(sv.Children, build(n.children[childName], childName))
 		}
 		return sv
 	}
 	var out []StructuredVar
-	sort.Strings(root.order)
+	sortNames(root.order)
 	for _, name := range root.order {
 		out = append(out, build(root.children[name], name))
 	}

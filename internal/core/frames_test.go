@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestStructureNumericIndexOrder pins the ordering fix for flattened
+// vector elements: bracketed indices sort numerically (v[2] < v[10]),
+// not lexicographically (v[10] < v[2]). DAP variable expansion renders
+// Structure's child order directly, so this is user-visible.
+func TestStructureNumericIndexOrder(t *testing.T) {
+	vars := []Variable{
+		{Name: "v[10].bits", Value: 10},
+		{Name: "v[2].bits", Value: 2},
+		{Name: "v[0].bits", Value: 0},
+		{Name: "v[1].bits", Value: 1},
+		{Name: "io.valid", Value: 1},
+	}
+	tree := Structure(vars)
+	// splitDots keeps bracketed indices attached to their segment, so
+	// each v[N] is its own top-level node alongside io.
+	want := []string{"io", "v[0]", "v[1]", "v[2]", "v[10]"}
+	if len(tree) != len(want) {
+		t.Fatalf("top-level nodes = %d, want %d", len(tree), len(want))
+	}
+	for i, w := range want {
+		if got := tree[i].Name; got != w {
+			t.Fatalf("node %d = %q, want %q (indices must order numerically)", i, got, w)
+		}
+	}
+	for _, sv := range tree[1:] {
+		if len(sv.Children) != 1 || sv.Children[0].Name != "bits" {
+			t.Fatalf("%s children = %+v, want one leaf 'bits'", sv.Name, sv.Children)
+		}
+	}
+}
+
+// TestNaturalLess pins the comparator itself, including the totality
+// tie-breaks for different spellings of the same number.
+func TestNaturalLess(t *testing.T) {
+	ordered := []string{
+		"a", "a[0]", "a[1]", "a[2]", "a[10]", "a[11]", "b",
+		"v2", "v10", "w[1].x", "w[1].y", "w[2].x",
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := naturalLess(ordered[i], ordered[j])
+			if want := i < j; got != want {
+				t.Errorf("naturalLess(%q, %q) = %v, want %v", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	// Equal-value different-spelling pairs stay a strict weak order.
+	if naturalLess("a07", "a7") == naturalLess("a7", "a07") {
+		t.Fatal("naturalLess is not antisymmetric on 07 vs 7")
+	}
+	// sortVars uses the same comparator.
+	vars := []Variable{{Name: "r[10]"}, {Name: "r[9]"}, {Name: "r[1]"}}
+	sortVars(vars)
+	if !sort.SliceIsSorted(vars, func(i, j int) bool { return naturalLess(vars[i].Name, vars[j].Name) }) ||
+		vars[0].Name != "r[1]" || vars[1].Name != "r[9]" || vars[2].Name != "r[10]" {
+		t.Fatalf("sortVars order = %v", []string{vars[0].Name, vars[1].Name, vars[2].Name})
+	}
+}

@@ -1,0 +1,235 @@
+// Package dap adapts the Debug Adapter Protocol — the JSON protocol
+// spoken by VS Code, nvim-dap, Theia and the JetBrains IDEs — onto the
+// hgdb debugging protocol, so every DAP-capable editor becomes an hgdb
+// front-end. The paper ships this experience as a bespoke VS Code
+// extension (§3.5); speaking the standard protocol instead covers all
+// editors at once, and the mapping is natural: the concurrent instances
+// of one source statement that hgdb presents as threads (Figure 4 B)
+// are exactly DAP's threads/stackTrace shape.
+//
+// The package splits into a wire codec (this file: Content-Length
+// framed JSON messages with sequence management), an adapter state
+// machine (adapter.go: the DAP lifecycle mapped onto internal/client),
+// and a variablesReference handle table (handles.go: lazy expansion of
+// core.Structure trees, the paper's §4.2 structured variables).
+package dap
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	// MaxContentLength bounds one framed message body. DAP traffic is
+	// small (requests, variable pages); anything larger is a corrupt or
+	// hostile header, and must not become an allocation.
+	MaxContentLength = 4 << 20
+	// maxHeaderBytes bounds the whole header section of one message,
+	// keeping a peer that never sends the blank separator line from
+	// growing unbounded state.
+	maxHeaderBytes = 4 << 10
+)
+
+// ReadMessage reads one Content-Length framed message body from br.
+// Unknown header fields are skipped; a missing, malformed, negative or
+// oversized Content-Length is an error. Clean EOF before the first
+// header byte returns io.EOF; EOF anywhere later returns
+// io.ErrUnexpectedEOF, so callers can tell a closed session from a
+// truncated message.
+func ReadMessage(br *bufio.Reader) ([]byte, error) {
+	contentLen := -1
+	total := 0
+	first := true
+	for {
+		line, err := readHeaderLine(br, &total)
+		if err != nil {
+			if err == io.EOF && !first {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		first = false
+		if line == "" {
+			break
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("dap: malformed header line %q", line)
+		}
+		if strings.EqualFold(strings.TrimSpace(name), "content-length") {
+			v := strings.TrimSpace(value)
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dap: bad Content-Length %q", v)
+			}
+			contentLen = n
+		}
+	}
+	if contentLen < 0 {
+		return nil, fmt.Errorf("dap: missing Content-Length header")
+	}
+	if contentLen > MaxContentLength {
+		return nil, fmt.Errorf("dap: message of %d bytes exceeds limit %d", contentLen, MaxContentLength)
+	}
+	body := make([]byte, contentLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// readHeaderLine reads one header line, accepting both \r\n and bare
+// \n terminators, charging the line against the caller's header
+// budget.
+func readHeaderLine(br *bufio.Reader, total *int) (string, error) {
+	var b strings.Builder
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && b.Len() > 0 {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", err
+		}
+		*total++
+		if *total > maxHeaderBytes {
+			return "", fmt.Errorf("dap: header section exceeds %d bytes", maxHeaderBytes)
+		}
+		if c == '\n' {
+			return strings.TrimSuffix(b.String(), "\r"), nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+// WriteMessage frames body with a Content-Length header and writes it
+// in one Write call.
+func WriteMessage(w io.Writer, body []byte) error {
+	msg := make([]byte, 0, len(body)+32)
+	msg = append(msg, "Content-Length: "...)
+	msg = strconv.AppendInt(msg, int64(len(body)), 10)
+	msg = append(msg, "\r\n\r\n"...)
+	msg = append(msg, body...)
+	_, err := w.Write(msg)
+	return err
+}
+
+// Message is one decoded DAP protocol message (request, response or
+// event); the union of the fields the adapter and its tests need.
+type Message struct {
+	Seq  int    `json:"seq"`
+	Type string `json:"type"`
+
+	// request
+	Command   string          `json:"command,omitempty"`
+	Arguments json.RawMessage `json:"arguments,omitempty"`
+
+	// response
+	RequestSeq int    `json:"request_seq,omitempty"`
+	Success    bool   `json:"success,omitempty"`
+	Msg        string `json:"message,omitempty"`
+
+	// event
+	Event string `json:"event,omitempty"`
+
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// outMessage is the write-side shape: Success is a pointer so
+// responses always carry it while requests and events omit it.
+type outMessage struct {
+	Seq        int    `json:"seq"`
+	Type       string `json:"type"`
+	Command    string `json:"command,omitempty"`
+	Arguments  any    `json:"arguments,omitempty"`
+	RequestSeq int    `json:"request_seq,omitempty"`
+	Success    *bool  `json:"success,omitempty"`
+	Message    string `json:"message,omitempty"`
+	Event      string `json:"event,omitempty"`
+	Body       any    `json:"body,omitempty"`
+}
+
+// Conn frames DAP messages over any byte stream (stdio, TCP, an
+// in-memory pipe) and owns the outbound sequence counter. Writes are
+// serialized, so the adapter's event pump and request handlers may
+// send concurrently.
+type Conn struct {
+	br  *bufio.Reader
+	wmu sync.Mutex
+	w   io.Writer
+	seq int
+}
+
+// NewConn wraps a byte stream.
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{br: bufio.NewReader(rw), w: rw}
+}
+
+// ReadMessage reads and decodes the next message.
+func (c *Conn) ReadMessage() (*Message, error) {
+	body, err := ReadMessage(c.br)
+	if err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("dap: bad message: %w", err)
+	}
+	if m.Type == "" {
+		return nil, fmt.Errorf("dap: message missing type")
+	}
+	return &m, nil
+}
+
+func (c *Conn) send(m *outMessage) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.seq++
+	m.Seq = c.seq
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return WriteMessage(c.w, b)
+}
+
+// SendRequest sends a request and returns its assigned seq (used by
+// DAP clients: the conformance harness and examples/dap_attach).
+func (c *Conn) SendRequest(command string, args any) (int, error) {
+	m := &outMessage{Type: "request", Command: command, Arguments: args}
+	if err := c.send(m); err != nil {
+		return 0, err
+	}
+	return m.Seq, nil
+}
+
+// SendEvent sends an event message.
+func (c *Conn) SendEvent(event string, body any) error {
+	return c.send(&outMessage{Type: "event", Event: event, Body: body})
+}
+
+// Respond sends a success response to req.
+func (c *Conn) Respond(req *Message, body any) error {
+	ok := true
+	return c.send(&outMessage{
+		Type: "response", RequestSeq: req.Seq, Command: req.Command,
+		Success: &ok, Body: body,
+	})
+}
+
+// RespondError sends a failure response to req.
+func (c *Conn) RespondError(req *Message, format string, args ...any) error {
+	notOK := false
+	return c.send(&outMessage{
+		Type: "response", RequestSeq: req.Seq, Command: req.Command,
+		Success: &notOK, Message: fmt.Sprintf(format, args...),
+	})
+}

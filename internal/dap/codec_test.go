@@ -1,0 +1,158 @@
+package dap
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+func frame(body string) string {
+	return fmt.Sprintf("Content-Length: %d\r\n\r\n%s", len(body), body)
+}
+
+// TestReadMessageTable drives the header parser through well-formed,
+// split, short and hostile inputs.
+func TestReadMessageTable(t *testing.T) {
+	okBody := `{"seq":1,"type":"request","command":"initialize"}`
+	cases := []struct {
+		name  string
+		input string
+		want  []string // decoded bodies, in order
+		errAt int      // read index that must fail (-1: clean EOF after want)
+	}{
+		{"single", frame(okBody), []string{okBody}, -1},
+		{"back to back", frame(okBody) + frame(`{"seq":2,"type":"request"}`),
+			[]string{okBody, `{"seq":2,"type":"request"}`}, -1},
+		{"extra headers skipped",
+			"Content-Type: application/json\r\n" + frame(okBody), []string{okBody}, -1},
+		{"case-insensitive header",
+			fmt.Sprintf("content-length: %d\r\n\r\n%s", len(okBody), okBody), []string{okBody}, -1},
+		{"bare lf terminators",
+			fmt.Sprintf("Content-Length: %d\n\n%s", len(okBody), okBody), []string{okBody}, -1},
+		{"padded value",
+			fmt.Sprintf("Content-Length:   %d \r\n\r\n%s", len(okBody), okBody), []string{okBody}, -1},
+		{"empty body", "Content-Length: 0\r\n\r\n" + frame(okBody), []string{"", okBody}, -1},
+		{"missing content-length", "Content-Type: json\r\n\r\n{}", nil, 0},
+		{"malformed header line", "Content-Length 5\r\n\r\nhello", nil, 0},
+		{"negative length", "Content-Length: -1\r\n\r\n", nil, 0},
+		{"non-numeric length", "Content-Length: five\r\n\r\n", nil, 0},
+		{"oversized length", fmt.Sprintf("Content-Length: %d\r\n\r\n", MaxContentLength+1), nil, 0},
+		{"short body", "Content-Length: 10\r\n\r\nhi", nil, 0},
+		{"eof mid-header", "Content-Len", nil, 0},
+		{"second message truncated", frame(okBody) + "Content-Length: 4\r\n\r\nhi", []string{okBody}, 1},
+		{"huge header section", "X: " + strings.Repeat("a", maxHeaderBytes) + "\r\n\r\n", nil, 0},
+	}
+	for _, tc := range cases {
+		for _, split := range []bool{false, true} {
+			name := tc.name
+			if split {
+				name += " (byte-at-a-time)"
+			}
+			t.Run(name, func(t *testing.T) {
+				var r io.Reader = strings.NewReader(tc.input)
+				if split {
+					r = iotest.OneByteReader(r)
+				}
+				br := bufio.NewReader(r)
+				for i, want := range tc.want {
+					got, err := ReadMessage(br)
+					if err != nil {
+						t.Fatalf("message %d: %v", i, err)
+					}
+					if string(got) != want {
+						t.Fatalf("message %d = %q, want %q", i, got, want)
+					}
+				}
+				_, err := ReadMessage(br)
+				if tc.errAt >= 0 {
+					if err == nil {
+						t.Fatalf("read %d succeeded, want error", len(tc.want))
+					}
+					if err == io.EOF {
+						t.Fatalf("read %d = clean EOF, want a real error", len(tc.want))
+					}
+				} else if err != io.EOF {
+					t.Fatalf("after all messages: err = %v, want io.EOF", err)
+				}
+			})
+		}
+	}
+}
+
+// TestWriteReadRoundTrip pins the framing symmetry WriteMessage ↔
+// ReadMessage, including bodies with header-looking content.
+func TestWriteReadRoundTrip(t *testing.T) {
+	bodies := []string{
+		"", "{}", `{"seq":1,"type":"request","command":"setBreakpoints"}`,
+		"Content-Length: 99\r\n\r\nnot a header",
+		strings.Repeat("x", 1<<16),
+	}
+	var buf bytes.Buffer
+	for _, b := range bodies {
+		if err := WriteMessage(&buf, []byte(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range bodies {
+		got, err := ReadMessage(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if string(got) != want {
+			t.Fatalf("message %d: round trip mismatch (%d bytes vs %d)", i, len(got), len(want))
+		}
+	}
+}
+
+// TestConnSeqAndShapes checks the Conn layer stamps strictly
+// increasing seqs and emits spec-shaped responses (success always
+// present on responses, absent on events).
+func TestConnSeqAndShapes(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Conn{w: &buf}
+	if _, err := c.SendRequest("initialize", map[string]any{"adapterID": "hgdb"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendEvent("stopped", StoppedEvent{Reason: "breakpoint"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Respond(&Message{Seq: 1, Command: "initialize"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RespondError(&Message{Seq: 2, Command: "warp"}, "unsupported request %q", "warp"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	var msgs []string
+	lastSeq := 0
+	for i := 0; i < 4; i++ {
+		b, err := ReadMessage(br)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		msgs = append(msgs, string(b))
+		var m Message
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != lastSeq+1 {
+			t.Fatalf("message %d seq = %d, want %d", i, m.Seq, lastSeq+1)
+		}
+		lastSeq = m.Seq
+	}
+	if !strings.Contains(msgs[2], `"success":true`) {
+		t.Fatalf("response lacks success:true: %s", msgs[2])
+	}
+	if !strings.Contains(msgs[3], `"success":false`) || !strings.Contains(msgs[3], "unsupported request") {
+		t.Fatalf("error response malformed: %s", msgs[3])
+	}
+	if strings.Contains(msgs[1], "success") {
+		t.Fatalf("event carries a success field: %s", msgs[1])
+	}
+}

@@ -1,0 +1,86 @@
+package dap
+
+import (
+	"bufio"
+	"bytes"
+
+	"testing"
+)
+
+// FuzzReadMessage hammers the Content-Length frame parser — the one
+// piece of this package that consumes attacker-controlled bytes before
+// any JSON validation. The corpus is seeded with the traffic a real
+// conformance session produces (see seedSession) plus the hostile
+// shapes from the table tests. Invariants: no panic, no oversized
+// allocation (the parser caps bodies at MaxContentLength), decoded
+// bodies re-frame bit-identically, and after any error the parser
+// stops (no infinite loop on a poisoned stream).
+func FuzzReadMessage(f *testing.F) {
+	for _, body := range seedSession() {
+		var buf bytes.Buffer
+		WriteMessage(&buf, []byte(body))
+		f.Add(buf.Bytes())
+	}
+	var all bytes.Buffer
+	for _, body := range seedSession() {
+		WriteMessage(&all, []byte(body))
+	}
+	f.Add(all.Bytes())
+	f.Add([]byte("Content-Length: 5\r\n\r\nhello"))
+	f.Add([]byte("Content-Length: -1\r\n\r\n"))
+	f.Add([]byte("Content-Length: 99999999999999999999\r\n\r\n"))
+	f.Add([]byte("Content-Type: json\r\n\r\n{}"))
+	f.Add([]byte("Content-Length 5\r\n\r\nhello"))
+	f.Add([]byte("content-length:0\n\ncontent-length:2\n\nhi"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			body, err := ReadMessage(br)
+			if err != nil {
+				return // any error terminates the stream; that's the contract
+			}
+			if len(body) > MaxContentLength {
+				t.Fatalf("parser returned %d bytes, above its own cap", len(body))
+			}
+			// Re-framing a decoded body must parse back identically.
+			var rt bytes.Buffer
+			if err := WriteMessage(&rt, body); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadMessage(bufio.NewReader(&rt))
+			if err != nil || !bytes.Equal(back, body) {
+				t.Fatalf("round trip broke: err=%v, %d bytes vs %d", err, len(back), len(body))
+			}
+		}
+	})
+}
+
+// seedSession is the message traffic of a full DAP conformance run,
+// captured from the adapter's own session shape: the same init →
+// break → inspect → step → disconnect transcript the harness drives.
+func seedSession() []string {
+	return []string{
+		`{"seq":1,"type":"request","command":"initialize","arguments":{"adapterID":"hgdb","linesStartAt1":true}}`,
+		`{"seq":1,"type":"response","request_seq":1,"success":true,"command":"initialize","body":{"supportsConfigurationDoneRequest":true,"supportsStepBack":true}}`,
+		`{"seq":2,"type":"request","command":"attach","arguments":{}}`,
+		`{"seq":3,"type":"event","event":"initialized"}`,
+		`{"seq":4,"type":"request","command":"setBreakpoints","arguments":{"source":{"path":"design.go"},"breakpoints":[{"line":42},{"line":43,"condition":"count > 2"}]}}`,
+		`{"seq":5,"type":"response","request_seq":4,"success":true,"command":"setBreakpoints","body":{"breakpoints":[{"id":1,"verified":true,"line":42},{"verified":false,"line":43,"message":"no breakable statement"}]}}`,
+		`{"seq":6,"type":"request","command":"configurationDone"}`,
+		`{"seq":7,"type":"event","event":"stopped","body":{"reason":"breakpoint","threadId":1,"allThreadsStopped":true,"hitBreakpointIds":[1]}}`,
+		`{"seq":8,"type":"request","command":"threads"}`,
+		`{"seq":9,"type":"request","command":"stackTrace","arguments":{"threadId":1}}`,
+		`{"seq":10,"type":"request","command":"scopes","arguments":{"frameId":1}}`,
+		`{"seq":11,"type":"request","command":"variables","arguments":{"variablesReference":1}}`,
+		`{"seq":12,"type":"request","command":"evaluate","arguments":{"expression":"count + 1","frameId":1}}`,
+		`{"seq":13,"type":"request","command":"next","arguments":{"threadId":1}}`,
+		`{"seq":14,"type":"request","command":"stepBack","arguments":{"threadId":1}}`,
+		`{"seq":15,"type":"request","command":"reverseContinue","arguments":{"threadId":1}}`,
+		`{"seq":16,"type":"request","command":"continue","arguments":{"threadId":1}}`,
+		`{"seq":17,"type":"event","event":"continued","body":{"allThreadsContinued":true}}`,
+		`{"seq":18,"type":"request","command":"disconnect"}`,
+		`{"seq":19,"type":"event","event":"terminated"}`,
+		"",
+	}
+}

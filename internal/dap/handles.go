@@ -1,0 +1,55 @@
+package dap
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// handleTable maps DAP variablesReference ints to structured-variable
+// sibling lists (core.Structure trees). Expansion is lazy: a scope
+// allocates one handle for its top level, and each structured child
+// gets its own handle only when a variables request actually renders
+// it — the §4.2 PortBundle reconstruction paid per click, not per
+// stop. Per the DAP lifetime rules every reference is invalidated when
+// execution resumes; reset does that, and the counter keeps rising
+// across resets so a stale reference from before the resume can never
+// alias a fresh object.
+type handleTable struct {
+	mu   sync.Mutex
+	next int
+	objs map[int][]core.StructuredVar
+}
+
+func newHandleTable() *handleTable {
+	return &handleTable{next: 1, objs: map[int][]core.StructuredVar{}}
+}
+
+// alloc registers a sibling list and returns its reference; an empty
+// list returns 0 (DAP's "no children").
+func (h *handleTable) alloc(svs []core.StructuredVar) int {
+	if len(svs) == 0 {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ref := h.next
+	h.next++
+	h.objs[ref] = svs
+	return ref
+}
+
+// get resolves a reference.
+func (h *handleTable) get(ref int) ([]core.StructuredVar, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	svs, ok := h.objs[ref]
+	return svs, ok
+}
+
+// reset invalidates every outstanding reference (called on resume).
+func (h *handleTable) reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.objs = map[int][]core.StructuredVar{}
+}

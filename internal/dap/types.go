@@ -1,0 +1,176 @@
+package dap
+
+// The request/response/event body shapes the adapter speaks — the
+// subset of the DAP specification this front-end implements, with the
+// spec's camelCase field names.
+
+// Capabilities is the initialize response body. SupportsStepBack is
+// the reverse-execution gate: true only when the attached hgdb backend
+// can travel backwards in time (replay), in which case the stepBack
+// and reverseContinue requests are accepted.
+type Capabilities struct {
+	SupportsConfigurationDoneRequest bool `json:"supportsConfigurationDoneRequest"`
+	SupportsConditionalBreakpoints   bool `json:"supportsConditionalBreakpoints"`
+	SupportsEvaluateForHovers        bool `json:"supportsEvaluateForHovers"`
+	SupportsStepBack                 bool `json:"supportsStepBack"`
+	SupportsTerminateRequest         bool `json:"supportsTerminateRequest"`
+}
+
+// InitializeArguments is the subset of the initialize request the
+// adapter honors.
+type InitializeArguments struct {
+	ClientID      string `json:"clientID,omitempty"`
+	AdapterID     string `json:"adapterID,omitempty"`
+	LinesStartAt1 *bool  `json:"linesStartAt1,omitempty"`
+}
+
+// AttachArguments carries the optional hgdb endpoint. The adapter
+// dials at construction (the capability handshake needs it before
+// initialize), so a non-empty Address must match the configured one;
+// a mismatch fails the attach rather than debugging the wrong server.
+type AttachArguments struct {
+	Address string `json:"address,omitempty"`
+}
+
+// Source identifies a generator source file.
+type Source struct {
+	Name string `json:"name,omitempty"`
+	Path string `json:"path,omitempty"`
+}
+
+// SourceBreakpoint is one requested breakpoint within a source.
+type SourceBreakpoint struct {
+	Line      int    `json:"line"`
+	Condition string `json:"condition,omitempty"`
+}
+
+// SetBreakpointsArguments is the setBreakpoints request body: the
+// complete desired set for one source (replace semantics).
+type SetBreakpointsArguments struct {
+	Source      Source             `json:"source"`
+	Breakpoints []SourceBreakpoint `json:"breakpoints"`
+	Lines       []int              `json:"lines,omitempty"` // legacy form
+}
+
+// Breakpoint is the per-request-breakpoint verification result.
+// Verified means the line is a breakable statement in the symbol table
+// and the emulated breakpoints are armed; ID is the first armed hgdb
+// breakpoint id.
+type Breakpoint struct {
+	ID       int64  `json:"id,omitempty"`
+	Verified bool   `json:"verified"`
+	Line     int    `json:"line,omitempty"`
+	Message  string `json:"message,omitempty"`
+}
+
+// SetBreakpointsResponse mirrors the request's breakpoints in order.
+type SetBreakpointsResponse struct {
+	Breakpoints []Breakpoint `json:"breakpoints"`
+}
+
+// Thread is one concurrent hardware instance (paper Fig. 4 B).
+type Thread struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+// ThreadsResponse lists every design instance as a thread.
+type ThreadsResponse struct {
+	Threads []Thread `json:"threads"`
+}
+
+// StackFrame is one reconstructed frame; hardware has exactly one
+// frame per stopped instance (the generator statement).
+type StackFrame struct {
+	ID     int     `json:"id"`
+	Name   string  `json:"name"`
+	Source *Source `json:"source,omitempty"`
+	Line   int     `json:"line"`
+	Column int     `json:"column"`
+}
+
+// StackTraceResponse carries a thread's frames.
+type StackTraceResponse struct {
+	StackFrames []StackFrame `json:"stackFrames"`
+	TotalFrames int          `json:"totalFrames"`
+}
+
+// Scope is one variable scope of a frame: Locals (breakpoint scope
+// variables) or Generator (instance-level generator variables).
+type Scope struct {
+	Name               string `json:"name"`
+	VariablesReference int    `json:"variablesReference"`
+	NamedVariables     int    `json:"namedVariables,omitempty"`
+	Expensive          bool   `json:"expensive"`
+}
+
+// ScopesResponse carries a frame's scopes.
+type ScopesResponse struct {
+	Scopes []Scope `json:"scopes"`
+}
+
+// Variable is one rendered variable. A non-zero VariablesReference
+// marks a structured variable whose children expand with a further
+// variables request (§4.2 PortBundles, lazily).
+type Variable struct {
+	Name               string `json:"name"`
+	Value              string `json:"value"`
+	Type               string `json:"type,omitempty"`
+	VariablesReference int    `json:"variablesReference"`
+}
+
+// VariablesResponse carries one expansion level.
+type VariablesResponse struct {
+	Variables []Variable `json:"variables"`
+}
+
+// EvaluateArguments is the evaluate request body; FrameID selects the
+// instance context the expression resolves in.
+type EvaluateArguments struct {
+	Expression string `json:"expression"`
+	FrameID    int    `json:"frameId,omitempty"`
+	Context    string `json:"context,omitempty"`
+}
+
+// EvaluateResponse is the evaluate result.
+type EvaluateResponse struct {
+	Result             string `json:"result"`
+	Type               string `json:"type,omitempty"`
+	VariablesReference int    `json:"variablesReference"`
+}
+
+// ThreadedArguments is the shared shape of continue/next/stepBack/
+// reverseContinue/pause arguments; the simulation stops and resumes as
+// a whole, so ThreadID is accepted and ignored.
+type ThreadedArguments struct {
+	ThreadID int `json:"threadId,omitempty"`
+}
+
+// ContinueResponse tells the client every thread resumed.
+type ContinueResponse struct {
+	AllThreadsContinued bool `json:"allThreadsContinued"`
+}
+
+// StoppedEvent is the stopped event body. Reason codes: "breakpoint",
+// "step", "pause", "data breakpoint" (watchpoint hits), and "entry"
+// when a reverseContinue ran out of trace without hitting a
+// breakpoint.
+type StoppedEvent struct {
+	Reason            string  `json:"reason"`
+	Description       string  `json:"description,omitempty"`
+	ThreadID          int     `json:"threadId,omitempty"`
+	AllThreadsStopped bool    `json:"allThreadsStopped"`
+	HitBreakpointIDs  []int64 `json:"hitBreakpointIds,omitempty"`
+	Text              string  `json:"text,omitempty"`
+	// Time is an hgdb extension: the simulation time of the stop.
+	// Spec-conformant clients ignore unknown fields; the conformance
+	// harness uses it to compare DAP transcripts against the same
+	// script run through internal/client directly.
+	Time uint64 `json:"hgdbTime"`
+}
+
+// ContinuedEvent is the continued event body.
+type ContinuedEvent struct {
+	ThreadID            int  `json:"threadId,omitempty"`
+	AllThreadsContinued bool `json:"allThreadsContinued"`
+}

@@ -78,6 +78,11 @@ type Event struct {
 	Top   string `json:"top,omitempty"`
 	Mode  string `json:"mode,omitempty"`
 	Files int    `json:"files,omitempty"`
+	// Reverse reports (in the welcome event) whether the backend can
+	// travel backwards in time — true on replay, false on a live
+	// simulation. Clients use it to gate reverse-execution UI (the DAP
+	// adapter's supportsStepBack capability).
+	Reverse bool `json:"reverse,omitempty"`
 	// Session payload
 	SessionID  int64  `json:"session,omitempty"`
 	Role       string `json:"role,omitempty"`

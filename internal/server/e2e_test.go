@@ -460,6 +460,76 @@ func TestBadRequestEchoesToken(t *testing.T) {
 	t.Fatal("no response to the malformed request")
 }
 
+// TestEventDemuxKeepsInterleavedEvents pins the client's event
+// dispatcher: waiting for stops must not consume (and silently drop)
+// interleaved session events, and a Subscription must observe its
+// types in broadcast order. Before the demux, WaitStop discarded every
+// non-stop event it skipped — any multiplexing consumer (the DAP event
+// pump) lost attach/control traffic that arrived between stops.
+func TestEventDemuxKeepsInterleavedEvents(t *testing.T) {
+	addr, s, incLine := startServerAddr(t)
+	ctrl := dialClient(t, addr)
+	sub := ctrl.Subscribe(8, "stop")
+	if _, err := ctrl.AddBreakpoint("server_test.go", incLine, ""); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Poke("Counter.en", 1)
+		s.Run(2)
+	}()
+	if _, err := ctrl.WaitStop(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// A peer attaches while we are parked: its attach broadcast lands
+	// on ctrl's stream before the next stop.
+	obs := dialClient(t, addr)
+	if err := ctrl.Command("continue"); err != nil {
+		t.Fatal(err)
+	}
+	// Consuming the second stop must not eat the attach event queued
+	// before it.
+	if _, err := ctrl.WaitStop(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Command("continue"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation did not finish")
+	}
+	ev, err := ctrl.WaitEvent("attach", 2*time.Second)
+	if err != nil {
+		t.Fatalf("attach event was dropped by the stop waits: %v", err)
+	}
+	if ev.SessionID != obs.SessionID() {
+		t.Fatalf("attach event = %+v, want peer %d", ev, obs.SessionID())
+	}
+	// The typed subscription saw exactly the stops, in seq order.
+	var seqs []uint64
+	for i := 0; i < 2; i++ {
+		select {
+		case sev := <-sub.C:
+			if sev.Type != "stop" {
+				t.Fatalf("subscription delivered %q", sev.Type)
+			}
+			seqs = append(seqs, sev.Seq)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("subscription saw %d stops, want 2", i)
+		}
+	}
+	if seqs[1] <= seqs[0] {
+		t.Fatalf("subscription seqs out of order: %v", seqs)
+	}
+	sub.Close()
+	if _, ok := <-sub.C; ok {
+		t.Fatal("closed subscription still delivers")
+	}
+}
+
 // TestLateAttacherSeesCurrentStop: a session that attaches while the
 // simulation is parked at a stop receives that stop right after its
 // welcome — so if it is later promoted to controller it knows the

@@ -51,6 +51,11 @@ type Server struct {
 	currentStop *core.StopEvent   // the stop being served while pending != nil
 	closing     bool
 
+	// reverse records whether the backend supports SetTime (replay),
+	// probed once at construction; advertised in welcome events and the
+	// status topic so clients can gate reverse-execution features.
+	reverse bool
+
 	ln      net.Listener
 	httpSrv *http.Server
 	log     *log.Logger
@@ -66,6 +71,10 @@ func New(rt *core.Runtime, logger *log.Logger) *Server {
 		rt:       rt,
 		sessions: map[int64]*Session{},
 		log:      logger,
+		// A backend that accepts a seek to the current time can seek
+		// anywhere: live simulators refuse (vpi.ErrNotSupported), replay
+		// engines accept. Probed here, before the simulation runs.
+		reverse: rt.Backend().SetTime(rt.Backend().Time()) == nil,
 	}
 	rt.SetHandler(s.onStop)
 	return s
@@ -266,6 +275,7 @@ func (s *Server) attach(conn *ws.Conn) *Session {
 		Top:        s.rt.Table().Top(),
 		Mode:       s.rt.Table().Mode(),
 		Files:      len(s.rt.Table().Files()),
+		Reverse:    s.reverse,
 	})
 	// A session attaching while the simulation is parked at a stop
 	// must learn about it — it may be promoted to controller later and
@@ -717,10 +727,11 @@ func (s *Server) handleInfo(req *proto.Request) *proto.Response {
 		return s.runQuery(req.Token, func() *proto.Response {
 			evals, stops := s.rt.Stats()
 			resp, _ := proto.OK(req.Token, map[string]any{
-				"time":  s.rt.Backend().Time(),
-				"evals": evals,
-				"stops": stops,
-				"mode":  s.rt.Table().Mode(),
+				"time":    s.rt.Backend().Time(),
+				"evals":   evals,
+				"stops":   stops,
+				"mode":    s.rt.Table().Mode(),
+				"reverse": s.reverse,
 			})
 			return resp
 		})
