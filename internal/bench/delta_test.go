@@ -79,6 +79,13 @@ func chooseBreakpoints(m *riscv.Machine, rnd func() uint64, n int) []bpChoice {
 // the same stop index, so comparisons stay exact.
 func runStops(t *testing.T, w *riscv.Workload, choices []bpChoice, exhaustive bool) ([]string, *core.Runtime) {
 	t.Helper()
+	return runStopsWith(t, w, choices, func(rt *core.Runtime) { rt.SetExhaustiveEval(exhaustive) })
+}
+
+// runStopsWith is the configurable form: the callback picks the
+// scheduling mode (exhaustive / per-group / fused) before arming.
+func runStopsWith(t *testing.T, w *riscv.Workload, choices []bpChoice, configure func(*core.Runtime)) ([]string, *core.Runtime) {
+	t.Helper()
 	nCores := 1
 	if w.MT {
 		nCores = 2
@@ -91,7 +98,7 @@ func runStops(t *testing.T, w *riscv.Workload, choices []bpChoice, exhaustive bo
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.SetExhaustiveEval(exhaustive)
+	configure(rt)
 	armed := 0
 	for _, c := range choices {
 		if c.instance != "" {

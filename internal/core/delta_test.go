@@ -46,12 +46,19 @@ func signature(ev *StopEvent) stopSig {
 // scheduling mode and returns every stop signature.
 func runCounterScenario(t *testing.T, exhaustive bool) ([]stopSig, *Runtime) {
 	t.Helper()
+	return runCounterWith(t, func(rt *Runtime) { rt.SetExhaustiveEval(exhaustive) })
+}
+
+// runCounterWith is the configurable form: the callback picks the
+// scheduling mode (exhaustive / per-group / fused) before arming.
+func runCounterWith(t *testing.T, configure func(*Runtime)) ([]stopSig, *Runtime) {
+	t.Helper()
 	d := buildCounterDesign(t, false)
 	rt, err := New(vpi.NewSimBackend(d.sim), d.table)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt.SetExhaustiveEval(exhaustive)
+	configure(rt)
 	if _, err := rt.AddBreakpoint("core_test.go", d.incLine, "count == 3"); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"repro/internal/eval"
+	"repro/internal/expr"
+)
+
+// This file wires whole-schedule fused condition compilation into the
+// scheduler. Every dependency-union rebuild also rebuilds ONE fused
+// program (expr.Fuse) covering each armed breakpoint condition and
+// watchpoint expression whose dependencies are verified and slotted;
+// at each forward, non-stepping clock edge the scheduler executes that
+// program once — shared CSE prelude on the simulation goroutine, the
+// per-condition segments partitioned into contiguous ranges across the
+// worker pool — and the group walk merely consumes per-condition
+// results, with no per-group locking, snapshotting or pool dispatch.
+//
+// PR 4's activity skip becomes a packed bitmap over fused condition
+// ids, published lock-free (an epoch-swapped double buffer behind an
+// atomic pointer) so pool workers read it without taking rt.mu.
+// Anything the fused fast path cannot prove — an unverified
+// dependency, a failed operand fetch, a poisoned shared segment —
+// falls back to the exact per-condition path (evalBP), so fused
+// scheduling is bit-identical to per-group evaluation; reverse
+// scheduling and stepping use the per-group path entirely.
+
+// fusedMask is one published skip bitmap: bit ci set means fused
+// condition ci is a provable miss this edge and the workers must not
+// re-evaluate it. Double-buffered and published via an atomic pointer;
+// the epoch counts publishes (diagnostics only).
+type fusedMask struct {
+	epoch uint64
+	bits  []uint64
+}
+
+// maskedBit reads one condition's bit from a published mask.
+func (m *fusedMask) maskedBit(ci int32) bool {
+	return m.bits[ci>>6]&(1<<(uint32(ci)&63)) != 0
+}
+
+// fusedState is the per-union-generation fused schedule: the compiled
+// program, its membership maps, and the per-edge execution buffers.
+// All fields are simulation-goroutine state except the buffers workers
+// are handed read-only (opsVals, shVals, ...) or write at disjoint
+// indexes (results, resOK).
+type fusedState struct {
+	sched *expr.FusedSchedule
+
+	// conds maps fused condition id -> armed breakpoint, for ids below
+	// watchBase; ids at and above watchBase are watchpoint values in
+	// rt.watches order of the fusable subset.
+	conds     []*insertedBP
+	watchBase int
+
+	// groupConds / groupExtra partition each group's armed members into
+	// fused condition ids and unfusable members (evaluated by evalBP
+	// during consumption), indexed like rt.allGroups.
+	groupConds [][]int32
+	groupExtra [][]*insertedBP
+
+	// slotConds inverts each condition's operand closure onto the
+	// dependency union: commitSlot clears the skip flags of every
+	// condition that could observe the changed slot.
+	slotConds [][]int32
+
+	// condSkip marks provable misses (breakpoint conditions only);
+	// parked counts the set flags so a fully-idle edge skips execution
+	// outright.
+	condSkip []bool
+	parked   int
+
+	// Per-edge execution buffers.
+	opsVals []eval.Value
+	opsOK   []bool
+	shVals  []eval.Value
+	shOK    []bool
+	results []eval.Value
+	resOK   []bool
+
+	// machines are the per-chunk executors; chunk k runs the contiguous
+	// condition range [k*perChunk, (k+1)*perChunk). execChunk is the
+	// worker closure, built once per rebuild so dispatching it each edge
+	// does not allocate.
+	machines  []eval.FusedMachine
+	chunks    int
+	perChunk  int
+	execChunk func(k int)
+
+	valid bool
+	time  uint64
+}
+
+// fusedChunkMin is the smallest condition range worth a pool dispatch.
+const fusedChunkMin = 32
+
+// slotsFused reports whether a compiled program's dependencies are all
+// verified and slotted in the prefetch union — the fusability condition.
+func slotsFused(prog *expr.Program, slots []int) bool {
+	if prog == nil {
+		return true
+	}
+	if len(slots) != len(prog.Deps) {
+		return false
+	}
+	for _, s := range slots {
+		if s < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildFused recompiles the fused schedule from the current armed
+// set. Runs under rt.mu from rebuildDeps, after slot assignment.
+func (rt *Runtime) rebuildFused() {
+	fs := &fusedState{
+		groupConds: make([][]int32, len(rt.allGroups)),
+		groupExtra: make([][]*insertedBP, len(rt.allGroups)),
+	}
+	var fconds []expr.FusedCondition
+	for gi, g := range rt.allGroups {
+		for _, cand := range g.bps {
+			armed, ok := rt.inserted[cand.bp.ID]
+			if !ok {
+				continue
+			}
+			if slotsFused(armed.enableProg, armed.enableSlots) && slotsFused(armed.condProg, armed.condSlots) {
+				fs.groupConds[gi] = append(fs.groupConds[gi], int32(len(fconds)))
+				fconds = append(fconds, expr.FusedCondition{
+					Enable:      armed.enableProg,
+					Cond:        armed.condProg,
+					EnableSlots: armed.enableSlots,
+					CondSlots:   armed.condSlots,
+				})
+				fs.conds = append(fs.conds, armed)
+			} else {
+				fs.groupExtra[gi] = append(fs.groupExtra[gi], armed)
+			}
+		}
+	}
+	fs.watchBase = len(fconds)
+	// Watchpoint value expressions ride the same program as extra
+	// conditions; checkWatches consumes their values instead of truth.
+	for _, w := range rt.watches {
+		w.fusedID = -1
+		if w.prog == nil || !slotsFused(w.prog, w.slots) {
+			continue
+		}
+		w.fusedID = len(fconds)
+		fconds = append(fconds, expr.FusedCondition{Cond: w.prog, CondSlots: w.slots})
+	}
+	if len(fconds) == 0 {
+		rt.fused = nil
+		return
+	}
+	sched, err := expr.Fuse(fconds)
+	if err != nil {
+		// A condition the fuser cannot compile leaves the whole schedule
+		// on the per-group path; correctness never depends on fusion.
+		rt.fused = nil
+		return
+	}
+	fs.sched = sched
+	n := len(sched.Prog.Conds)
+	fs.opsVals = make([]eval.Value, len(sched.Slots))
+	fs.opsOK = make([]bool, len(sched.Slots))
+	fs.shVals = make([]eval.Value, sched.Prog.NumShared)
+	fs.shOK = make([]bool, sched.Prog.NumShared)
+	fs.results = make([]eval.Value, n)
+	fs.resOK = make([]bool, n)
+	fs.condSkip = make([]bool, n)
+	fs.slotConds = make([][]int32, len(rt.depUnion))
+	for ci, clo := range sched.OpClosures {
+		for _, op := range clo {
+			s := sched.Slots[op]
+			fs.slotConds[s] = append(fs.slotConds[s], int32(ci))
+		}
+	}
+	fs.chunks = (n + fusedChunkMin - 1) / fusedChunkMin
+	if max := rt.pool.size + 1; fs.chunks > max {
+		fs.chunks = max
+	}
+	if fs.chunks < 1 {
+		fs.chunks = 1
+	}
+	fs.perChunk = (n + fs.chunks - 1) / fs.chunks
+	fs.machines = make([]eval.FusedMachine, fs.chunks)
+	fs.execChunk = func(k int) {
+		from := k * fs.perChunk
+		to := from + fs.perChunk
+		if to > n {
+			to = n
+		}
+		if from >= to {
+			return
+		}
+		// The skip set is read through the atomic publish, not rt.mu.
+		mask := rt.fusedSkip.Load()
+		fs.machines[k].ExecConds(&sched.Prog, fs.opsVals, fs.opsOK, fs.shVals, fs.shOK,
+			from, to, mask.bits, fs.results, fs.resOK)
+	}
+	rt.fused = fs
+}
+
+// fusedOn reports whether the fused fast path is enabled (it also
+// requires activity-driven scheduling: SetExhaustiveEval(true) is the
+// everything-off differential baseline).
+func (rt *Runtime) fusedOn() bool { return !rt.fusedOff.Load() && rt.deltaOn() }
+
+// fusedReady returns the fused state with results current for time t,
+// executing the fused program if this edge has not run it yet (or a
+// stop handler invalidated the previous run). Returns nil when the
+// fast path is unavailable. Callers must have run ensurePrefetch(t).
+func (rt *Runtime) fusedReady(t uint64) *fusedState {
+	if !rt.fusedOn() {
+		return nil
+	}
+	fs := rt.fused
+	if fs == nil {
+		return nil
+	}
+	if fs.valid && fs.time == t {
+		return fs
+	}
+	rt.runFused(fs, t)
+	return fs
+}
+
+// runFused executes the whole fused schedule once: gather operands from
+// the prefetch cache, publish the skip bitmap, run the shared prelude,
+// then the condition segments across the worker pool in contiguous
+// ranges.
+func (rt *Runtime) runFused(fs *fusedState, t uint64) {
+	sched := fs.sched
+	if fs.parked == fs.watchBase && fs.watchBase == len(fs.resOK) {
+		// Every breakpoint condition is a parked provable miss and no
+		// watch rides the program: the idle edge needs no execution at
+		// all, only the mask for the group walk to consume.
+		rt.publishFusedMask(fs)
+		fs.valid, fs.time = true, t
+		return
+	}
+	for k, s := range sched.Slots {
+		fs.opsVals[k] = rt.prefetched[s]
+		fs.opsOK[k] = rt.prefetchOK[s]
+	}
+	rt.publishFusedMask(fs)
+	fs.machines[0].ExecShared(&sched.Prog, fs.opsVals, fs.opsOK, fs.shVals, fs.shOK)
+	rt.pool.parallel(fs.chunks, fs.execChunk)
+	fs.valid, fs.time = true, t
+	// Account evaluated breakpoint conditions and park fresh provable
+	// misses: a condition that evaluated sound-and-false stays skipped
+	// until a slot in its operand closure moves (markSlotDirty).
+	evaluated := 0
+	for ci := 0; ci < fs.watchBase; ci++ {
+		if fs.condSkip[ci] {
+			continue
+		}
+		evaluated++
+		if fs.resOK[ci] && !fs.results[ci].IsTrue() {
+			fs.condSkip[ci] = true
+			fs.parked++
+		}
+	}
+	if evaluated > 0 {
+		rt.mu.Lock()
+		rt.evalCount += uint64(evaluated)
+		rt.mu.Unlock()
+	}
+	rt.statFusedRuns.Add(1)
+}
+
+// publishFusedMask packs the current skip flags into the inactive mask
+// buffer and publishes it with an atomic pointer swap. Workers of this
+// edge load the fresh pointer; a straggler holding the previous edge's
+// pointer (impossible once parallel() returned, but harmless) sees the
+// other, untouched buffer.
+func (rt *Runtime) publishFusedMask(fs *fusedState) {
+	words := (len(fs.resOK) + 63) / 64
+	buf := &rt.maskBufs[rt.maskFlip&1]
+	rt.maskFlip++
+	if cap(buf.bits) < words {
+		buf.bits = make([]uint64, words)
+	}
+	buf.bits = buf.bits[:words]
+	for i := range buf.bits {
+		buf.bits[i] = 0
+	}
+	// Only breakpoint conditions are maskable; watch values always
+	// recompute (their own canSkip check lives in checkWatches).
+	for ci := 0; ci < fs.watchBase; ci++ {
+		if fs.condSkip[ci] {
+			buf.bits[ci>>6] |= 1 << (uint(ci) & 63)
+		}
+	}
+	rt.maskEpoch++
+	buf.epoch = rt.maskEpoch
+	rt.fusedSkip.Store(buf)
+}
+
+// fusedGroupEval consumes one group's fused results: masked conditions
+// are provable misses, sound results decide directly, poisoned results
+// and unfusable members fall back to the exact per-condition path.
+func (rt *Runtime) fusedGroupEval(fs *fusedState, gi int) []*insertedBP {
+	mask := rt.fusedSkip.Load()
+	var hits []*insertedBP
+	evaluated := 0
+	fallback := 0
+	for _, ci := range fs.groupConds[gi] {
+		if mask.maskedBit(ci) {
+			continue
+		}
+		evaluated++
+		if !fs.resOK[ci] {
+			fallback++
+			if rt.evalBP(fs.conds[ci]) {
+				hits = append(hits, fs.conds[ci])
+			}
+			continue
+		}
+		if fs.results[ci].IsTrue() {
+			hits = append(hits, fs.conds[ci])
+		}
+	}
+	for _, ibp := range fs.groupExtra[gi] {
+		evaluated++
+		fallback++
+		if rt.evalBP(ibp) {
+			hits = append(hits, ibp)
+		}
+	}
+	if fallback > 0 {
+		rt.mu.Lock()
+		rt.evalCount += uint64(fallback)
+		rt.mu.Unlock()
+	}
+	if evaluated > 0 {
+		rt.statEvaluated.Add(1)
+	} else {
+		rt.statSkipped.Add(1)
+	}
+	// A hit condition stays hot by construction: hits never set
+	// condSkip, so they re-evaluate at every edge until a dependency
+	// moves or the user resumes past them.
+	return hits
+}
+
+// fusedUnpark clears the skip flags of every fused condition whose
+// operand closure includes union slot i; called from markSlotDirty.
+func (fs *fusedState) fusedUnpark(i int) {
+	if fs == nil || i >= len(fs.slotConds) {
+		return
+	}
+	for _, ci := range fs.slotConds[i] {
+		if fs.condSkip[ci] {
+			fs.condSkip[ci] = false
+			fs.parked--
+		}
+	}
+}

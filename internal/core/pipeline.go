@@ -65,8 +65,14 @@ func (p *workerPool) parallel(n int, fn func(int)) {
 	if n <= 0 {
 		return
 	}
-	if n == 1 {
-		fn(0)
+	if n <= 2 {
+		// Small batches run inline: the channel round-trip plus WaitGroup
+		// wake-up costs more than a second condition evaluation, so
+		// two-member groups (the common pair-instance case) stay on the
+		// simulation goroutine.
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
 		return
 	}
 	var wg sync.WaitGroup
@@ -246,6 +252,10 @@ func (rt *Runtime) rebuildDeps() {
 	if rt.reporter != nil {
 		rt.reporter.TrackChanges(rt.depUnion)
 	}
+	// Recompile the whole-schedule fused program against the fresh slot
+	// assignment (fused.go); its skip state resets with the union, so the
+	// first edge after any breakpoint change evaluates everything.
+	rt.rebuildFused()
 }
 
 // ensurePrefetch makes the per-cycle value cache current for time t:
@@ -376,6 +386,7 @@ func (rt *Runtime) markSlotDirty(i int) {
 	for _, w := range rt.slotWatches[i] {
 		w.canSkip = false
 	}
+	rt.fused.fusedUnpark(i)
 }
 
 // noteGroupMiss records that group gi was evaluated with no hits. When
@@ -397,8 +408,17 @@ func (rt *Runtime) noteGroupMiss(gi int) {
 
 // invalidatePrefetch drops the cycle cache; called after the stop
 // handler returns, since the user may have deposited values or changed
-// the breakpoint set while the simulation was paused.
-func (rt *Runtime) invalidatePrefetch() { rt.prefetchValid = false }
+// the breakpoint set while the simulation was paused. The fused results
+// derive from the cache, so they fall with it: the next consumer
+// re-runs the fused program over the refetched slots (handler deposits
+// surface as slot diffs there, un-parking exactly the affected
+// conditions).
+func (rt *Runtime) invalidatePrefetch() {
+	rt.prefetchValid = false
+	if fs := rt.fused; fs != nil {
+		fs.valid = false
+	}
+}
 
 // fetchDep returns dependency i of a compiled program, preferring the
 // prefetched cycle cache and falling back to a direct backend read for

@@ -263,6 +263,18 @@ type Runtime struct {
 	// evaluateGroup scratch (simulation goroutine only).
 	memberBuf []*insertedBP
 	resultBuf []bool
+
+	// Fused schedule compilation state (see fused.go): the whole-schedule
+	// fused program rebuilt with the dependency union, its per-edge skip
+	// bitmap published lock-free through fusedSkip (double-buffered in
+	// maskBufs), and the SetFusedEval escape hatch.
+	fused         *fusedState
+	fusedOff      atomic.Bool
+	fusedSkip     atomic.Pointer[fusedMask]
+	maskBufs      [2]fusedMask
+	maskFlip      int
+	maskEpoch     uint64
+	statFusedRuns atomic.Uint64 // fused whole-schedule executions
 }
 
 // New attaches a runtime to a backend and symbol table. The design is
@@ -305,6 +317,30 @@ func (rt *Runtime) SetExhaustiveEval(on bool) { rt.deltaOff.Store(on) }
 
 // deltaOn reports whether activity-driven scheduling is active.
 func (rt *Runtime) deltaOn() bool { return !rt.deltaOff.Load() }
+
+// SetFusedEval disables (on=false) or re-enables whole-schedule fused
+// condition compilation. With fusion off, forward scheduling uses the
+// per-group activity-driven path — the comparison baseline fused
+// execution is benchmarked against. Call before driving the simulation.
+func (rt *Runtime) SetFusedEval(on bool) { rt.fusedOff.Store(!on) }
+
+// FuseInfo reports the current fused schedule's shape: fused condition
+// count, CSE shared segments, shared-register reads those segments
+// replaced, and deduplicated operand count. ok is false when the fast
+// path is unavailable (nothing armed, fusion disabled, or a condition
+// the fuser rejected).
+func (rt *Runtime) FuseInfo() (stats expr.FuseStats, ok bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.fused == nil || rt.fused.sched == nil {
+		return expr.FuseStats{}, false
+	}
+	return rt.fused.sched.Stats, true
+}
+
+// FusedRuns reports how many times the fused whole-schedule program has
+// executed (at most once per clock edge plus handler invalidations).
+func (rt *Runtime) FusedRuns() uint64 { return rt.statFusedRuns.Load() }
 
 // ActivityStats returns counters for the activity-driven scheduler:
 // armed groups skipped as provably-clean misses, groups actually
@@ -362,24 +398,19 @@ func (ibp *insertedBP) key() groupKey {
 func (rt *Runtime) prepare(bp symtab.Breakpoint, userCond string) (*insertedBP, error) {
 	ibp := &insertedBP{bp: bp}
 	if bp.Enable != "" {
-		n, err := expr.Parse(bp.Enable)
+		// ParseCompile shares one immutable (AST, program) pair across
+		// the N instances of a generated statement — and across re-arms —
+		// instead of recompiling the identical source N times.
+		n, p, err := expr.ParseCompile(bp.Enable)
 		if err != nil {
 			return nil, fmt.Errorf("core: bad enable condition %q: %w", bp.Enable, err)
-		}
-		p, err := expr.Compile(n)
-		if err != nil {
-			return nil, fmt.Errorf("core: compile enable condition %q: %w", bp.Enable, err)
 		}
 		ibp.enable, ibp.enableProg = n, p
 	}
 	if userCond != "" {
-		n, err := expr.Parse(userCond)
+		n, p, err := expr.ParseCompile(userCond)
 		if err != nil {
 			return nil, fmt.Errorf("core: bad breakpoint condition %q: %w", userCond, err)
-		}
-		p, err := expr.Compile(n)
-		if err != nil {
-			return nil, fmt.Errorf("core: compile breakpoint condition %q: %w", userCond, err)
 		}
 		ibp.cond, ibp.condProg = n, p
 	}

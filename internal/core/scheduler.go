@@ -93,21 +93,37 @@ func (rt *Runtime) schedule(time uint64, start int, stepping, reverse bool, hand
 		// (ensurePrefetch maintains the flags) must miss again —
 		// skipping it is bit-identical to evaluating it. Stepping
 		// always evaluates everything.
+		var hits []*insertedBP
+		usedFused := false
 		if !stepping && rt.deltaOn() {
 			rt.ensurePrefetch(t)
 			if rt.groupArmed[i] == 0 {
 				i = next(i, reverse)
 				continue
 			}
-			if rt.groupSkip[i] {
+			// Fused fast path (fused.go): the whole schedule's conditions
+			// ran as one program when this edge's cache was refreshed;
+			// the walk just consumes per-condition results. Reverse
+			// scheduling stays on the per-group path — its mid-walk
+			// SetTime rewinds re-run per group anyway, so fusion would
+			// re-execute the whole schedule per rewound group.
+			if !reverse {
+				if fs := rt.fusedReady(t); fs != nil {
+					hits = rt.fusedGroupEval(fs, i)
+					usedFused = true
+				}
+			}
+			if !usedFused && rt.groupSkip[i] {
 				rt.statSkipped.Add(1)
 				i = next(i, reverse)
 				continue
 			}
 		}
-		hits := rt.evaluateGroup(g, stepping, t)
+		if !usedFused {
+			hits = rt.evaluateGroup(g, stepping, t)
+		}
 		if len(hits) == 0 {
-			if !stepping && rt.deltaOn() {
+			if !usedFused && !stepping && rt.deltaOn() {
 				rt.noteGroupMiss(i)
 			}
 			i = next(i, reverse)

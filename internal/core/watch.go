@@ -32,6 +32,11 @@ type Watchpoint struct {
 
 	last  eval.Value
 	armed bool
+	// fusedID is this watch's condition id in the whole-schedule fused
+	// program, or -1 when the watch rides the per-watch path (unfusable
+	// dependencies, or fusion unavailable). Set by rebuildFused under
+	// rt.mu; read on the simulation goroutine.
+	fusedID int
 	// canSkip marks the watch evaluation as provably redundant: the
 	// last evaluation succeeded with every dependency slot readable,
 	// and no dependency has changed at a cache refresh since — so the
@@ -47,11 +52,7 @@ type Watchpoint struct {
 // chain breakpoint conditions use (resolveSourceName), so watchpoints
 // and breakpoints see identical names.
 func (rt *Runtime) AddWatch(instance, source string) (int, error) {
-	n, err := expr.Parse(source)
-	if err != nil {
-		return 0, err
-	}
-	prog, err := expr.Compile(n)
+	n, prog, err := expr.ParseCompile(source)
 	if err != nil {
 		return 0, err
 	}
@@ -62,6 +63,7 @@ func (rt *Runtime) AddWatch(instance, source string) (int, error) {
 		prog:     prog,
 		paths:    make([]string, len(prog.Deps)),
 		pathOf:   make(map[string]string, len(prog.Deps)),
+		fusedID:  -1,
 	}
 	for i, name := range prog.Deps {
 		path, verified := rt.resolveSourceName(-1, instance, name)
@@ -149,6 +151,15 @@ func (rt *Runtime) checkWatches(time uint64) *StopEvent {
 	watches := rt.watches
 	rt.mu.Unlock()
 	delta := rt.deltaOn()
+	// When the fused schedule is live, watch expressions were computed by
+	// the same whole-schedule program run (rebuildFused appends them
+	// after the breakpoint conditions); consume those values instead of
+	// re-executing each watch. A poisoned fused result (resOK false)
+	// falls back to the exact per-watch path.
+	var fs *fusedState
+	if delta {
+		fs = rt.fusedReady(time)
+	}
 	var ev *StopEvent
 	for _, w := range watches {
 		if delta && w.canSkip {
@@ -157,7 +168,13 @@ func (rt *Runtime) checkWatches(time uint64) *StopEvent {
 			// cannot produce a hit.
 			continue
 		}
-		v, err := w.eval(rt)
+		var v eval.Value
+		var err error
+		if fs != nil && w.fusedID >= 0 && fs.resOK[w.fusedID] {
+			v = fs.results[w.fusedID]
+		} else {
+			v, err = w.eval(rt)
+		}
 		if err != nil {
 			w.canSkip = false
 			continue

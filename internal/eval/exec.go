@@ -89,8 +89,18 @@ func (m *Machine) Exec(p *Prog, operands []Value) (Value, error) {
 		m.regs = make([]Value, p.NumRegs)
 	}
 	regs := m.regs[:p.NumRegs]
-	code := p.Code
-	for pc := 0; pc < len(code); {
+	if err := runCode(p.Code, 0, len(p.Code), regs, operands, &m.args); err != nil {
+		return Value{}, err
+	}
+	return regs[p.Result], nil
+}
+
+// runCode interprets code[from:to) against a register file and operand
+// slice. Jump targets are absolute instruction indexes; compilers must
+// keep them inside the executed range. Shared by Machine.Exec (whole
+// program) and FusedMachine (one segment of a fused program).
+func runCode(code []Instr, from, to int, regs, operands []Value, args *[2]Value) error {
+	for pc := from; pc < to; {
 		in := &code[pc]
 		switch in.Kind {
 		case IConst:
@@ -98,17 +108,17 @@ func (m *Machine) Exec(p *Prog, operands []Value) (Value, error) {
 		case ISig:
 			regs[in.Dst] = operands[in.A]
 		case IPrim1:
-			m.args[0] = regs[in.A]
-			v, err := Prim(in.Op, nil, m.args[:1])
+			args[0] = regs[in.A]
+			v, err := Prim(in.Op, nil, args[:1])
 			if err != nil {
-				return Value{}, err
+				return err
 			}
 			regs[in.Dst] = v
 		case IPrim2:
-			m.args[0], m.args[1] = regs[in.A], regs[in.B]
-			v, err := Prim(in.Op, nil, m.args[:2])
+			args[0], args[1] = regs[in.A], regs[in.B]
+			v, err := Prim(in.Op, nil, args[:2])
 			if err != nil {
-				return Value{}, err
+				return err
 			}
 			regs[in.Dst] = v
 		case ILogNot:
@@ -137,9 +147,9 @@ func (m *Machine) Exec(p *Prog, operands []Value) (Value, error) {
 				continue
 			}
 		default:
-			return Value{}, fmt.Errorf("eval: unknown instruction kind %d", in.Kind)
+			return fmt.Errorf("eval: unknown instruction kind %d", in.Kind)
 		}
 		pc++
 	}
-	return regs[p.Result], nil
+	return nil
 }

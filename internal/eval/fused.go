@@ -1,0 +1,140 @@
+package eval
+
+// This file implements the execution half of whole-schedule fused
+// condition compilation: every armed breakpoint/watch condition of a
+// debug session compiled into ONE register program (a MultiProg), run
+// once per clock edge instead of once per condition group. The fuser
+// (internal/expr) performs cross-condition CSE — subexpressions shared
+// between conditions (same structure over the same operand slots) are
+// hoisted into shared prelude segments computed once — and the
+// scheduler partitions the per-condition segments into contiguous
+// ranges across its worker pool.
+//
+// Error isolation is per segment: the segments of a fused program share
+// one register file but are otherwise independent, so an evaluation
+// error (a width-overflow prim, a failed operand read) poisons only the
+// segment it occurs in plus the conditions that read the poisoned
+// shared register — those conditions report !ok and the scheduler falls
+// back to the exact per-condition path, keeping fused scheduling
+// bit-identical to per-group evaluation.
+
+// Segment is one independently executable slice of a fused program:
+// Code[Start:End) computes one value into the Result register. Ops
+// lists the operand slots the segment reads directly (ISig), Deps the
+// shared-segment indexes it reads (IMov from a register below
+// NumShared); both are the executor's poisoning inputs — a segment
+// whose operand failed to fetch or whose shared dependency is poisoned
+// must not run.
+type Segment struct {
+	Start, End int
+	Result     uint16
+	Ops        []uint16
+	Deps       []uint16
+}
+
+// MultiProg is a fused multi-condition program. Registers
+// [0, NumShared) hold the results of the shared (CSE) segments, in
+// segment order — Shared[i] writes register i; the remaining registers
+// are per-segment scratch. Shared segments must be dependency-ordered:
+// a segment may only read shared registers of earlier segments.
+type MultiProg struct {
+	Code        []Instr
+	NumRegs     int
+	NumShared   int
+	NumOperands int
+	// Shared are the CSE prelude segments, run once per edge on the
+	// scheduling goroutine before any condition executes.
+	Shared []Segment
+	// Conds are the per-condition segments; Conds[i] computes condition
+	// i's value. Any contiguous range can run on any goroutine given a
+	// private FusedMachine and the prelude's shared values.
+	Conds []Segment
+}
+
+// FusedMachine executes fused programs. Like Machine it owns a reusable
+// register file, so steady-state execution allocates nothing, and it is
+// not safe for concurrent use — the scheduler gives each worker range
+// its own machine and copies the prelude's shared values in.
+type FusedMachine struct {
+	regs []Value
+	args [2]Value
+}
+
+func (m *FusedMachine) ensure(p *MultiProg) []Value {
+	if cap(m.regs) < p.NumRegs {
+		m.regs = make([]Value, p.NumRegs)
+	}
+	return m.regs[:p.NumRegs]
+}
+
+// segOK reports whether a segment's inputs are all sound: every operand
+// it reads fetched successfully and every shared register it reads was
+// computed by an unpoisoned segment.
+func segOK(seg *Segment, opsOK, sharedOK []bool) bool {
+	for _, o := range seg.Ops {
+		if !opsOK[o] {
+			return false
+		}
+	}
+	for _, d := range seg.Deps {
+		if !sharedOK[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// ExecShared runs the shared prelude segments in order, writing each
+// segment's value into sharedVals and its soundness into sharedOK (both
+// at least NumShared long). A poisoned segment — failed operand, failed
+// dependency, or an execution error — leaves sharedOK false and later
+// segments reading it are poisoned transitively; independent segments
+// still run. Call once per edge before any ExecConds.
+func (m *FusedMachine) ExecShared(p *MultiProg, operands []Value, opsOK []bool, sharedVals []Value, sharedOK []bool) {
+	regs := m.ensure(p)
+	for i := range p.Shared {
+		seg := &p.Shared[i]
+		if !segOK(seg, opsOK, sharedOK) {
+			sharedOK[i] = false
+			continue
+		}
+		if err := runCode(p.Code, seg.Start, seg.End, regs, operands, &m.args); err != nil {
+			sharedOK[i] = false
+			continue
+		}
+		sharedVals[i] = regs[seg.Result]
+		sharedOK[i] = true
+	}
+}
+
+// ExecConds runs condition segments [from, to), writing results[i] and
+// resultOK[i] for each condition i in the range. skip is an optional
+// packed bitmap over condition ids (bit i set = condition i is provably
+// unchanged since its last miss): skipped conditions are not executed
+// and their result entries are left untouched — the scheduler's own
+// skip state decides what a masked condition means. A condition with a
+// failed operand, a poisoned shared dependency, or an execution error
+// reports resultOK false; the caller must then evaluate it by the exact
+// per-condition path. sharedVals/sharedOK come from ExecShared;
+// distinct machines may execute disjoint ranges concurrently as long as
+// results/resultOK writes land in disjoint indexes.
+func (m *FusedMachine) ExecConds(p *MultiProg, operands []Value, opsOK []bool, sharedVals []Value, sharedOK []bool, from, to int, skip []uint64, results []Value, resultOK []bool) {
+	regs := m.ensure(p)
+	copy(regs[:p.NumShared], sharedVals[:p.NumShared])
+	for ci := from; ci < to; ci++ {
+		if skip != nil && skip[ci>>6]&(1<<(uint(ci)&63)) != 0 {
+			continue
+		}
+		seg := &p.Conds[ci]
+		if !segOK(seg, opsOK, sharedOK) {
+			resultOK[ci] = false
+			continue
+		}
+		if err := runCode(p.Code, seg.Start, seg.End, regs, operands, &m.args); err != nil {
+			resultOK[ci] = false
+			continue
+		}
+		results[ci] = regs[seg.Result]
+		resultOK[ci] = true
+	}
+}

@@ -1,0 +1,60 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/eval"
+)
+
+// TestParseCompileCacheShares pins the compile cache's contract: the
+// same source returns the same shared Program (so N instances of one
+// statement compile once), and the shared program still executes
+// correctly.
+func TestParseCompileCacheShares(t *testing.T) {
+	src := "cache_probe_a + cache_probe_b == 9"
+	_, p1, err := ParseCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hitsBefore := CacheStats()
+	n2, p2, err := ParseCompile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("second ParseCompile returned a distinct Program; cache missed")
+	}
+	if _, hits := CacheStats(); hits != hitsBefore+1 {
+		t.Fatalf("hit counter did not advance: %d -> %d", hitsBefore, hits)
+	}
+	// The shared program is usable by independent machines.
+	env := envResolver{
+		"cache_probe_a": eval.Make(4, 8, false),
+		"cache_probe_b": eval.Make(5, 8, false),
+	}
+	want, err := n2.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m eval.Machine
+	got, err := execCompiled(t, p2, &m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("cached program = %#v, want %#v", got, want)
+	}
+}
+
+func TestParseCompileCacheErrorsNotCached(t *testing.T) {
+	if _, _, err := ParseCompile("1 +"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	entries, _ := CacheStats()
+	if _, _, err := ParseCompile("1 +"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if after, _ := CacheStats(); after != entries {
+		t.Fatal("error result was cached")
+	}
+}

@@ -23,6 +23,11 @@ type Program struct {
 	// Deps[i]; callers prefetch all dependencies in one batched backend
 	// read and evaluate with no further signal access.
 	Deps []string
+	// Folded is the constant-folded AST the program was compiled from —
+	// the exact tree the code implements (Deps == Names(Folded)). The
+	// schedule fuser recompiles from it so fused code inherits the same
+	// folding; it is immutable and safe to share across users.
+	Folded Node
 }
 
 // Exec runs the compiled program on a machine against pre-fetched
@@ -52,7 +57,8 @@ func Compile(n Node) (*Program, error) {
 			NumOperands: len(deps),
 			Result:      0,
 		},
-		Deps: deps,
+		Deps:   deps,
+		Folded: n,
 	}, nil
 }
 
