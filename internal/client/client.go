@@ -25,9 +25,28 @@ import (
 // it as small as the legacy Events buffer.
 const typedQueueDepth = 16
 
+// stopCacheDepth is how many applied stop snapshots the client retains
+// as delta bases. The server only delta-encodes against seqs this
+// client acknowledged, and acks flow in order, so the window just has
+// to cover frames in flight — far fewer than this.
+const stopCacheDepth = 32
+
+// Options selects the wire features negotiated at attach.
+type Options struct {
+	// Binary asks the server for the length-prefixed binary event
+	// encoding instead of JSON text (requests and responses stay JSON).
+	Binary bool
+	// Delta opts into delta-encoded stop frames: the client
+	// acknowledges each stop it applies and the server encodes later
+	// stops against the acknowledged snapshot, falling back to full
+	// frames on any ack gap.
+	Delta bool
+}
+
 // Client is one attached debugger session.
 type Client struct {
 	addr string
+	opts Options
 
 	mu      sync.Mutex
 	conn    *ws.Conn
@@ -39,6 +58,12 @@ type Client struct {
 	sessionID  int64
 	role       string
 	controller int64
+
+	// Delta reconstruction state (Options.Delta): recently applied stop
+	// snapshots by broadcast seq, evicted FIFO past stopCacheDepth.
+	stopCache map[uint64]*core.StopEvent
+	stopRing  []uint64
+	resyncs   uint64
 
 	// Event demultiplexing. Every inbound event is delivered to three
 	// kinds of consumer: the legacy catch-all Events channel, a
@@ -63,8 +88,14 @@ type Client struct {
 // exchange — e.g. the stop replay a late attacher receives — is then
 // never missed). Call Connect to attach.
 func New(addr string) *Client {
+	return NewOpts(addr, Options{})
+}
+
+// NewOpts is New with wire options (binary encoding, delta frames).
+func NewOpts(addr string, opts Options) *Client {
 	return &Client{
 		addr:    addr,
+		opts:    opts,
 		waiting: map[string]chan *proto.Response{},
 		subs:    map[int]*Subscription{},
 		typed:   map[string]*Subscription{},
@@ -74,7 +105,12 @@ func New(addr string) *Client {
 
 // Dial attaches to a runtime at ws://addr.
 func Dial(addr string) (*Client, error) {
-	c := New(addr)
+	return DialOpts(addr, Options{})
+}
+
+// DialOpts is Dial with wire options (binary encoding, delta frames).
+func DialOpts(addr string, opts Options) (*Client, error) {
+	c := NewOpts(addr, opts)
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -184,8 +220,18 @@ func (c *Client) deliverLocked(ev *proto.Event) {
 }
 
 // connect dials and starts a read loop for one connection generation.
+// The wire negotiation rides the upgrade URL's query string.
 func (c *Client) connect() error {
-	conn, err := ws.Dial("ws://" + c.addr)
+	url := "ws://" + c.addr + "/"
+	switch {
+	case c.opts.Binary && c.opts.Delta:
+		url += "?enc=binary&delta=1"
+	case c.opts.Binary:
+		url += "?enc=binary"
+	case c.opts.Delta:
+		url += "?delta=1"
+	}
+	conn, err := ws.Dial(url)
 	if err != nil {
 		return err
 	}
@@ -218,6 +264,9 @@ func (c *Client) Reconnect() error {
 	// Abandon the old generation's in-flight requests: their reply
 	// tokens belong to the dead connection.
 	c.waiting = map[string]chan *proto.Response{}
+	// Delta bases are per-session: the new session starts on full
+	// frames (its lastAck is 0 server-side) and refills the cache.
+	c.stopCache, c.stopRing = nil, nil
 	c.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -335,35 +384,50 @@ func (c *Client) readLoop(conn *ws.Conn, closed chan struct{}) {
 		close(closed)
 	}()
 	for {
-		raw, err := conn.ReadText()
+		op, raw, err := conn.ReadMessage()
 		if err != nil {
 			return
 		}
-		// Peek at the type.
-		var head struct {
-			Type  string `json:"type"`
-			Token string `json:"token"`
-		}
-		if err := json.Unmarshal(raw, &head); err != nil {
-			continue
-		}
-		if head.Type == "response" {
-			var resp proto.Response
-			if err := json.Unmarshal(raw, &resp); err != nil {
+		var ev proto.Event
+		if op == ws.BinaryMessage {
+			// Events on a binary-negotiated session; responses stay
+			// JSON text and never arrive as binary frames.
+			pev, err := proto.DecodeBinaryFrame(raw)
+			if err != nil {
 				continue
 			}
-			c.mu.Lock()
-			ch := c.waiting[resp.Token]
-			delete(c.waiting, resp.Token)
-			c.mu.Unlock()
-			if ch != nil {
-				ch <- &resp
+			ev = *pev
+		} else {
+			// Peek at the type.
+			var head struct {
+				Type  string `json:"type"`
+				Token string `json:"token"`
 			}
-			continue
+			if err := json.Unmarshal(raw, &head); err != nil {
+				continue
+			}
+			if head.Type == "response" {
+				var resp proto.Response
+				if err := json.Unmarshal(raw, &resp); err != nil {
+					continue
+				}
+				c.mu.Lock()
+				ch := c.waiting[resp.Token]
+				delete(c.waiting, resp.Token)
+				c.mu.Unlock()
+				if ch != nil {
+					ch <- &resp
+				}
+				continue
+			}
+			if err := json.Unmarshal(raw, &ev); err != nil {
+				continue
+			}
 		}
-		var ev proto.Event
-		if err := json.Unmarshal(raw, &ev); err != nil {
-			continue
+		if ev.Type == "stop" && c.opts.Delta {
+			if !c.resolveStop(conn, &ev) {
+				continue
+			}
 		}
 		c.observeEvent(&ev)
 		c.mu.Lock()
@@ -372,6 +436,73 @@ func (c *Client) readLoop(conn *ws.Conn, closed chan struct{}) {
 		}
 		c.mu.Unlock()
 	}
+}
+
+// resolveStop reconstructs a delta-encoded stop against the cached
+// base snapshot, remembers the result as a future base, and
+// acknowledges it to the server (which unlocks delta encoding for the
+// next stop). A delta whose base is no longer cached — possible only
+// when more frames were in flight than the cache holds — requests a
+// full-frame resync with ack 0; that stop is lost to this session,
+// exactly like a coalesced-away one. Returns whether the event now
+// carries a full Stop payload to deliver.
+func (c *Client) resolveStop(conn *ws.Conn, ev *proto.Event) bool {
+	if ev.Delta != nil {
+		c.mu.Lock()
+		base := c.stopCache[ev.Delta.BaseSeq]
+		c.mu.Unlock()
+		var st *core.StopEvent
+		var err error
+		if base != nil {
+			st, err = proto.ApplyStop(base, ev.Delta)
+		}
+		if base == nil || err != nil {
+			c.mu.Lock()
+			c.resyncs++
+			c.stopCache, c.stopRing = nil, nil
+			c.mu.Unlock()
+			c.sendAck(conn, 0)
+			return false
+		}
+		ev.Stop, ev.Delta = st, nil
+	}
+	if ev.Stop == nil {
+		return false
+	}
+	if ev.Seq != 0 {
+		c.mu.Lock()
+		if c.stopCache == nil {
+			c.stopCache = map[uint64]*core.StopEvent{}
+		}
+		c.stopCache[ev.Seq] = ev.Stop
+		c.stopRing = append(c.stopRing, ev.Seq)
+		if len(c.stopRing) > stopCacheDepth {
+			delete(c.stopCache, c.stopRing[0])
+			c.stopRing = c.stopRing[1:]
+		}
+		c.mu.Unlock()
+		c.sendAck(conn, ev.Seq)
+	}
+	return true
+}
+
+// sendAck emits the fire-and-forget stop acknowledgement (no token, no
+// response). Runs on the reader goroutine; the ws layer serializes
+// writes against concurrent requests.
+func (c *Client) sendAck(conn *ws.Conn, seq uint64) {
+	msg, err := json.Marshal(&proto.Request{Type: "ack", AckSeq: seq})
+	if err != nil {
+		return
+	}
+	conn.WriteText(msg)
+}
+
+// Resyncs reports how many times this session fell back to a
+// full-frame resync because a delta's base was no longer cached.
+func (c *Client) Resyncs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resyncs
 }
 
 // roundTrip sends a request and waits for its response.

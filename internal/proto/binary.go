@@ -1,0 +1,577 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Binary wire encoding. Sessions that negotiate `enc=binary` at attach
+// receive broadcast events as length-prefixed binary frames instead of
+// JSON text: every integer is a uvarint, every string is a uvarint
+// length prefix followed by its bytes, and booleans pack into flag
+// bytes. Requests and responses stay JSON text — they are low-rate and
+// per-session; the binary path exists for the one payload that is
+// written N times per simulation stop.
+//
+// Frame layout:
+//
+//	byte 0: magic 0xB5
+//	byte 1: version (1)
+//	byte 2: kind — kindStop | kindDelta | kindGeneric
+//	...     kind-specific body (see encode/decode pairs below)
+//
+// The codec is attacker-facing (a malicious server could feed a client
+// arbitrary frames), so DecodeBinaryFrame bounds every count before
+// allocating and is fuzzed (FuzzDecodeBinaryFrame) with seeds captured
+// from real harness traffic.
+
+const (
+	binMagic   = 0xB5
+	binVersion = 1
+
+	kindStop    = 1 // full stop event
+	kindDelta   = 2 // delta stop event
+	kindGeneric = 3 // welcome/attach/goodbye/control/resume
+)
+
+// Decode caps: no legitimate frame comes close, and a hostile header
+// must not force a huge allocation.
+const (
+	maxBinThreads = 1 << 16
+	maxBinVars    = 1 << 20
+	maxBinWatch   = 1 << 16
+	maxBinString  = 1 << 20
+)
+
+// --- encode primitives ---
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// --- decode primitives (cursor-based) ---
+
+type binReader struct {
+	buf []byte
+	off int
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("proto: truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *binReader) int() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<31 {
+		return 0, fmt.Errorf("proto: integer %d overflows", v)
+	}
+	return int(v), nil
+}
+
+func (r *binReader) count(max int, what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("proto: %s count %d exceeds %d", what, v, max)
+	}
+	// A count can never exceed the bytes remaining: every counted item
+	// is at least one byte, so this rejects absurd counts before any
+	// allocation sized by them.
+	if v > uint64(len(r.buf)-r.off) {
+		return 0, fmt.Errorf("proto: %s count %d exceeds remaining frame", what, v)
+	}
+	return int(v), nil
+}
+
+func (r *binReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxBinString || n > uint64(len(r.buf)-r.off) {
+		return "", fmt.Errorf("proto: string length %d exceeds remaining frame", n)
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *binReader) byte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, fmt.Errorf("proto: truncated frame at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *binReader) bool() (bool, error) {
+	b, err := r.byte()
+	return b != 0, err
+}
+
+// --- variables, threads, watch hits ---
+
+func appendVar(dst []byte, v *core.Variable) []byte {
+	dst = appendString(dst, v.Name)
+	dst = appendString(dst, v.RTL)
+	dst = appendUvarint(dst, v.Value)
+	dst = appendUvarint(dst, uint64(v.Width))
+	return appendBool(dst, v.Unknown)
+}
+
+func (r *binReader) variable() (core.Variable, error) {
+	var v core.Variable
+	var err error
+	if v.Name, err = r.string(); err != nil {
+		return v, err
+	}
+	if v.RTL, err = r.string(); err != nil {
+		return v, err
+	}
+	if v.Value, err = r.uvarint(); err != nil {
+		return v, err
+	}
+	if v.Width, err = r.int(); err != nil {
+		return v, err
+	}
+	v.Unknown, err = r.bool()
+	return v, err
+}
+
+func appendVarList(dst []byte, vars []core.Variable) []byte {
+	dst = appendUvarint(dst, uint64(len(vars)))
+	for i := range vars {
+		dst = appendVar(dst, &vars[i])
+	}
+	return dst
+}
+
+func (r *binReader) varList() ([]core.Variable, error) {
+	n, err := r.count(maxBinVars, "variable")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]core.Variable, n)
+	for i := range out {
+		if out[i], err = r.variable(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func appendThread(dst []byte, th *core.Thread) []byte {
+	dst = appendUvarint(dst, uint64(th.BreakpointID))
+	dst = appendString(dst, th.Instance)
+	dst = appendVarList(dst, th.Locals)
+	return appendVarList(dst, th.Generator)
+}
+
+func (r *binReader) thread() (core.Thread, error) {
+	var th core.Thread
+	id, err := r.uvarint()
+	if err != nil {
+		return th, err
+	}
+	th.BreakpointID = int64(id)
+	if th.Instance, err = r.string(); err != nil {
+		return th, err
+	}
+	if th.Locals, err = r.varList(); err != nil {
+		return th, err
+	}
+	th.Generator, err = r.varList()
+	return th, err
+}
+
+func appendWatch(dst []byte, hits []core.WatchHit) []byte {
+	dst = appendUvarint(dst, uint64(len(hits)))
+	for i := range hits {
+		h := &hits[i]
+		dst = appendUvarint(dst, uint64(h.ID))
+		dst = appendString(dst, h.Instance)
+		dst = appendString(dst, h.Expr)
+		dst = appendUvarint(dst, h.Old)
+		dst = appendUvarint(dst, h.New)
+	}
+	return dst
+}
+
+func (r *binReader) watch() ([]core.WatchHit, error) {
+	n, err := r.count(maxBinWatch, "watch hit")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]core.WatchHit, n)
+	for i := range out {
+		h := &out[i]
+		if h.ID, err = r.int(); err != nil {
+			return nil, err
+		}
+		if h.Instance, err = r.string(); err != nil {
+			return nil, err
+		}
+		if h.Expr, err = r.string(); err != nil {
+			return nil, err
+		}
+		if h.Old, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if h.New, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- stop events ---
+
+func appendStopHeader(dst []byte, seq uint64, emit int64, time uint64, file string, line, col int, reverse, step bool) []byte {
+	dst = appendUvarint(dst, seq)
+	dst = appendUvarint(dst, uint64(emit))
+	dst = appendUvarint(dst, time)
+	dst = appendString(dst, file)
+	dst = appendUvarint(dst, uint64(line))
+	dst = appendUvarint(dst, uint64(col))
+	var flags byte
+	if reverse {
+		flags |= 1
+	}
+	if step {
+		flags |= 2
+	}
+	return append(dst, flags)
+}
+
+func appendStop(dst []byte, ev *Event) []byte {
+	st := ev.Stop
+	dst = appendStopHeader(dst, ev.Seq, ev.Emit, st.Time, st.File, st.Line, st.Col, st.Reverse, st.StepStop)
+	dst = appendWatch(dst, st.Watch)
+	dst = appendUvarint(dst, uint64(len(st.Threads)))
+	for i := range st.Threads {
+		dst = appendThread(dst, &st.Threads[i])
+	}
+	return dst
+}
+
+func (r *binReader) stop() (*Event, error) {
+	ev := &Event{Type: "stop", Stop: &core.StopEvent{}}
+	st := ev.Stop
+	var err error
+	if ev.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	emit, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Emit = int64(emit)
+	if st.Time, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if st.File, err = r.string(); err != nil {
+		return nil, err
+	}
+	if st.Line, err = r.int(); err != nil {
+		return nil, err
+	}
+	if st.Col, err = r.int(); err != nil {
+		return nil, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	st.Reverse = flags&1 != 0
+	st.StepStop = flags&2 != 0
+	if st.Watch, err = r.watch(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(maxBinThreads, "thread")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		th, err := r.thread()
+		if err != nil {
+			return nil, err
+		}
+		st.Threads = append(st.Threads, th)
+	}
+	return ev, nil
+}
+
+// --- delta stop events ---
+
+func appendDelta(dst []byte, ev *Event) []byte {
+	d := ev.Delta
+	dst = appendStopHeader(dst, ev.Seq, ev.Emit, d.Time, d.File, d.Line, d.Col, d.Reverse, d.StepStop)
+	dst = appendUvarint(dst, d.BaseSeq)
+	dst = appendWatch(dst, d.Watch)
+	dst = appendUvarint(dst, uint64(len(d.Threads)))
+	for i := range d.Threads {
+		td := &d.Threads[i]
+		dst = appendUvarint(dst, uint64(td.Base))
+		if td.Base == 0 {
+			dst = appendThread(dst, td.Full)
+			continue
+		}
+		dst = appendPatches(dst, td.Locals)
+		dst = appendPatches(dst, td.Generator)
+	}
+	return dst
+}
+
+func appendPatches(dst []byte, patches []VarPatch) []byte {
+	dst = appendUvarint(dst, uint64(len(patches)))
+	for _, p := range patches {
+		dst = appendUvarint(dst, uint64(p.Index))
+		dst = appendUvarint(dst, p.Value)
+		dst = appendBool(dst, p.Unknown)
+	}
+	return dst
+}
+
+func (r *binReader) patches() ([]VarPatch, error) {
+	n, err := r.count(maxBinVars, "patch")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]VarPatch, n)
+	for i := range out {
+		p := &out[i]
+		if p.Index, err = r.int(); err != nil {
+			return nil, err
+		}
+		if p.Value, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if p.Unknown, err = r.bool(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *binReader) delta() (*Event, error) {
+	ev := &Event{Type: "stop", Delta: &StopDelta{}}
+	d := ev.Delta
+	var err error
+	if ev.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	emit, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Emit = int64(emit)
+	if d.Time, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if d.File, err = r.string(); err != nil {
+		return nil, err
+	}
+	if d.Line, err = r.int(); err != nil {
+		return nil, err
+	}
+	if d.Col, err = r.int(); err != nil {
+		return nil, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	d.Reverse = flags&1 != 0
+	d.StepStop = flags&2 != 0
+	if d.BaseSeq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if d.Watch, err = r.watch(); err != nil {
+		return nil, err
+	}
+	n, err := r.count(maxBinThreads, "thread delta")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		var td ThreadDelta
+		if td.Base, err = r.int(); err != nil {
+			return nil, err
+		}
+		if td.Base == 0 {
+			th, err := r.thread()
+			if err != nil {
+				return nil, err
+			}
+			td.Full = &th
+		} else {
+			if td.Locals, err = r.patches(); err != nil {
+				return nil, err
+			}
+			if td.Generator, err = r.patches(); err != nil {
+				return nil, err
+			}
+		}
+		d.Threads = append(d.Threads, td)
+	}
+	return ev, nil
+}
+
+// --- generic events (welcome/attach/goodbye/control/resume) ---
+
+func appendGeneric(dst []byte, ev *Event) []byte {
+	dst = appendString(dst, ev.Type)
+	dst = appendUvarint(dst, ev.Seq)
+	dst = appendUvarint(dst, uint64(ev.Emit))
+	dst = appendUvarint(dst, uint64(ev.SessionID))
+	dst = appendUvarint(dst, uint64(ev.Controller))
+	dst = appendUvarint(dst, uint64(ev.Peers))
+	dst = appendUvarint(dst, uint64(ev.Files))
+	dst = appendString(dst, ev.Role)
+	dst = appendString(dst, ev.Reason)
+	dst = appendString(dst, ev.Top)
+	dst = appendString(dst, ev.Mode)
+	dst = appendString(dst, ev.Command)
+	return appendBool(dst, ev.Reverse)
+}
+
+func (r *binReader) generic() (*Event, error) {
+	ev := &Event{}
+	var err error
+	if ev.Type, err = r.string(); err != nil {
+		return nil, err
+	}
+	if ev.Type == "" || ev.Type == "stop" {
+		return nil, fmt.Errorf("proto: generic frame with type %q", ev.Type)
+	}
+	if ev.Seq, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	emit, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Emit = int64(emit)
+	sid, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.SessionID = int64(sid)
+	ctl, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	ev.Controller = int64(ctl)
+	if ev.Peers, err = r.int(); err != nil {
+		return nil, err
+	}
+	if ev.Files, err = r.int(); err != nil {
+		return nil, err
+	}
+	if ev.Role, err = r.string(); err != nil {
+		return nil, err
+	}
+	if ev.Reason, err = r.string(); err != nil {
+		return nil, err
+	}
+	if ev.Top, err = r.string(); err != nil {
+		return nil, err
+	}
+	if ev.Mode, err = r.string(); err != nil {
+		return nil, err
+	}
+	if ev.Command, err = r.string(); err != nil {
+		return nil, err
+	}
+	ev.Reverse, err = r.bool()
+	return ev, err
+}
+
+// EncodeBinaryEvent encodes one event as a binary frame. The event
+// kind is chosen from the payload: Stop → kindStop, Delta → kindDelta,
+// anything else → kindGeneric.
+func EncodeBinaryEvent(ev *Event) []byte {
+	// Typical stop frames are a few hundred bytes; start with room.
+	dst := make([]byte, 0, 256)
+	dst = append(dst, binMagic, binVersion)
+	switch {
+	case ev.Stop != nil:
+		dst = append(dst, kindStop)
+		return appendStop(dst, ev)
+	case ev.Delta != nil:
+		dst = append(dst, kindDelta)
+		return appendDelta(dst, ev)
+	default:
+		dst = append(dst, kindGeneric)
+		return appendGeneric(dst, ev)
+	}
+}
+
+// DecodeBinaryFrame parses one binary frame back into an event. Every
+// count and length is validated against the remaining frame before any
+// allocation it sizes; trailing garbage is rejected.
+func DecodeBinaryFrame(frame []byte) (*Event, error) {
+	if len(frame) < 3 {
+		return nil, fmt.Errorf("proto: binary frame of %d bytes is too short", len(frame))
+	}
+	if frame[0] != binMagic {
+		return nil, fmt.Errorf("proto: bad binary frame magic %#x", frame[0])
+	}
+	if frame[1] != binVersion {
+		return nil, fmt.Errorf("proto: unsupported binary frame version %d", frame[1])
+	}
+	r := &binReader{buf: frame, off: 3}
+	var ev *Event
+	var err error
+	switch frame[2] {
+	case kindStop:
+		ev, err = r.stop()
+	case kindDelta:
+		ev, err = r.delta()
+	case kindGeneric:
+		ev, err = r.generic()
+	default:
+		return nil, fmt.Errorf("proto: unknown binary frame kind %d", frame[2])
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.off != len(frame) {
+		return nil, fmt.Errorf("proto: %d trailing bytes after binary frame", len(frame)-r.off)
+	}
+	return ev, nil
+}

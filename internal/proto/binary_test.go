@@ -1,0 +1,191 @@
+package proto
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// binNormalize round-trips an event through JSON so both sides of a
+// binary round-trip comparison share the same nil-vs-empty slice
+// conventions (the binary decoder, like the JSON one, yields nil for
+// empty lists).
+func binNormalize(t *testing.T, ev *Event) *Event {
+	t.Helper()
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Event
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stop != nil {
+		canonStop(out.Stop)
+	}
+	return &out
+}
+
+func TestBinaryRoundTripStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		ev := &Event{
+			Type: "stop",
+			Seq:  uint64(i + 1),
+			Emit: int64(1_700_000_000_000_000_000 + i),
+			Stop: randStop(rng, uint64(100+i)),
+		}
+		frame := EncodeBinaryEvent(ev)
+		dec, err := DecodeBinaryFrame(frame)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		want, got := binNormalize(t, ev), binNormalize(t, dec)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestBinaryRoundTripDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		base := randStop(rng, uint64(10+i))
+		next := mutateStop(rng, base)
+		ev := &Event{
+			Type:  "stop",
+			Seq:   uint64(i + 2),
+			Emit:  12345,
+			Delta: DiffStop(uint64(i+1), base, next),
+		}
+		frame := EncodeBinaryEvent(ev)
+		dec, err := DecodeBinaryFrame(frame)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		want, got := binNormalize(t, ev), binNormalize(t, dec)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestBinaryRoundTripGeneric(t *testing.T) {
+	cases := []*Event{
+		{Type: "welcome", Seq: 1, SessionID: 7, Role: RoleObserver,
+			Controller: 3, Peers: 4, Top: "Top", Mode: "replay",
+			Files: 12, Reverse: true},
+		{Type: "attach", Seq: 9, SessionID: 8, Controller: 3, Peers: 5},
+		{Type: "goodbye", Seq: 10, SessionID: 8, Controller: 3, Peers: 4},
+		{Type: "control", Seq: 11, Controller: 8, Reason: "release"},
+		{Type: "resume", Seq: 12, Emit: 999, Command: "step"},
+	}
+	for _, ev := range cases {
+		frame := EncodeBinaryEvent(ev)
+		dec, err := DecodeBinaryFrame(frame)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", ev.Type, err)
+		}
+		want, got := binNormalize(t, ev), binNormalize(t, dec)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", ev.Type, got, want)
+		}
+	}
+}
+
+// TestBinaryDecodeRejects pins the defensive paths a fuzzer would find:
+// truncation, bad header, hostile counts, trailing garbage.
+func TestBinaryDecodeRejects(t *testing.T) {
+	good := EncodeBinaryEvent(&Event{Type: "stop", Seq: 3, Stop: &core.StopEvent{
+		Time: 9, File: "a.go", Line: 4,
+		Threads: []core.Thread{{BreakpointID: 1, Instance: "Top",
+			Locals: []core.Variable{{Name: "x", RTL: "Top.x", Value: 1, Width: 8}}}},
+	}})
+
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"empty", nil},
+		{"short", []byte{binMagic, binVersion}},
+		{"bad magic", append([]byte{0x00}, good[1:]...)},
+		{"bad version", append([]byte{binMagic, 0x7F}, good[2:]...)},
+		{"bad kind", append([]byte{binMagic, binVersion, 0x7F}, good[3:]...)},
+		{"truncated body", good[:len(good)-3]},
+		{"trailing garbage", append(append([]byte{}, good...), 0xFF)},
+		// kindStop with a huge thread count and no bytes to back it.
+		{"hostile count", []byte{binMagic, binVersion, kindStop,
+			1, 0, 5, 0, // seq, emit, time, file=""
+			1, 0, 0, // line, col, flags
+			0,                            // watch count
+			0xFF, 0xFF, 0xFF, 0xFF, 0x7F, // thread count ~ 2^34
+		}},
+		// generic frame claiming type "stop" (must use kindStop).
+		{"generic stop", EncodeBinaryEvent(&Event{Type: "stop"})},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBinaryFrame(tc.frame); err == nil {
+			t.Errorf("%s: decode succeeded on malformed frame", tc.name)
+		}
+	}
+
+	// Every truncation of a valid frame must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := DecodeBinaryFrame(good[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded successfully", cut)
+		}
+	}
+}
+
+// FuzzDecodeBinaryFrame hammers the attacker-facing decoder. Seeds are
+// realistic frames of every kind — the same shapes the load harness
+// captures from live broadcast traffic — so the fuzzer starts from
+// structurally valid inputs and mutates toward the edge cases.
+func FuzzDecodeBinaryFrame(f *testing.F) {
+	rng := rand.New(rand.NewSource(13))
+	// Full stops of assorted sizes.
+	for i := 0; i < 4; i++ {
+		f.Add(EncodeBinaryEvent(&Event{
+			Type: "stop", Seq: uint64(i + 1), Emit: int64(i) * 1e9,
+			Stop: randStop(rng, uint64(50*i)),
+		}))
+	}
+	// Deltas, including full-thread fallbacks.
+	for i := 0; i < 4; i++ {
+		base := randStop(rng, uint64(10*i))
+		f.Add(EncodeBinaryEvent(&Event{
+			Type: "stop", Seq: uint64(i + 10), Emit: 77,
+			Delta: DiffStop(uint64(i+9), base, mutateStop(rng, base)),
+		}))
+	}
+	// Generic lifecycle events.
+	f.Add(EncodeBinaryEvent(&Event{Type: "welcome", Seq: 1, SessionID: 2,
+		Role: RoleController, Top: "Top", Mode: "live", Files: 3}))
+	f.Add(EncodeBinaryEvent(&Event{Type: "resume", Seq: 4, Command: "continue"}))
+	f.Add(EncodeBinaryEvent(&Event{Type: "goodbye", Seq: 5, SessionID: 9, Peers: 1}))
+	// Degenerate inputs.
+	f.Add([]byte{})
+	f.Add([]byte{binMagic, binVersion, kindStop})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ev, err := DecodeBinaryFrame(frame)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// event (the codec is canonical for decoded values).
+		frame2 := EncodeBinaryEvent(ev)
+		ev2, err := DecodeBinaryFrame(frame2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		raw1, _ := json.Marshal(ev)
+		raw2, _ := json.Marshal(ev2)
+		if string(raw1) != string(raw2) {
+			t.Fatalf("re-encode not canonical:\n first %s\nsecond %s", raw1, raw2)
+		}
+	})
+}

@@ -1,0 +1,212 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Delta stop frames. At production fan-out most of a stop broadcast's
+// bytes are the reconstructed stack frames — variable names, RTL paths
+// and widths that are identical from stop to stop. A session that
+// acknowledges stop frames (the "ack" request) lets the server encode
+// the next stop as a StopDelta against the acknowledged snapshot: the
+// frame shape (names, paths, widths, thread order) is inherited from
+// the base and only changed values travel. The state machine is:
+//
+//	full ──ack(S)──▶ delta-vs-S ──ack(S')──▶ delta-vs-S' ─ ...
+//	  ▲                                          │
+//	  └────────── ack gap / base evicted ◀───────┘
+//
+// The server falls back to a full frame whenever it no longer holds
+// the session's acked snapshot (the session lagged past the history
+// window, never acked, or reset with ack 0) — a delta is only ever
+// encoded against a base the client has confirmed holding, so apply
+// can never be attempted against the wrong snapshot.
+
+// StopDelta encodes one stop event against an acknowledged base stop.
+// Scalar header fields are carried in full (they are a handful of
+// bytes); the thread list — the bulk — is encoded per thread as either
+// a patch against a matching base thread or a full thread.
+type StopDelta struct {
+	// BaseSeq is the broadcast sequence number of the acknowledged stop
+	// this delta applies to.
+	BaseSeq uint64 `json:"base"`
+	// Full header of the new stop (small, never delta-encoded).
+	Time     uint64 `json:"time"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Reverse  bool   `json:"reverse,omitempty"`
+	StepStop bool   `json:"step_stop,omitempty"`
+	// Watch hits are carried in full: they are value-bearing and small.
+	Watch []core.WatchHit `json:"watch,omitempty"`
+	// Threads has one entry per thread of the NEW stop, in order.
+	Threads []ThreadDelta `json:"threads,omitempty"`
+}
+
+// ThreadDelta encodes one thread of the new stop.
+type ThreadDelta struct {
+	// Base is the index of the shape-identical thread in the base
+	// stop's Threads plus one; 0 means no usable base (Full is set).
+	Base int `json:"base,omitempty"`
+	// Full is the complete thread when no base thread matched (new
+	// instance, changed frame shape).
+	Full *core.Thread `json:"full,omitempty"`
+	// Locals/Generator patch changed variables by index into the base
+	// thread's slices; untouched indices are inherited verbatim.
+	Locals    []VarPatch `json:"locals,omitempty"`
+	Generator []VarPatch `json:"gen,omitempty"`
+}
+
+// VarPatch overwrites the value of one inherited variable.
+type VarPatch struct {
+	Index   int    `json:"i"`
+	Value   uint64 `json:"v"`
+	Unknown bool   `json:"u,omitempty"`
+}
+
+// sameShape reports whether a variable slot can be patched (everything
+// but the value bits is identical).
+func sameShape(a, b *core.Variable) bool {
+	return a.Name == b.Name && a.RTL == b.RTL && a.Width == b.Width
+}
+
+// diffVars returns value patches for next against base, or ok=false
+// when the shapes diverge (length or any name/path/width differs) and
+// the thread must travel in full.
+func diffVars(base, next []core.Variable) (patches []VarPatch, ok bool) {
+	if len(base) != len(next) {
+		return nil, false
+	}
+	for i := range next {
+		if !sameShape(&base[i], &next[i]) {
+			return nil, false
+		}
+		if base[i].Value != next[i].Value || base[i].Unknown != next[i].Unknown {
+			patches = append(patches, VarPatch{
+				Index: i, Value: next[i].Value, Unknown: next[i].Unknown,
+			})
+		}
+	}
+	return patches, true
+}
+
+// DiffStop encodes next as a delta against base (the stop the session
+// acknowledged as broadcast seq baseSeq). It never fails: threads
+// without a usable base travel in full inside the delta.
+func DiffStop(baseSeq uint64, base, next *core.StopEvent) *StopDelta {
+	d := &StopDelta{
+		BaseSeq:  baseSeq,
+		Time:     next.Time,
+		File:     next.File,
+		Line:     next.Line,
+		Col:      next.Col,
+		Reverse:  next.Reverse,
+		StepStop: next.StepStop,
+		Watch:    next.Watch,
+	}
+	for ti := range next.Threads {
+		nt := &next.Threads[ti]
+		td := ThreadDelta{}
+		// Threads are sorted by instance on both sides; match by
+		// breakpoint id + instance, scanning from the same index first
+		// (the common case is an identical thread list).
+		bi := -1
+		if ti < len(base.Threads) && base.Threads[ti].Instance == nt.Instance &&
+			base.Threads[ti].BreakpointID == nt.BreakpointID {
+			bi = ti
+		} else {
+			for j := range base.Threads {
+				if base.Threads[j].Instance == nt.Instance &&
+					base.Threads[j].BreakpointID == nt.BreakpointID {
+					bi = j
+					break
+				}
+			}
+		}
+		if bi >= 0 {
+			bt := &base.Threads[bi]
+			lp, lok := diffVars(bt.Locals, nt.Locals)
+			gp, gok := diffVars(bt.Generator, nt.Generator)
+			if lok && gok {
+				td.Base = bi + 1
+				td.Locals = lp
+				td.Generator = gp
+			}
+		}
+		if td.Base == 0 {
+			full := *nt
+			td.Full = &full
+		}
+		d.Threads = append(d.Threads, td)
+	}
+	return d
+}
+
+// applyVars copies base and applies patches. Patches out of range make
+// the delta malformed.
+func applyVars(base []core.Variable, patches []VarPatch) ([]core.Variable, error) {
+	if len(base) == 0 && len(patches) == 0 {
+		return nil, nil
+	}
+	out := make([]core.Variable, len(base))
+	copy(out, base)
+	for _, p := range patches {
+		if p.Index < 0 || p.Index >= len(out) {
+			return nil, fmt.Errorf("proto: variable patch index %d out of range (%d vars)", p.Index, len(out))
+		}
+		out[p.Index].Value = p.Value
+		out[p.Index].Unknown = p.Unknown
+	}
+	return out, nil
+}
+
+// ApplyStop reconstructs the full stop event a delta encodes, given the
+// base stop the client holds (its last acknowledged frame). The result
+// is bit-exact with the stop the server diffed — pinned by the
+// round-trip differential tests.
+func ApplyStop(base *core.StopEvent, d *StopDelta) (*core.StopEvent, error) {
+	ev := &core.StopEvent{
+		Time:     d.Time,
+		File:     d.File,
+		Line:     d.Line,
+		Col:      d.Col,
+		Reverse:  d.Reverse,
+		StepStop: d.StepStop,
+		Watch:    d.Watch,
+	}
+	for i := range d.Threads {
+		td := &d.Threads[i]
+		if td.Base == 0 {
+			if td.Full == nil {
+				return nil, fmt.Errorf("proto: thread delta %d has neither base nor full thread", i)
+			}
+			ev.Threads = append(ev.Threads, *td.Full)
+			continue
+		}
+		if base == nil {
+			return nil, fmt.Errorf("proto: thread delta %d references a base stop the client does not hold", i)
+		}
+		bi := td.Base - 1
+		if bi < 0 || bi >= len(base.Threads) {
+			return nil, fmt.Errorf("proto: thread delta %d base index %d out of range (%d threads)", i, bi, len(base.Threads))
+		}
+		bt := &base.Threads[bi]
+		locals, err := applyVars(bt.Locals, td.Locals)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := applyVars(bt.Generator, td.Generator)
+		if err != nil {
+			return nil, err
+		}
+		ev.Threads = append(ev.Threads, core.Thread{
+			BreakpointID: bt.BreakpointID,
+			Instance:     bt.Instance,
+			Locals:       locals,
+			Generator:    gen,
+		})
+	}
+	return ev, nil
+}

@@ -1,0 +1,254 @@
+package proto
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// randStop builds a random but realistic stop event: a handful of
+// instances, each with locals/generator variables whose names, paths
+// and widths are drawn from a small pool so consecutive stops share
+// frame shapes (the case delta encoding exists for).
+func randStop(rng *rand.Rand, time uint64) *core.StopEvent {
+	ev := &core.StopEvent{
+		Time:     time,
+		File:     fmt.Sprintf("design_%d.go", rng.Intn(3)),
+		Line:     10 + rng.Intn(40),
+		Col:      rng.Intn(8),
+		Reverse:  rng.Intn(8) == 0,
+		StepStop: rng.Intn(8) == 0,
+	}
+	nThreads := rng.Intn(4)
+	for t := 0; t < nThreads; t++ {
+		th := core.Thread{
+			BreakpointID: int64(rng.Intn(5) + 1),
+			Instance:     fmt.Sprintf("Top.u%d", t),
+		}
+		for v := 0; v < rng.Intn(6); v++ {
+			th.Locals = append(th.Locals, core.Variable{
+				Name:    fmt.Sprintf("v%d", v),
+				RTL:     fmt.Sprintf("Top.u%d.v%d", t, v),
+				Value:   rng.Uint64() >> uint(rng.Intn(64)),
+				Width:   1 + rng.Intn(64),
+				Unknown: rng.Intn(10) == 0,
+			})
+		}
+		for v := 0; v < rng.Intn(3); v++ {
+			th.Generator = append(th.Generator, core.Variable{
+				Name:  fmt.Sprintf("g%d", v),
+				RTL:   fmt.Sprintf("Top.u%d.g%d", t, v),
+				Value: rng.Uint64() >> uint(rng.Intn(64)),
+				Width: 1 + rng.Intn(32),
+			})
+		}
+		ev.Threads = append(ev.Threads, th)
+	}
+	for w := 0; w < rng.Intn(3); w++ {
+		ev.Watch = append(ev.Watch, core.WatchHit{
+			ID: w + 1, Instance: "Top", Expr: fmt.Sprintf("w%d", w),
+			Old: rng.Uint64() % 100, New: rng.Uint64() % 100,
+		})
+	}
+	return ev
+}
+
+// mutateStop derives a plausible successor stop: same frame shapes,
+// some values changed — the common stop-to-stop evolution — with an
+// occasional shape change (thread added/removed, variable renamed) to
+// exercise the full-thread fallback.
+func mutateStop(rng *rand.Rand, base *core.StopEvent) *core.StopEvent {
+	raw, _ := json.Marshal(base)
+	var next core.StopEvent
+	json.Unmarshal(raw, &next)
+	next.Time = base.Time + uint64(rng.Intn(10)+1)
+	for t := range next.Threads {
+		th := &next.Threads[t]
+		for v := range th.Locals {
+			if rng.Intn(2) == 0 {
+				th.Locals[v].Value = rng.Uint64() >> uint(rng.Intn(64))
+			}
+			if rng.Intn(16) == 0 {
+				th.Locals[v].Unknown = !th.Locals[v].Unknown
+			}
+		}
+		for v := range th.Generator {
+			if rng.Intn(3) == 0 {
+				th.Generator[v].Value = rng.Uint64() >> uint(rng.Intn(64))
+			}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0: // drop a thread
+		if len(next.Threads) > 0 {
+			next.Threads = next.Threads[1:]
+		}
+	case 1: // add a thread with a fresh shape
+		next.Threads = append(next.Threads, core.Thread{
+			BreakpointID: 99, Instance: "Top.new",
+			Locals: []core.Variable{{Name: "fresh", RTL: "Top.new.fresh", Value: 7, Width: 8}},
+		})
+	case 2: // rename a variable (shape change → full-thread fallback)
+		if len(next.Threads) > 0 && len(next.Threads[0].Locals) > 0 {
+			next.Threads[0].Locals[0].Name += "_renamed"
+		}
+	}
+	return &next
+}
+
+// canonStop nils out empty slices in place: the stop payload's slice
+// fields have no omitempty, so a JSON round trip alone does not erase
+// the nil-vs-empty distinction and comparisons must not hinge on it.
+func canonStop(ev *core.StopEvent) *core.StopEvent {
+	if len(ev.Threads) == 0 {
+		ev.Threads = nil
+	}
+	if len(ev.Watch) == 0 {
+		ev.Watch = nil
+	}
+	for i := range ev.Threads {
+		if len(ev.Threads[i].Locals) == 0 {
+			ev.Threads[i].Locals = nil
+		}
+		if len(ev.Threads[i].Generator) == 0 {
+			ev.Threads[i].Generator = nil
+		}
+	}
+	return ev
+}
+
+// normalizeWire puts a stop event through the JSON wire encoding and
+// canonicalizes empty slices, so both sides of a comparison lose the
+// same representation-only distinctions a real delivery loses.
+func normalizeWire(t *testing.T, ev *core.StopEvent) *core.StopEvent {
+	t.Helper()
+	raw, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out core.StopEvent
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return canonStop(&out)
+}
+
+// TestStopDeltaRoundTrip is the delta-frame differential: for >100
+// randomized stop successions, applying the delta to the base must
+// reconstruct the full next frame bit-exactly — including through the
+// JSON wire form the client actually receives.
+func TestStopDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 150; i++ {
+		base := randStop(rng, uint64(10+i))
+		next := mutateStop(rng, base)
+		d := DiffStop(42, base, next)
+
+		// Direct apply.
+		got, err := ApplyStop(base, d)
+		if err != nil {
+			t.Fatalf("case %d: apply: %v", i, err)
+		}
+		want := normalizeWire(t, next)
+		if !reflect.DeepEqual(normalizeWire(t, got), want) {
+			t.Fatalf("case %d: direct apply mismatch:\n got %+v\nwant %+v", i, got, next)
+		}
+
+		// Through the JSON wire form (what a delta session decodes).
+		raw, err := json.Marshal(&Event{Type: "stop", Seq: 43, Delta: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var onWire Event
+		if err := json.Unmarshal(raw, &onWire); err != nil {
+			t.Fatal(err)
+		}
+		got2, err := ApplyStop(normalizeWire(t, base), onWire.Delta)
+		if err != nil {
+			t.Fatalf("case %d: wire apply: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalizeWire(t, got2), want) {
+			t.Fatalf("case %d: wire apply mismatch:\n got %+v\nwant %+v", i, got2, next)
+		}
+
+		// Through the binary wire form.
+		bin := EncodeBinaryEvent(&Event{Type: "stop", Seq: 43, Delta: d})
+		dec, err := DecodeBinaryFrame(bin)
+		if err != nil {
+			t.Fatalf("case %d: binary decode: %v", i, err)
+		}
+		got3, err := ApplyStop(normalizeWire(t, base), dec.Delta)
+		if err != nil {
+			t.Fatalf("case %d: binary apply: %v", i, err)
+		}
+		if !reflect.DeepEqual(normalizeWire(t, got3), want) {
+			t.Fatalf("case %d: binary apply mismatch:\n got %+v\nwant %+v", i, got3, next)
+		}
+	}
+}
+
+// TestStopDeltaIsSmaller sanity-checks the reason deltas exist: for a
+// value-only change, the delta wire form must be much smaller than the
+// full frame. This is deterministic (no timing), so it can pin the
+// acceptance ratio.
+func TestStopDeltaIsSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var base *core.StopEvent
+	for base == nil || len(base.Threads) < 2 {
+		base = randStop(rng, 100)
+	}
+	next := normalizeWire(t, base)
+	next.Time = base.Time + 2
+	// Touch one value per thread: the realistic sparse-change stop.
+	for ti := range next.Threads {
+		if len(next.Threads[ti].Locals) > 0 {
+			next.Threads[ti].Locals[0].Value++
+		}
+	}
+	fullJSON, _ := json.Marshal(&Event{Type: "stop", Seq: 9, Stop: next})
+	d := DiffStop(8, base, next)
+	deltaJSON, _ := json.Marshal(&Event{Type: "stop", Seq: 9, Delta: d})
+	deltaBin := EncodeBinaryEvent(&Event{Type: "stop", Seq: 9, Delta: d})
+	if len(deltaJSON)*2 >= len(fullJSON) {
+		t.Fatalf("delta JSON %dB not <1/2 of full %dB", len(deltaJSON), len(fullJSON))
+	}
+	if len(deltaBin)*5 >= len(fullJSON) {
+		t.Fatalf("delta binary %dB not <1/5 of full JSON %dB", len(deltaBin), len(fullJSON))
+	}
+}
+
+// TestStopDeltaMalformed pins the defensive paths: a delta referencing
+// threads or variables the base does not have must fail apply, never
+// panic or fabricate state.
+func TestStopDeltaMalformed(t *testing.T) {
+	base := &core.StopEvent{
+		Time: 5,
+		Threads: []core.Thread{{
+			BreakpointID: 1, Instance: "Top.u0",
+			Locals: []core.Variable{{Name: "a", RTL: "Top.u0.a", Width: 8}},
+		}},
+	}
+	cases := []struct {
+		name string
+		d    *StopDelta
+	}{
+		{"base index out of range", &StopDelta{Threads: []ThreadDelta{{Base: 5}}}},
+		{"patch index out of range", &StopDelta{Threads: []ThreadDelta{{
+			Base: 1, Locals: []VarPatch{{Index: 3, Value: 1}},
+		}}}},
+		{"neither base nor full", &StopDelta{Threads: []ThreadDelta{{}}}},
+	}
+	for _, tc := range cases {
+		if _, err := ApplyStop(base, tc.d); err == nil {
+			t.Errorf("%s: apply succeeded", tc.name)
+		}
+	}
+	// Delta against a base the client does not hold.
+	if _, err := ApplyStop(nil, &StopDelta{Threads: []ThreadDelta{{Base: 1}}}); err == nil {
+		t.Error("apply against nil base succeeded")
+	}
+}

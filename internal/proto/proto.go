@@ -15,9 +15,10 @@ import (
 // Request is a client → runtime message.
 type Request struct {
 	// Type selects the operation: "breakpoint", "command", "evaluate",
-	// "get-value", "set-value", "info", "watch", "session".
+	// "get-value", "set-value", "info", "watch", "session", "ack".
 	Type string `json:"type"`
-	// Token is echoed in the response for matching.
+	// Token is echoed in the response for matching. "ack" requests are
+	// fire-and-forget: they carry no token and get no response.
 	Token string `json:"token,omitempty"`
 
 	// breakpoint fields (Action: add | remove | clear | list);
@@ -44,6 +45,12 @@ type Request struct {
 	// watch fields (Action: add | remove | list; Expression + Instance
 	// for add, WatchID for remove)
 	WatchID int `json:"watch_id,omitempty"`
+
+	// AckSeq acknowledges receipt of the stop event broadcast with that
+	// sequence number ("ack" requests). The server may encode later
+	// stops as deltas against the acknowledged snapshot; AckSeq 0
+	// resets the session to full frames (client-requested resync).
+	AckSeq uint64 `json:"ack_seq,omitempty"`
 }
 
 // Response is a runtime → client reply.
@@ -64,16 +71,36 @@ type Response struct {
 //   - "control": control of the runtime moved to session Controller
 //     (Reason: "release" | "disconnect" | "claim" | "shutdown").
 //   - "stop": a breakpoint/watch/step stop; delivered to every session.
+//     Carries either the full Stop payload or a Delta against the
+//     session's last-acknowledged stop (sessions that negotiated delta
+//     frames at attach).
+//   - "resume": the simulation left a stop (Command says how). Together
+//     with "stop" these form the sim-state event class: a session's
+//     queue holds at most one pending sim-state event — a newer one
+//     supersedes it (coalescing), so a slow observer always sees the
+//     latest coherent state rather than an arbitrary surviving prefix.
 //   - "disconnect": synthesized locally by the client library when the
 //     connection dies — it never travels on the wire.
 //
 // Seq orders broadcasts: every session observes the same subsequence
 // of an identical, strictly increasing sequence (a slow session may
-// drop events under backpressure, never reorder them).
+// coalesce or drop events under backpressure, never reorder them).
 type Event struct {
 	Type string          `json:"type"`
 	Seq  uint64          `json:"seq,omitempty"`
 	Stop *core.StopEvent `json:"stop,omitempty"`
+	// Delta replaces Stop on sessions that negotiated delta frames: the
+	// stop is encoded against the session's last-acked snapshot (see
+	// StopDelta). Exactly one of Stop/Delta is set on a stop event.
+	Delta *StopDelta `json:"delta,omitempty"`
+	// Emit is the server wall clock (UnixNano) when the broadcast was
+	// encoded — stamped once per broadcast, shared by every recipient.
+	// Load harnesses in the same process use it to measure delivery
+	// latency; it is advisory otherwise (clocks may differ).
+	Emit int64 `json:"emit,omitempty"`
+	// Command reports how the simulation resumed ("resume" events):
+	// continue | step | reverse-step | detach.
+	Command string `json:"command,omitempty"`
 	// Welcome payload
 	Top   string `json:"top,omitempty"`
 	Mode  string `json:"mode,omitempty"`
@@ -105,15 +132,29 @@ type SessionInfo struct {
 	ID   int64  `json:"id"`
 	Role string `json:"role"`
 	// Dropped counts broadcast events discarded for this session under
-	// backpressure (its outbound queue was full).
+	// backpressure (its outbound queue was full and nothing could be
+	// coalesced).
 	Dropped uint64 `json:"dropped,omitempty"`
+	// Coalesced counts queued events superseded by a newer event of the
+	// same class before the session's writer got to them.
+	Coalesced uint64 `json:"coalesced,omitempty"`
+	// Encoding is the negotiated wire encoding: "json" or "binary".
+	Encoding string `json:"encoding,omitempty"`
+	// Delta reports whether the session negotiated delta stop frames.
+	Delta bool `json:"delta,omitempty"`
+	// DeltaFrames/FullFrames count how the session's stop broadcasts
+	// were encoded; BytesSent is the payload bytes its writer put on
+	// the wire.
+	DeltaFrames uint64 `json:"delta_frames,omitempty"`
+	FullFrames  uint64 `json:"full_frames,omitempty"`
+	BytesSent   uint64 `json:"bytes_sent,omitempty"`
 }
 
 // knownRequestTypes is the closed set DecodeRequest accepts.
 var knownRequestTypes = map[string]bool{
 	"breakpoint": true, "command": true, "evaluate": true,
 	"get-value": true, "set-value": true, "info": true,
-	"watch": true, "session": true,
+	"watch": true, "session": true, "ack": true,
 }
 
 // DecodeRequest parses and validates one wire request. The type must
@@ -169,6 +210,22 @@ func ParseCommand(s string) (core.Command, error) {
 		return core.CmdDetach, nil
 	}
 	return 0, fmt.Errorf("proto: unknown command %q", s)
+}
+
+// CommandString is the inverse of ParseCommand, used to stamp "resume"
+// broadcasts with the command that resumed the simulation.
+func CommandString(cmd core.Command) string {
+	switch cmd {
+	case core.CmdContinue:
+		return "continue"
+	case core.CmdStep:
+		return "step"
+	case core.CmdReverseStep:
+		return "reverse-step"
+	case core.CmdDetach:
+		return "detach"
+	}
+	return "continue"
 }
 
 // BreakpointInfo is the wire form of an armed breakpoint.

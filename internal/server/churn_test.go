@@ -1,0 +1,169 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestObserverChurnUnderBroadcastStorm is the soak for the broadcast
+// path: a controller steps the simulation through a breakpoint storm
+// while hundreds of observer lifecycles (attach, a few requests,
+// sometimes a reconnect, detach) churn the session table mid-broadcast.
+// Pinned invariants: the controller never loses a stop (stops counted
+// == cycles simulated), the session table shrinks back to just the
+// controller when the churn ends (no stale session leaks), and the
+// server shuts down cleanly. Run under -race in CI.
+func TestObserverChurnUnderBroadcastStorm(t *testing.T) {
+	lifecycles := 500
+	workers := 50
+	if testing.Short() {
+		lifecycles, workers = 100, 20
+	}
+
+	addr, s, incLine, srv := startServerFull(t)
+	ctrl := dialClient(t, addr)
+	if _, err := ctrl.AddBreakpoint("server_test.go", incLine, ""); err != nil {
+		t.Fatalf("add breakpoint: %v", err)
+	}
+
+	// The simulation goroutine steps one cycle at a time — each cycle
+	// hits the breakpoint once — until the churn has finished.
+	var churnDone atomic.Bool
+	var cycles atomic.Uint64
+	simDone := make(chan struct{})
+	go func() {
+		defer close(simDone)
+		s.Reset("Counter.reset", 1)
+		s.Poke("Counter.en", 1)
+		for !churnDone.Load() {
+			s.Run(1)
+			cycles.Add(1)
+		}
+	}()
+
+	// Observer churn: workers cycle through attach / request / detach
+	// lifecycles, randomizing the wire negotiation and occasionally
+	// reconnecting mid-life to exercise teardown racing re-attach.
+	errs := make(chan error, lifecycles)
+	var remaining atomic.Int64
+	remaining.Store(int64(lifecycles))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)*104729 + 1))
+			for remaining.Add(-1) >= 0 {
+				obs, err := client.DialOpts(addr, client.Options{
+					Binary: rng.Intn(2) == 0,
+					Delta:  rng.Intn(2) == 0,
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := obs.WaitEvent("welcome", 5*time.Second); err != nil {
+					obs.Close()
+					errs <- err
+					return
+				}
+				switch rng.Intn(3) {
+				case 0:
+					if _, err := obs.Sessions(); err != nil {
+						obs.Close()
+						errs <- err
+						return
+					}
+				case 1:
+					// Soak in the stop storm for a moment; a timeout is
+					// fine — the sim may be between stops.
+					obs.WaitStop(50 * time.Millisecond)
+				case 2:
+					if err := obs.Reconnect(); err != nil {
+						obs.Close()
+						errs <- err
+						return
+					}
+					if _, err := obs.WaitEvent("welcome", 5*time.Second); err != nil {
+						obs.Close()
+						errs <- err
+						return
+					}
+				}
+				obs.Close()
+			}
+		}(w)
+	}
+
+	// Controller stepping loop: answer every stop with a continue. The
+	// sim goroutine only exits after its final continue is consumed, so
+	// when simDone closes every stop has been counted.
+	var stops uint64
+	ctrlDone := make(chan struct{})
+	go func() {
+		defer close(ctrlDone)
+		for {
+			if _, err := ctrl.WaitStop(2 * time.Second); err != nil {
+				select {
+				case <-simDone:
+					return
+				default:
+					errs <- err
+					return
+				}
+			}
+			stops++
+			if err := ctrl.Command("continue"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	churnDone.Store(true)
+	select {
+	case <-simDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("simulation did not finish after churn ended")
+	}
+	select {
+	case <-ctrlDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("controller stepping loop did not finish")
+	}
+	close(errs)
+	for err := range errs {
+		t.Errorf("churn worker: %v", err)
+	}
+
+	if got := cycles.Load(); stops != got {
+		t.Fatalf("controller saw %d stops for %d simulated cycles — stops were lost", stops, got)
+	}
+	if cycles.Load() == 0 {
+		t.Fatal("simulation never stepped during the churn")
+	}
+	t.Logf("churn: %d observer lifecycles across %d workers, %d controller stops, 0 lost",
+		lifecycles, workers, stops)
+
+	// All observers are gone: the session table must drain back to just
+	// the controller — no stale sessions pinned by dead connections.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ids := srv.SessionIDs(); len(ids) == 1 {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("stale sessions leaked after churn: %v", ids)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	ctrl.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+}

@@ -315,22 +315,55 @@ func TestSlowObserverDoesNotBlockSimulation(t *testing.T) {
 	}
 }
 
-// TestEventBackpressureDropPolicy pins the queue policy itself: with
-// no writer draining, enqueueEvent drops (and counts) instead of
-// blocking.
-func TestEventBackpressureDropPolicy(t *testing.T) {
+// TestEventBackpressureCoalescePolicy pins the queue policy itself:
+// with no writer draining, enqueues never block — sim-state events
+// coalesce to the single newest one, peer events coalesce within
+// their class once the queue is full, and drops happen only with
+// nothing of the same class to supersede.
+func TestEventBackpressureCoalescePolicy(t *testing.T) {
 	sess := newSession(nil, nil, 1, proto.RoleObserver)
-	msg := []byte(`{"type":"stop"}`)
-	const extra = 5
+	const storm = 500
 	start := time.Now()
-	for i := 0; i < outQueueDepth+extra; i++ {
-		sess.enqueueEvent(msg)
+	for i := 0; i < storm; i++ {
+		if !sess.enqueue(outEntry{cls: classState, msg: []byte{byte(i)}}) {
+			t.Fatal("sim-state enqueue failed (must always land)")
+		}
 	}
 	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Fatalf("enqueueEvent blocked for %s", elapsed)
+		t.Fatalf("enqueue blocked for %s", elapsed)
 	}
-	if got := sess.dropped.Load(); got != extra {
-		t.Fatalf("dropped = %d, want %d", got, extra)
+	if got := sess.coalesced.Load(); got != storm-1 {
+		t.Fatalf("coalesced = %d, want %d", got, storm-1)
+	}
+	if len(sess.q) != 1 || sess.q[0].msg[0] != byte((storm-1)%256) {
+		t.Fatalf("queue = %d entries, head %v (want 1 entry, the newest)", len(sess.q), sess.q[0].msg)
+	}
+	// Peer chatter fills the remaining depth, then supersedes in place.
+	for i := 0; i < outQueueDepth+10; i++ {
+		sess.enqueue(outEntry{cls: classPeer, msg: []byte{byte(i)}})
+	}
+	if len(sess.q) > outQueueDepth+1 {
+		t.Fatalf("queue grew to %d (> depth %d)", len(sess.q), outQueueDepth)
+	}
+	if got := sess.dropped.Load(); got != 0 {
+		t.Fatalf("dropped = %d with peer entries available to supersede", got)
+	}
+	// A new sim-state event still lands even with the queue at depth.
+	if !sess.enqueue(outEntry{cls: classState, msg: []byte{0xFF}}) {
+		t.Fatal("sim-state enqueue failed on a full queue")
+	}
+	// Drops only occur when there is nothing of the class to supersede:
+	// a control event into a queue full of responses/peers it cannot
+	// touch... first drain peers to build a pure-response queue.
+	resp := newSession(nil, nil, 2, proto.RoleObserver)
+	for i := 0; i < outQueueDepth; i++ {
+		resp.enqueue(outEntry{cls: classResponse, msg: []byte("r")})
+	}
+	if resp.enqueue(outEntry{cls: classControl, msg: []byte("c")}) {
+		t.Fatal("control event landed with nothing to supersede in a full queue")
+	}
+	if got := resp.dropped.Load(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
 	}
 }
 

@@ -7,8 +7,10 @@
 // The server is a session manager: any number of debugger clients
 // attach concurrently to the one runtime. Each session has an id, a
 // role, and its own backpressured outbound queue drained by a writer
-// goroutine (a slow observer drops broadcast events instead of
-// stalling the simulation). Exactly one session holds control — it
+// goroutine (a slow observer coalesces broadcast events to the latest
+// coherent state instead of stalling the simulation; see session.go
+// and broadcast.go for the fan-out machinery). Exactly one session
+// holds control — it
 // alone may resume the simulation or mutate state — arbitrated
 // first-attach-owns, handed off on explicit release or disconnect.
 // Every other session is an observer: it receives the same broadcast
@@ -50,6 +52,12 @@ type Server struct {
 	pending     chan core.Command // non-nil while stopped at a breakpoint
 	currentStop *core.StopEvent   // the stop being served while pending != nil
 	closing     bool
+
+	// stopHist retains recent stop broadcasts as delta bases (see
+	// broadcast.go); perSessionEncode switches the benchmark baseline
+	// that re-marshals every event per session.
+	stopHist         []stopRecord
+	perSessionEncode bool
 
 	// reverse records whether the backend supports SetTime (replay),
 	// probed once at construction; advertised in welcome events and the
@@ -101,31 +109,22 @@ func (s *Server) onStop(ev *core.StopEvent) core.Command {
 	resume := make(chan core.Command, 1)
 	s.pending = resume
 	s.currentStop = ev
-	// Broadcast the stop. For observers a full queue sheds the event
-	// (a slow observer must not stall the simulation), but the
-	// controller's copy is load-bearing — the simulation is about to
-	// park waiting for that session's command. Delivering it out of
-	// band would reorder the session's Seq stream, so instead a
-	// controller that cannot even absorb its stop forfeits control:
-	// it is dropped (outside the lock), which hands control to an
-	// informed session or auto-continues.
+	// Broadcast the stop. A sim-state enqueue always lands (it
+	// supersedes any queued state event rather than competing for
+	// space), so the controller's load-bearing copy — the simulation
+	// is about to park on that session's command — can only be lost to
+	// a dead connection. Such a controller forfeits control: it is
+	// dropped (outside the lock), which hands control to an informed
+	// session or auto-continues.
 	controllerID := s.controller
+	s.broadcastStopLocked(ev)
 	stopLost := false
-	s.seq++
-	stopEv := &proto.Event{Type: "stop", Stop: ev, Seq: s.seq}
-	if msg, err := json.Marshal(stopEv); err == nil {
-		for _, id := range s.order {
-			sess := s.sessions[id]
-			if id == controllerID {
-				stopLost = !sess.tryEnqueue(msg)
-			} else {
-				sess.enqueueEvent(msg)
-			}
-		}
+	if ctl := s.sessions[controllerID]; ctl != nil && ctl.dead.Load() {
+		stopLost = true
 	}
 	s.mu.Unlock()
 	if stopLost {
-		s.dropSession(controllerID, "stop event undeliverable (queue full)")
+		s.dropSession(controllerID, "stop event undeliverable (connection dead)")
 	}
 
 	for {
@@ -138,7 +137,10 @@ func (s *Server) onStop(ev *core.StopEvent) core.Command {
 	}
 }
 
-// sendResume hands the stopped simulation its next command. Callers
+// sendResume hands the stopped simulation its next command and tells
+// every session the simulation left the stop (the "resume" half of the
+// sim-state event class — without it, coalescing a stop away could
+// leave a slow observer believing the sim is still parked). Callers
 // hold s.mu. The buffered send cannot block: pending is cleared on
 // every send, so each resume channel sees at most one.
 func (s *Server) sendResumeLocked(cmd core.Command) bool {
@@ -148,33 +150,34 @@ func (s *Server) sendResumeLocked(cmd core.Command) bool {
 	s.pending <- cmd
 	s.pending = nil
 	s.currentStop = nil
+	s.broadcastLocked(&proto.Event{
+		Type: "resume", Command: proto.CommandString(cmd),
+	})
 	return true
 }
 
 // broadcastLocked stamps the event with the next sequence number and
 // enqueues it to every session. Callers hold s.mu. Enqueues never
-// block (slow sessions drop), so holding the lock is fine.
+// block (slow sessions coalesce or drop), so holding the lock is fine.
 func (s *Server) broadcastLocked(ev *proto.Event) {
 	s.broadcastExceptLocked(ev, 0)
 }
 
 // broadcastExceptLocked is broadcastLocked minus one recipient: the
-// event is marshaled once and consumes one sequence number no matter
-// how many sessions receive it, preserving the invariant that every
-// session observes a subsequence of the same stream.
+// event is encoded once per wire encoding and consumes one sequence
+// number no matter how many sessions receive it, preserving the
+// invariant that every session observes a subsequence of the same
+// stream.
 func (s *Server) broadcastExceptLocked(ev *proto.Event, exclude int64) {
 	s.seq++
 	ev.Seq = s.seq
-	msg, err := json.Marshal(ev)
-	if err != nil {
-		s.logf("server: marshal %s event: %v", ev.Type, err)
-		return
-	}
+	ev.Emit = time.Now().UnixNano()
+	f := newFrame(ev)
 	for _, id := range s.order {
 		if id == exclude {
 			continue
 		}
-		s.sessions[id].enqueueEvent(msg)
+		s.enqueueFrameLocked(s.sessions[id], f)
 	}
 }
 
@@ -184,11 +187,8 @@ func (s *Server) broadcastExceptLocked(ev *proto.Event, exclude int64) {
 func (s *Server) sendEventLocked(sess *Session, ev *proto.Event) {
 	s.seq++
 	ev.Seq = s.seq
-	msg, err := json.Marshal(ev)
-	if err != nil {
-		return
-	}
-	sess.enqueueEvent(msg)
+	ev.Emit = time.Now().UnixNano()
+	s.enqueueFrameLocked(sess, newFrame(ev))
 }
 
 // Listen starts serving the debugging protocol on addr
@@ -246,8 +246,10 @@ func (s *Server) Close() error {
 
 // attach registers a new connection as a session: the first attach
 // (or any attach while control is vacant) becomes the controller,
-// everyone else an observer. Returns nil if the server is closing.
-func (s *Server) attach(conn *ws.Conn) *Session {
+// everyone else an observer. The wire negotiation (binary encoding,
+// delta stop frames) comes from the upgrade URL's query parameters.
+// Returns nil if the server is closing.
+func (s *Server) attach(conn *ws.Conn, binary, delta bool) *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closing {
@@ -259,6 +261,8 @@ func (s *Server) attach(conn *ws.Conn) *Session {
 		role = proto.RoleController
 	}
 	sess := newSession(s, conn, s.nextSID, role)
+	sess.binary = binary
+	sess.delta = delta
 	if role == proto.RoleController {
 		s.controller = sess.ID
 	}
@@ -281,7 +285,7 @@ func (s *Server) attach(conn *ws.Conn) *Session {
 	// must learn about it — it may be promoted to controller later and
 	// would otherwise command a simulator it believes is running.
 	if s.currentStop != nil {
-		s.sendEventLocked(sess, &proto.Event{Type: "stop", Stop: s.currentStop})
+		s.replayStopLocked(sess, s.currentStop)
 	}
 	// Tell everyone else a peer arrived.
 	s.broadcastExceptLocked(&proto.Event{
@@ -337,13 +341,19 @@ func (s *Server) dropSession(id int64, reason string) {
 }
 
 func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	// Wire negotiation rides the upgrade URL: ?enc=binary selects the
+	// length-prefixed binary event encoding, ?delta=1 opts into
+	// delta-encoded stop frames (the client must then ack stops).
+	q := r.URL.Query()
+	binary := q.Get("enc") == "binary"
+	delta := q.Get("delta") == "1" || q.Get("delta") == "true"
 	conn, err := ws.Upgrade(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	conn.SetWriteTimeout(sessionWriteTimeout)
-	sess := s.attach(conn)
+	sess := s.attach(conn, binary, delta)
 	if sess == nil {
 		msg, _ := json.Marshal(proto.Error("", "server is shutting down"))
 		conn.WriteText(msg)
@@ -370,7 +380,9 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 			s.reply(sess, proto.Error(head.Token, "%v", err))
 			continue
 		}
-		s.reply(sess, s.dispatch(sess, req))
+		if resp := s.dispatch(sess, req); resp != nil {
+			s.reply(sess, resp)
+		}
 	}
 }
 
@@ -396,20 +408,16 @@ func (s *Server) promoteLocked(exclude int64) int64 {
 		heir := s.sessions[id]
 		// A session promoted while the simulation is parked at a stop
 		// must know about it — its own copy of the broadcast may have
-		// been shed under backpressure, and the sim now waits on this
-		// session's command. The replay is load-bearing, so it is not
-		// allowed to shed: a candidate too backlogged to take it is
-		// skipped (it stays an observer) and the next in line is
-		// tried. A duplicate stop is cosmetic; a missing one wedges
-		// the simulation.
-		if s.currentStop != nil {
-			s.seq++
-			msg, err := json.Marshal(&proto.Event{
-				Type: "stop", Stop: s.currentStop, Seq: s.seq,
-			})
-			if err != nil || !heir.tryEnqueue(msg) {
-				continue
-			}
+		// been coalesced away, and the sim now waits on this session's
+		// command. The replay is load-bearing; a sim-state enqueue
+		// always lands, so only a candidate whose connection is already
+		// dead is skipped (the next in line is tried). A duplicate stop
+		// is cosmetic; a missing one wedges the simulation.
+		if heir.dead.Load() {
+			continue
+		}
+		if s.currentStop != nil && !s.replayStopLocked(heir, s.currentStop) {
+			continue
 		}
 		heir.role = proto.RoleController
 		s.controller = heir.ID
@@ -538,6 +546,12 @@ func (s *Server) dispatch(sess *Session, req *proto.Request) *proto.Response {
 		return s.handleWatch(sess, req)
 	case "session":
 		return s.handleSession(sess, req)
+	case "ack":
+		// Fire-and-forget: record the newest snapshot the client holds
+		// so later stop broadcasts can be delta-encoded against it.
+		// AckSeq 0 is a client-requested resync back to full frames.
+		sess.lastAck.Store(req.AckSeq)
+		return nil
 	}
 	return proto.Error(req.Token, "unknown request type %q", req.Type)
 }
@@ -551,8 +565,19 @@ func (s *Server) handleSession(sess *Session, req *proto.Request) *proto.Respons
 		infos := make([]proto.SessionInfo, 0, len(s.order))
 		for _, id := range s.order {
 			o := s.sessions[id]
+			enc := "json"
+			if o.binary {
+				enc = "binary"
+			}
 			infos = append(infos, proto.SessionInfo{
-				ID: o.ID, Role: o.role, Dropped: o.dropped.Load(),
+				ID: o.ID, Role: o.role,
+				Dropped:     o.dropped.Load(),
+				Coalesced:   o.coalesced.Load(),
+				Encoding:    enc,
+				Delta:       o.delta,
+				DeltaFrames: o.deltaFrames.Load(),
+				FullFrames:  o.fullFrames.Load(),
+				BytesSent:   o.conn.BytesWritten(),
 			})
 		}
 		s.mu.Unlock()

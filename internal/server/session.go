@@ -11,19 +11,53 @@ import (
 // Tunables for session I/O. Variables (not constants) so tests can
 // tighten them; set before Listen.
 var (
-	// outQueueDepth is each session's outbound queue capacity. When a
-	// slow session's queue is full, broadcast events are dropped for
-	// that session (counted) instead of blocking the simulation.
+	// outQueueDepth is each session's outbound queue capacity for
+	// broadcast events. Sim-state events (stop/resume) coalesce to one
+	// queued entry and never count against it; peer/control events
+	// coalesce within their class once the queue is full, and drop only
+	// when there is nothing of their class to supersede.
 	outQueueDepth = 64
+	// responseQueueHardCap bounds the whole queue including responses;
+	// a session that pipelines requests faster than its link drains
+	// replies is declared dead rather than growing without bound.
+	responseQueueHardCap = 1024
 	// sessionWriteTimeout bounds every frame write to a session.
 	sessionWriteTimeout = 10 * time.Second
-	// responseTimeout bounds how long a request handler waits to
-	// enqueue a response into a full queue before declaring the
-	// session dead.
-	responseTimeout = 5 * time.Second
 	// pingInterval is the keepalive cadence on idle session links.
 	pingInterval = 15 * time.Second
 )
+
+// eventClass buckets outbound frames for the coalescing policy. The
+// queue preserves arrival order; coalescing removes a superseded entry
+// and appends its replacement at the tail, so what survives is always
+// a subsequence of the broadcast stream — never a reordering.
+type eventClass uint8
+
+const (
+	// classResponse: request replies and the welcome frame. Never
+	// coalesced, never dropped (a client round trip hangs without its
+	// reply); a queue over the hard cap kills the session instead.
+	classResponse eventClass = iota
+	// classState: stop/resume — the simulation state events. A newer
+	// state event always supersedes a queued one: a slow observer sees
+	// the latest coherent state, not an arbitrary surviving prefix.
+	classState
+	// classPeer: attach/goodbye peer-roster events. Coalesce only under
+	// queue pressure — each carries the current roster counters, so the
+	// newest subsumes the rest.
+	classPeer
+	// classControl: control-transfer events. Coalesce only under
+	// pressure; the newest names the current controller.
+	classControl
+)
+
+// outEntry is one queued outbound frame, already encoded for this
+// session's negotiated wire encoding.
+type outEntry struct {
+	cls    eventClass
+	msg    []byte
+	binary bool // write as a binary ws frame
+}
 
 // Session is one attached debugger client. The server goroutines
 // touching it are: the reader (request loop), the writer (outbound
@@ -39,18 +73,36 @@ type Session struct {
 	// role is guarded by srv.mu (arbitration is server-global state).
 	role string
 
-	// out carries marshaled frames to the writer goroutine. Never
-	// closed; teardown is signaled on quit so enqueuers can never hit
-	// a closed channel.
-	out chan []byte
+	// binary/delta record the wire negotiation made at attach
+	// (?enc=binary, ?delta=1); immutable afterwards.
+	binary bool
+	delta  bool
+
+	// lastAck is the newest broadcast seq the client acknowledged
+	// holding ("ack" requests); stop broadcasts may be delta-encoded
+	// against it. 0 = no acked base (full frames).
+	lastAck atomic.Uint64
+
+	// q is the outbound coalescing queue (guarded by qmu); notify has
+	// capacity 1 and wakes the writer when the queue goes non-empty.
+	qmu    sync.Mutex
+	q      []outEntry
+	notify chan struct{}
 
 	// quit closes (once) when the session is dropped; the writer
 	// flushes what is already queued and closes the connection.
 	quit     chan struct{}
 	quitOnce sync.Once
 
-	// dropped counts broadcast events discarded under backpressure.
-	dropped atomic.Uint64
+	// dropped counts broadcast events discarded under backpressure
+	// (nothing of their class was queued to supersede); coalesced
+	// counts queued events superseded by a newer same-class event.
+	dropped   atomic.Uint64
+	coalesced atomic.Uint64
+	// deltaFrames/fullFrames count how this session's stop broadcasts
+	// were encoded.
+	deltaFrames atomic.Uint64
+	fullFrames  atomic.Uint64
 	// dead flips when the writer hits an I/O error: frames are
 	// discarded from then on, but the queue keeps draining so
 	// enqueuers never block.
@@ -68,7 +120,7 @@ func newSession(srv *Server, conn *ws.Conn, id int64, role string) *Session {
 		srv:        srv,
 		conn:       conn,
 		role:       role,
-		out:        make(chan []byte, outQueueDepth),
+		notify:     make(chan struct{}, 1),
 		quit:       make(chan struct{}),
 		writerDone: make(chan struct{}),
 	}
@@ -79,53 +131,121 @@ func (sess *Session) signalQuit() {
 	sess.quitOnce.Do(func() { close(sess.quit) })
 }
 
-// tryEnqueue queues a frame if the session's queue has room,
-// reporting success; a failure is counted as a drop. Never blocks.
-func (sess *Session) tryEnqueue(msg []byte) bool {
+// wake nudges the writer; the 1-slot channel makes it level-triggered.
+func (sess *Session) wake() {
 	select {
-	case sess.out <- msg:
-		return true
+	case sess.notify <- struct{}{}:
 	default:
-		sess.dropped.Add(1)
-		return false
 	}
 }
 
-// enqueueEvent queues a broadcast frame, dropping it (and counting the
-// drop) when the session is not keeping up. Never blocks: the
-// simulation goroutine broadcasts stop events from inside the clock
-// callback, and one wedged observer must not stall the design.
-func (sess *Session) enqueueEvent(msg []byte) {
-	sess.tryEnqueue(msg)
+// removeNewestLocked deletes the newest queued entry of class cls,
+// reporting whether one existed. Callers hold qmu.
+func (sess *Session) removeNewestLocked(cls eventClass) bool {
+	for i := len(sess.q) - 1; i >= 0; i-- {
+		if sess.q[i].cls == cls {
+			sess.q = append(sess.q[:i], sess.q[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// enqueue applies the coalescing policy and queues one frame. It never
+// blocks (broadcasts run inside the simulator's clock callback, often
+// under s.mu) and reports whether the frame was queued or superseded
+// into the queue — false only for a pressure drop with nothing to
+// supersede.
+func (sess *Session) enqueue(e outEntry) bool {
+	sess.qmu.Lock()
+	switch e.cls {
+	case classState:
+		// A queued sim-state event is always superseded: delete it and
+		// append the newer one at the tail (subsequence order holds).
+		// At most one state entry is ever queued, so a state enqueue
+		// always succeeds — a controller's stop cannot be shed.
+		if sess.removeNewestLocked(classState) {
+			sess.coalesced.Add(1)
+		}
+		sess.q = append(sess.q, e)
+	case classPeer, classControl:
+		if len(sess.q) >= outQueueDepth {
+			// Under pressure the newest same-class entry is superseded
+			// in place of growth; with none queued the event is shed.
+			if !sess.removeNewestLocked(e.cls) {
+				sess.qmu.Unlock()
+				sess.dropped.Add(1)
+				return false
+			}
+			sess.coalesced.Add(1)
+		}
+		sess.q = append(sess.q, e)
+	default: // classResponse — never coalesced, never dropped
+		sess.q = append(sess.q, e)
+	}
+	sess.qmu.Unlock()
+	sess.wake()
+	return true
 }
 
 // enqueueResponse queues a reply to a request this session made.
-// Responses are never dropped — the client's request loop is stalled
-// without one — but a session that cannot absorb its own response
-// within the timeout is declared dead. Returns false if the session
-// is gone.
-func (sess *Session) enqueueResponse(msg []byte) bool {
-	select {
-	case sess.out <- msg:
-		return true
-	case <-sess.quit:
-		return false
-	case <-time.After(responseTimeout):
+// Responses are never coalesced or dropped — the client's request loop
+// is stalled without one — but a session that pipelines requests
+// faster than its link drains replies is declared dead rather than
+// growing the queue without bound. Must not be called under s.mu.
+func (sess *Session) enqueueResponse(msg []byte) {
+	sess.enqueue(outEntry{cls: classResponse, msg: msg})
+	sess.qmu.Lock()
+	wedged := len(sess.q) > responseQueueHardCap
+	sess.qmu.Unlock()
+	if wedged {
 		sess.srv.dropSession(sess.ID, "response queue wedged")
-		return false
 	}
+}
+
+// pop removes the queue head. ok=false means empty.
+func (sess *Session) pop() (outEntry, bool) {
+	sess.qmu.Lock()
+	defer sess.qmu.Unlock()
+	if len(sess.q) == 0 {
+		return outEntry{}, false
+	}
+	e := sess.q[0]
+	// Slide rather than reslice so the backing array is reused and old
+	// frames do not pin memory via a marching slice head.
+	copy(sess.q, sess.q[1:])
+	sess.q[len(sess.q)-1] = outEntry{}
+	sess.q = sess.q[:len(sess.q)-1]
+	return e, true
 }
 
 // write sends one frame, marking the session dead (and dropping it)
 // on I/O failure. The conn's write deadline guarantees the call
 // returns even against a wedged peer.
-func (sess *Session) write(msg []byte) {
+func (sess *Session) write(e outEntry) {
 	if sess.dead.Load() {
 		return
 	}
-	if err := sess.conn.WriteText(msg); err != nil {
+	var err error
+	if e.binary {
+		err = sess.conn.WriteBinary(e.msg)
+	} else {
+		err = sess.conn.WriteText(e.msg)
+	}
+	if err != nil {
 		sess.dead.Store(true)
 		sess.srv.dropSession(sess.ID, "write: "+err.Error())
+	}
+}
+
+// drain writes queued frames until the queue is empty.
+func (sess *Session) drain() {
+	for {
+		e, ok := sess.pop()
+		if !ok {
+			return
+		}
+		sess.write(e)
 	}
 }
 
@@ -139,17 +259,11 @@ func (sess *Session) writeLoop() {
 	for {
 		select {
 		case <-sess.quit:
-			for {
-				select {
-				case msg := <-sess.out:
-					sess.write(msg)
-				default:
-					sess.conn.Close()
-					return
-				}
-			}
-		case msg := <-sess.out:
-			sess.write(msg)
+			sess.drain()
+			sess.conn.Close()
+			return
+		case <-sess.notify:
+			sess.drain()
 		case <-ticker.C:
 			if sess.dead.Load() {
 				continue

@@ -10,8 +10,8 @@
 // another writes; reads themselves must stay on a single goroutine.
 //
 // Limitations (by design, documented): no fragmentation (FIN must be
-// set), no extensions, text and control frames only, payloads up to
-// 16 MiB.
+// set), no extensions, text/binary and control frames only, payloads
+// up to 16 MiB.
 package ws
 
 import (
@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,10 +53,20 @@ const defaultCloseTimeout = 5 * time.Second
 var ErrClosed = errors.New("ws: connection closed")
 
 const (
-	opText  = 0x1
-	opClose = 0x8
-	opPing  = 0x9
-	opPong  = 0xA
+	opText   = 0x1
+	opBinary = 0x2
+	opClose  = 0x8
+	opPing   = 0x9
+	opPong   = 0xA
+)
+
+// Message opcodes returned by ReadMessage.
+const (
+	// TextMessage is a UTF-8 text frame (the JSON protocol).
+	TextMessage = opText
+	// BinaryMessage is a binary frame (the length-prefixed broadcast
+	// encoding negotiated at attach).
+	BinaryMessage = opBinary
 )
 
 // Conn is one WebSocket connection.
@@ -83,7 +94,20 @@ type Conn struct {
 	// it instead of sleeping out its timeout on a dead connection.
 	closeAcked chan struct{}
 	ackOnce    sync.Once
+
+	// bytesRead/bytesWritten count wire bytes (headers + payloads) for
+	// the load harness's bytes-on-wire report.
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
 }
+
+// BytesRead reports the wire bytes consumed by this connection's frame
+// reader (frame headers included).
+func (c *Conn) BytesRead() uint64 { return c.bytesRead.Load() }
+
+// BytesWritten reports the wire bytes produced by this connection's
+// frame writer (frame headers included).
+func (c *Conn) BytesWritten() uint64 { return c.bytesWritten.Load() }
 
 func newConn(nc net.Conn, br *bufio.Reader, client bool) *Conn {
 	return &Conn{
@@ -195,6 +219,11 @@ func (c *Conn) WriteText(payload []byte) error {
 	return c.writeFrame(opText, payload)
 }
 
+// WriteBinary sends one binary message.
+func (c *Conn) WriteBinary(payload []byte) error {
+	return c.writeFrame(opBinary, payload)
+}
+
 // Ping sends a ping control frame (payload ≤ 125 bytes). The peer's
 // pong is consumed transparently by its ReadText loop.
 func (c *Conn) Ping(payload []byte) error {
@@ -250,37 +279,56 @@ func (c *Conn) writeFrameLocked(op byte, payload []byte) error {
 	if _, err := c.conn.Write(hdr[:n]); err != nil {
 		return err
 	}
-	_, err := c.conn.Write(payload)
-	return err
+	if _, err := c.conn.Write(payload); err != nil {
+		return err
+	}
+	c.bytesWritten.Add(uint64(n + len(payload)))
+	return nil
 }
 
 // ReadText reads the next text message, transparently answering pings
-// and completing the close handshake. At most one goroutine may read
-// at a time.
+// and completing the close handshake. A binary frame is a protocol
+// error here — callers that negotiated the binary encoding must use
+// ReadMessage. At most one goroutine may read at a time.
 func (c *Conn) ReadText() ([]byte, error) {
+	op, payload, err := c.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	if op != opText {
+		return nil, fmt.Errorf("ws: unexpected binary frame on a text-only reader")
+	}
+	return payload, nil
+}
+
+// ReadMessage reads the next text or binary message, transparently
+// answering pings and completing the close handshake. The returned
+// opcode is TextMessage or BinaryMessage. At most one goroutine may
+// read at a time.
+func (c *Conn) ReadMessage() (byte, []byte, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	msg, err := c.readTextLocked()
+	op, msg, err := c.readMessageLocked()
 	if err != nil {
 		// The stream is finished (close handshake or terminal error):
 		// release anyone waiting in Close immediately.
 		c.ackOnce.Do(func() { close(c.closeAcked) })
 	}
-	return msg, err
+	return op, msg, err
 }
 
-func (c *Conn) readTextLocked() ([]byte, error) {
+func (c *Conn) readMessageLocked() (byte, []byte, error) {
 	for {
 		op, payload, err := c.readFrame()
 		if err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		switch op {
-		case opText:
-			return payload, nil
+		case opText, opBinary:
+			return op, payload, nil
 		case opPing:
 			if err := c.writeFrame(opPong, payload); err != nil && !errors.Is(err, ErrClosed) {
-				return nil, err
+				return 0, nil, err
 			}
 		case opPong:
 			// ignore
@@ -294,9 +342,9 @@ func (c *Conn) readTextLocked() ([]byte, error) {
 			}
 			c.wmu.Unlock()
 			c.conn.Close()
-			return nil, ErrClosed
+			return 0, nil, ErrClosed
 		default:
-			return nil, fmt.Errorf("ws: unsupported opcode %#x", op)
+			return 0, nil, fmt.Errorf("ws: unsupported opcode %#x", op)
 		}
 	}
 }
@@ -328,6 +376,7 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 	if op >= opClose && length > maxControlPayload {
 		return 0, nil, fmt.Errorf("ws: control frame payload of %d bytes exceeds %d", length, maxControlPayload)
 	}
+	wire := uint64(2) // frame header bytes consumed so far
 	switch length {
 	case 126:
 		var ext [2]byte
@@ -335,12 +384,14 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 			return 0, nil, err
 		}
 		length = uint64(binary.BigEndian.Uint16(ext[:]))
+		wire += 2
 	case 127:
 		var ext [8]byte
 		if _, err := io.ReadFull(c.br, ext[:]); err != nil {
 			return 0, nil, err
 		}
 		length = binary.BigEndian.Uint64(ext[:])
+		wire += 8
 	}
 	if length > maxPayload {
 		return 0, nil, fmt.Errorf("ws: frame of %d bytes exceeds limit", length)
@@ -350,6 +401,7 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 		if _, err := io.ReadFull(c.br, mask[:]); err != nil {
 			return 0, nil, err
 		}
+		wire += 4
 	}
 	payload, err := c.readPayload(length)
 	if err != nil {
@@ -360,6 +412,7 @@ func (c *Conn) readFrame() (byte, []byte, error) {
 			payload[i] ^= mask[i%4]
 		}
 	}
+	c.bytesRead.Add(wire + length)
 	return op, payload, nil
 }
 

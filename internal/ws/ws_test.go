@@ -338,3 +338,93 @@ func TestCloseWhileReaderBetweenReads(t *testing.T) {
 		t.Fatal("reader never unblocked after Close")
 	}
 }
+
+func TestBinaryRoundTrip(t *testing.T) {
+	// An echo server that mirrors opcodes: binary frames come back
+	// binary, text frames come back text.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			t.Errorf("upgrade: %v", err)
+			return
+		}
+		go func() {
+			defer conn.Close()
+			for {
+				op, msg, err := conn.ReadMessage()
+				if err != nil {
+					return
+				}
+				if op == BinaryMessage {
+					err = conn.WriteBinary(msg)
+				} else {
+					err = conn.WriteText(msg)
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}))
+	defer srv.Close()
+	conn, err := Dial("ws://" + strings.TrimPrefix(srv.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	bin := []byte{0xB5, 0x01, 0x00, 0xFF, 0x80, 0x7F}
+	if err := conn.WriteBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != BinaryMessage {
+		t.Fatalf("opcode = %#x, want binary", op)
+	}
+	if string(got) != string(bin) {
+		t.Fatalf("binary echo = %x, want %x", got, bin)
+	}
+	// Text still round-trips through ReadMessage with the text opcode.
+	if err := conn.WriteText([]byte("json")); err != nil {
+		t.Fatal(err)
+	}
+	op, got, err = conn.ReadMessage()
+	if err != nil || op != TextMessage || string(got) != "json" {
+		t.Fatalf("text via ReadMessage = %#x %q %v", op, got, err)
+	}
+	// A text-only reader must reject a binary frame rather than hand
+	// opaque bytes to a JSON decoder.
+	if err := conn.WriteBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.ReadText(); err == nil {
+		t.Fatal("ReadText accepted a binary frame")
+	}
+}
+
+func TestWireByteCounters(t *testing.T) {
+	url := startEchoServer(t)
+	conn, err := Dial(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := []byte("0123456789") // 10 bytes, small-frame encoding
+	if err := conn.WriteText(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.ReadText(); err != nil {
+		t.Fatal(err)
+	}
+	// Client frame: 2 header + 4 mask + 10 payload.
+	if got := conn.BytesWritten(); got != 16 {
+		t.Fatalf("BytesWritten = %d, want 16", got)
+	}
+	// Server echo: 2 header + 10 payload (unmasked).
+	if got := conn.BytesRead(); got != 12 {
+		t.Fatalf("BytesRead = %d, want 12", got)
+	}
+}
