@@ -24,6 +24,8 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -727,6 +729,79 @@ func BenchmarkTraceParse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkStoreOpen pins the disk-backed store's reason to exist:
+// opening a pre-indexed trace reads the header and metadata sections
+// only — no VCD text scan, no block decode — so open latency and
+// resident memory are compared directly against ParseStore rebuilding
+// the same index from text. The resident-bytes metric is the retained
+// change-data footprint right after open (for the disk store: block
+// directory plus an empty cache; blocks stay on disk until queried).
+// DESIGN.md records reference numbers; the acceptance bar is >=10x
+// faster open with lower resident memory.
+func BenchmarkStoreOpen(b *testing.B) {
+	data := riscvTraceVCD(b)
+	dir := b.TempDir()
+	vcdPath := filepath.Join(dir, "trace.vcd")
+	storePath := filepath.Join(dir, "trace.hgdbstore")
+	if err := os.WriteFile(vcdPath, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	stats, err := vcd.IndexFile(vcdPath, storePath, vcd.StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("parse-vcd", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(st.IndexBytes()), "resident-bytes")
+			}
+		}
+	})
+	b.Run("open-store", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(stats.Bytes)
+		for i := 0; i < b.N; i++ {
+			st, err := vcd.OpenStoreFile(storePath, vcd.OpenOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(st.IndexBytes()), "resident-bytes")
+			}
+			st.Close()
+		}
+	})
+	// Guard against benchmarking a broken open: the opened store must
+	// answer a probe query identically to the parsed one.
+	mem, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	disk, err := vcd.OpenStoreFile(storePath, vcd.OpenOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer disk.Close()
+	for _, name := range traceQuerySet(mem.SignalNames()) {
+		ms, _ := mem.Signal(name)
+		ds, ok := disk.Signal(name)
+		if !ok {
+			b.Fatalf("opened store missing %s", name)
+		}
+		for _, tm := range []uint64{0, mem.MaxTime / 2, mem.MaxTime} {
+			if got, want := ds.ValueAt(tm), ms.ValueAt(tm); got != want {
+				b.Fatalf("%s@%d: disk %d, mem %d", name, tm, got, want)
+			}
+		}
+	}
 }
 
 // traceQuerySet picks a deterministic spread of signals for value

@@ -1,0 +1,62 @@
+// Command hgdb-index converts a VCD trace into a pre-indexed store
+// file: the time-blocked change index vcd.ParseStore builds in memory,
+// persisted in the versioned on-disk format so hgdb-replay (and the
+// future debug hub's shared replay fleet) opens it in O(header) with
+// no text scan — blocks stream from disk on demand.
+//
+// Usage:
+//
+//	hgdb-index -vcd trace.vcd [-out trace.hgdbstore] [-block N]
+//
+// Indexing is a single streaming pass: blocks are checksummed and
+// written to disk in parallel with the text scan, so peak memory stays
+// at the sparse per-signal index, not the whole store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/vcd"
+)
+
+func main() {
+	vcdPath := flag.String("vcd", "", "VCD trace to index (required)")
+	out := flag.String("out", "", "store file to write (default: <vcd>.hgdbstore)")
+	block := flag.Uint64("block", vcd.DefaultBlockSize, "time-block size (trace timestamp units)")
+	flag.Parse()
+	if *vcdPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	outPath := *out
+	if outPath == "" {
+		outPath = *vcdPath + ".hgdbstore"
+	}
+	start := time.Now()
+	stats, err := vcd.IndexFile(*vcdPath, outPath, vcd.StoreOptions{BlockSize: *block})
+	if err != nil {
+		log.Fatalf("hgdb-index: %v", err)
+	}
+	log.Printf("indexed %s -> %s in %s", *vcdPath, outPath, time.Since(start).Round(time.Millisecond))
+	log.Printf("  %d cycles, %d signals, %d changes in %d blocks, %s store",
+		stats.MaxTime, stats.Signals, stats.Changes, stats.Blocks, fmtBytes(int(stats.Bytes)))
+	if stats.Parse.WideChanges > 0 {
+		log.Printf("  note: %d vector changes wider than 64 bits were masked to their low 64 bits",
+			stats.Parse.WideChanges)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit suffix.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

@@ -17,9 +17,15 @@
 // when the debugger's breakpoints need them, and backward time travel
 // restores periodic value-snapshot checkpoints (-checkpoint sets their
 // spacing, 0 = adaptive) instead of rescanning the trace.
+//
+// If -vcd points at a pre-indexed store file (written by hgdb-index or
+// hgdb-replay -index), it is opened in O(header) with no text scan —
+// blocks load lazily from disk, bounded by -block-cache. With -index
+// the tool writes the store file next to the trace and exits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -41,21 +47,48 @@ func main() {
 	holdFor := flag.Duration("hold", 60*time.Second, "how long to serve before exiting")
 	block := flag.Uint64("block", vcd.DefaultBlockSize, "trace index time-block size (trace timestamp units)")
 	checkpoint := flag.Uint64("checkpoint", 0, "reverse-execution checkpoint interval (trace timestamp units, 0 = adaptive)")
+	index := flag.String("index", "", "write a pre-indexed store file for -vcd to this path and exit")
+	blockCache := flag.Int("block-cache", vcd.DefaultBlockCacheBytes, "resident block byte bound for pre-indexed stores")
 	flag.Parse()
+	if *index != "" {
+		if *vcdPath == "" {
+			flag.Usage()
+			os.Exit(2)
+		}
+		stats, err := vcd.IndexFile(*vcdPath, *index, vcd.StoreOptions{BlockSize: *block})
+		if err != nil {
+			log.Fatalf("hgdb-replay: index: %v", err)
+		}
+		log.Printf("indexed %s -> %s (%d cycles, %d signals, %d changes in %d blocks, %s)",
+			*vcdPath, *index, stats.MaxTime, stats.Signals, stats.Changes,
+			stats.Blocks, fmtBytes(int(stats.Bytes)))
+		return
+	}
 	if *vcdPath == "" || *symtabPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	vf, err := os.Open(*vcdPath)
-	if err != nil {
-		log.Fatalf("hgdb-replay: %v", err)
+	// A pre-indexed store opens in O(header); anything else is raw VCD
+	// text and takes the streaming parse path.
+	store, err := vcd.OpenStoreFile(*vcdPath, vcd.OpenOptions{BlockCacheBytes: *blockCache})
+	switch {
+	case err == nil:
+		log.Printf("opened pre-indexed store %s (no text scan)", *vcdPath)
+	case errors.Is(err, vcd.ErrNotStore):
+		vf, err := os.Open(*vcdPath)
+		if err != nil {
+			log.Fatalf("hgdb-replay: %v", err)
+		}
+		store, err = vcd.ParseStore(vf, vcd.StoreOptions{BlockSize: *block})
+		vf.Close()
+		if err != nil {
+			log.Fatalf("hgdb-replay: parse vcd: %v", err)
+		}
+	default:
+		log.Fatalf("hgdb-replay: open store: %v", err)
 	}
-	store, err := vcd.ParseStore(vf, vcd.StoreOptions{BlockSize: *block})
-	vf.Close()
-	if err != nil {
-		log.Fatalf("hgdb-replay: parse vcd: %v", err)
-	}
+	defer store.Close()
 	sf, err := os.Open(*symtabPath)
 	if err != nil {
 		log.Fatalf("hgdb-replay: %v", err)

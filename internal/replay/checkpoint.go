@@ -224,6 +224,12 @@ func (sb *storeBacking) value(path string, t uint64) (eval.Value, error) {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
 	sb.sync(t)
+	if err := sb.st.Err(); err != nil {
+		// A corrupt or unreadable block stopped the walk mid-stream; the
+		// state array is only synced up to the damage, so surface the
+		// store failure rather than a silently stale value.
+		return eval.Value{}, err
+	}
 	return eval.Make(sb.state[ts.Index()], ts.Width, false), nil
 }
 

@@ -79,6 +79,78 @@ func TestStoreEngineDifferential(t *testing.T) {
 	}
 }
 
+// diskStoreEngine round-trips the trace through the on-disk store
+// format (WriteStore → OpenStore) before wrapping it in a checkpointed
+// engine, with a deliberately tiny block cache so LRU eviction churns
+// during the test.
+func diskStoreEngine(t testing.TB, data []byte, interval uint64) *Engine {
+	t.Helper()
+	st, err := vcd.ParseStore(bytes.NewReader(data), vcd.StoreOptions{BlockSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := vcd.WriteStore(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := vcd.OpenStore(bytes.NewReader(buf.Bytes()), int64(buf.Len()), vcd.OpenOptions{BlockCacheBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(ds, WithCheckpointInterval(interval))
+}
+
+// TestDiskStoreEngineDifferential runs the full replay contract over a
+// disk-opened store: random forward/backward jumps, partial and full
+// materialization, and checkpointed reverse seeks must all be
+// bit-identical to the seed eager-trace engine — proving the replay
+// and checkpoint machinery runs unchanged over the on-disk format.
+func TestDiskStoreEngineDifferential(t *testing.T) {
+	data := makeVCD(t)
+	seed := New(makeTrace(t))
+	eng := diskStoreEngine(t, data, 3)
+	names := func() []string {
+		tr, _ := vcd.Parse(bytes.NewReader(data))
+		return tr.SignalNames()
+	}()
+	rng := rand.New(rand.NewSource(7))
+	max := seed.MaxTime()
+	if max != eng.MaxTime() {
+		t.Fatalf("MaxTime: disk store %d, seed %d", eng.MaxTime(), max)
+	}
+	for jump := 0; jump < 200; jump++ {
+		tm := uint64(rng.Int63n(int64(max + 1)))
+		if err := seed.SetTime(tm); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.SetTime(tm); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range names {
+			want, err := seed.GetValue(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.GetValue(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("jump %d: %s@%d = %v, want %v", jump, name, eng.Time(), got, want)
+			}
+		}
+		switch jump {
+		case 66:
+			eng.Prefetch(names[:len(names)/2])
+		case 133:
+			eng.Prefetch(names)
+		}
+	}
+	if eng.Checkpoints() == 0 {
+		t.Fatal("no checkpoints created across 200 random jumps")
+	}
+}
+
 // TestStoreEngineStepsMatchSeed runs the two engines through the same
 // forward/backward step sequence and compares values and callback
 // times at every point.

@@ -43,12 +43,22 @@ type StoreOptions struct {
 // order, so store memory is O(changes) even when timestamps are huge
 // (real simulator dumps count timescale units, not cycles — a 1 s run
 // at 1 ps timescale ends at #1e12).
+//
+// In a parsed store (ParseStore) buf holds the resident record bytes.
+// In a disk-backed store (OpenStore) buf stays nil and off/length/crc
+// locate and authenticate the record stream in the backing file;
+// Store.blockData loads it on demand through a byte-bounded LRU.
 type storeBlock struct {
 	win uint64 // window index: this block covers [win*bs, (win+1)*bs)
 	buf []byte
 	// last is the absolute time of the final appended record; parse-time
 	// helper for delta encoding.
 	last uint64
+
+	// Disk location (OpenStore only).
+	off    int64
+	length uint32
+	crc    uint32
 }
 
 // timeline is a signal's fully decoded change history. It is built
@@ -68,6 +78,10 @@ type StoreSignal struct {
 	store *Store
 	index int
 	n     int // total change count
+	// gen is the timeline-LRU recency stamp: the Store.tlGen value of
+	// the last Materialize call that advised this signal. Guarded by
+	// Store.mu.
+	gen uint64
 
 	// Sparse change runs: blkIdx lists the store's block SLOTS this
 	// signal changed in (ascending; a slot resolves to its time window
@@ -128,10 +142,13 @@ func (ts *StoreSignal) ValueAt(t uint64) uint64 {
 	return ts.blkLast[k]
 }
 
-// Store is a parsed VCD file held as a time-blocked change index.
+// Store is a parsed VCD file held as a time-blocked change index. It
+// is built either by ParseStore (all blocks resident) or by OpenStore
+// (blocks load lazily from the on-disk format; see diskstore.go).
 type Store struct {
 	Hierarchy *rtl.InstanceNode
 	MaxTime   uint64
+	Stats     ParseStats
 
 	blockSize uint64
 	sigs      map[string]*StoreSignal
@@ -139,10 +156,131 @@ type Store struct {
 	blocks    []storeBlock
 	changes   int
 
+	// Disk backing (OpenStore only): blocks read through src into a
+	// byte-bounded LRU cache. closer is the owned file handle, if any.
+	src    io.ReaderAt
+	cache  *blockCache
+	closer io.Closer
+
+	// failure is the sticky first decode/IO error. Record streams are
+	// hostile-input surfaces once blocks come from disk: a corrupt
+	// stream stops the walk that found it and poisons the store rather
+	// than fabricating records. Checked via Err.
+	failure atomic.Pointer[storeError]
+
 	// mu serializes lazy materialization (Materialize may be called
 	// from the debugger's arm path while a server goroutine reads other
-	// signals).
+	// signals) and guards the timeline-LRU bookkeeping below.
 	mu sync.Mutex
+	// tlGen counts Materialize calls; tlBudget bounds the total bytes
+	// of resident materialized timelines (0 = DefaultTimelineBudget).
+	tlGen    uint64
+	tlBudget int
+}
+
+type storeError struct{ err error }
+
+// setErr records the first decode/IO error; later errors keep the
+// original (most diagnostic) one.
+func (s *Store) setErr(err error) {
+	s.failure.CompareAndSwap(nil, &storeError{err: err})
+}
+
+// Err returns the sticky first block decode or IO error, if any. Once
+// set, record walks stop at the corrupt block instead of fabricating
+// records; callers serving values should surface it.
+func (s *Store) Err() error {
+	if e := s.failure.Load(); e != nil {
+		return e.err
+	}
+	return nil
+}
+
+// Close releases the backing file of a disk-opened store. It is a
+// no-op for parsed stores.
+func (s *Store) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// storeIngest is the shared single-pass ingest core behind ParseStore
+// and IndexFile: it encodes change events into block record streams
+// and maintains the per-signal sparse index. Completed blocks are
+// handed to emit in slot order — ParseStore keeps them resident,
+// IndexFile streams them to disk while the parse continues.
+type storeIngest struct {
+	bs      uint64
+	st      *Store
+	byID    map[string]*StoreSignal
+	scratch [3 * binary.MaxVarintLen64]byte
+	cur     storeBlock
+	have    bool
+	slot    int // index the current block will get when emitted
+	emit    func(slot int, blk storeBlock)
+}
+
+func newStoreIngest(bs uint64, emit func(slot int, blk storeBlock)) *storeIngest {
+	return &storeIngest{
+		bs:   bs,
+		st:   &Store{blockSize: bs, sigs: map[string]*StoreSignal{}},
+		byID: map[string]*StoreSignal{},
+		emit: emit,
+	}
+}
+
+func (g *storeIngest) events() vcdEvents {
+	return vcdEvents{vardecl: g.vardecl, change: g.change}
+}
+
+func (g *storeIngest) vardecl(id string, width int, full, local string) {
+	ts := &StoreSignal{Name: full, Width: width, store: g.st, index: len(g.st.list)}
+	g.st.sigs[full] = ts
+	g.st.list = append(g.st.list, ts)
+	g.byID[id] = ts
+}
+
+func (g *storeIngest) change(id string, t uint64, bits uint64) {
+	ts, ok := g.byID[id]
+	if !ok {
+		return
+	}
+	bits &= eval.Mask(ts.Width)
+	win := t / g.bs
+	// Timestamps never decrease (enforced by scanVCD), so a new window
+	// always follows the current one — empty windows between changes
+	// are never allocated.
+	if !g.have {
+		g.cur = storeBlock{win: win, last: win * g.bs}
+		g.have = true
+	} else if g.cur.win != win {
+		g.emit(g.slot, g.cur)
+		g.slot++
+		g.cur = storeBlock{win: win, last: win * g.bs}
+	}
+	n := binary.PutUvarint(g.scratch[:], uint64(ts.index))
+	n += binary.PutUvarint(g.scratch[n:], t-g.cur.last)
+	n += binary.PutUvarint(g.scratch[n:], bits)
+	g.cur.buf = append(g.cur.buf, g.scratch[:n]...)
+	g.cur.last = t
+	g.st.changes++
+	if k := len(ts.blkIdx); k > 0 && int(ts.blkIdx[k-1]) == g.slot {
+		ts.blkLast[k-1] = bits
+	} else {
+		ts.blkIdx = append(ts.blkIdx, uint32(g.slot))
+		ts.blkLast = append(ts.blkLast, bits)
+	}
+	ts.n++
+}
+
+// finish emits the final partially filled block.
+func (g *storeIngest) finish() {
+	if g.have {
+		g.emit(g.slot, g.cur)
+		g.slot++
+		g.have = false
+	}
 }
 
 // ParseStore reads a VCD stream in a single pass into a block store.
@@ -154,53 +292,20 @@ func ParseStore(rd io.Reader, opts StoreOptions) (*Store, error) {
 	if bs == 0 {
 		bs = DefaultBlockSize
 	}
-	st := &Store{blockSize: bs, sigs: map[string]*StoreSignal{}}
-	byID := map[string]*StoreSignal{}
-	var h hierBuilder
-	var scratch [3 * binary.MaxVarintLen64]byte
-	maxTime, err := scanVCD(rd, &h, vcdEvents{
-		vardecl: func(id string, width int, full, local string) {
-			ts := &StoreSignal{Name: full, Width: width, store: st, index: len(st.list)}
-			st.sigs[full] = ts
-			st.list = append(st.list, ts)
-			byID[id] = ts
-		},
-		change: func(id string, t uint64, bits uint64) {
-			ts, ok := byID[id]
-			if !ok {
-				return
-			}
-			bits &= eval.Mask(ts.Width)
-			win := t / bs
-			// Timestamps never decrease, so a new window is always
-			// appended after the current last block — empty windows
-			// between changes are never allocated.
-			slot := len(st.blocks) - 1
-			if slot < 0 || st.blocks[slot].win != win {
-				st.blocks = append(st.blocks, storeBlock{win: win, last: win * bs})
-				slot++
-			}
-			b := &st.blocks[slot]
-			n := binary.PutUvarint(scratch[:], uint64(ts.index))
-			n += binary.PutUvarint(scratch[n:], t-b.last)
-			n += binary.PutUvarint(scratch[n:], bits)
-			b.buf = append(b.buf, scratch[:n]...)
-			b.last = t
-			st.changes++
-			if k := len(ts.blkIdx); k > 0 && int(ts.blkIdx[k-1]) == slot {
-				ts.blkLast[k-1] = bits
-			} else {
-				ts.blkIdx = append(ts.blkIdx, uint32(slot))
-				ts.blkLast = append(ts.blkLast, bits)
-			}
-			ts.n++
-		},
+	var g *storeIngest
+	g = newStoreIngest(bs, func(_ int, blk storeBlock) {
+		g.st.blocks = append(g.st.blocks, blk)
 	})
+	var h hierBuilder
+	maxTime, stats, err := scanVCD(rd, &h, g.events())
 	if err != nil {
 		return nil, err
 	}
+	g.finish()
+	st := g.st
 	st.MaxTime = maxTime
 	st.Hierarchy = h.root
+	st.Stats = stats
 	return st, nil
 }
 
@@ -249,30 +354,68 @@ type record struct {
 // sweeps — shares it so the format cannot desynchronize between them.
 // next decodes without consuming; commit consumes, which is what lets
 // ApplyUpTo stop exactly before the first record past its target time.
+//
+// The stream is a hostile-input surface once blocks come from disk:
+// next validates every varint's byte count, so a truncated or corrupt
+// buffer yields a decode error (in r.err) instead of fabricated
+// records or a zero-size record that would stop commit from advancing.
 type blockReader struct {
 	buf  []byte
 	off  int
 	time uint64 // delta base: window start, or a resumed cursor's time
+	err  error
+}
+
+// blockData returns block slot b's record bytes. Parsed stores answer
+// from the resident buffer; disk stores consult the LRU cache and load
+// (CRC-checked and stream-validated) from the backing file on a miss.
+// A load or validation failure poisons the store (Err) and returns nil
+// — the walk sees an empty block and stops fabricating nothing.
+func (s *Store) blockData(b int) []byte {
+	if s.src == nil {
+		return s.blocks[b].buf
+	}
+	return s.loadBlock(b)
 }
 
 // reader returns a blockReader positioned at the start of block slot b.
 func (s *Store) reader(b int) blockReader {
-	return blockReader{buf: s.blocks[b].buf, time: s.blocks[b].win * s.blockSize}
+	return blockReader{buf: s.blockData(b), time: s.blocks[b].win * s.blockSize}
 }
 
+var errCorruptRecord = fmt.Errorf("vcd: corrupt block record stream")
+
 func (r *blockReader) next() (record, bool) {
-	if r.off >= len(r.buf) {
+	if r.err != nil || r.off >= len(r.buf) {
 		return record{}, false
 	}
 	si, n1 := binary.Uvarint(r.buf[r.off:])
+	if n1 <= 0 {
+		r.err = fmt.Errorf("%w: bad signal index varint at byte %d", errCorruptRecord, r.off)
+		return record{}, false
+	}
 	dt, n2 := binary.Uvarint(r.buf[r.off+n1:])
+	if n2 <= 0 {
+		r.err = fmt.Errorf("%w: bad time delta varint at byte %d", errCorruptRecord, r.off)
+		return record{}, false
+	}
 	bits, n3 := binary.Uvarint(r.buf[r.off+n1+n2:])
+	if n3 <= 0 {
+		r.err = fmt.Errorf("%w: bad value varint at byte %d", errCorruptRecord, r.off)
+		return record{}, false
+	}
 	return record{sig: int(si), time: r.time + dt, bits: bits, size: n1 + n2 + n3}, true
 }
 
 func (r *blockReader) commit(rec record) {
 	r.off += rec.size
 	r.time = rec.time
+}
+
+// fail records a reader's decode error against the store, positioned
+// with the block slot it came from.
+func (s *Store) fail(b int, err error) {
+	s.setErr(fmt.Errorf("vcd: block %d (window %d): %w", b, s.blocks[b].win, err))
 }
 
 // scanBlockFor decodes block b looking for the last change of signal
@@ -291,6 +434,9 @@ func (s *Store) scanBlockFor(b, idx int, t uint64) (uint64, bool) {
 			last, found = rec.bits, true
 		}
 	}
+	if r.err != nil {
+		s.fail(b, r.err)
+	}
 	return last, found
 }
 
@@ -303,6 +449,7 @@ func (s *Store) scanBlockFor(b, idx int, t uint64) (uint64, bool) {
 func (s *Store) Materialize(paths ...string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.tlGen++
 	// byIdx maps signal index → pending timeline, so block decoding is
 	// O(records) however many signals the union names; want collects
 	// which blocks need decoding at all. Pending timelines stay private
@@ -313,7 +460,14 @@ func (s *Store) Materialize(paths ...string) {
 	var want map[uint32]bool
 	for _, p := range paths {
 		ts, ok := s.sigs[p]
-		if !ok || ts.Materialized() {
+		if !ok {
+			continue
+		}
+		// Recency touch for the timeline LRU: every advised signal —
+		// already materialized or about to be — belongs to the current
+		// dependency union and is the last to be evicted.
+		ts.gen = s.tlGen
+		if ts.Materialized() {
 			continue
 		}
 		if byIdx == nil {
@@ -339,6 +493,7 @@ func (s *Store) Materialize(paths ...string) {
 		}
 	}
 	if len(pend) == 0 {
+		s.evictTimelines()
 		return
 	}
 	order := make([]uint32, 0, len(want))
@@ -354,14 +509,89 @@ func (s *Store) Materialize(paths ...string) {
 				break
 			}
 			r.commit(rec)
-			if tl := byIdx[rec.sig]; tl != nil {
-				tl.times = append(tl.times, rec.time)
-				tl.vals = append(tl.vals, rec.bits)
+			if rec.sig < len(byIdx) {
+				if tl := byIdx[rec.sig]; tl != nil {
+					tl.times = append(tl.times, rec.time)
+					tl.vals = append(tl.vals, rec.bits)
+				}
 			}
+		}
+		if r.err != nil {
+			// Poison and abort: publishing a partial timeline would make
+			// ValueAt silently answer from truncated history.
+			s.fail(int(bi), r.err)
+			return
 		}
 	}
 	for ts, tl := range pend {
 		ts.tl.Store(tl)
+	}
+	s.evictTimelines()
+}
+
+// timelineBytes is a timeline's resident footprint (8 B time + 8 B
+// value per change).
+func timelineBytes(tl *timeline) int { return 16 * len(tl.times) }
+
+// SetTimelineBudget bounds the total bytes of resident materialized
+// timelines (0 restores DefaultTimelineBudget). When a Materialize
+// call pushes the resident set over the budget, the least recently
+// advised timelines are dropped back to block-index form — their
+// ValueAt queries fall back to lazy block decodes — so the resident
+// set stays flat however many signals successive dependency unions
+// name.
+func (s *Store) SetTimelineBudget(bytes int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tlBudget = bytes
+}
+
+// TimelineBytes returns the resident footprint of all materialized
+// timelines.
+func (s *Store) TimelineBytes() int {
+	total := 0
+	for _, ts := range s.list {
+		if tl := ts.tl.Load(); tl != nil {
+			total += timelineBytes(tl)
+		}
+	}
+	return total
+}
+
+// evictTimelines enforces the timeline budget, called with mu held at
+// the end of Materialize. Eviction is LRU over advise generations:
+// signals from older dependency unions go first; current-union
+// signals are evicted only if the union alone exceeds the budget.
+func (s *Store) evictTimelines() {
+	budget := s.tlBudget
+	if budget <= 0 {
+		budget = DefaultTimelineBudget
+	}
+	total := 0
+	var resident []*StoreSignal
+	for _, ts := range s.list {
+		if tl := ts.tl.Load(); tl != nil {
+			total += timelineBytes(tl)
+			resident = append(resident, ts)
+		}
+	}
+	if total <= budget {
+		return
+	}
+	sort.Slice(resident, func(i, j int) bool {
+		if resident[i].gen != resident[j].gen {
+			return resident[i].gen < resident[j].gen
+		}
+		return resident[i].index < resident[j].index
+	})
+	for _, ts := range resident {
+		if total <= budget {
+			break
+		}
+		tl := ts.tl.Swap(nil)
+		if tl != nil {
+			total -= timelineBytes(tl)
+		}
 	}
 }
 
@@ -394,7 +624,7 @@ func (s *Store) walkUpTo(c Cursor, t uint64, visit func(rec record)) Cursor {
 		if c.Off == 0 {
 			c.Time = blockStart
 		}
-		r := blockReader{buf: s.blocks[c.Block].buf, off: c.Off, time: c.Time}
+		r := blockReader{buf: s.blockData(c.Block), off: c.Off, time: c.Time}
 		for {
 			rec, ok := r.next()
 			if !ok {
@@ -406,6 +636,13 @@ func (s *Store) walkUpTo(c Cursor, t uint64, visit func(rec record)) Cursor {
 			}
 			r.commit(rec)
 			visit(rec)
+		}
+		if r.err != nil {
+			// Corrupt stream: poison the store and stop the walk where
+			// it stands rather than inventing records past the damage.
+			s.fail(c.Block, r.err)
+			c.Off, c.Time = r.off, r.time
+			return c
 		}
 		// Block exhausted; move on only once t covers its whole window,
 		// so a later call never skips records that belong to this block.
@@ -471,9 +708,13 @@ func (s *Store) NextChangeTime(c Cursor) (uint64, bool) {
 		if c.Off == 0 {
 			c.Time = s.blocks[c.Block].win * s.blockSize
 		}
-		r := blockReader{buf: s.blocks[c.Block].buf, off: c.Off, time: c.Time}
+		r := blockReader{buf: s.blockData(c.Block), off: c.Off, time: c.Time}
 		if rec, ok := r.next(); ok {
 			return rec.time, true
+		}
+		if r.err != nil {
+			s.fail(c.Block, r.err)
+			return 0, false
 		}
 		c.Block++
 		c.Off = 0
@@ -482,12 +723,19 @@ func (s *Store) NextChangeTime(c Cursor) (uint64, bool) {
 }
 
 // IndexBytes returns the approximate heap footprint of the store's
-// change data: block buffers plus the per-signal sparse index, excluding
-// materialized timelines. Reported by tools and benchmarks.
+// change data: resident block buffers (for a disk store, the block
+// directory plus whatever the LRU cache currently holds) plus the
+// per-signal sparse index, excluding materialized timelines. Reported
+// by tools and benchmarks.
 func (s *Store) IndexBytes() int {
 	total := 0
-	for i := range s.blocks {
-		total += cap(s.blocks[i].buf)
+	if s.src == nil {
+		for i := range s.blocks {
+			total += cap(s.blocks[i].buf)
+		}
+	} else {
+		total += len(s.blocks) * 32 // directory entries
+		total += s.cache.bytes()
 	}
 	for _, ts := range s.list {
 		total += cap(ts.blkIdx)*4 + cap(ts.blkLast)*8

@@ -2,6 +2,7 @@ package vcd
 
 import (
 	"bytes"
+	"sort"
 	"testing"
 
 	"repro/internal/generator"
@@ -182,6 +183,202 @@ func TestStoreHierarchy(t *testing.T) {
 	if st.NumBlocks() == 0 || st.NumChanges() == 0 || st.IndexBytes() == 0 {
 		t.Fatalf("store stats empty: blocks=%d changes=%d bytes=%d",
 			st.NumBlocks(), st.NumChanges(), st.IndexBytes())
+	}
+}
+
+// TestCursorWindowBoundaries pins the cursor conventions of the shared
+// walk (walkUpTo) at exact block-window edges — the times where an
+// off-by-one between "partially covered" and "exhausted" block
+// handling would corrupt resumed sweeps. For every boundary-adjacent
+// time: SeekCursor must equal the cursor a from-zero ScanChanges walk
+// produces, resumed ApplyUpTo sweeps must match fresh ones, and
+// NextChangeTime must report the first record past the cursor.
+func TestCursorWindowBoundaries(t *testing.T) {
+	data := recordDesign(t, 120)
+	tr, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bs = 16
+	st, err := ParseStore(bytes.NewReader(data), StoreOptions{BlockSize: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change times, for NextChangeTime's expected answers.
+	changed := map[uint64]bool{}
+	var changeTimes []uint64
+	for _, name := range tr.SignalNames() {
+		es, _ := tr.Signal(name)
+		for tm := range es.times {
+			if !changed[es.times[tm]] {
+				changed[es.times[tm]] = true
+				changeTimes = append(changeTimes, es.times[tm])
+			}
+		}
+	}
+	sort.Slice(changeTimes, func(i, j int) bool { return changeTimes[i] < changeTimes[j] })
+	firstAfter := func(tm uint64) (uint64, bool) {
+		i := sort.Search(len(changeTimes), func(i int) bool { return changeTimes[i] > tm })
+		if i == len(changeTimes) {
+			return 0, false
+		}
+		return changeTimes[i], true
+	}
+
+	var times []uint64
+	for win := uint64(0); win*bs <= st.MaxTime+bs; win++ {
+		for _, tm := range []uint64{win * bs, win*bs + bs - 1} {
+			times = append(times, tm)
+			if tm > 0 {
+				times = append(times, tm-1)
+			}
+		}
+	}
+	state := make([]uint64, st.NumSignals())
+	fresh := make([]uint64, st.NumSignals())
+	var cur Cursor
+	var prev uint64
+	for _, tm := range times {
+		if tm < prev {
+			continue
+		}
+		prev = tm
+		// Resumed sweep vs fresh sweep vs eager truth.
+		cur = st.ApplyUpTo(cur, tm, state)
+		for i := range fresh {
+			fresh[i] = 0
+		}
+		freshCur := st.ApplyUpTo(Cursor{}, tm, fresh)
+		for _, name := range tr.SignalNames() {
+			es, _ := tr.Signal(name)
+			ss, _ := st.Signal(name)
+			want := es.ValueAt(tm)
+			if state[ss.Index()] != want || fresh[ss.Index()] != want {
+				t.Fatalf("sweep @%d %s: resumed %d, fresh %d, want %d",
+					tm, name, state[ss.Index()], fresh[ss.Index()], want)
+			}
+		}
+		// SeekCursor must land exactly where the walks landed.
+		if sk := st.SeekCursor(tm); sk != freshCur {
+			t.Fatalf("SeekCursor(%d) = %+v, walk cursor %+v", tm, sk, freshCur)
+		}
+		if cur != freshCur {
+			t.Fatalf("resumed cursor @%d = %+v, fresh %+v", tm, cur, freshCur)
+		}
+		// NextChangeTime from the advanced cursor: first change > tm.
+		nt, ok := st.NextChangeTime(cur)
+		wantNT, wantOK := firstAfter(tm)
+		if ok != wantOK || (ok && nt != wantNT) {
+			t.Fatalf("NextChangeTime after %d = %d,%v, want %d,%v", tm, nt, ok, wantNT, wantOK)
+		}
+	}
+}
+
+// TestZeroChangeSignal pins behavior for declared-but-never-changed
+// signals: every query answers zero, sweeps leave their slot zero, and
+// materialization marks them done with an empty timeline.
+func TestZeroChangeSignal(t *testing.T) {
+	src := `$scope module top $end
+$var wire 8 ! quiet $end
+$var wire 1 " clk $end
+$upscope $end
+$enddefinitions $end
+#0
+1"
+#100
+0"
+`
+	st, err := ParseStore(bytes.NewReader([]byte(src)), StoreOptions{BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := st.Signal("top.quiet")
+	if !ok {
+		t.Fatal("zero-change signal not declared")
+	}
+	if ts.NumChanges() != 0 {
+		t.Fatalf("NumChanges = %d", ts.NumChanges())
+	}
+	for _, tm := range []uint64{0, 1, 50, 100} {
+		if ts.ValueAt(tm) != 0 {
+			t.Fatalf("ValueAt(%d) != 0", tm)
+		}
+	}
+	state := make([]uint64, st.NumSignals())
+	st.ApplyUpTo(Cursor{}, st.MaxTime, state)
+	if state[ts.Index()] != 0 {
+		t.Fatalf("sweep wrote %d into zero-change slot", state[ts.Index()])
+	}
+	st.Materialize("top.quiet")
+	if !ts.Materialized() {
+		t.Fatal("zero-change signal not materialized")
+	}
+	if ts.ValueAt(50) != 0 {
+		t.Fatal("materialized zero-change signal nonzero")
+	}
+}
+
+// TestTimelineLRUBudget pins the materialized-timeline byte bound:
+// when successive dependency unions push the resident set over the
+// budget, the least recently advised timelines drop back to
+// block-index form — and answers do not change.
+func TestTimelineLRUBudget(t *testing.T) {
+	data := recordDesign(t, 300)
+	st, err := ParseStore(bytes.NewReader(data), StoreOptions{BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := st.SignalNames()
+	if len(names) < 4 {
+		t.Fatalf("need >= 4 signals, have %d", len(names))
+	}
+	// Budget that fits roughly half the signals' timelines.
+	total := 0
+	for _, n := range names {
+		ss, _ := st.Signal(n)
+		total += 16 * ss.NumChanges()
+	}
+	st.SetTimelineBudget(total / 2)
+
+	half := len(names) / 2
+	st.Materialize(names[:half]...)
+	st.Materialize(names[half:]...)
+	if got := st.TimelineBytes(); got > total/2 {
+		t.Fatalf("TimelineBytes = %d, budget %d", got, total/2)
+	}
+	// The most recent union survives preferentially: at least one of the
+	// second batch must be resident, and evicted signals still answer.
+	resident := 0
+	for _, n := range names[half:] {
+		ss, _ := st.Signal(n)
+		if ss.Materialized() {
+			resident++
+		}
+	}
+	if resident == 0 {
+		t.Fatal("entire most-recent union evicted")
+	}
+	for _, n := range names {
+		es, _ := tr.Signal(n)
+		ss, _ := st.Signal(n)
+		for tm := uint64(0); tm <= st.MaxTime; tm += 7 {
+			if got, want := ss.ValueAt(tm), es.ValueAt(tm); got != want {
+				t.Fatalf("post-eviction %s@%d = %d, want %d", n, tm, got, want)
+			}
+		}
+	}
+	// Re-advising an evicted union re-materializes it.
+	st.SetTimelineBudget(0)
+	st.Materialize(names...)
+	for _, n := range names {
+		ss, _ := st.Signal(n)
+		if !ss.Materialized() {
+			t.Fatalf("%s not rematerialized under default budget", n)
+		}
 	}
 }
 

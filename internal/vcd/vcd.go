@@ -146,11 +146,22 @@ func (ts *TraceSignal) ChangeCountAt(t uint64) int {
 	return sort.Search(len(ts.times), func(i int) bool { return ts.times[i] > t })
 }
 
+// ParseStats counts events on the parse path that change what the
+// trace representation can answer. Both Parse and ParseStore fill it.
+type ParseStats struct {
+	// WideChanges counts vector changes wider than 64 bits whose high
+	// bits were masked away. The value model is two-state and 64-bit
+	// end to end (ROADMAP item 3); until that lands, wide buses keep
+	// their low 64 bits instead of aborting the whole parse.
+	WideChanges int
+}
+
 // Trace is a parsed VCD file.
 type Trace struct {
 	Signals   map[string]*TraceSignal
 	Hierarchy *rtl.InstanceNode
 	MaxTime   uint64
+	Stats     ParseStats
 }
 
 // Signal returns a signal timeline by full path.
@@ -221,19 +232,29 @@ func (h *hierBuilder) declare(local string) (full string) {
 	return full
 }
 
+// maxLineBytes caps one VCD line. Vector changes carry one binary
+// digit per bus bit, so very wide buses produce very long lines; 64
+// MiB admits multi-megabit vectors while still bounding a hostile
+// unterminated stream.
+const maxLineBytes = 64 << 20
+
 // scanVCD reads a VCD stream line by line, maintaining scope nesting
 // in h and dispatching declarations and value changes to ev; the
 // current time and the maximum timestamp seen are tracked here, in the
 // one place both parsers share, and the latter is returned. Only the
 // constructs produced by Recorder and common simulators are supported:
 // $scope/$var/$upscope nesting, scalar and binary vector changes, and
-// #time markers.
-func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err error) {
+// #time markers. #time markers must be non-decreasing — that is the
+// vcdEvents.change contract ParseStore's delta encoding depends on —
+// and a regression is rejected with a positioned error.
+func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, stats ParseStats, err error) {
 	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
 	inDefs := true
 	var curTime uint64
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
@@ -242,7 +263,7 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err er
 		case strings.HasPrefix(line, "$scope"):
 			f := strings.Fields(line)
 			if len(f) < 3 {
-				return 0, fmt.Errorf("vcd: malformed scope line %q", line)
+				return 0, stats, fmt.Errorf("vcd: line %d: malformed scope line %q", lineNo, line)
 			}
 			h.enter(f[2])
 		case strings.HasPrefix(line, "$upscope"):
@@ -251,11 +272,11 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err er
 			// $var wire <width> <id> <name> [...] $end
 			f := strings.Fields(line)
 			if len(f) < 5 {
-				return 0, fmt.Errorf("vcd: malformed var line %q", line)
+				return 0, stats, fmt.Errorf("vcd: line %d: malformed var line %q", lineNo, line)
 			}
 			width, err := strconv.Atoi(f[2])
-			if err != nil {
-				return 0, fmt.Errorf("vcd: bad width in %q", line)
+			if err != nil || width < 0 {
+				return 0, stats, fmt.Errorf("vcd: line %d: bad width in %q", lineNo, line)
 			}
 			id, local := f[3], f[4]
 			ev.vardecl(id, width, h.declare(local), local)
@@ -267,7 +288,14 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err er
 		case line[0] == '#':
 			t, err := strconv.ParseUint(line[1:], 10, 64)
 			if err != nil {
-				return 0, fmt.Errorf("vcd: bad timestamp %q", line)
+				return 0, stats, fmt.Errorf("vcd: line %d: bad timestamp %q", lineNo, line)
+			}
+			if t < curTime {
+				// A regressed timestamp would make ParseStore's time-delta
+				// encoding underflow and silently corrupt the block record
+				// stream; reject it where the position is still known.
+				return 0, stats, fmt.Errorf("vcd: line %d: timestamp #%d went backwards (previous #%d)",
+					lineNo, t, curTime)
 			}
 			curTime = t
 			if t > maxTime {
@@ -279,7 +307,7 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err er
 			}
 			sp := strings.IndexByte(line, ' ')
 			if sp < 0 {
-				return 0, fmt.Errorf("vcd: malformed vector change %q", line)
+				return 0, stats, fmt.Errorf("vcd: line %d: malformed vector change %q", lineNo, line)
 			}
 			raw := line[1:sp]
 			// x/z states decay to 0 (two-state simulation).
@@ -289,9 +317,16 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err er
 				}
 				return r
 			}, raw)
+			if len(raw) > 64 {
+				// Wider than the 64-bit value model: keep the low 64 bits
+				// rather than aborting the parse on ParseUint overflow.
+				// Counted in stats; see ParseStats.WideChanges.
+				raw = raw[len(raw)-64:]
+				stats.WideChanges++
+			}
 			bits, err := strconv.ParseUint(raw, 2, 64)
 			if err != nil {
-				return 0, fmt.Errorf("vcd: bad vector value %q", line)
+				return 0, stats, fmt.Errorf("vcd: line %d: bad vector value %q", lineNo, line)
 			}
 			ev.change(strings.TrimSpace(line[sp+1:]), curTime, bits)
 		case line[0] == '0' || line[0] == '1' || line[0] == 'x' || line[0] == 'z' ||
@@ -306,7 +341,7 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, err er
 			ev.change(line[1:], curTime, bit)
 		}
 	}
-	return maxTime, sc.Err()
+	return maxTime, stats, sc.Err()
 }
 
 // Parse reads a VCD stream into eagerly materialized per-signal
@@ -317,7 +352,7 @@ func Parse(rd io.Reader) (*Trace, error) {
 	tr := &Trace{Signals: map[string]*TraceSignal{}}
 	byID := map[string]*TraceSignal{}
 	var h hierBuilder
-	maxTime, err := scanVCD(rd, &h, vcdEvents{
+	maxTime, stats, err := scanVCD(rd, &h, vcdEvents{
 		vardecl: func(id string, width int, full, local string) {
 			ts := &TraceSignal{Name: full, Width: width}
 			tr.Signals[full] = ts
@@ -337,5 +372,6 @@ func Parse(rd io.Reader) (*Trace, error) {
 	}
 	tr.MaxTime = maxTime
 	tr.Hierarchy = h.root
+	tr.Stats = stats
 	return tr, nil
 }

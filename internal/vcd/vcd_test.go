@@ -2,6 +2,8 @@ package vcd
 
 import (
 	"bytes"
+	"fmt"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -173,6 +175,124 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(strings.NewReader(src)); err == nil {
 			t.Errorf("accepted malformed VCD %q", src)
 		}
+	}
+}
+
+// TestTimeRegressionRejected pins the scanVCD timestamp contract: a
+// regressed #time marker must fail the parse with a positioned error,
+// not flow into ParseStore where the time-delta encoding would
+// underflow and silently corrupt the block record stream.
+func TestTimeRegressionRejected(t *testing.T) {
+	src := `$scope module top $end
+$var wire 1 ! clk $end
+$upscope $end
+$enddefinitions $end
+#0
+1!
+#5
+0!
+#3
+1!
+`
+	for name, parse := range map[string]func() error{
+		"Parse": func() error { _, err := Parse(strings.NewReader(src)); return err },
+		"ParseStore": func() error {
+			_, err := ParseStore(strings.NewReader(src), StoreOptions{BlockSize: 4})
+			return err
+		},
+	} {
+		err := parse()
+		if err == nil {
+			t.Fatalf("%s accepted a regressed timestamp", name)
+		}
+		// The error must point at the offending line (line 9: "#3").
+		if !strings.Contains(err.Error(), "line 9") || !strings.Contains(err.Error(), "backwards") {
+			t.Fatalf("%s: unpositioned regression error: %v", name, err)
+		}
+	}
+	// Equal timestamps are legal (repeated #t markers appear in real
+	// dumps) and must still parse.
+	ok := strings.Replace(src, "#3", "#5", 1)
+	if _, err := Parse(strings.NewReader(ok)); err != nil {
+		t.Fatalf("repeated timestamp rejected: %v", err)
+	}
+}
+
+// TestWideVectorMasked pins the wide-bus interim semantics: a vector
+// change wider than 64 bits keeps its low 64 bits (counted in
+// ParseStats.WideChanges) instead of aborting the whole parse on
+// ParseUint overflow. Full-width values arrive with ROADMAP item 3.
+func TestWideVectorMasked(t *testing.T) {
+	// 100-bit vector: 36 high bits set, low 64 bits a known pattern.
+	high := strings.Repeat("1", 36)
+	low := "1010" + strings.Repeat("0", 56) + "1101"
+	src := `$scope module top $end
+$var wire 100 ! bus $end
+$var wire 1 " clk $end
+$upscope $end
+$enddefinitions $end
+#0
+b` + high + low + ` !
+0"
+#1
+b101 !
+`
+	want, err := strconv.ParseUint(low, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("wide vector aborted parse: %v", err)
+	}
+	ts, _ := tr.Signal("top.bus")
+	if got := ts.ValueAt(0); got != want {
+		t.Fatalf("wide vector low bits = %#x, want %#x", got, want)
+	}
+	if got := ts.ValueAt(1); got != 0b101 {
+		t.Fatalf("narrow follow-up = %#x", got)
+	}
+	if tr.Stats.WideChanges != 1 {
+		t.Fatalf("Stats.WideChanges = %d, want 1", tr.Stats.WideChanges)
+	}
+	st, err := ParseStore(strings.NewReader(src), StoreOptions{})
+	if err != nil {
+		t.Fatalf("wide vector aborted store parse: %v", err)
+	}
+	ss, _ := st.Signal("top.bus")
+	if got := ss.ValueAt(0); got != want {
+		t.Fatalf("store wide vector low bits = %#x, want %#x", got, want)
+	}
+	if st.Stats.WideChanges != 1 {
+		t.Fatalf("store Stats.WideChanges = %d, want 1", st.Stats.WideChanges)
+	}
+}
+
+// TestVeryLongLines pins the scanner buffer fix: a single change line
+// for a multi-megabit bus blows bufio.Scanner's default 64 KiB token
+// cap and used to kill the whole trace.
+func TestVeryLongLines(t *testing.T) {
+	const wideBits = 2 << 20 // one 2 Mib vector change = a ~2 MiB line
+	var sb strings.Builder
+	sb.WriteString("$scope module top $end\n")
+	fmt.Fprintf(&sb, "$var wire %d ! bus $end\n", wideBits)
+	sb.WriteString("$upscope $end\n$enddefinitions $end\n#0\nb")
+	sb.WriteString(strings.Repeat("0", wideBits-64))
+	sb.WriteString("1" + strings.Repeat("0", 62) + "1")
+	sb.WriteString(" !\n#1\nb11 !\n")
+	tr, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("long line killed parse: %v", err)
+	}
+	ts, _ := tr.Signal("top.bus")
+	if got := ts.ValueAt(0); got != 1<<63|1 {
+		t.Fatalf("long-line value = %#x", got)
+	}
+	if got := ts.ValueAt(1); got != 0b11 {
+		t.Fatalf("follow-up value = %#x", got)
+	}
+	if tr.Stats.WideChanges != 1 {
+		t.Fatalf("Stats.WideChanges = %d, want 1", tr.Stats.WideChanges)
 	}
 }
 
