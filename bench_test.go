@@ -226,90 +226,6 @@ park:
 // (conditions, CSE segments, shared reads, deduplicated operands) is
 // reported as metrics on the /fused run.
 func BenchmarkFig5Fused(b *testing.B) {
-	const nInst = 16
-	const nStmts = 8
-	build := func(b *testing.B) (*sim.Simulator, *core.Runtime) {
-		c := generator.NewCircuit("Top")
-		child := c.NewModule("Leaf")
-		d := child.Input("d", ir.UIntType(8))
-		q := child.Output("q", ir.UIntType(8))
-		acc := child.RegInit("acc", ir.UIntType(8), child.Lit(0, 8))
-		// Nested conditionals: statement j's SSA enable is the chain
-		// d[0] && … && d[j], so the instance's 8 enables share nested
-		// prefixes — the cross-condition structure the fuser's CSE
-		// hoists into the shared prelude.
-		var nest func(j int)
-		nest = func(j int) {
-			if j >= nStmts {
-				return
-			}
-			child.When(d.Bit(j), func() {
-				acc.Set(acc.AddMod(child.Lit(uint64(j+1), 8)))
-				nest(j + 1)
-			})
-		}
-		nest(0)
-		q.Set(acc)
-		top := c.NewModule("Top")
-		x := top.Input("x", ir.UIntType(8))
-		y := top.Output("y", ir.UIntType(8))
-		sum := top.Wire("s", ir.UIntType(8))
-		sum.Set(top.Lit(0, 8))
-		for i := 0; i < nInst; i++ {
-			u := top.Instance("u"+string(rune('a'+i)), child)
-			u.IO("d").Set(x)
-			sum.Set(sum.AddMod(u.IO("q")))
-		}
-		y.Set(sum)
-		comp, err := passes.Compile(c.MustBuild(), false)
-		if err != nil {
-			b.Fatal(err)
-		}
-		table, err := symtab.Build(comp)
-		if err != nil {
-			b.Fatal(err)
-		}
-		nl, err := rtl.Elaborate(comp.Circuit)
-		if err != nil {
-			b.Fatal(err)
-		}
-		s := sim.New(nl)
-		rt, err := core.New(vpi.NewSimBackend(s), table)
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Arm every conditional Leaf statement across all instances, each
-		// with a never-true user condition sharing structure with its
-		// siblings (same source per statement across the 16 instances, a
-		// common "acc"-over-the-same-slot shape within each instance).
-		armed := 0
-		stmt := 0
-		for _, f := range table.Files() {
-			for _, l := range table.Lines(f) {
-				bps := table.BreakpointsAt(f, l)
-				if len(bps) == 0 || bps[0].Enable == "" {
-					continue
-				}
-				// The first clause is identical across the instance's 8
-				// statements and reads the same acc slot, so the fuser
-				// hoists it once per instance; the second clause keeps
-				// each condition distinct. mod-13 can never equal 77, so
-				// no stop fires and the runs measure pure armed cost.
-				cond := fmt.Sprintf("acc %% 13 == 77 && acc[3:0] != %d", stmt)
-				ids, err := rt.AddBreakpoint(f, l, cond)
-				if err != nil {
-					b.Fatal(err)
-				}
-				armed += len(ids)
-				stmt++
-			}
-		}
-		if armed < 100 {
-			b.Fatalf("armed %d breakpoints, want 100+", armed)
-		}
-		rt.SetHandler(func(*core.StopEvent) core.Command { return core.CmdContinue })
-		return s, rt
-	}
 	for _, mode := range []struct {
 		name      string
 		configure func(*core.Runtime)
@@ -320,7 +236,7 @@ func BenchmarkFig5Fused(b *testing.B) {
 	} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
-			s, rt := build(b)
+			s, rt := buildFig5FusedBench(b)
 			mode.configure(rt)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -340,6 +256,94 @@ func BenchmarkFig5Fused(b *testing.B) {
 			}
 		})
 	}
+}
+
+// buildFig5FusedBench builds the BenchmarkFig5Fused workload: the
+// 16-instance design with 128 armed never-true conditional
+// breakpoints. Shared with TestFig5FusedRef, the CI cost gate.
+func buildFig5FusedBench(tb testing.TB) (*sim.Simulator, *core.Runtime) {
+	const nInst = 16
+	const nStmts = 8
+	c := generator.NewCircuit("Top")
+	child := c.NewModule("Leaf")
+	d := child.Input("d", ir.UIntType(8))
+	q := child.Output("q", ir.UIntType(8))
+	acc := child.RegInit("acc", ir.UIntType(8), child.Lit(0, 8))
+	// Nested conditionals: statement j's SSA enable is the chain
+	// d[0] && … && d[j], so the instance's 8 enables share nested
+	// prefixes — the cross-condition structure the fuser's CSE
+	// hoists into the shared prelude.
+	var nest func(j int)
+	nest = func(j int) {
+		if j >= nStmts {
+			return
+		}
+		child.When(d.Bit(j), func() {
+			acc.Set(acc.AddMod(child.Lit(uint64(j+1), 8)))
+			nest(j + 1)
+		})
+	}
+	nest(0)
+	q.Set(acc)
+	top := c.NewModule("Top")
+	x := top.Input("x", ir.UIntType(8))
+	y := top.Output("y", ir.UIntType(8))
+	sum := top.Wire("s", ir.UIntType(8))
+	sum.Set(top.Lit(0, 8))
+	for i := 0; i < nInst; i++ {
+		u := top.Instance("u"+string(rune('a'+i)), child)
+		u.IO("d").Set(x)
+		sum.Set(sum.AddMod(u.IO("q")))
+	}
+	y.Set(sum)
+	comp, err := passes.Compile(c.MustBuild(), false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	table, err := symtab.Build(comp)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	nl, err := rtl.Elaborate(comp.Circuit)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := sim.New(nl)
+	rt, err := core.New(vpi.NewSimBackend(s), table)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Arm every conditional Leaf statement across all instances, each
+	// with a never-true user condition sharing structure with its
+	// siblings (same source per statement across the 16 instances, a
+	// common "acc"-over-the-same-slot shape within each instance).
+	armed := 0
+	stmt := 0
+	for _, f := range table.Files() {
+		for _, l := range table.Lines(f) {
+			bps := table.BreakpointsAt(f, l)
+			if len(bps) == 0 || bps[0].Enable == "" {
+				continue
+			}
+			// The first clause is identical across the instance's 8
+			// statements and reads the same acc slot, so the fuser
+			// hoists it once per instance; the second clause keeps
+			// each condition distinct. mod-13 can never equal 77, so
+			// no stop fires and the runs measure pure armed cost.
+			cond := fmt.Sprintf("acc %% 13 == 77 && acc[3:0] != %d", stmt)
+			ids, err := rt.AddBreakpoint(f, l, cond)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			armed += len(ids)
+			stmt++
+		}
+	}
+	if armed < 100 {
+		tb.Fatalf("armed %d breakpoints, want 100+", armed)
+	}
+	rt.SetHandler(func(*core.StopEvent) core.Command { return core.CmdContinue })
+	return s, rt
 }
 
 // buildCounterNetlist makes a small design for microbenchmarks.

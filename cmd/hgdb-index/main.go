@@ -44,9 +44,11 @@ func main() {
 	log.Printf("indexed %s -> %s in %s", *vcdPath, outPath, time.Since(start).Round(time.Millisecond))
 	log.Printf("  %d cycles, %d signals, %d changes in %d blocks, %s store",
 		stats.MaxTime, stats.Signals, stats.Changes, stats.Blocks, fmtBytes(int(stats.Bytes)))
-	if stats.Parse.WideChanges > 0 {
-		log.Printf("  note: %d vector changes wider than 64 bits were masked to their low 64 bits",
-			stats.Parse.WideChanges)
+	if stats.Parse.MaxWidth > 0 {
+		log.Printf("  widest change literal: %d bits", stats.Parse.MaxWidth)
+	}
+	if stats.Parse.XZChanges > 0 {
+		log.Printf("  %d changes carry x/z bits (four-state records)", stats.Parse.XZChanges)
 	}
 }
 

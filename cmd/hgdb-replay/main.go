@@ -62,6 +62,7 @@ func main() {
 		log.Printf("indexed %s -> %s (%d cycles, %d signals, %d changes in %d blocks, %s)",
 			*vcdPath, *index, stats.MaxTime, stats.Signals, stats.Changes,
 			stats.Blocks, fmtBytes(int(stats.Bytes)))
+		logFourState(stats.Parse)
 		return
 	}
 	if *vcdPath == "" || *symtabPath == "" {
@@ -112,6 +113,7 @@ func main() {
 	log.Printf("replaying %s (%d cycles, %d signals, %d changes in %d blocks, %s index) on %s",
 		*vcdPath, store.MaxTime, store.NumSignals(), store.NumChanges(),
 		store.NumBlocks(), fmtBytes(store.IndexBytes()), addr)
+	logFourState(store.Stats)
 
 	if *auto {
 		for eng.StepForward() {
@@ -130,6 +132,18 @@ func main() {
 		}
 	}
 	srv.Close()
+}
+
+// logFourState reports the trace's four-state footprint: the widest
+// change literal seen and how many changes carry x/z bits. Silent for
+// plain two-state, ≤64-bit traces.
+func logFourState(ps vcd.ParseStats) {
+	if ps.MaxWidth > 0 {
+		log.Printf("  widest change literal: %d bits", ps.MaxWidth)
+	}
+	if ps.XZChanges > 0 {
+		log.Printf("  %d changes carry x/z bits (four-state records)", ps.XZChanges)
+	}
 }
 
 // fmtBytes renders a byte count with a binary unit suffix.

@@ -112,6 +112,11 @@ func printStop(stop *core.StopEvent) {
 	if len(stop.Watch) > 0 {
 		fmt.Printf("\nwatchpoint hit [time %d]\n", stop.Time)
 		for _, wh := range stop.Watch {
+			if wh.OldDisplay != "" || wh.NewDisplay != "" {
+				// Four-state / wide values travel as rendered literals.
+				fmt.Printf("  #%d %s @%s: %s -> %s\n", wh.ID, wh.Expr, wh.Instance, wh.OldDisplay, wh.NewDisplay)
+				continue
+			}
 			fmt.Printf("  #%d %s @%s: %d -> %d\n", wh.ID, wh.Expr, wh.Instance, wh.Old, wh.New)
 		}
 		return
@@ -142,6 +147,11 @@ func printStructured(sv core.StructuredVar, indent string) {
 			// The runtime could not read the signal this stop (replay
 			// gap / optimized-away net); keep the slot visible.
 			fmt.Printf("%s%s = <unknown>\n", indent, sv.Name)
+			return
+		}
+		if sv.Leaf.HasX() || len(sv.Leaf.Hi) > 0 {
+			// Four-state or >64-bit: the Verilog literal is the value.
+			fmt.Printf("%s%s = %s (%d bits)\n", indent, sv.Name, sv.Leaf.Display(), sv.Leaf.Width)
 			return
 		}
 		fmt.Printf("%s%s = %d (0x%x, %d bits)\n", indent, sv.Name, sv.Leaf.Value, sv.Leaf.Value, sv.Leaf.Width)
@@ -197,7 +207,11 @@ func execute(cl *client.Client, line string) bool {
 			fmt.Println(err)
 			return false
 		}
-		fmt.Printf("%s = %d (0x%x, %d bits)\n", args[0], v.Value, v.Value, v.Width)
+		if v.Display != "" {
+			fmt.Printf("%s = %s (%d bits)\n", args[0], v.Display, v.Width)
+		} else {
+			fmt.Printf("%s = %d (0x%x, %d bits)\n", args[0], v.Value, v.Value, v.Width)
+		}
 	case "set":
 		if len(args) != 2 {
 			fmt.Println("usage: set <path> <value>")
@@ -393,6 +407,10 @@ func doPrint(cl *client.Client, args []string) {
 	v, err := cl.Evaluate(instance, strings.Join(exprParts, " "))
 	if err != nil {
 		fmt.Println(err)
+		return
+	}
+	if v.Display != "" {
+		fmt.Printf("= %s (%d bits)\n", v.Display, v.Width)
 		return
 	}
 	fmt.Printf("= %d (0x%x, %d bits)\n", v.Value, v.Value, v.Width)

@@ -121,9 +121,12 @@ func runStopsWith(t *testing.T, w *riscv.Workload, choices []bpChoice, configure
 		for _, th := range ev.Threads {
 			sig += fmt.Sprintf(" [%s#%d", th.Instance, th.BreakpointID)
 			for _, v := range th.Locals {
-				sig += fmt.Sprintf(" %s=%d/%v", v.Name, v.Value, v.Unknown)
+				sig += fmt.Sprintf(" %s=%d/%v/%s", v.Name, v.Value, v.Unknown, v.Display())
 			}
 			sig += "]"
+		}
+		for _, wh := range ev.Watch {
+			sig += fmt.Sprintf(" w%d:%d->%d/%s->%s", wh.ID, wh.Old, wh.New, wh.OldDisplay, wh.NewDisplay)
 		}
 		stops = append(stops, sig)
 		if len(stops) >= stopCap {

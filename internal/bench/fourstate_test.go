@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/riscv"
+)
+
+// This file pins the two-state fast path to the four-state general
+// evaluator over the real Figure 5 machines: on all-known RISC-V
+// workloads the compiled/fused eval.Value pipeline and the val.Bits
+// tree walk must produce bit-identical stop sequences and frame
+// contents — the guarantee that lets the runtime keep the fast path as
+// the default and fall to the general path only per-signal.
+
+// TestGeneralEvalStopEquivalenceRISCV runs randomized breakpoint sets
+// (a third conditional, with case equality sprinkled in) twice per
+// workload — once on the default fast pipeline, once with
+// SetGeneralEval forcing every condition through the four-state
+// tree walk — and requires identical stop signatures, including every
+// frame variable's value, unknown flag, and rendered display.
+func TestGeneralEvalStopEquivalenceRISCV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs")
+	}
+	byName := workloadsByName()
+	for _, tc := range []struct {
+		workload string
+		seed     uint64
+	}{
+		{"towers", 0x9E3779B97F4A7C15},
+		{"vvadd", 0xBF58476D1CE4E5B9},
+		{"mt-idle", 0x94D049BB133111EB},
+	} {
+		ws := byName[tc.workload]
+		if len(ws) == 0 {
+			t.Fatalf("workload %s missing", tc.workload)
+		}
+		w := ws[0]
+		t.Run(tc.workload, func(t *testing.T) {
+			probe, err := riscv.NewMachine(map[bool]int{true: 2, false: 1}[w.MT], false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rnd := xorshift(tc.seed)
+			choices := chooseBreakpoints(probe, rnd, 8)
+			// Sprinkle case equality into the conditions: on known
+			// two-state values === compiles to the same program as ==,
+			// but takes the CaseEq path in the general evaluator — both
+			// sides of the differential must agree anyway.
+			for i := range choices {
+				if i%2 == 0 && choices[i].cond != "" {
+					choices[i].cond = strings.Replace(choices[i].cond, "==", "===", 1)
+				}
+			}
+			fast, rtFast := runStopsWith(t, w, choices, func(*core.Runtime) {})
+			general, rtGen := runStopsWith(t, w, choices,
+				func(rt *core.Runtime) { rt.SetGeneralEval(true) })
+			if rtGen.FusedRuns() != 0 {
+				t.Fatal("general-eval mode still executed the fused program")
+			}
+			if len(general) != len(fast) {
+				t.Fatalf("stop counts differ: general=%d fast=%d", len(general), len(fast))
+			}
+			for i := range general {
+				if general[i] != fast[i] {
+					t.Fatalf("stop %d differs:\ngeneral: %s\nfast:    %s", i, general[i], fast[i])
+				}
+			}
+			t.Logf("%s: %d stops identical across fast (fused runs=%d) and general paths",
+				tc.workload, len(fast), rtFast.FusedRuns())
+		})
+	}
+}

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/expr"
+	"repro/internal/val"
+	"repro/internal/vpi"
 )
 
 // pathResolver resolves through the breakpoint's precomputed path map.
@@ -15,6 +17,18 @@ func (ibp *insertedBP) pathResolver(rt *Runtime) expr.Resolver {
 			return rt.backend.GetValue(full)
 		}
 		return rt.backend.GetValue(rt.remap.ToSim(ibp.bp.InstanceName + "." + name))
+	})
+}
+
+// pathBitsResolver is pathResolver's four-state counterpart, used by
+// the general evaluator fallback when a condition touches x/z bits or
+// a wide signal.
+func (ibp *insertedBP) pathBitsResolver(rt *Runtime) expr.BitsResolver {
+	return expr.BitsResolverFunc(func(name string) (val.Bits, error) {
+		if full, ok := ibp.paths[name]; ok {
+			return vpi.ReadBits(rt.backend, full)
+		}
+		return vpi.ReadBits(rt.backend, rt.remap.ToSim(ibp.bp.InstanceName+"."+name))
 	})
 }
 
@@ -111,11 +125,13 @@ func trimZeros(s string) string {
 // between stops — it emits the variable with the Unknown marker so
 // clients can render a placeholder.
 func (rt *Runtime) frameVar(name, full string) Variable {
-	v, err := rt.backend.GetValue(full)
+	b, err := vpi.ReadBits(rt.backend, full)
 	if err != nil {
 		return Variable{Name: name, RTL: full, Unknown: true}
 	}
-	return Variable{Name: name, Value: v.Bits, Width: v.Width, RTL: full}
+	v := Variable{Name: name, RTL: full}
+	v.SetBits(b)
+	return v
 }
 
 // Evaluate computes a watch expression in the context of an instance
@@ -136,6 +152,29 @@ func (rt *Runtime) Evaluate(instance, src string) (eval.Value, error) {
 			return v, nil
 		}
 		return eval.Value{}, fmt.Errorf("core: cannot resolve %q in %s", name, instance)
+	}))
+}
+
+// EvaluateBits computes a watch expression with full four-state,
+// arbitrary-width semantics — the path the protocol's evaluate request
+// uses, so x/z and >64-bit signals render instead of erroring. Name
+// resolution follows the same chain as Evaluate.
+func (rt *Runtime) EvaluateBits(instance, src string) (val.Bits, error) {
+	n, err := expr.Parse(src)
+	if err != nil {
+		return val.Bits{}, err
+	}
+	return expr.EvalBits(n, expr.BitsResolverFunc(func(name string) (val.Bits, error) {
+		if rtlPath, err := rt.table.ResolveInstanceVar(instance, name); err == nil {
+			return vpi.ReadBits(rt.backend, rt.remap.ToSim(rtlPath))
+		}
+		if b, err := vpi.ReadBits(rt.backend, rt.remap.ToSim(instance+"."+name)); err == nil {
+			return b, nil
+		}
+		if b, err := vpi.ReadBits(rt.backend, name); err == nil {
+			return b, nil
+		}
+		return val.Bits{}, fmt.Errorf("core: cannot resolve %q in %s", name, instance)
 	}))
 }
 

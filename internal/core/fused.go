@@ -124,7 +124,9 @@ func (rt *Runtime) rebuildFused() {
 			if !ok {
 				continue
 			}
-			if slotsFused(armed.enableProg, armed.enableSlots) && slotsFused(armed.condProg, armed.condSlots) {
+			if !armed.generalOnly() &&
+				slotsFused(armed.enableProg, armed.enableSlots) &&
+				slotsFused(armed.condProg, armed.condSlots) {
 				fs.groupConds[gi] = append(fs.groupConds[gi], int32(len(fconds)))
 				fconds = append(fconds, expr.FusedCondition{
 					Enable:      armed.enableProg,
@@ -205,7 +207,9 @@ func (rt *Runtime) rebuildFused() {
 // fusedOn reports whether the fused fast path is enabled (it also
 // requires activity-driven scheduling: SetExhaustiveEval(true) is the
 // everything-off differential baseline).
-func (rt *Runtime) fusedOn() bool { return !rt.fusedOff.Load() && rt.deltaOn() }
+func (rt *Runtime) fusedOn() bool {
+	return !rt.fusedOff.Load() && rt.deltaOn() && !rt.generalEval.Load()
+}
 
 // fusedReady returns the fused state with results current for time t,
 // executing the fused program if this edge has not run it yet (or a

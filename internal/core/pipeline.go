@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 
 	"repro/internal/eval"
@@ -130,7 +131,10 @@ func (rt *Runtime) resolveSourceName(bpID int64, instance, name string) (string,
 		return rt.remap.ToSim(rtlPath), true
 	}
 	local := rt.remap.ToSim(instance + "." + name)
-	if _, err := rt.backend.GetValue(local); err == nil {
+	// A four-state read error proves the signal exists; its value just
+	// routes through the general evaluator instead of the prefetch
+	// cache.
+	if _, err := rt.backend.GetValue(local); err == nil || errors.Is(err, vpi.ErrFourState) {
 		return local, true
 	}
 	return name, false
@@ -207,7 +211,11 @@ func (rt *Runtime) rebuildDeps() {
 			continue // not a schedulable statement; never evaluated
 		}
 		rt.groupArmed[gi]++
-		if !addGroupSlots(gi, ibp.enableSlots) || !addGroupSlots(gi, ibp.condSlots) {
+		if !addGroupSlots(gi, ibp.enableSlots) || !addGroupSlots(gi, ibp.condSlots) ||
+			ibp.generalOnly() {
+			// generalOnly: the condition's dependencies are invisible to
+			// the slot machinery (no compiled program), so its misses can
+			// never be proven stable.
 			rt.groupStatic[gi] = false
 		}
 	}

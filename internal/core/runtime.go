@@ -15,6 +15,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sort"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/expr"
 	"repro/internal/symtab"
+	"repro/internal/val"
 	"repro/internal/vpi"
 )
 
@@ -75,6 +77,92 @@ type Variable struct {
 	// set, and the marker travels the wire unchanged (core.StopEvent is
 	// the protocol's stop payload).
 	Unknown bool `json:"unknown,omitempty"`
+	// X marks the unknown (x/z) bits of the low value word, VPI
+	// aval/bval style: an X bit set means that position is not a known
+	// 0/1, and the corresponding Value bit then distinguishes x (0)
+	// from z (1). Two-state values leave it zero, so their wire frames
+	// are byte-identical to the pre-four-state encoding.
+	X uint64 `json:"x,omitempty"`
+	// Hi/XHi extend the value and x planes beyond 64 bits (words 1..,
+	// little-endian). Empty for values that fit one word.
+	Hi  []uint64 `json:"hi,omitempty"`
+	XHi []uint64 `json:"xhi,omitempty"`
+}
+
+// SetBits stores a four-state value into the variable's wire fields.
+// The encoding is normalized — an all-zero x plane is dropped — so
+// equal values always serialize identically regardless of how their
+// val.Bits were built.
+func (v *Variable) SetBits(b val.Bits) {
+	v.Value = b.V0
+	v.X = b.X0
+	v.Width = b.Width
+	v.Hi, v.XHi = nil, nil
+	if b.IsWide() {
+		v.Hi = append([]uint64(nil), b.VH...)
+		for _, w := range b.XH {
+			if w != 0 {
+				v.XHi = append([]uint64(nil), b.XH...)
+				break
+			}
+		}
+	}
+}
+
+// BitsValue reconstructs the four-state value from the wire fields.
+// Fields that arrived over the wire are normalized (masked to Width)
+// rather than trusted.
+func (v *Variable) BitsValue() val.Bits {
+	if len(v.Hi) == 0 && len(v.XHi) == 0 {
+		return val.FromPlanes([]uint64{v.Value}, []uint64{v.X}, v.Width)
+	}
+	vw := append([]uint64{v.Value}, v.Hi...)
+	xw := append([]uint64{v.X}, v.XHi...)
+	return val.FromPlanes(vw, xw, v.Width)
+}
+
+// HasX reports whether any bit of the value is x or z.
+func (v *Variable) HasX() bool {
+	if v.X != 0 {
+		return true
+	}
+	for _, w := range v.XHi {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Display renders the variable for a human: decimal for known ≤64-bit
+// values (what the debugger always showed), Verilog-style sized
+// literals ("8'b1x0z", "128'hdead...") for four-state or wide ones,
+// and "<unknown>" for failed reads.
+func (v *Variable) Display() string {
+	if v.Unknown {
+		return "<unknown>"
+	}
+	return v.BitsValue().String()
+}
+
+// EqualValue reports whether two variables carry bit-identical value
+// planes (shape — name, RTL path, width — is compared separately; see
+// proto's sameShape).
+func (v *Variable) EqualValue(o *Variable) bool {
+	return v.Value == o.Value && v.X == o.X && v.Unknown == o.Unknown &&
+		wordsEqual(v.Hi, o.Hi) && wordsEqual(v.XHi, o.XHi)
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Thread is one concurrent hardware instance stopped at a source
@@ -233,14 +321,15 @@ type Runtime struct {
 	// backend's vpi.ChangeReporter poll (which also lets the refresh
 	// re-read only the dirty slots) or from value diffing on a full
 	// refresh. See DESIGN.md "Activity-driven scheduling".
-	reporter   vpi.ChangeReporter // backend capability; nil if absent
-	deltaOff   atomic.Bool        // SetExhaustiveEval escape hatch
-	changedBuf []bool             // reporter poll scratch, aligned with depUnion
-	incoming   []eval.Value       // refresh scratch (read-then-diff)
-	dirtySlots []int              // slots to refresh this edge (partial path)
-	pathBuf    []string           // partial-refresh path gather scratch
-	valBuf     []eval.Value       // partial-refresh value scatter scratch
-	diffBase   bool               // prefetched holds values of this union generation
+	reporter    vpi.ChangeReporter // backend capability; nil if absent
+	deltaOff    atomic.Bool        // SetExhaustiveEval escape hatch
+	generalEval atomic.Bool        // SetGeneralEval: force four-state tree-walk
+	changedBuf  []bool             // reporter poll scratch, aligned with depUnion
+	incoming    []eval.Value       // refresh scratch (read-then-diff)
+	dirtySlots  []int              // slots to refresh this edge (partial path)
+	pathBuf     []string           // partial-refresh path gather scratch
+	valBuf      []eval.Value       // partial-refresh value scatter scratch
+	diffBase    bool               // prefetched holds values of this union generation
 
 	// Per-group scheduling state, indexed by position in allGroups and
 	// rebuilt with the dependency union: the slot→groups inverted
@@ -324,6 +413,14 @@ func (rt *Runtime) deltaOn() bool { return !rt.deltaOff.Load() }
 // execution is benchmarked against. Call before driving the simulation.
 func (rt *Runtime) SetFusedEval(on bool) { rt.fusedOff.Store(!on) }
 
+// SetGeneralEval (on=true) forces every condition through the general
+// four-state tree-walk evaluator instead of the compiled two-state
+// pipeline — the differential baseline that pins the fast path
+// bit-identical to four-state semantics on fully known designs. It
+// also suppresses fused execution, which is a two-state specialization
+// of the same conditions. Call before driving the simulation.
+func (rt *Runtime) SetGeneralEval(on bool) { rt.generalEval.Store(on) }
+
 // FuseInfo reports the current fused schedule's shape: fused condition
 // count, CSE shared segments, shared-register reads those segments
 // replaced, and deduplicated operand count. ok is false when the fast
@@ -391,6 +488,16 @@ func (ibp *insertedBP) key() groupKey {
 	return groupKey{file: ibp.bp.Filename, line: ibp.bp.Line, ordinal: ibp.bp.Order}
 }
 
+// generalOnly reports whether any of the breakpoint's conditions parsed
+// but did not compile (four-state literals, wide constants): such a
+// member evaluates exclusively through the general four-state
+// evaluator, its dependencies stay out of the prefetch union, and its
+// group can never be proven a clean miss.
+func (ibp *insertedBP) generalOnly() bool {
+	return (ibp.enable != nil && ibp.enableProg == nil) ||
+		(ibp.cond != nil && ibp.condProg == nil)
+}
+
 // prepare parses and compiles the enable and user conditions of a
 // breakpoint, then resolves every dependency to its simulator path —
 // the compile-once half of the pipeline; per-cycle evaluation only
@@ -435,8 +542,11 @@ func (rt *Runtime) precomputePaths(ibp *insertedBP) {
 			p := rt.remap.ToSim(inst + "." + n)
 			ibp.paths[n] = p
 			ibp.enablePaths[i] = p
+			// A four-state read error still proves the signal exists —
+			// its value just needs the general evaluator, which the
+			// per-slot prefetch failure routes to.
 			_, err := rt.backend.GetValue(p)
-			ibp.enableVerified[i] = err == nil
+			ibp.enableVerified[i] = err == nil || errors.Is(err, vpi.ErrFourState)
 		}
 	}
 	if ibp.condProg != nil {
@@ -459,6 +569,25 @@ func (rt *Runtime) precomputePaths(ibp *insertedBP) {
 			ibp.paths[n] = p
 			ibp.condPaths[i] = p
 			ibp.condVerified[i] = ok
+		}
+	}
+	// Conditions without a compiled program (general-evaluator-only:
+	// four-state literals, wide constants) still get their names
+	// resolved through the same chains, so the EvalBits resolver sees
+	// the paths the compiled pipeline would have used.
+	if ibp.enable != nil && ibp.enableProg == nil {
+		for _, n := range expr.Names(ibp.enable) {
+			if _, done := ibp.paths[n]; !done {
+				ibp.paths[n] = rt.remap.ToSim(inst + "." + n)
+			}
+		}
+	}
+	if ibp.cond != nil && ibp.condProg == nil {
+		for _, n := range expr.Names(ibp.cond) {
+			if _, done := ibp.paths[n]; !done {
+				p, _ := rt.resolveSourceName(ibp.bp.ID, inst, n)
+				ibp.paths[n] = p
+			}
 		}
 	}
 }

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"repro/internal/expr"
+	"repro/internal/val"
+)
+
 // onEdge is the clock-edge callback: the entire Figure 2 scheduling
 // loop. The first check is the fast path the paper's overhead argument
 // rests on — with no breakpoints inserted and no step pending, the
@@ -244,25 +249,75 @@ func (rt *Runtime) evaluateGroup(g *group, stepping bool, t uint64) []*insertedB
 // gathers operands eagerly, so a dependency that cannot be fetched
 // fails it even when the tree-walk would short-circuit past that
 // reference; on error the tree-walk reference decides, keeping the two
-// paths semantically identical.
+// paths semantically identical. When the two-state tree-walk also
+// fails — an operand carries x/z bits or exceeds 64 bits — the general
+// four-state evaluator is the final authority: the breakpoint hits
+// only when the condition is definitely true (x is not a hit, matching
+// Verilog's `if`).
 func (rt *Runtime) evalBP(ibp *insertedBP) bool {
-	if ibp.enableProg != nil {
-		v, err := ibp.execProg(rt, ibp.enableProg, ibp.enablePaths, ibp.enableSlots)
-		if err != nil {
-			v, err = ibp.enable.Eval(ibp.pathResolver(rt))
-		}
-		if err != nil || !v.IsTrue() {
-			return false
+	if rt.generalEval.Load() {
+		return rt.evalBPBits(ibp)
+	}
+	if ibp.enable != nil {
+		if ibp.enableProg == nil {
+			// Parsed but not compilable (four-state constructs): the
+			// general evaluator is the only path.
+			if !rt.condTruthBits(ibp, ibp.enable) {
+				return false
+			}
+		} else {
+			v, err := ibp.execProg(rt, ibp.enableProg, ibp.enablePaths, ibp.enableSlots)
+			if err != nil {
+				v, err = ibp.enable.Eval(ibp.pathResolver(rt))
+			}
+			if err != nil {
+				if !rt.condTruthBits(ibp, ibp.enable) {
+					return false
+				}
+			} else if !v.IsTrue() {
+				return false
+			}
 		}
 	}
-	if ibp.condProg != nil {
-		v, err := ibp.execProg(rt, ibp.condProg, ibp.condPaths, ibp.condSlots)
-		if err != nil {
-			v, err = ibp.cond.Eval(ibp.pathResolver(rt))
+	if ibp.cond != nil {
+		if ibp.condProg == nil {
+			if !rt.condTruthBits(ibp, ibp.cond) {
+				return false
+			}
+		} else {
+			v, err := ibp.execProg(rt, ibp.condProg, ibp.condPaths, ibp.condSlots)
+			if err != nil {
+				v, err = ibp.cond.Eval(ibp.pathResolver(rt))
+			}
+			if err != nil {
+				if !rt.condTruthBits(ibp, ibp.cond) {
+					return false
+				}
+			} else if !v.IsTrue() {
+				return false
+			}
 		}
-		if err != nil || !v.IsTrue() {
-			return false
-		}
+	}
+	return true
+}
+
+// condTruthBits evaluates one condition tree with the general
+// four-state evaluator and reports whether it is definitely true.
+func (rt *Runtime) condTruthBits(ibp *insertedBP, n expr.Node) bool {
+	b, err := expr.EvalBits(n, ibp.pathBitsResolver(rt))
+	return err == nil && b.Truth() == val.True
+}
+
+// evalBPBits is the all-general form of evalBP: both conditions walked
+// by the four-state evaluator, hits requiring definite truth. It is
+// the SetGeneralEval baseline the compiled pipeline is differentially
+// pinned against.
+func (rt *Runtime) evalBPBits(ibp *insertedBP) bool {
+	if ibp.enable != nil && !rt.condTruthBits(ibp, ibp.enable) {
+		return false
+	}
+	if ibp.cond != nil && !rt.condTruthBits(ibp, ibp.cond) {
+		return false
 	}
 	return true
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/eval"
 	"repro/internal/expr"
+	"repro/internal/val"
+	"repro/internal/vpi"
 )
 
 // Watchpoint is a data breakpoint: the simulation stops when the
@@ -30,7 +33,10 @@ type Watchpoint struct {
 	machine eval.Machine
 	opbuf   []eval.Value
 
-	last  eval.Value
+	// last is the previous value in the four-state plane; two-state
+	// results are lifted into it so the change compare is uniform
+	// across the compiled, tree-walk, and general paths.
+	last  val.Bits
 	armed bool
 	// fusedID is this watch's condition id in the whole-schedule fused
 	// program, or -1 when the watch rides the per-watch path (unfusable
@@ -56,21 +62,28 @@ func (rt *Runtime) AddWatch(instance, source string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// A nil program means the expression only runs on the general
+	// four-state evaluator; its dependencies come from the AST instead.
+	deps := expr.Names(n)
+	if prog != nil {
+		deps = prog.Deps
+	}
 	w := &Watchpoint{
 		Instance: instance,
 		Expr:     source,
 		node:     n,
 		prog:     prog,
-		paths:    make([]string, len(prog.Deps)),
-		pathOf:   make(map[string]string, len(prog.Deps)),
+		paths:    make([]string, len(deps)),
+		pathOf:   make(map[string]string, len(deps)),
 		fusedID:  -1,
 	}
-	for i, name := range prog.Deps {
+	for i, name := range deps {
 		path, verified := rt.resolveSourceName(-1, instance, name)
 		if !verified {
 			// Unlike a deferred breakpoint condition, a watch must
-			// resolve at add time: probe the absolute path now.
-			if _, err := rt.backend.GetValue(path); err != nil {
+			// resolve at add time: probe the absolute path now. A
+			// four-state read error still proves the signal exists.
+			if _, err := rt.backend.GetValue(path); err != nil && !errors.Is(err, vpi.ErrFourState) {
 				return 0, fmt.Errorf("core: watch: cannot resolve %q in %s", name, instance)
 			}
 		}
@@ -111,17 +124,31 @@ func (rt *Runtime) Watches() []*Watchpoint {
 
 // eval executes the compiled watch program against the per-cycle
 // prefetch cache; on an operand-fetch failure the tree-walk reference
-// decides (see evalBP). Watches run on the simulation goroutine only.
-func (w *Watchpoint) eval(rt *Runtime) (eval.Value, error) {
-	v, err := rt.execCompiled(w.prog, w.paths, w.slots, &w.machine, &w.opbuf)
-	if err == nil {
-		return v, nil
-	}
-	return w.node.Eval(expr.ResolverFunc(func(name string) (eval.Value, error) {
-		if full, ok := w.pathOf[name]; ok {
-			return rt.backend.GetValue(full)
+// decides, and when that fails too (x/z bits, >64-bit signals) the
+// general four-state evaluator is the final authority — the same
+// degradation chain as evalBP. Watches run on the simulation
+// goroutine only.
+func (w *Watchpoint) eval(rt *Runtime) (val.Bits, error) {
+	if w.prog != nil && !rt.generalEval.Load() {
+		v, err := rt.execCompiled(w.prog, w.paths, w.slots, &w.machine, &w.opbuf)
+		if err == nil {
+			return v.ToBits(), nil
 		}
-		return eval.Value{}, fmt.Errorf("core: watch: unresolved %q", name)
+		v, err = w.node.Eval(expr.ResolverFunc(func(name string) (eval.Value, error) {
+			if full, ok := w.pathOf[name]; ok {
+				return rt.backend.GetValue(full)
+			}
+			return eval.Value{}, fmt.Errorf("core: watch: unresolved %q", name)
+		}))
+		if err == nil {
+			return v.ToBits(), nil
+		}
+	}
+	return expr.EvalBits(w.node, expr.BitsResolverFunc(func(name string) (val.Bits, error) {
+		if full, ok := w.pathOf[name]; ok {
+			return vpi.ReadBits(rt.backend, full)
+		}
+		return val.Bits{}, fmt.Errorf("core: watch: unresolved %q", name)
 	}))
 }
 
@@ -168,12 +195,12 @@ func (rt *Runtime) checkWatches(time uint64) *StopEvent {
 			// cannot produce a hit.
 			continue
 		}
-		var v eval.Value
+		var b val.Bits
 		var err error
 		if fs != nil && w.fusedID >= 0 && fs.resOK[w.fusedID] {
-			v = fs.results[w.fusedID]
+			b = fs.results[w.fusedID].ToBits()
 		} else {
-			v, err = w.eval(rt)
+			b, err = w.eval(rt)
 		}
 		if err != nil {
 			w.canSkip = false
@@ -184,21 +211,28 @@ func (rt *Runtime) checkWatches(time uint64) *StopEvent {
 		}
 		if !w.armed {
 			w.armed = true
-			w.last = v
+			w.last = b
 			continue
 		}
-		if v != w.last {
+		if !b.CaseEq(w.last) || b.Width != w.last.Width {
 			if ev == nil {
 				ev = &StopEvent{Time: time, File: "<watch>", Watch: []WatchHit{}}
 			}
-			ev.Watch = append(ev.Watch, WatchHit{
+			hit := WatchHit{
 				ID:       w.ID,
 				Instance: w.Instance,
 				Expr:     w.Expr,
-				Old:      w.last.Bits,
-				New:      v.Bits,
-			})
-			w.last = v
+				Old:      w.last.V0,
+				New:      b.V0,
+			}
+			// Values the uint64 fields cannot carry faithfully (x/z
+			// bits, >64-bit magnitudes) travel as rendered literals.
+			if w.last.HasX() || b.HasX() || w.last.IsWide() || b.IsWide() {
+				hit.OldDisplay = w.last.String()
+				hit.NewDisplay = b.String()
+			}
+			ev.Watch = append(ev.Watch, hit)
+			w.last = b
 		}
 	}
 	return ev
@@ -211,4 +245,9 @@ type WatchHit struct {
 	Expr     string `json:"expr"`
 	Old      uint64 `json:"old"`
 	New      uint64 `json:"new"`
+	// OldDisplay/NewDisplay carry Verilog-literal renderings when the
+	// values have x/z bits or exceed 64 bits; empty for plain two-state
+	// values, keeping their frames byte-identical to the old encoding.
+	OldDisplay string `json:"old_display,omitempty"`
+	NewDisplay string `json:"new_display,omitempty"`
 }

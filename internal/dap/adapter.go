@@ -541,10 +541,11 @@ func (a *Adapter) onVariables(req *Message) (any, error) {
 	for _, sv := range svs {
 		v := Variable{Name: sv.Name}
 		if sv.Leaf != nil {
-			if sv.Leaf.Unknown {
-				v.Value = "<unknown>"
-			} else {
-				v.Value = strconv.FormatUint(sv.Leaf.Value, 10)
+			// Display renders known ≤64-bit values as decimal (the
+			// two-state behavior), four-state or wide ones as Verilog
+			// literals ("8'b1x0z"), and failed reads as "<unknown>".
+			v.Value = sv.Leaf.Display()
+			if !sv.Leaf.Unknown {
 				v.Type = fmt.Sprintf("u%d", sv.Leaf.Width)
 			}
 		}
@@ -585,8 +586,12 @@ func (a *Adapter) onEvaluate(req *Message) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	result := strconv.FormatUint(v.Value, 10)
+	if v.Display != "" {
+		result = v.Display
+	}
 	return EvaluateResponse{
-		Result: strconv.FormatUint(v.Value, 10),
+		Result: result,
 		Type:   fmt.Sprintf("u%d", v.Width),
 	}, nil
 }

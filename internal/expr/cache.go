@@ -30,7 +30,11 @@ type pcEntry struct {
 
 // ParseCompile parses and compiles one expression, returning a shared
 // immutable (AST, program) pair from the process-wide cache when the
-// identical source was compiled before. Errors are not cached.
+// identical source was compiled before. An expression that parses but
+// cannot compile — it uses four-state or >64-bit constructs only the
+// general evaluator supports (8'b1x0z literals, wide constants) —
+// returns a nil Program: callers run it through EvalBits exclusively.
+// Parse errors are not cached.
 func ParseCompile(src string) (Node, *Program, error) {
 	pcMu.Lock()
 	if e, ok := pcCache[src]; ok {
@@ -45,7 +49,7 @@ func ParseCompile(src string) (Node, *Program, error) {
 	}
 	p, err := Compile(n)
 	if err != nil {
-		return nil, nil, err
+		p = nil // general-evaluator-only expression
 	}
 	pcMu.Lock()
 	if len(pcCache) >= parseCompileCacheLimit {

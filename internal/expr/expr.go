@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/ir"
+	"repro/internal/val"
 )
 
 // Resolver maps a (possibly dotted) name to its current value.
@@ -29,6 +30,11 @@ func (f ResolverFunc) Resolve(name string) (eval.Value, error) { return f(name) 
 type Node interface {
 	// Eval computes the node's value against a resolver.
 	Eval(r Resolver) (eval.Value, error)
+	// evalBits computes the node's value with four-state semantics (see
+	// evalbits.go); subtrees whose operands are all fully known and at
+	// most 64 bits wide run through the exact same eval.Prim calls as
+	// Eval, so the general path is bit-identical on two-state inputs.
+	evalBits(r BitsResolver) (bval, error)
 	// Names reports the identifiers the expression references.
 	names(into map[string]bool)
 	String() string
@@ -62,6 +68,20 @@ func (n numNode) Eval(Resolver) (eval.Value, error) { return n.v, nil }
 func (n numNode) names(map[string]bool)             {}
 func (n numNode) String() string                    { return n.v.String() }
 
+// xnumNode is a literal the two-state fast path cannot represent:
+// wider than 64 bits or carrying x/z digits (128'hdead_beef, 8'b1x0z).
+// Eval and Compile reject it, which routes the whole expression to the
+// general four-state evaluator.
+type xnumNode struct {
+	b val.Bits
+}
+
+func (n xnumNode) Eval(Resolver) (eval.Value, error) {
+	return eval.Value{}, fmt.Errorf("expr: literal %s needs the four-state evaluator", n.b.String())
+}
+func (n xnumNode) names(map[string]bool) {}
+func (n xnumNode) String() string        { return n.b.String() }
+
 type nameNode struct {
 	name string
 }
@@ -83,6 +103,12 @@ func (n unaryNode) Eval(r Resolver) (eval.Value, error) {
 	if err != nil {
 		return eval.Value{}, err
 	}
+	return n.apply(v)
+}
+
+// apply is the two-state operator body, shared with the four-state
+// evaluator's known-operand specialization.
+func (n unaryNode) apply(v eval.Value) (eval.Value, error) {
 	switch n.op {
 	case "~":
 		return eval.Prim(ir.OpNot, nil, []eval.Value{v})
@@ -111,6 +137,10 @@ var binOps = map[string]ir.PrimOp{
 	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpDiv, "%": ir.OpRem,
 	"<": ir.OpLt, "<=": ir.OpLeq, ">": ir.OpGt, ">=": ir.OpGeq,
 	"==": ir.OpEq, "!=": ir.OpNeq,
+	// On two-state values case equality coincides with logical equality
+	// (there are no x/z bits to distinguish); the four-state evaluator
+	// gives === its full bit-for-bit semantics.
+	"===": ir.OpEq, "!==": ir.OpNeq,
 	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor,
 	"<<": ir.OpDshl, ">>": ir.OpDshr,
 }
@@ -151,9 +181,16 @@ func (n binNode) Eval(r Resolver) (eval.Value, error) {
 	if err != nil {
 		return eval.Value{}, err
 	}
-	op, ok := binOps[n.op]
+	return applyBin(n.op, a, b)
+}
+
+// applyBin applies a non-short-circuit binary operator to two-state
+// values. Shared by the tree-walk and the four-state evaluator's
+// known-operand specialization so the two stay bit-identical.
+func applyBin(opText string, a, b eval.Value) (eval.Value, error) {
+	op, ok := binOps[opText]
 	if !ok {
-		return eval.Value{}, fmt.Errorf("expr: unknown operator %q", n.op)
+		return eval.Value{}, fmt.Errorf("expr: unknown operator %q", opText)
 	}
 	// Dynamic shifts in this language cap the amount operand at 6 bits
 	// worth of magnitude to satisfy eval's width model.
@@ -201,6 +238,12 @@ func (n bitsNode) Eval(r Resolver) (eval.Value, error) {
 	if err != nil {
 		return eval.Value{}, err
 	}
+	return n.apply(v)
+}
+
+// apply is the two-state bit-select body, shared with the four-state
+// evaluator's known-operand specialization.
+func (n bitsNode) apply(v eval.Value) (eval.Value, error) {
 	if n.hi >= v.Width {
 		// Be forgiving about widths the resolver reports: extract what
 		// exists, zero-extend the rest.
@@ -261,7 +304,7 @@ var precedence = [][]string{
 	{"|"},
 	{"^"},
 	{"&"},
-	{"==", "!="},
+	{"==", "!=", "===", "!=="},
 	{"<", "<=", ">", ">="},
 	{"<<", ">>"},
 	{"+", "-"},
@@ -374,6 +417,9 @@ func (p *parser) parsePrimary() (Node, error) {
 	tok := p.lex.next()
 	switch tok.kind {
 	case tkNum:
+		if tick := strings.IndexByte(tok.text, '\''); tick >= 0 {
+			return parseSizedLiteral(tok.text, tick)
+		}
 		var v uint64
 		var err error
 		switch {
@@ -408,4 +454,82 @@ func (p *parser) parsePrimary() (Node, error) {
 		}
 	}
 	return nil, fmt.Errorf("expr: unexpected token %q", tok.text)
+}
+
+// maxLiteralWidth bounds declared sized-literal widths so a typo like
+// 99999999'h0 cannot allocate unbounded planes.
+const maxLiteralWidth = 1 << 16
+
+// parseSizedLiteral parses a Verilog sized literal (8'b1x0z, 16'hdead,
+// 4'd12, 6'o17) whose token text has a ' at index tick. Fully known
+// values at or below 64 bits become ordinary two-state literals at
+// exactly the declared width — so `sig === 8'hff` compares at width 8
+// — while wider literals or ones carrying x/z digits become
+// four-state literals only the general evaluator accepts.
+func parseSizedLiteral(text string, tick int) (Node, error) {
+	size, err := strconv.Atoi(strings.ReplaceAll(text[:tick], "_", ""))
+	if err != nil || size < 1 || size > maxLiteralWidth {
+		return nil, fmt.Errorf("expr: bad size in literal %q", text)
+	}
+	if tick+2 > len(text)-1 {
+		return nil, fmt.Errorf("expr: sized literal %q has no digits", text)
+	}
+	base := text[tick+1]
+	digits := strings.ReplaceAll(text[tick+2:], "_", "")
+	if digits == "" {
+		return nil, fmt.Errorf("expr: sized literal %q has no digits", text)
+	}
+	var b val.Bits
+	if base == 'd' || base == 'D' {
+		v, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad decimal literal %q", text)
+		}
+		b = val.FromUint64(v, size)
+	} else {
+		var perDigit int
+		switch base {
+		case 'b', 'B':
+			perDigit = 1
+		case 'o', 'O':
+			perDigit = 3
+		case 'h', 'H':
+			perDigit = 4
+		default:
+			return nil, fmt.Errorf("expr: unknown base %q in literal %q", string(base), text)
+		}
+		// Expand each digit to its binary form (x/z digits expand to
+		// perDigit unknown bits) and let val.ParseVCD apply Verilog
+		// left-extension at the declared width.
+		var bin strings.Builder
+		for i := 0; i < len(digits); i++ {
+			c := digits[i]
+			if isXZDigit(c) {
+				for k := 0; k < perDigit; k++ {
+					bin.WriteByte(c | 0x20)
+				}
+				continue
+			}
+			d, err := strconv.ParseUint(string(c), 16, 8)
+			if err != nil || d >= 1<<perDigit {
+				return nil, fmt.Errorf("expr: bad digit %q in literal %q", string(c), text)
+			}
+			for k := perDigit - 1; k >= 0; k-- {
+				if d&(1<<k) != 0 {
+					bin.WriteByte('1')
+				} else {
+					bin.WriteByte('0')
+				}
+			}
+		}
+		var perr error
+		b, perr = val.ParseVCD(bin.String(), size)
+		if perr != nil {
+			return nil, perr
+		}
+	}
+	if v, ok := eval.FromBits(b); ok {
+		return numNode{v: v}, nil
+	}
+	return xnumNode{b: b}, nil
 }

@@ -154,6 +154,11 @@ func FuzzFuse(f *testing.F) {
 	f.Add("a == 0 && (b << a) > 1", "a == 1 && (b << a) > 1", uint64(2))
 	f.Add("en ? cnt == 5 : cnt == 9", "en && cnt[3:0] != 2", uint64(3))
 	f.Add("a % b == 0", "a / b > 1", uint64(4))
+	// Sized literals and case equality: two-state sized forms compile
+	// (and fuse); four-state / >64-bit literals bail at Compile, seeding
+	// the parser side of the corpus.
+	f.Add("x === 16'hdead", "x !== 16'hbeef && x > 0", uint64(5))
+	f.Add("a === 8'b1x0z", "a == 130'h3deadbeefcafebabe0123456789abcdef0", uint64(6))
 	f.Fuzz(func(t *testing.T, src1, src2 string, seed uint64) {
 		if len(src1) > 256 || len(src2) > 256 {
 			return

@@ -25,6 +25,10 @@ type lexer struct {
 	err  error
 }
 
+// threeCharOps are the case-equality operators, checked before the
+// two-character set so "===" never lexes as "==" "=".
+var threeCharOps = []string{"===", "!=="}
+
 // twoCharOps are the multi-character operators, checked before single
 // characters.
 var twoCharOps = []string{"==", "!=", "<=", ">=", "<<", ">>", "&&", "||"}
@@ -46,6 +50,14 @@ func newLexer(src string) *lexer {
 			for j < len(src) && (isHexDigit(src[j]) || src[j] == '_') {
 				j++
 			}
+			// Verilog sized literal: the size run is followed by 'b / 'h /
+			// 'd / 'o and digits that may include x/z (8'b1x0z, 16'hdead).
+			if j < len(src) && src[j] == '\'' && j+1 < len(src) && isBaseChar(src[j+1]) {
+				j += 2
+				for j < len(src) && (isHexDigit(src[j]) || src[j] == '_' || isXZDigit(src[j])) {
+					j++
+				}
+			}
 			lx.toks = append(lx.toks, token{tkNum, src[i:j]})
 			i = j
 		case isNameStart(rune(c)):
@@ -57,6 +69,20 @@ func newLexer(src string) *lexer {
 			i = j
 		default:
 			matched := false
+			if i+2 < len(src) {
+				three := src[i : i+3]
+				for _, op := range threeCharOps {
+					if three == op {
+						lx.toks = append(lx.toks, token{tkOp, op})
+						i += 3
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				continue
+			}
 			if i+1 < len(src) {
 				two := src[i : i+2]
 				for _, op := range twoCharOps {
@@ -98,6 +124,20 @@ func isNamePart(r rune) bool {
 
 func isHexDigit(c byte) bool {
 	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// isBaseChar reports a sized-literal base character (after the ').
+func isBaseChar(c byte) bool {
+	switch c {
+	case 'b', 'B', 'h', 'H', 'd', 'D', 'o', 'O':
+		return true
+	}
+	return false
+}
+
+// isXZDigit reports an unknown-bit digit inside a sized literal.
+func isXZDigit(c byte) bool {
+	return c == 'x' || c == 'X' || c == 'z' || c == 'Z'
 }
 
 func (lx *lexer) peek() token {

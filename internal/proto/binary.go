@@ -18,9 +18,16 @@ import (
 // Frame layout:
 //
 //	byte 0: magic 0xB5
-//	byte 1: version (1)
+//	byte 1: version (1 or 2)
 //	byte 2: kind — kindStop | kindDelta | kindGeneric
 //	...     kind-specific body (see encode/decode pairs below)
+//
+// Version 2 grew the four-state value plane: variables and value
+// patches carry a flags byte with optional x-plane and high-word
+// payloads, and watch hits carry optional rendered display strings.
+// The encoder always emits version 2; the decoder accepts version 1
+// frames too (their layout is the two-state subset), so a newer client
+// can still read a stream recorded by an older server.
 //
 // The codec is attacker-facing (a malicious server could feed a client
 // arbitrary frames), so DecodeBinaryFrame bounds every count before
@@ -29,11 +36,19 @@ import (
 
 const (
 	binMagic   = 0xB5
-	binVersion = 1
+	binVersion = 2
 
 	kindStop    = 1 // full stop event
 	kindDelta   = 2 // delta stop event
 	kindGeneric = 3 // welcome/attach/goodbye/control/resume
+)
+
+// Variable/patch flag bits (version ≥ 2).
+const (
+	varUnknown = 1 << 0 // backend read failed
+	varHasX    = 1 << 1 // x-plane low word follows
+	varWide    = 1 << 2 // high value words follow
+	varWideX   = 1 << 3 // high x-plane words follow
 )
 
 // Decode caps: no legitimate frame comes close, and a hostile header
@@ -43,6 +58,9 @@ const (
 	maxBinVars    = 1 << 20
 	maxBinWatch   = 1 << 16
 	maxBinString  = 1 << 20
+	// maxBinWords caps one value's high-word planes: 2^16 bits (the
+	// expression language's literal ceiling) is 1024 words.
+	maxBinWords = 1 << 10
 )
 
 // --- encode primitives ---
@@ -68,6 +86,7 @@ func appendBool(dst []byte, b bool) []byte {
 type binReader struct {
 	buf []byte
 	off int
+	ver byte
 }
 
 func (r *binReader) uvarint() (uint64, error) {
@@ -136,12 +155,91 @@ func (r *binReader) bool() (bool, error) {
 
 // --- variables, threads, watch hits ---
 
+// valueFlags computes the v2 flags byte for one value plane.
+func valueFlags(unknown bool, x uint64, hi, xhi []uint64) byte {
+	var flags byte
+	if unknown {
+		flags |= varUnknown
+	}
+	if x != 0 {
+		flags |= varHasX
+	}
+	if len(hi) > 0 {
+		flags |= varWide
+	}
+	if len(xhi) > 0 {
+		flags |= varWideX
+	}
+	return flags
+}
+
+func appendWords(dst []byte, words []uint64) []byte {
+	dst = appendUvarint(dst, uint64(len(words)))
+	for _, w := range words {
+		dst = appendUvarint(dst, w)
+	}
+	return dst
+}
+
+func (r *binReader) words() ([]uint64, error) {
+	n, err := r.count(maxBinWords, "plane word")
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		if out[i], err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// appendValuePlanes writes the optional four-state payload a flags
+// byte announced.
+func appendValuePlanes(dst []byte, flags byte, x uint64, hi, xhi []uint64) []byte {
+	if flags&varHasX != 0 {
+		dst = appendUvarint(dst, x)
+	}
+	if flags&varWide != 0 {
+		dst = appendWords(dst, hi)
+	}
+	if flags&varWideX != 0 {
+		dst = appendWords(dst, xhi)
+	}
+	return dst
+}
+
+func (r *binReader) valuePlanes(flags byte) (x uint64, hi, xhi []uint64, err error) {
+	if flags&varHasX != 0 {
+		if x, err = r.uvarint(); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	if flags&varWide != 0 {
+		if hi, err = r.words(); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	if flags&varWideX != 0 {
+		if xhi, err = r.words(); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	return x, hi, xhi, nil
+}
+
 func appendVar(dst []byte, v *core.Variable) []byte {
 	dst = appendString(dst, v.Name)
 	dst = appendString(dst, v.RTL)
 	dst = appendUvarint(dst, v.Value)
 	dst = appendUvarint(dst, uint64(v.Width))
-	return appendBool(dst, v.Unknown)
+	flags := valueFlags(v.Unknown, v.X, v.Hi, v.XHi)
+	dst = append(dst, flags)
+	return appendValuePlanes(dst, flags, v.X, v.Hi, v.XHi)
 }
 
 func (r *binReader) variable() (core.Variable, error) {
@@ -159,7 +257,16 @@ func (r *binReader) variable() (core.Variable, error) {
 	if v.Width, err = r.int(); err != nil {
 		return v, err
 	}
-	v.Unknown, err = r.bool()
+	if r.ver < 2 {
+		v.Unknown, err = r.bool()
+		return v, err
+	}
+	flags, err := r.byte()
+	if err != nil {
+		return v, err
+	}
+	v.Unknown = flags&varUnknown != 0
+	v.X, v.Hi, v.XHi, err = r.valuePlanes(flags)
 	return v, err
 }
 
@@ -221,6 +328,8 @@ func appendWatch(dst []byte, hits []core.WatchHit) []byte {
 		dst = appendString(dst, h.Expr)
 		dst = appendUvarint(dst, h.Old)
 		dst = appendUvarint(dst, h.New)
+		dst = appendString(dst, h.OldDisplay)
+		dst = appendString(dst, h.NewDisplay)
 	}
 	return dst
 }
@@ -249,6 +358,15 @@ func (r *binReader) watch() ([]core.WatchHit, error) {
 			return nil, err
 		}
 		if h.New, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if r.ver < 2 {
+			continue
+		}
+		if h.OldDisplay, err = r.string(); err != nil {
+			return nil, err
+		}
+		if h.NewDisplay, err = r.string(); err != nil {
 			return nil, err
 		}
 	}
@@ -358,7 +476,9 @@ func appendPatches(dst []byte, patches []VarPatch) []byte {
 	for _, p := range patches {
 		dst = appendUvarint(dst, uint64(p.Index))
 		dst = appendUvarint(dst, p.Value)
-		dst = appendBool(dst, p.Unknown)
+		flags := valueFlags(p.Unknown, p.X, p.Hi, p.XHi)
+		dst = append(dst, flags)
+		dst = appendValuePlanes(dst, flags, p.X, p.Hi, p.XHi)
 	}
 	return dst
 }
@@ -380,7 +500,18 @@ func (r *binReader) patches() ([]VarPatch, error) {
 		if p.Value, err = r.uvarint(); err != nil {
 			return nil, err
 		}
-		if p.Unknown, err = r.bool(); err != nil {
+		if r.ver < 2 {
+			if p.Unknown, err = r.bool(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		flags, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		p.Unknown = flags&varUnknown != 0
+		if p.X, p.Hi, p.XHi, err = r.valuePlanes(flags); err != nil {
 			return nil, err
 		}
 	}
@@ -551,10 +682,10 @@ func DecodeBinaryFrame(frame []byte) (*Event, error) {
 	if frame[0] != binMagic {
 		return nil, fmt.Errorf("proto: bad binary frame magic %#x", frame[0])
 	}
-	if frame[1] != binVersion {
+	if frame[1] < 1 || frame[1] > binVersion {
 		return nil, fmt.Errorf("proto: unsupported binary frame version %d", frame[1])
 	}
-	r := &binReader{buf: frame, off: 3}
+	r := &binReader{buf: frame, off: 3, ver: frame[1]}
 	var ev *Event
 	var err error
 	switch frame[2] {

@@ -166,6 +166,29 @@ func FuzzDecodeBinaryFrame(f *testing.F) {
 		Role: RoleController, Top: "Top", Mode: "live", Files: 3}))
 	f.Add(EncodeBinaryEvent(&Event{Type: "resume", Seq: 4, Command: "continue"}))
 	f.Add(EncodeBinaryEvent(&Event{Type: "goodbye", Seq: 5, SessionID: 9, Peers: 1}))
+	// Four-state / wide payloads — the v2 flag-byte encodings: low-word
+	// x planes, >64-bit values with and without x planes, rendered
+	// watch-hit displays.
+	f.Add(EncodeBinaryEvent(&Event{Type: "stop", Seq: 20, Emit: 3, Stop: &core.StopEvent{
+		Time: 40, File: "wide.go", Line: 7,
+		Threads: []core.Thread{{BreakpointID: 2, Instance: "Top",
+			Locals: []core.Variable{
+				{Name: "st", RTL: "Top.st", Value: 0b100, X: 0b010, Width: 8},
+				{Name: "bus", RTL: "Top.bus", Value: 1, Hi: []uint64{0xdead, 1}, Width: 130},
+				{Name: "bx", RTL: "Top.bx", X: 1, Hi: []uint64{5}, XHi: []uint64{1 << 63}, Width: 128},
+			}}},
+		Watch: []core.WatchHit{{ID: 1, Expr: "st", Old: 4, New: 6,
+			OldDisplay: "8'b0000001x", NewDisplay: "8'b00000110"}},
+	}}))
+	{
+		base := randStop(rng, 200)
+		next := mutateStop(rng, base)
+		if len(next.Threads) > 0 && len(next.Threads[0].Locals) > 0 {
+			next.Threads[0].Locals[0].X = 0xF0 // force a plane patch
+		}
+		f.Add(EncodeBinaryEvent(&Event{Type: "stop", Seq: 21, Emit: 4,
+			Delta: DiffStop(20, base, next)}))
+	}
 	// Degenerate inputs.
 	f.Add([]byte{})
 	f.Add([]byte{binMagic, binVersion, kindStop})

@@ -59,11 +59,18 @@ type ThreadDelta struct {
 	Generator []VarPatch `json:"gen,omitempty"`
 }
 
-// VarPatch overwrites the value of one inherited variable.
+// VarPatch overwrites the value of one inherited variable. The
+// four-state fields mirror core.Variable: X is the unknown-bit plane
+// of the low word, Hi/XHi extend both planes past 64 bits. All empty
+// for two-state values, whose patches are byte-identical to the old
+// encoding.
 type VarPatch struct {
-	Index   int    `json:"i"`
-	Value   uint64 `json:"v"`
-	Unknown bool   `json:"u,omitempty"`
+	Index   int      `json:"i"`
+	Value   uint64   `json:"v"`
+	Unknown bool     `json:"u,omitempty"`
+	X       uint64   `json:"x,omitempty"`
+	Hi      []uint64 `json:"hi,omitempty"`
+	XHi     []uint64 `json:"xhi,omitempty"`
 }
 
 // sameShape reports whether a variable slot can be patched (everything
@@ -83,9 +90,10 @@ func diffVars(base, next []core.Variable) (patches []VarPatch, ok bool) {
 		if !sameShape(&base[i], &next[i]) {
 			return nil, false
 		}
-		if base[i].Value != next[i].Value || base[i].Unknown != next[i].Unknown {
+		if !base[i].EqualValue(&next[i]) {
 			patches = append(patches, VarPatch{
 				Index: i, Value: next[i].Value, Unknown: next[i].Unknown,
+				X: next[i].X, Hi: next[i].Hi, XHi: next[i].XHi,
 			})
 		}
 	}
@@ -158,6 +166,9 @@ func applyVars(base []core.Variable, patches []VarPatch) ([]core.Variable, error
 		}
 		out[p.Index].Value = p.Value
 		out[p.Index].Unknown = p.Unknown
+		out[p.Index].X = p.X
+		out[p.Index].Hi = p.Hi
+		out[p.Index].XHi = p.XHi
 	}
 	return out, nil
 }

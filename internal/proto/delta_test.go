@@ -30,13 +30,15 @@ func randStop(rng *rand.Rand, time uint64) *core.StopEvent {
 			Instance:     fmt.Sprintf("Top.u%d", t),
 		}
 		for v := 0; v < rng.Intn(6); v++ {
-			th.Locals = append(th.Locals, core.Variable{
+			vr := core.Variable{
 				Name:    fmt.Sprintf("v%d", v),
 				RTL:     fmt.Sprintf("Top.u%d.v%d", t, v),
 				Value:   rng.Uint64() >> uint(rng.Intn(64)),
 				Width:   1 + rng.Intn(64),
 				Unknown: rng.Intn(10) == 0,
-			})
+			}
+			randPlanes(rng, &vr)
+			th.Locals = append(th.Locals, vr)
 		}
 		for v := 0; v < rng.Intn(3); v++ {
 			th.Generator = append(th.Generator, core.Variable{
@@ -49,12 +51,39 @@ func randStop(rng *rand.Rand, time uint64) *core.StopEvent {
 		ev.Threads = append(ev.Threads, th)
 	}
 	for w := 0; w < rng.Intn(3); w++ {
-		ev.Watch = append(ev.Watch, core.WatchHit{
+		hit := core.WatchHit{
 			ID: w + 1, Instance: "Top", Expr: fmt.Sprintf("w%d", w),
 			Old: rng.Uint64() % 100, New: rng.Uint64() % 100,
-		})
+		}
+		if rng.Intn(4) == 0 {
+			hit.OldDisplay = fmt.Sprintf("8'b1x0z%d", rng.Intn(2))
+			hit.NewDisplay = fmt.Sprintf("128'h%x", rng.Uint64())
+		}
+		ev.Watch = append(ev.Watch, hit)
 	}
 	return ev
+}
+
+// randPlanes sometimes upgrades a variable to four-state and/or wide:
+// a nonzero low-word x plane, extra value words, and occasionally an x
+// plane over the high words too. Kept rare enough that most frames are
+// still plain two-state (the dominant wire shape).
+func randPlanes(rng *rand.Rand, v *core.Variable) {
+	switch rng.Intn(6) {
+	case 0: // four-state, <= 64 bits
+		v.X = 1 + rng.Uint64()>>uint(1+rng.Intn(63))
+	case 1: // wide two-state
+		words := 1 + rng.Intn(3)
+		v.Width = 64*words + 1 + rng.Intn(64)
+		for i := 0; i < words; i++ {
+			v.Hi = append(v.Hi, rng.Uint64())
+		}
+	case 2: // wide four-state
+		v.Width = 128
+		v.Hi = []uint64{rng.Uint64()}
+		v.X = rng.Uint64()
+		v.XHi = []uint64{1 + rng.Uint64()>>1}
+	}
 }
 
 // mutateStop derives a plausible successor stop: same frame shapes,
@@ -74,6 +103,12 @@ func mutateStop(rng *rand.Rand, base *core.StopEvent) *core.StopEvent {
 			}
 			if rng.Intn(16) == 0 {
 				th.Locals[v].Unknown = !th.Locals[v].Unknown
+			}
+			if rng.Intn(8) == 0 { // x bits drifting in/out
+				th.Locals[v].X ^= rng.Uint64() >> uint(rng.Intn(64))
+			}
+			if rng.Intn(8) == 0 && len(th.Locals[v].Hi) > 0 {
+				th.Locals[v].Hi[0] = rng.Uint64()
 			}
 		}
 		for v := range th.Generator {

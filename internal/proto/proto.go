@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/val"
 )
 
 // Request is a client → runtime message.
@@ -240,9 +241,25 @@ type BreakpointInfo struct {
 
 // ValueInfo is the wire form of an evaluated value. Time reports the
 // simulation time the value was captured at — for an observer reading
-// mid-run, that is the clock edge the query executed on.
+// mid-run, that is the clock edge the query executed on. Display
+// carries a rendered Verilog-style literal ("8'b1x0z", "128'hdead…")
+// when the value has x/z bits or exceeds 64 bits — Value then holds
+// only the low word's known bits; it is empty for plain two-state
+// values, whose frames are unchanged from the two-state protocol.
 type ValueInfo struct {
-	Value uint64 `json:"value"`
-	Width int    `json:"width"`
-	Time  uint64 `json:"time,omitempty"`
+	Value   uint64 `json:"value"`
+	Width   int    `json:"width"`
+	Time    uint64 `json:"time,omitempty"`
+	Display string `json:"display,omitempty"`
+}
+
+// ValueInfoOf renders a four-state value for the wire: the low word's
+// known bits plus, when the uint64 cannot carry the value faithfully,
+// the rendered literal.
+func ValueInfoOf(b val.Bits, time uint64) ValueInfo {
+	vi := ValueInfo{Value: b.V0, Width: b.Width, Time: time}
+	if b.HasX() || b.IsWide() {
+		vi.Display = b.String()
+	}
+	return vi
 }

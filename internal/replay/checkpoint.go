@@ -5,8 +5,8 @@ import (
 	"sort"
 	"sync"
 
-	"repro/internal/eval"
 	"repro/internal/rtl"
+	"repro/internal/val"
 	"repro/internal/vcd"
 )
 
@@ -37,8 +37,9 @@ import (
 // DefaultMaxCheckpoints bounds the adaptive checkpoint interval: when
 // no explicit interval is configured, the interval is chosen so at most
 // this many snapshots exist for the whole trace. Snapshot memory is
-// then bounded by 8 B × signals × DefaultMaxCheckpoints while reverse
-// seeks still skip all but maxTime/256 of the trace.
+// then bounded by 16 B × state words × DefaultMaxCheckpoints (value and
+// unknown-bit planes, one word per 64 bits of each signal) while
+// reverse seeks still skip all but maxTime/256 of the trace.
 const DefaultMaxCheckpoints = 256
 
 // StoreEngineOption configures NewStore.
@@ -52,10 +53,10 @@ func WithCheckpointInterval(interval uint64) StoreEngineOption {
 	return func(sb *storeBacking) { sb.interval = interval }
 }
 
-// snapshot is one restore point: the full signal-state array and the
-// change-stream cursor at a checkpoint boundary.
+// snapshot is one restore point: the full packed signal-state planes
+// and the change-stream cursor at a checkpoint boundary.
 type snapshot struct {
-	state []uint64
+	state *vcd.State
 	cur   vcd.Cursor
 }
 
@@ -72,9 +73,10 @@ type storeBacking struct {
 	// timeline.
 	mu sync.Mutex
 
-	// Replay state: state[i] is signal i's value at stateTime; cur is
-	// the stream position just past the last applied record.
-	state     []uint64
+	// Replay state: the packed four-state planes of every signal at
+	// stateTime (laid out by the store; read via StateBits); cur is the
+	// stream position just past the last applied record.
+	state     *vcd.State
 	stateTime uint64
 	cur       vcd.Cursor
 
@@ -105,7 +107,7 @@ type storeBacking struct {
 func newStoreBacking(st *vcd.Store, opts ...StoreEngineOption) *storeBacking {
 	sb := &storeBacking{
 		st:    st,
-		state: make([]uint64, st.NumSignals()),
+		state: st.NewState(),
 		cps:   map[uint64]*snapshot{},
 	}
 	for _, o := range opts {
@@ -126,9 +128,7 @@ func newStoreBacking(st *vcd.Store, opts ...StoreEngineOption) *storeBacking {
 // simulator output) must be applied, or every read at t=0 would return
 // 0 instead of the recorded initial values.
 func (sb *storeBacking) resetToZero() {
-	for i := range sb.state {
-		sb.state[i] = 0
-	}
+	sb.state.Zero()
 	sb.cur = sb.st.ApplyUpTo(vcd.Cursor{}, 0, sb.state)
 	sb.stateTime = 0
 }
@@ -211,15 +211,15 @@ func (sb *storeBacking) changedInto(t uint64, dst []bool) bool {
 	return true
 }
 
-func (sb *storeBacking) value(path string, t uint64) (eval.Value, error) {
+func (sb *storeBacking) bits(path string, t uint64) (val.Bits, error) {
 	ts, ok := sb.st.Signal(path)
 	if !ok {
-		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
+		return val.Bits{}, fmt.Errorf("replay: unknown signal %q", path)
 	}
 	if ts.Materialized() {
 		// Lazy fast path: the decoded timeline answers any time without
 		// touching the shared state array — lock-free.
-		return eval.Make(ts.ValueAt(t), ts.Width, false), nil
+		return ts.BitsAt(t), nil
 	}
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
@@ -228,9 +228,9 @@ func (sb *storeBacking) value(path string, t uint64) (eval.Value, error) {
 		// A corrupt or unreadable block stopped the walk mid-stream; the
 		// state array is only synced up to the damage, so surface the
 		// store failure rather than a silently stale value.
-		return eval.Value{}, err
+		return val.Bits{}, err
 	}
-	return eval.Make(sb.state[ts.Index()], ts.Width, false), nil
+	return sb.st.StateBits(sb.state, ts), nil
 }
 
 // sync moves the replay state to time t.
@@ -267,8 +267,7 @@ func (sb *storeBacking) sync(t uint64) {
 		sb.cur = sb.st.ApplyUpTo(sb.cur, next, sb.state)
 		sb.stateTime = next
 		if _, ok := sb.cps[next]; !ok {
-			sn := &snapshot{state: make([]uint64, len(sb.state)), cur: sb.cur}
-			copy(sn.state, sb.state)
+			sn := &snapshot{state: sb.state.Clone(), cur: sb.cur}
 			sb.cps[next] = sn
 			// Insert in sorted position: snapshots are usually created in
 			// ascending order, but a partial sweep that stops short of a
@@ -297,7 +296,7 @@ func (sb *storeBacking) restore(t uint64) {
 	}
 	ck := sb.cpTimes[i]
 	sn := sb.cps[ck]
-	copy(sb.state, sn.state)
+	sb.state.CopyFrom(sn.state)
 	sb.cur = sn.cur
 	sb.stateTime = ck
 }

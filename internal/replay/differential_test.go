@@ -353,8 +353,8 @@ b11 !
 	if sb.stateTime != 10 {
 		t.Fatalf("restore(60) landed at %d, want checkpoint 10 (cpTimes %v)", sb.stateTime, sb.cpTimes)
 	}
-	if got, _ := sb.value("Top.v", 60); got.Bits != 1 {
-		t.Fatalf("v@60 = %d, want 1", got.Bits)
+	if got, _ := sb.bits("Top.v", 60); got.V0 != 1 {
+		t.Fatalf("v@60 = %d, want 1", got.V0)
 	}
 }
 
@@ -385,7 +385,7 @@ func TestStoreEngineConcurrentReads(t *testing.T) {
 			for i := 0; i < 300; i++ {
 				tm := uint64((i*7 + g*3) % int(max+1))
 				name := names[(i+g)%len(names)]
-				got, err := sb.value(name, tm)
+				got, err := sb.bits(name, tm)
 				if err != nil {
 					t.Error(err)
 					return
@@ -395,8 +395,8 @@ func TestStoreEngineConcurrentReads(t *testing.T) {
 					t.Errorf("seed trace missing %s", name)
 					return
 				}
-				if want := ref.ValueAt(tm); got.Bits != want {
-					t.Errorf("%s@%d = %d, want %d", name, tm, got.Bits, want)
+				if want := ref.ValueAt(tm); got.V0 != want {
+					t.Errorf("%s@%d = %d, want %d", name, tm, got.V0, want)
 					return
 				}
 				if i == 150 && g == 0 {

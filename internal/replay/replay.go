@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/rtl"
+	"repro/internal/val"
 	"repro/internal/vcd"
 	"repro/internal/vpi"
 )
@@ -33,8 +34,11 @@ import (
 type backing interface {
 	maxTime() uint64
 	hierarchy() *rtl.InstanceNode
-	// value returns the signal's recorded value at time t.
-	value(path string, t uint64) (eval.Value, error)
+	// bits returns the signal's recorded four-state value at time t —
+	// traces are the one backend whose native value plane really is
+	// four-state. The Engine lowers it onto the two-state vpi surface
+	// where possible.
+	bits(path string, t uint64) (val.Bits, error)
 	// prefetch advises which paths will be read every cycle.
 	prefetch(paths []string)
 	// checkpoints reports how many restore points exist (stats).
@@ -64,6 +68,7 @@ var (
 	_ vpi.BatchReaderInto = (*Engine)(nil)
 	_ vpi.Prefetcher      = (*Engine)(nil)
 	_ vpi.ChangeReporter  = (*Engine)(nil)
+	_ vpi.BitsReader      = (*Engine)(nil)
 )
 
 // traceBacking adapts an eager vcd.Trace: every query is a binary
@@ -84,12 +89,12 @@ func (tb *traceBacking) maxTime() uint64              { return tb.trace.MaxTime 
 func (tb *traceBacking) hierarchy() *rtl.InstanceNode { return tb.trace.Hierarchy }
 func (tb *traceBacking) prefetch([]string)            {}
 func (tb *traceBacking) checkpoints() int             { return 0 }
-func (tb *traceBacking) value(path string, t uint64) (eval.Value, error) {
+func (tb *traceBacking) bits(path string, t uint64) (val.Bits, error) {
 	ts, ok := tb.trace.Signal(path)
 	if !ok {
-		return eval.Value{}, fmt.Errorf("replay: unknown signal %q", path)
+		return val.Bits{}, fmt.Errorf("replay: unknown signal %q", path)
 	}
-	return eval.Make(ts.ValueAt(t), ts.Width, false), nil
+	return ts.BitsAt(t), nil
 }
 
 func (tb *traceBacking) trackChanges(paths []string) {
@@ -161,9 +166,26 @@ func (e *Engine) ChangedInto(dst []bool) bool {
 func (e *Engine) Prefetch(paths []string) { e.src.prefetch(paths) }
 
 // GetValue implements vpi.Interface: the signal's recorded value at the
-// current replay time.
+// current replay time, lowered onto the two-state fast path. A value
+// that cannot be lowered — x/z bits, or wider than 64 bits — returns an
+// error wrapping vpi.ErrFourState; callers that can handle the general
+// representation read through GetBits instead.
 func (e *Engine) GetValue(path string) (eval.Value, error) {
-	return e.src.value(path, e.time.Load())
+	b, err := e.src.bits(path, e.time.Load())
+	if err != nil {
+		return eval.Value{}, err
+	}
+	v, ok := eval.FromBits(b)
+	if !ok {
+		return eval.Value{}, fmt.Errorf("%w: %s = %s", vpi.ErrFourState, path, b.String())
+	}
+	return v, nil
+}
+
+// GetBits implements vpi.BitsReader: the signal's full four-state value
+// at the current replay time.
+func (e *Engine) GetBits(path string) (val.Bits, error) {
+	return e.src.bits(path, e.time.Load())
 }
 
 // GetValues implements vpi.BatchReader: one trace lookup pass for the
@@ -183,9 +205,13 @@ func (e *Engine) GetValuesInto(paths []string, dst []eval.Value) error {
 	}
 	t := e.time.Load()
 	for i, p := range paths {
-		v, err := e.src.value(p, t)
+		b, err := e.src.bits(p, t)
 		if err != nil {
 			return err
+		}
+		v, ok := eval.FromBits(b)
+		if !ok {
+			return fmt.Errorf("%w: %s = %s", vpi.ErrFourState, p, b.String())
 		}
 		dst[i] = v
 	}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/proto"
+	"repro/internal/vpi"
 	"repro/internal/ws"
 )
 
@@ -501,13 +502,14 @@ func (s *Server) dispatch(sess *Session, req *proto.Request) *proto.Response {
 		return s.handleCommand(sess, req)
 	case "evaluate":
 		return s.runQuery(req.Token, func() *proto.Response {
-			v, err := s.rt.Evaluate(req.Instance, req.Expression)
+			// Four-state evaluation: identical to the two-state result on
+			// fully known designs, and renders x/z and >64-bit values
+			// instead of erroring.
+			b, err := s.rt.EvaluateBits(req.Instance, req.Expression)
 			if err != nil {
 				return proto.Error(req.Token, "%v", err)
 			}
-			resp, err := proto.OK(req.Token, proto.ValueInfo{
-				Value: v.Bits, Width: v.Width, Time: s.rt.Backend().Time(),
-			})
+			resp, err := proto.OK(req.Token, proto.ValueInfoOf(b, s.rt.Backend().Time()))
 			if err != nil {
 				return proto.Error(req.Token, "%v", err)
 			}
@@ -515,17 +517,15 @@ func (s *Server) dispatch(sess *Session, req *proto.Request) *proto.Response {
 		})
 	case "get-value":
 		return s.runQuery(req.Token, func() *proto.Response {
-			v, err := s.rt.Backend().GetValue(req.Path)
+			b, err := vpi.ReadBits(s.rt.Backend(), req.Path)
 			if err != nil {
 				// Try symtab-relative paths too.
-				v, err = s.rt.Backend().GetValue(s.rt.Remap().ToSim(req.Path))
+				b, err = vpi.ReadBits(s.rt.Backend(), s.rt.Remap().ToSim(req.Path))
 			}
 			if err != nil {
 				return proto.Error(req.Token, "%v", err)
 			}
-			resp, _ := proto.OK(req.Token, proto.ValueInfo{
-				Value: v.Bits, Width: v.Width, Time: s.rt.Backend().Time(),
-			})
+			resp, _ := proto.OK(req.Token, proto.ValueInfoOf(b, s.rt.Backend().Time()))
 			return resp
 		})
 	case "set-value":

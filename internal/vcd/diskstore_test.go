@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/rtl"
+	"repro/internal/val"
 )
 
 // writeOpen round-trips a parsed store through the on-disk format.
@@ -108,8 +110,8 @@ func diffStores(t *testing.T, mem, disk *Store, label string) {
 		}
 	}
 	// State sweeps share cursors across the two stores.
-	memState := make([]uint64, mem.NumSignals())
-	diskState := make([]uint64, disk.NumSignals())
+	memState := mem.NewState()
+	diskState := disk.NewState()
 	var mc, dc Cursor
 	for _, tm := range times {
 		if tm < mc.Time {
@@ -120,9 +122,10 @@ func diffStores(t *testing.T, mem, disk *Store, label string) {
 		if mc != dc {
 			t.Fatalf("%s: cursor @%d disk %+v, mem %+v", label, tm, dc, mc)
 		}
-		for i := range memState {
-			if memState[i] != diskState[i] {
-				t.Fatalf("%s: state[%d]@%d disk %d, mem %d", label, i, tm, diskState[i], memState[i])
+		for i := range memState.V {
+			if memState.V[i] != diskState.V[i] || memState.X[i] != diskState.X[i] {
+				t.Fatalf("%s: state word %d @%d disk %d/%d, mem %d/%d", label, i, tm,
+					diskState.V[i], diskState.X[i], memState.V[i], memState.X[i])
 			}
 		}
 		if sm, sd := mem.SeekCursor(tm), disk.SeekCursor(tm); sm != sd {
@@ -368,7 +371,7 @@ func TestCorruptBlockPoisons(t *testing.T) {
 		// Also acceptable: damage reached metadata and open refused.
 		return
 	}
-	state := make([]uint64, disk.NumSignals())
+	state := disk.NewState()
 	disk.ApplyUpTo(Cursor{}, disk.MaxTime, state) // must terminate
 	for _, name := range disk.SignalNames() {
 		ds, _ := disk.Signal(name)
@@ -410,15 +413,39 @@ func TestBlockReaderHostile(t *testing.T) {
 			t.Fatalf("case %d: stopped early without error", i)
 		}
 	}
-	// A valid stream still decodes cleanly.
+	// A valid v2 stream still decodes cleanly.
 	var good []byte
-	good = binary.AppendUvarint(good, 3)  // sig
-	good = binary.AppendUvarint(good, 7)  // delta
-	good = binary.AppendUvarint(good, 99) // bits
+	good = binary.AppendUvarint(good, 3<<2) // head: sig 3, known, narrow
+	good = binary.AppendUvarint(good, 7)    // delta
+	good = binary.AppendUvarint(good, 99)   // value word
 	r := blockReader{buf: good, time: 100}
 	rec, ok := r.next()
-	if !ok || r.err != nil || rec.sig != 3 || rec.time != 107 || rec.bits != 99 {
+	if !ok || r.err != nil || rec.sig != 3 || rec.time != 107 || rec.v0 != 99 || rec.x0 != 0 {
 		t.Fatalf("valid stream misdecoded: %+v ok=%v err=%v", rec, ok, r.err)
+	}
+	// And the legacy v1 three-varint form through the v1 reader.
+	var v1good []byte
+	v1good = binary.AppendUvarint(v1good, 3)
+	v1good = binary.AppendUvarint(v1good, 7)
+	v1good = binary.AppendUvarint(v1good, 99)
+	r = blockReader{buf: v1good, time: 100, v1: true}
+	rec, ok = r.next()
+	if !ok || r.err != nil || rec.sig != 3 || rec.time != 107 || rec.v0 != 99 {
+		t.Fatalf("valid v1 stream misdecoded: %+v ok=%v err=%v", rec, ok, r.err)
+	}
+	// A four-state wide record round-trips through appendRecord.
+	b, err := val.ParseVCD("1x"+strings.Repeat("01", 40), 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := appendRecord(nil, 5, 9, b)
+	r = blockReader{buf: enc, time: 100}
+	rec, ok = r.next()
+	if !ok || r.err != nil || rec.sig != 5 || rec.time != 109 {
+		t.Fatalf("wide record misdecoded: %+v ok=%v err=%v", rec, ok, r.err)
+	}
+	if got := rec.bits(82); !got.CaseEq(b) {
+		t.Fatalf("wide record value = %s, want %s", got.String(), b.String())
 	}
 }
 
@@ -469,7 +496,7 @@ func TestOpenStoreHostile(t *testing.T) {
 			// truncated-blocks keeps metadata intact when sections precede
 			// data; the damage must then surface as a sticky error on
 			// first touch, not as fabricated values.
-			state := make([]uint64, st.NumSignals())
+			state := st.NewState()
 			st.ApplyUpTo(Cursor{}, st.MaxTime, state)
 			if st.Err() == nil {
 				t.Fatalf("%s: opened and served without error", tc.name)
@@ -505,6 +532,27 @@ func FuzzOpenStore(f *testing.F) {
 	f.Add(flipped)
 	f.Add(data)
 	f.Add([]byte("hgdbstor"))
+	// Four-state + >64-bit seed: x at reset on a 128-bit bus, mixed
+	// x/z vectors later — exercises the v2 mask-plane record paths.
+	fourState := []byte("$scope module top $end\n" +
+		"$var wire 8 ! st $end\n" +
+		"$var wire 128 \" bus $end\n" +
+		"$upscope $end\n$enddefinitions $end\n" +
+		"#0\nbxxxxxxxx !\nb" + strings.Repeat("x", 128) + " \"\n" +
+		"#4\nb1x0z1010 !\nb1" + strings.Repeat("0", 126) + "1 \"\n" +
+		"#9\nb10101010 !\nb" + strings.Repeat("10", 64) + " \"\n")
+	memX, err := ParseStore(bytes.NewReader(fourState), StoreOptions{BlockSize: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var bufX bytes.Buffer
+	if err := WriteStore(&bufX, memX); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bufX.Bytes())
+	f.Add(fourState)
+	// Legacy version-1 file — the read-only compatibility path.
+	f.Add(buildV1Store(f))
 	f.Fuzz(func(t *testing.T, b []byte) {
 		st, err := OpenStore(bytes.NewReader(b), int64(len(b)), OpenOptions{BlockCacheBytes: 1 << 16})
 		if err != nil {
@@ -522,7 +570,7 @@ func FuzzOpenStore(f *testing.F) {
 				ts.ValueAt(tm)
 			}
 		}
-		state := make([]uint64, st.NumSignals())
+		state := st.NewState()
 		var cur Cursor
 		for _, tm := range times {
 			if tm < cur.Time {
@@ -538,4 +586,171 @@ func FuzzOpenStore(f *testing.F) {
 			ts.ValueAt(st.MaxTime)
 		}
 	})
+}
+
+// buildV1Store hand-assembles a legacy version-1 store file: two-state
+// three-varint records, plain single-word last-value rows, no x/z
+// header statistics. It is the compatibility fixture for the files an
+// older hgdb-index wrote before the four-state format bump.
+func buildV1Store(t testing.TB) []byte {
+	t.Helper()
+	// Signals: top.a (8 bits, changes at t=0→1 and t=5→9) and
+	// top.b (1 bit, change at t=0→1). One 16-tick block, window 0.
+	blockData := []byte{}
+	blockData = binary.AppendUvarint(blockData, 0) // sig 0
+	blockData = binary.AppendUvarint(blockData, 0) // t=0
+	blockData = binary.AppendUvarint(blockData, 1) // v=1
+	blockData = binary.AppendUvarint(blockData, 1) // sig 1
+	blockData = binary.AppendUvarint(blockData, 0) // t=0
+	blockData = binary.AppendUvarint(blockData, 1) // v=1
+	blockData = binary.AppendUvarint(blockData, 0) // sig 0
+	blockData = binary.AppendUvarint(blockData, 5) // t=5
+	blockData = binary.AppendUvarint(blockData, 9) // v=9
+
+	blockDir := []byte{}
+	blockDir = binary.AppendUvarint(blockDir, 0) // window 0
+	blockDir = binary.AppendUvarint(blockDir, uint64(len(blockData)))
+	blockDir = binary.AppendUvarint(blockDir, uint64(crc32.Checksum(blockData, crcTable)))
+
+	// Strings: 0="top.a", 1="top.b", 2="top".
+	strTab := []byte{}
+	names := []string{"top.a", "top.b", "top"}
+	strTab = binary.AppendUvarint(strTab, uint64(len(names)))
+	for _, s := range names {
+		strTab = binary.AppendUvarint(strTab, uint64(len(s)))
+		strTab = append(strTab, s...)
+	}
+
+	// v1 signal rows: name ref, width, change count, sparse index, then
+	// one plain last-value word per indexed block.
+	signals := []byte{}
+	signals = binary.AppendUvarint(signals, 0) // top.a
+	signals = binary.AppendUvarint(signals, 8)
+	signals = binary.AppendUvarint(signals, 2)
+	signals = binary.AppendUvarint(signals, 1) // one indexed block
+	signals = binary.AppendUvarint(signals, 0) // block slot 0
+	signals = binary.AppendUvarint(signals, 9) // last value in block
+	signals = binary.AppendUvarint(signals, 1) // top.b
+	signals = binary.AppendUvarint(signals, 1)
+	signals = binary.AppendUvarint(signals, 1)
+	signals = binary.AppendUvarint(signals, 1)
+	signals = binary.AppendUvarint(signals, 0)
+	signals = binary.AppendUvarint(signals, 1)
+
+	// Hierarchy: one node "top" owning both signals.
+	hier := []byte{}
+	hier = binary.AppendUvarint(hier, 1) // node count
+	hier = binary.AppendUvarint(hier, 2) // name ref "top"
+	hier = binary.AppendUvarint(hier, 2) // two signals
+	hier = binary.AppendUvarint(hier, 0)
+	hier = binary.AppendUvarint(hier, 1)
+	hier = binary.AppendUvarint(hier, 0) // no children
+
+	secs := []struct {
+		id   uint32
+		data []byte
+	}{
+		{secBlockDir, blockDir},
+		{secSignals, signals},
+		{secStrings, strTab},
+		{secHier, hier},
+		{secBlocks, blockData},
+	}
+	tableOff := uint64(headerSize)
+	dataOff := tableOff + uint64(len(secs)*20)
+	var table, body []byte
+	for _, s := range secs {
+		var tmp [20]byte
+		binary.LittleEndian.PutUint32(tmp[0:4], s.id)
+		binary.LittleEndian.PutUint64(tmp[4:12], dataOff)
+		binary.LittleEndian.PutUint64(tmp[12:20], uint64(len(s.data)))
+		table = append(table, tmp[:]...)
+		body = append(body, s.data...)
+		dataOff += uint64(len(s.data))
+	}
+
+	h := make([]byte, headerSize)
+	copy(h[0:8], storeMagic[:])
+	binary.LittleEndian.PutUint32(h[8:12], storeVersionV1)
+	binary.LittleEndian.PutUint32(h[12:16], uint32(len(secs)))
+	binary.LittleEndian.PutUint64(h[16:24], tableOff)
+	binary.LittleEndian.PutUint64(h[24:32], 16) // block size
+	binary.LittleEndian.PutUint64(h[32:40], 5)  // max time
+	binary.LittleEndian.PutUint32(h[40:44], 2)  // signals
+	binary.LittleEndian.PutUint32(h[44:48], 1)  // blocks
+	binary.LittleEndian.PutUint64(h[48:56], 3)  // changes
+	// h[56:64]: the v1 masked-wide-change statistic; left zero.
+	return append(append(h, table...), body...)
+}
+
+// TestOpenStoreV1Legacy pins backwards compatibility: a version-1
+// (two-state) store file still opens read-only and serves correct
+// values through every query path, with MaxWidth reconstructed from
+// the declared widths.
+func TestOpenStoreV1Legacy(t *testing.T) {
+	raw := buildV1Store(t)
+	st, err := OpenStore(bytes.NewReader(raw), int64(len(raw)), OpenOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore(v1): %v", err)
+	}
+	if !st.v1 {
+		t.Fatal("v1 store not flagged as legacy")
+	}
+	a, ok := st.Signal("top.a")
+	if !ok {
+		t.Fatal("top.a missing")
+	}
+	if got := a.ValueAt(0); got != 1 {
+		t.Fatalf("a@0 = %d, want 1", got)
+	}
+	if got := a.ValueAt(5); got != 9 {
+		t.Fatalf("a@5 = %d, want 9", got)
+	}
+	if b := a.BitsAt(5); b.HasX() || b.Width != 8 || b.V0 != 9 {
+		t.Fatalf("a@5 bits = %s", b.String())
+	}
+	state := st.NewState()
+	st.ApplyUpTo(Cursor{}, st.MaxTime, state)
+	if got := st.StateBits(state, a); got.V0 != 9 {
+		t.Fatalf("state a = %s, want 9", got.String())
+	}
+	if st.Stats.XZChanges != 0 {
+		t.Fatalf("v1 store reports %d x/z changes", st.Stats.XZChanges)
+	}
+	if st.Stats.MaxWidth != 8 {
+		t.Fatalf("v1 MaxWidth = %d, want 8 (reconstructed from widths)", st.Stats.MaxWidth)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenStoreNewerVersion pins forward negotiation: a store stamped
+// with a future format version must fail with the explicit
+// newer-version error, not a generic corruption message and never a
+// misdecode.
+func TestOpenStoreNewerVersion(t *testing.T) {
+	data := recordDesign(t, 20)
+	mem, err := ParseStore(bytes.NewReader(data), StoreOptions{BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, mem); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint32(raw[8:12], StoreVersion+1)
+	_, err = OpenStore(bytes.NewReader(raw), int64(len(raw)), OpenOptions{})
+	if err == nil {
+		t.Fatal("newer-version store opened")
+	}
+	if errors.Is(err, ErrNotStore) {
+		t.Fatalf("newer version misclassified as not-a-store: %v", err)
+	}
+	for _, want := range []string{"newer", fmt.Sprintf("version %d", StoreVersion+1)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
 }

@@ -8,8 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/eval"
 	"repro/internal/rtl"
+	"repro/internal/val"
 )
 
 // This file is the trace index: a streaming, single-pass alternative to
@@ -61,11 +61,12 @@ type storeBlock struct {
 	crc    uint32
 }
 
-// timeline is a signal's fully decoded change history. It is built
-// complete before being published, and immutable afterwards.
+// timeline is a signal's fully decoded change history, packed
+// four-state planes included. It is built complete before being
+// published, and immutable afterwards.
 type timeline struct {
 	times []uint64
-	vals  []uint64
+	pl    planeSeq
 }
 
 // StoreSignal is one signal in a block store: always its per-block
@@ -85,11 +86,11 @@ type StoreSignal struct {
 
 	// Sparse change runs: blkIdx lists the store's block SLOTS this
 	// signal changed in (ascending; a slot resolves to its time window
-	// through store.blocks[slot].win); blkLast holds the signal's value
-	// after its last change inside that block. Memory is O(blocks
-	// touched), not O(changes).
-	blkIdx  []uint32
-	blkLast []uint64
+	// through store.blocks[slot].win); last holds the signal's packed
+	// four-state value after its last change inside that block. Memory
+	// is O(blocks touched), not O(changes).
+	blkIdx []uint32
+	last   planeSeq
 
 	// Materialized timeline; nil until Materialize decodes it.
 	// Published atomically only once fully built, so readers on other
@@ -108,38 +109,61 @@ func (ts *StoreSignal) NumChanges() int { return ts.n }
 // Materialized reports whether the full timeline has been decoded.
 func (ts *StoreSignal) Materialized() bool { return ts.tl.Load() != nil }
 
-// ValueAt returns the signal value at time t (the most recent change at
-// or before t; zero before the first change). Materialized signals
-// answer by binary search over the decoded timeline; unmaterialized
-// signals binary-search the sparse block index and decode at most one
-// block.
+// ValueAt returns the signal's two-state value word at time t (the
+// most recent change at or before t; zero before the first change).
+// Unknown bits read as 0 and bits above 64 are not visible; BitsAt
+// returns the full four-state value. Materialized signals answer by
+// binary search over the decoded timeline; unmaterialized signals
+// binary-search the sparse block index and decode at most one block.
 func (ts *StoreSignal) ValueAt(t uint64) uint64 {
+	b, ok := ts.lookupAt(t)
+	if !ok {
+		return 0
+	}
+	return b.V0
+}
+
+// BitsAt returns the signal's full four-state value at time t (known
+// zero of the declared width before the first change). The result may
+// alias immutable store planes.
+func (ts *StoreSignal) BitsAt(t uint64) val.Bits {
+	b, ok := ts.lookupAt(t)
+	if !ok {
+		return val.Bits{Width: maxInt(ts.Width, 1)}
+	}
+	return b
+}
+
+// lookupAt is the shared value-at-time query; ok is false before the
+// first change.
+func (ts *StoreSignal) lookupAt(t uint64) (val.Bits, bool) {
+	width := maxInt(ts.Width, 1)
 	if tl := ts.tl.Load(); tl != nil {
 		i := sort.Search(len(tl.times), func(i int) bool { return tl.times[i] > t })
 		if i == 0 {
-			return 0
+			return val.Bits{}, false
 		}
-		return tl.vals[i-1]
+		return tl.pl.bits(i-1, width), true
 	}
 	b := t / ts.store.blockSize
 	// Latest indexed block whose window is at or before b.
 	blocks := ts.store.blocks
 	k := sort.Search(len(ts.blkIdx), func(i int) bool { return blocks[ts.blkIdx[i]].win > b }) - 1
 	if k < 0 {
-		return 0
+		return val.Bits{}, false
 	}
 	if slot := int(ts.blkIdx[k]); blocks[slot].win == b {
-		if v, ok := ts.store.scanBlockFor(slot, ts.index, t); ok {
-			return v
+		if rec, ok := ts.store.scanBlockFor(slot, ts.index, t); ok {
+			return rec.bits(width), true
 		}
 		// Every change of this signal in window b is after t; the
 		// previous indexed block's final value rules.
 		k--
 		if k < 0 {
-			return 0
+			return val.Bits{}, false
 		}
 	}
-	return ts.blkLast[k]
+	return ts.last.bits(k, width), true
 }
 
 // Store is a parsed VCD file held as a time-blocked change index. It
@@ -155,6 +179,17 @@ type Store struct {
 	list      []*StoreSignal // by dense index
 	blocks    []storeBlock
 	changes   int
+
+	// v1 marks a store opened from a version-1 file: block record
+	// streams use the legacy 3-varint two-state encoding (values were
+	// masked to their low 64 bits at index time), read-only.
+	v1 bool
+
+	// Packed replay-state layout: signal i's planes live at word
+	// offset wordOff[i], sigWords(width) words each, stateWords total.
+	// Computed once the signal list is final (finalizeLayout).
+	wordOff    []int32
+	stateWords int
 
 	// Disk backing (OpenStore only): blocks read through src into a
 	// byte-bounded LRU cache. closer is the owned file handle, if any.
@@ -205,6 +240,62 @@ func (s *Store) Close() error {
 	return nil
 }
 
+// finalizeLayout computes the packed replay-state layout; called once
+// the signal list is final (end of parse, or open).
+func (s *Store) finalizeLayout() {
+	s.wordOff = make([]int32, len(s.list))
+	off := 0
+	for i, ts := range s.list {
+		s.wordOff[i] = int32(off)
+		off += ts.nw()
+	}
+	s.stateWords = off
+}
+
+// nw returns the signal's per-entry plane word count.
+func (ts *StoreSignal) nw() int { return sigWords(maxInt(ts.Width, 1)) }
+
+// State is a full packed signal-state array: every signal's value and
+// unknown-bit planes at one instant, laid out per Store.finalizeLayout.
+// Build with NewState, advance with ApplyUpTo, read with StateBits.
+type State struct {
+	V, X []uint64
+}
+
+// NewState allocates a zeroed state array sized for the store.
+func (s *Store) NewState() *State {
+	return &State{V: make([]uint64, s.stateWords), X: make([]uint64, s.stateWords)}
+}
+
+// Zero resets the state to all-known zero.
+func (st *State) Zero() {
+	for i := range st.V {
+		st.V[i] = 0
+		st.X[i] = 0
+	}
+}
+
+// CopyFrom overwrites st with src (same store layout).
+func (st *State) CopyFrom(src *State) {
+	copy(st.V, src.V)
+	copy(st.X, src.X)
+}
+
+// Clone returns an independent copy of the state.
+func (st *State) Clone() *State {
+	c := &State{V: make([]uint64, len(st.V)), X: make([]uint64, len(st.X))}
+	c.CopyFrom(st)
+	return c
+}
+
+// StateBits reads one signal's four-state value out of a state array.
+// The result is an independent copy — later ApplyUpTo sweeps over the
+// same state cannot mutate it.
+func (s *Store) StateBits(st *State, ts *StoreSignal) val.Bits {
+	off, nw := int(s.wordOff[ts.index]), ts.nw()
+	return val.FromPlanes(st.V[off:off+nw], st.X[off:off+nw], maxInt(ts.Width, 1))
+}
+
 // storeIngest is the shared single-pass ingest core behind ParseStore
 // and IndexFile: it encodes change events into block record streams
 // and maintains the per-signal sparse index. Completed blocks are
@@ -214,7 +305,7 @@ type storeIngest struct {
 	bs      uint64
 	st      *Store
 	byID    map[string]*StoreSignal
-	scratch [3 * binary.MaxVarintLen64]byte
+	scratch []byte // reusable record-encoding buffer
 	cur     storeBlock
 	have    bool
 	slot    int // index the current block will get when emitted
@@ -236,17 +327,62 @@ func (g *storeIngest) events() vcdEvents {
 
 func (g *storeIngest) vardecl(id string, width int, full, local string) {
 	ts := &StoreSignal{Name: full, Width: width, store: g.st, index: len(g.st.list)}
+	ts.last.nw = ts.nw()
 	g.st.sigs[full] = ts
 	g.st.list = append(g.st.list, ts)
 	g.byID[id] = ts
 }
 
-func (g *storeIngest) change(id string, t uint64, bits uint64) {
+// appendRecord encodes one v2 change record:
+//
+//	uvarint(sig<<2 | hasX | wide<<1)  header: signal index + plane flags
+//	uvarint(dt)                       time delta from the block cursor
+//	uvarint(value word 0)
+//	[uvarint(x word 0)]               if hasX
+//	if wide: uvarint(k), k value words, then (if hasX) k x words
+//
+// A fully known narrow change — the overwhelmingly common case — costs
+// exactly the three varints the v1 format did.
+func appendRecord(dst []byte, sig int, dt uint64, b val.Bits) []byte {
+	hasX := b.HasX()
+	wide := b.Words() > 1
+	head := uint64(sig) << 2
+	if hasX {
+		head |= 1
+	}
+	if wide {
+		head |= 2
+	}
+	dst = putUvarint(dst, head)
+	dst = putUvarint(dst, dt)
+	dst = putUvarint(dst, b.Word(0))
+	if hasX {
+		dst = putUvarint(dst, b.XWord(0))
+	}
+	if wide {
+		k := b.Words() - 1
+		dst = putUvarint(dst, uint64(k))
+		for i := 1; i <= k; i++ {
+			dst = putUvarint(dst, b.Word(i))
+		}
+		if hasX {
+			for i := 1; i <= k; i++ {
+				dst = putUvarint(dst, b.XWord(i))
+			}
+		}
+	}
+	return dst
+}
+
+func (g *storeIngest) change(id string, t uint64, lit string) {
 	ts, ok := g.byID[id]
 	if !ok {
 		return
 	}
-	bits &= eval.Mask(ts.Width)
+	b, perr := val.ParseVCD(lit, maxInt(ts.Width, 1))
+	if perr != nil {
+		return // unreachable: the scanner validated the literal
+	}
 	win := t / g.bs
 	// Timestamps never decrease (enforced by scanVCD), so a new window
 	// always follows the current one — empty windows between changes
@@ -259,17 +395,15 @@ func (g *storeIngest) change(id string, t uint64, bits uint64) {
 		g.slot++
 		g.cur = storeBlock{win: win, last: win * g.bs}
 	}
-	n := binary.PutUvarint(g.scratch[:], uint64(ts.index))
-	n += binary.PutUvarint(g.scratch[n:], t-g.cur.last)
-	n += binary.PutUvarint(g.scratch[n:], bits)
-	g.cur.buf = append(g.cur.buf, g.scratch[:n]...)
+	g.scratch = appendRecord(g.scratch[:0], ts.index, t-g.cur.last, b)
+	g.cur.buf = append(g.cur.buf, g.scratch...)
 	g.cur.last = t
 	g.st.changes++
 	if k := len(ts.blkIdx); k > 0 && int(ts.blkIdx[k-1]) == g.slot {
-		ts.blkLast[k-1] = bits
+		ts.last.setLast(b)
 	} else {
 		ts.blkIdx = append(ts.blkIdx, uint32(g.slot))
-		ts.blkLast = append(ts.blkLast, bits)
+		ts.last.appendBits(b)
 	}
 	ts.n++
 }
@@ -306,6 +440,7 @@ func ParseStore(rd io.Reader, opts StoreOptions) (*Store, error) {
 	st.MaxTime = maxTime
 	st.Hierarchy = h.root
 	st.Stats = stats
+	st.finalizeLayout()
 	return st, nil
 }
 
@@ -339,30 +474,49 @@ func (s *Store) SignalNames() []string {
 }
 
 // record is one decoded change: which signal, at what absolute time,
-// to what value, and how many encoded bytes it occupied.
+// to what four-state value, and how many encoded bytes it occupied.
+// The planes are raw words: v0/x0 hold bits 0..63, vh/xh (nil for
+// narrow or fully known records) the rest. The width comes from the
+// signal declaration, not the record.
 type record struct {
-	sig  int
-	time uint64
-	bits uint64
-	size int
+	sig    int
+	time   uint64
+	v0, x0 uint64
+	vh, xh []uint64
+	size   int
 }
 
+// bits assembles the record's value at the signal's declared width.
+func (rec record) bits(width int) val.Bits {
+	b := val.Bits{Width: width, V0: rec.v0, X0: rec.x0, VH: rec.vh, XH: rec.xh}
+	if width <= 64 {
+		b.VH, b.XH = nil, nil
+	}
+	return b
+}
+
+// maxPlaneWords bounds a hostile record's declared extra-word count
+// (maxSignalWidth bits of planes).
+const maxPlaneWords = maxSignalWidth / 64
+
 // blockReader iterates a block's compact record stream. It is the one
-// place the record encoding (uvarint signal index, uvarint time delta,
-// uvarint value bits, delta base = previous record or window start) is
-// decoded; every consumer — lazy point queries, materialization, state
-// sweeps — shares it so the format cannot desynchronize between them.
-// next decodes without consuming; commit consumes, which is what lets
-// ApplyUpTo stop exactly before the first record past its target time.
+// place the record encoding (see appendRecord; v1 streams are the
+// legacy three-varint form) is decoded; every consumer — lazy point
+// queries, materialization, state sweeps — shares it so the format
+// cannot desynchronize between them. next decodes without consuming;
+// commit consumes, which is what lets ApplyUpTo stop exactly before
+// the first record past its target time.
 //
 // The stream is a hostile-input surface once blocks come from disk:
-// next validates every varint's byte count, so a truncated or corrupt
-// buffer yields a decode error (in r.err) instead of fabricated
-// records or a zero-size record that would stop commit from advancing.
+// next validates every varint's byte count and bounds every declared
+// word count, so a truncated or corrupt buffer yields a decode error
+// (in r.err) instead of fabricated records or a zero-size record that
+// would stop commit from advancing.
 type blockReader struct {
 	buf  []byte
 	off  int
 	time uint64 // delta base: window start, or a resumed cursor's time
+	v1   bool   // legacy three-varint record format
 	err  error
 }
 
@@ -380,31 +534,76 @@ func (s *Store) blockData(b int) []byte {
 
 // reader returns a blockReader positioned at the start of block slot b.
 func (s *Store) reader(b int) blockReader {
-	return blockReader{buf: s.blockData(b), time: s.blocks[b].win * s.blockSize}
+	return blockReader{buf: s.blockData(b), time: s.blocks[b].win * s.blockSize, v1: s.v1}
 }
 
 var errCorruptRecord = fmt.Errorf("vcd: corrupt block record stream")
+
+// uv decodes one uvarint at offset off, accumulating the record size.
+func (r *blockReader) uv(off *int, what string) (uint64, bool) {
+	v, n := binary.Uvarint(r.buf[*off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("%w: bad %s varint at byte %d", errCorruptRecord, what, *off)
+		return 0, false
+	}
+	*off += n
+	return v, true
+}
 
 func (r *blockReader) next() (record, bool) {
 	if r.err != nil || r.off >= len(r.buf) {
 		return record{}, false
 	}
-	si, n1 := binary.Uvarint(r.buf[r.off:])
-	if n1 <= 0 {
-		r.err = fmt.Errorf("%w: bad signal index varint at byte %d", errCorruptRecord, r.off)
+	off := r.off
+	head, ok := r.uv(&off, "signal index")
+	if !ok {
 		return record{}, false
 	}
-	dt, n2 := binary.Uvarint(r.buf[r.off+n1:])
-	if n2 <= 0 {
-		r.err = fmt.Errorf("%w: bad time delta varint at byte %d", errCorruptRecord, r.off)
+	dt, ok := r.uv(&off, "time delta")
+	if !ok {
 		return record{}, false
 	}
-	bits, n3 := binary.Uvarint(r.buf[r.off+n1+n2:])
-	if n3 <= 0 {
-		r.err = fmt.Errorf("%w: bad value varint at byte %d", errCorruptRecord, r.off)
+	v0, ok := r.uv(&off, "value")
+	if !ok {
 		return record{}, false
 	}
-	return record{sig: int(si), time: r.time + dt, bits: bits, size: n1 + n2 + n3}, true
+	if r.v1 {
+		return record{sig: int(head), time: r.time + dt, v0: v0, size: off - r.off}, true
+	}
+	rec := record{sig: int(head >> 2), time: r.time + dt, v0: v0}
+	hasX := head&1 != 0
+	wide := head&2 != 0
+	if hasX {
+		if rec.x0, ok = r.uv(&off, "x plane"); !ok {
+			return record{}, false
+		}
+	}
+	if wide {
+		k, ok := r.uv(&off, "word count")
+		if !ok {
+			return record{}, false
+		}
+		if k == 0 || k > maxPlaneWords {
+			r.err = fmt.Errorf("%w: implausible %d extra value words at byte %d", errCorruptRecord, k, r.off)
+			return record{}, false
+		}
+		rec.vh = make([]uint64, k)
+		for i := range rec.vh {
+			if rec.vh[i], ok = r.uv(&off, "value word"); !ok {
+				return record{}, false
+			}
+		}
+		if hasX {
+			rec.xh = make([]uint64, k)
+			for i := range rec.xh {
+				if rec.xh[i], ok = r.uv(&off, "x word"); !ok {
+					return record{}, false
+				}
+			}
+		}
+	}
+	rec.size = off - r.off
+	return rec, true
 }
 
 func (r *blockReader) commit(rec record) {
@@ -420,9 +619,9 @@ func (s *Store) fail(b int, err error) {
 
 // scanBlockFor decodes block b looking for the last change of signal
 // idx at or before t.
-func (s *Store) scanBlockFor(b, idx int, t uint64) (uint64, bool) {
+func (s *Store) scanBlockFor(b, idx int, t uint64) (record, bool) {
 	r := s.reader(b)
-	var last uint64
+	var last record
 	found := false
 	for {
 		rec, ok := r.next()
@@ -431,7 +630,7 @@ func (s *Store) scanBlockFor(b, idx int, t uint64) (uint64, bool) {
 		}
 		r.commit(rec)
 		if rec.sig == idx {
-			last, found = rec.bits, true
+			last, found = rec, true
 		}
 	}
 	if r.err != nil {
@@ -482,10 +681,9 @@ func (s *Store) Materialize(paths ...string) {
 		}
 		// A zero-change signal gets an empty non-nil timeline, which is
 		// enough to mark it materialized.
-		tl := &timeline{
-			times: make([]uint64, 0, ts.n),
-			vals:  make([]uint64, 0, ts.n),
-		}
+		tl := &timeline{times: make([]uint64, 0, ts.n)}
+		tl.pl.nw = ts.nw()
+		tl.pl.v = make([]uint64, 0, ts.n*tl.pl.nw)
 		pend[ts] = tl
 		byIdx[ts.index] = tl
 		for _, bi := range ts.blkIdx {
@@ -512,7 +710,7 @@ func (s *Store) Materialize(paths ...string) {
 			if rec.sig < len(byIdx) {
 				if tl := byIdx[rec.sig]; tl != nil {
 					tl.times = append(tl.times, rec.time)
-					tl.vals = append(tl.vals, rec.bits)
+					tl.pl.appendBits(rec.bits(maxInt(s.list[rec.sig].Width, 1)))
 				}
 			}
 		}
@@ -529,9 +727,9 @@ func (s *Store) Materialize(paths ...string) {
 	s.evictTimelines()
 }
 
-// timelineBytes is a timeline's resident footprint (8 B time + 8 B
-// value per change).
-func timelineBytes(tl *timeline) int { return 16 * len(tl.times) }
+// timelineBytes is a timeline's resident footprint (8 B time per
+// change plus the packed value/x planes).
+func timelineBytes(tl *timeline) int { return 8*len(tl.times) + tl.pl.byteSize() }
 
 // SetTimelineBudget bounds the total bytes of resident materialized
 // timelines (0 restores DefaultTimelineBudget). When a Materialize
@@ -624,7 +822,7 @@ func (s *Store) walkUpTo(c Cursor, t uint64, visit func(rec record)) Cursor {
 		if c.Off == 0 {
 			c.Time = blockStart
 		}
-		r := blockReader{buf: s.blockData(c.Block), off: c.Off, time: c.Time}
+		r := blockReader{buf: s.blockData(c.Block), off: c.Off, time: c.Time, v1: s.v1}
 		for {
 			rec, ok := r.next()
 			if !ok {
@@ -659,16 +857,36 @@ func (s *Store) walkUpTo(c Cursor, t uint64, visit func(rec record)) Cursor {
 }
 
 // ApplyUpTo replays every change with time <= t, starting at cursor c,
-// into state (indexed by StoreSignal.Index), and returns the advanced
-// cursor. state must have NumSignals elements. Replaying from the zero
+// into the packed state planes (build with NewState, read with
+// StateBits), and returns the advanced cursor. Replaying from the zero
 // cursor over a zero state reconstructs exact signal values at t;
 // resuming from a saved cursor/state pair costs only the records in
 // (cursor, t] — the primitive replay checkpointing is built on.
-func (s *Store) ApplyUpTo(c Cursor, t uint64, state []uint64) Cursor {
-	if len(state) < len(s.list) {
-		panic(fmt.Sprintf("vcd: ApplyUpTo state too short: %d < %d", len(state), len(s.list)))
+func (s *Store) ApplyUpTo(c Cursor, t uint64, state *State) Cursor {
+	if len(state.V) < s.stateWords || len(state.X) < s.stateWords {
+		panic(fmt.Sprintf("vcd: ApplyUpTo state too short: %d/%d words < %d",
+			len(state.V), len(state.X), s.stateWords))
 	}
-	return s.walkUpTo(c, t, func(rec record) { state[rec.sig] = rec.bits })
+	return s.walkUpTo(c, t, func(rec record) {
+		// rec.sig is validated against the signal list before a block is
+		// published (validateBlockStream / trusted parse), so the offset
+		// lookup is in range; word counts are clamped to the declared
+		// width so a record can never spill into a neighbor's span.
+		off, nw := int(s.wordOff[rec.sig]), s.list[rec.sig].nw()
+		state.V[off] = rec.v0
+		state.X[off] = rec.x0
+		for i := 1; i < nw; i++ {
+			var v, x uint64
+			if i-1 < len(rec.vh) {
+				v = rec.vh[i-1]
+			}
+			if i-1 < len(rec.xh) {
+				x = rec.xh[i-1]
+			}
+			state.V[off+i] = v
+			state.X[off+i] = x
+		}
+	})
 }
 
 // ScanChanges invokes fn with the signal index of every change record
@@ -708,7 +926,7 @@ func (s *Store) NextChangeTime(c Cursor) (uint64, bool) {
 		if c.Off == 0 {
 			c.Time = s.blocks[c.Block].win * s.blockSize
 		}
-		r := blockReader{buf: s.blockData(c.Block), off: c.Off, time: c.Time}
+		r := blockReader{buf: s.blockData(c.Block), off: c.Off, time: c.Time, v1: s.v1}
 		if rec, ok := r.next(); ok {
 			return rec.time, true
 		}
@@ -738,7 +956,7 @@ func (s *Store) IndexBytes() int {
 		total += s.cache.bytes()
 	}
 	for _, ts := range s.list {
-		total += cap(ts.blkIdx)*4 + cap(ts.blkLast)*8
+		total += cap(ts.blkIdx)*4 + ts.last.byteSize()
 	}
 	return total
 }

@@ -128,7 +128,7 @@ func TestStoreApplyUpTo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	state := make([]uint64, st.NumSignals())
+	state := st.NewState()
 	var cur Cursor
 	// Irregular hop sizes: within-block, block-exact, multi-block.
 	var at uint64
@@ -141,7 +141,7 @@ func TestStoreApplyUpTo(t *testing.T) {
 		for _, name := range tr.SignalNames() {
 			es, _ := tr.Signal(name)
 			ss, _ := st.Signal(name)
-			if got, want := state[ss.Index()], es.ValueAt(at); got != want {
+			if got, want := st.StateBits(state, ss).V0, es.ValueAt(at); got != want {
 				t.Fatalf("state[%s]@%d = %d, want %d", name, at, got, want)
 			}
 		}
@@ -234,8 +234,8 @@ func TestCursorWindowBoundaries(t *testing.T) {
 			}
 		}
 	}
-	state := make([]uint64, st.NumSignals())
-	fresh := make([]uint64, st.NumSignals())
+	state := st.NewState()
+	fresh := st.NewState()
 	var cur Cursor
 	var prev uint64
 	for _, tm := range times {
@@ -245,17 +245,15 @@ func TestCursorWindowBoundaries(t *testing.T) {
 		prev = tm
 		// Resumed sweep vs fresh sweep vs eager truth.
 		cur = st.ApplyUpTo(cur, tm, state)
-		for i := range fresh {
-			fresh[i] = 0
-		}
+		fresh.Zero()
 		freshCur := st.ApplyUpTo(Cursor{}, tm, fresh)
 		for _, name := range tr.SignalNames() {
 			es, _ := tr.Signal(name)
 			ss, _ := st.Signal(name)
 			want := es.ValueAt(tm)
-			if state[ss.Index()] != want || fresh[ss.Index()] != want {
+			if st.StateBits(state, ss).V0 != want || st.StateBits(fresh, ss).V0 != want {
 				t.Fatalf("sweep @%d %s: resumed %d, fresh %d, want %d",
-					tm, name, state[ss.Index()], fresh[ss.Index()], want)
+					tm, name, st.StateBits(state, ss).V0, st.StateBits(fresh, ss).V0, want)
 			}
 		}
 		// SeekCursor must land exactly where the walks landed.
@@ -304,10 +302,10 @@ $enddefinitions $end
 			t.Fatalf("ValueAt(%d) != 0", tm)
 		}
 	}
-	state := make([]uint64, st.NumSignals())
+	state := st.NewState()
 	st.ApplyUpTo(Cursor{}, st.MaxTime, state)
-	if state[ts.Index()] != 0 {
-		t.Fatalf("sweep wrote %d into zero-change slot", state[ts.Index()])
+	if b := st.StateBits(state, ts); b.V0 != 0 || b.HasX() {
+		t.Fatalf("sweep wrote %s into zero-change slot", b.String())
 	}
 	st.Materialize("top.quiet")
 	if !ts.Materialized() {
@@ -436,14 +434,14 @@ b11 "
 	}
 	check("lazy")
 	// State sweeps must step across the gap without visiting it.
-	state := make([]uint64, st.NumSignals())
+	state := st.NewState()
 	var cur Cursor
 	for _, tm := range times {
 		cur = st.ApplyUpTo(cur, tm, state)
 		for _, name := range []string{"Top.a", "Top.v"} {
 			es, _ := tr.Signal(name)
 			ss, _ := st.Signal(name)
-			if got, want := state[ss.Index()], es.ValueAt(tm); got != want {
+			if got, want := st.StateBits(state, ss).V0, es.ValueAt(tm); got != want {
 				t.Fatalf("sweep: %s@%d = %d, want %d", name, tm, got, want)
 			}
 		}

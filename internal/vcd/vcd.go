@@ -17,6 +17,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/rtl"
 	"repro/internal/sim"
+	"repro/internal/val"
 )
 
 // idCode converts a dense index into a VCD identifier code (printable
@@ -116,22 +117,44 @@ func (r *Recorder) Flush() error {
 	return r.w.Flush()
 }
 
-// TraceSignal is one signal's change timeline.
+// TraceSignal is one signal's change timeline, held as packed
+// four-state planes (value words plus a lazily tracked unknown-bit
+// plane; see planeSeq).
 type TraceSignal struct {
 	Name  string // full hierarchical path
 	Width int
 	times []uint64
-	vals  []uint64
+	pl    planeSeq
 }
 
-// ValueAt returns the signal value at time t (the most recent change at
-// or before t; zero before the first change).
+// ValueAt returns the signal's two-state value word at time t (the
+// most recent change at or before t; zero before the first change).
+// Unknown bits read as 0 and bits above 64 are not visible — callers
+// that need the full four-state value use BitsAt.
 func (ts *TraceSignal) ValueAt(t uint64) uint64 {
 	i := sort.Search(len(ts.times), func(i int) bool { return ts.times[i] > t })
 	if i == 0 {
 		return 0
 	}
-	return ts.vals[i-1]
+	return ts.pl.word0(i - 1)
+}
+
+// BitsAt returns the signal's full four-state value at time t (known
+// zero of the declared width before the first change). The result
+// aliases the immutable timeline.
+func (ts *TraceSignal) BitsAt(t uint64) val.Bits {
+	i := sort.Search(len(ts.times), func(i int) bool { return ts.times[i] > t })
+	if i == 0 {
+		return val.Bits{Width: maxInt(ts.Width, 1)}
+	}
+	return ts.pl.bits(i-1, maxInt(ts.Width, 1))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // NumChanges returns how many value changes were recorded.
@@ -147,13 +170,17 @@ func (ts *TraceSignal) ChangeCountAt(t uint64) int {
 }
 
 // ParseStats counts events on the parse path that change what the
-// trace representation can answer. Both Parse and ParseStore fill it.
+// trace representation holds. Both Parse and ParseStore fill it.
 type ParseStats struct {
-	// WideChanges counts vector changes wider than 64 bits whose high
-	// bits were masked away. The value model is two-state and 64-bit
-	// end to end (ROADMAP item 3); until that lands, wide buses keep
-	// their low 64 bits instead of aborting the whole parse.
-	WideChanges int
+	// XZChanges counts value changes carrying at least one x or z bit.
+	// Four-state changes are stored exactly (the unknown-bit plane);
+	// the count tells tools and users how much of the trace is
+	// unknown-at-reset territory.
+	XZChanges int
+	// MaxWidth is the widest change literal seen, in bits. Arbitrary
+	// widths are stored exactly — nothing is masked — so this is a
+	// trace-shape statistic, not a loss report.
+	MaxWidth int
 }
 
 // Trace is a parsed VCD file.
@@ -190,8 +217,11 @@ type vcdEvents struct {
 	vardecl func(id string, width int, full, local string)
 	// change reports one value change for a declared id at absolute
 	// time t (#time markers never decrease, so t is non-decreasing
-	// across calls). Bits are NOT yet masked to the signal width.
-	change func(id string, t uint64, bits uint64)
+	// across calls). lit is the raw MSB-first literal — characters
+	// from 01xXzZ, already validated by the scanner — NOT yet
+	// extended or truncated to the signal's declared width (sinks
+	// apply val.ParseVCD against the width they declared).
+	change func(id string, t uint64, lit string)
 }
 
 // hierBuilder reconstructs the instance tree from $scope nesting.
@@ -310,35 +340,41 @@ func scanVCD(rd io.Reader, h *hierBuilder, ev vcdEvents) (maxTime uint64, stats 
 				return 0, stats, fmt.Errorf("vcd: line %d: malformed vector change %q", lineNo, line)
 			}
 			raw := line[1:sp]
-			// x/z states decay to 0 (two-state simulation).
-			raw = strings.Map(func(r rune) rune {
-				if r == 'x' || r == 'X' || r == 'z' || r == 'Z' {
-					return '0'
+			if raw == "" {
+				return 0, stats, fmt.Errorf("vcd: line %d: empty vector value %q", lineNo, line)
+			}
+			// Validate digits here (the one place with a line number) so
+			// sinks can parse the literal infallibly; count four-state
+			// and width statistics in the same pass.
+			hasXZ := false
+			for i := 0; i < len(raw); i++ {
+				switch raw[i] {
+				case '0', '1':
+				case 'x', 'X', 'z', 'Z':
+					hasXZ = true
+				default:
+					return 0, stats, fmt.Errorf("vcd: line %d: bad vector value %q", lineNo, line)
 				}
-				return r
-			}, raw)
-			if len(raw) > 64 {
-				// Wider than the 64-bit value model: keep the low 64 bits
-				// rather than aborting the parse on ParseUint overflow.
-				// Counted in stats; see ParseStats.WideChanges.
-				raw = raw[len(raw)-64:]
-				stats.WideChanges++
 			}
-			bits, err := strconv.ParseUint(raw, 2, 64)
-			if err != nil {
-				return 0, stats, fmt.Errorf("vcd: line %d: bad vector value %q", lineNo, line)
+			if hasXZ {
+				stats.XZChanges++
 			}
-			ev.change(strings.TrimSpace(line[sp+1:]), curTime, bits)
+			if len(raw) > stats.MaxWidth {
+				stats.MaxWidth = len(raw)
+			}
+			ev.change(strings.TrimSpace(line[sp+1:]), curTime, raw)
 		case line[0] == '0' || line[0] == '1' || line[0] == 'x' || line[0] == 'z' ||
 			line[0] == 'X' || line[0] == 'Z':
 			if inDefs {
 				continue
 			}
-			var bit uint64
-			if line[0] == '1' {
-				bit = 1
+			if line[0] != '0' && line[0] != '1' {
+				stats.XZChanges++
 			}
-			ev.change(line[1:], curTime, bit)
+			if stats.MaxWidth < 1 {
+				stats.MaxWidth = 1
+			}
+			ev.change(line[1:], curTime, line[:1])
 		}
 	}
 	return maxTime, stats, sc.Err()
@@ -355,16 +391,21 @@ func Parse(rd io.Reader) (*Trace, error) {
 	maxTime, stats, err := scanVCD(rd, &h, vcdEvents{
 		vardecl: func(id string, width int, full, local string) {
 			ts := &TraceSignal{Name: full, Width: width}
+			ts.pl.nw = sigWords(maxInt(width, 1))
 			tr.Signals[full] = ts
 			byID[id] = ts
 		},
-		change: func(id string, t uint64, bits uint64) {
+		change: func(id string, t uint64, lit string) {
 			ts, ok := byID[id]
 			if !ok {
 				return
 			}
+			b, perr := val.ParseVCD(lit, maxInt(ts.Width, 1))
+			if perr != nil {
+				return // unreachable: the scanner validated the literal
+			}
 			ts.times = append(ts.times, t)
-			ts.vals = append(ts.vals, bits&eval.Mask(ts.Width))
+			ts.pl.appendBits(b)
 		},
 	})
 	if err != nil {

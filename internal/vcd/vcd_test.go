@@ -12,6 +12,7 @@ import (
 	"repro/internal/passes"
 	"repro/internal/rtl"
 	"repro/internal/sim"
+	"repro/internal/val"
 )
 
 func buildAndSim(t *testing.T) *sim.Simulator {
@@ -104,7 +105,8 @@ func TestValueAtBeforeFirstChange(t *testing.T) {
 		t.Fatal("empty timeline not zero")
 	}
 	ts.times = []uint64{5, 10}
-	ts.vals = []uint64{3, 7}
+	ts.pl.nw = 1
+	ts.pl.v = []uint64{3, 7}
 	cases := []struct{ t, want uint64 }{{0, 0}, {4, 0}, {5, 3}, {9, 3}, {10, 7}, {100, 7}}
 	for _, c := range cases {
 		if got := ts.ValueAt(c.t); got != c.want {
@@ -131,11 +133,21 @@ b1010 !
 		t.Fatalf("parse: %v", err)
 	}
 	ts, _ := tr.Signal("top.sig")
-	if ts.ValueAt(0) != 0b0001 {
-		t.Fatalf("x/z decay: %b", ts.ValueAt(0))
+	// Full four-state round trip: x and z survive the parse verbatim.
+	if got := ts.BitsAt(0).String(); got != "4'bx0z1" {
+		t.Fatalf("four-state value at 0 = %s, want 4'bx0z1", got)
+	}
+	if !ts.BitsAt(0).HasX() {
+		t.Fatal("x/z bits lost")
 	}
 	if ts.ValueAt(1) != 0b1010 {
 		t.Fatalf("value at 1 = %b", ts.ValueAt(1))
+	}
+	if b := ts.BitsAt(1); b.HasX() {
+		t.Fatalf("known value at 1 reports unknown bits: %s", b.String())
+	}
+	if tr.Stats.XZChanges != 1 {
+		t.Fatalf("Stats.XZChanges = %d, want 1", tr.Stats.XZChanges)
 	}
 }
 
@@ -218,11 +230,11 @@ $enddefinitions $end
 	}
 }
 
-// TestWideVectorMasked pins the wide-bus interim semantics: a vector
-// change wider than 64 bits keeps its low 64 bits (counted in
-// ParseStats.WideChanges) instead of aborting the whole parse on
-// ParseUint overflow. Full-width values arrive with ROADMAP item 3.
-func TestWideVectorMasked(t *testing.T) {
+// TestWideVectorFullWidth pins the four-state wide-bus semantics: a
+// vector change wider than 64 bits is stored at full width (no masking)
+// and reads back bit-exact through BitsAt, while the legacy two-state
+// ValueAt view still exposes its low 64 bits.
+func TestWideVectorFullWidth(t *testing.T) {
 	// 100-bit vector: 36 high bits set, low 64 bits a known pattern.
 	high := strings.Repeat("1", 36)
 	low := "1010" + strings.Repeat("0", 56) + "1101"
@@ -241,6 +253,10 @@ b101 !
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantBits, err := val.ParseVCD(high+low, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr, err := Parse(strings.NewReader(src))
 	if err != nil {
 		t.Fatalf("wide vector aborted parse: %v", err)
@@ -249,11 +265,14 @@ b101 !
 	if got := ts.ValueAt(0); got != want {
 		t.Fatalf("wide vector low bits = %#x, want %#x", got, want)
 	}
+	if got := ts.BitsAt(0); !got.CaseEq(wantBits) {
+		t.Fatalf("wide vector = %s, want %s", got.String(), wantBits.String())
+	}
 	if got := ts.ValueAt(1); got != 0b101 {
 		t.Fatalf("narrow follow-up = %#x", got)
 	}
-	if tr.Stats.WideChanges != 1 {
-		t.Fatalf("Stats.WideChanges = %d, want 1", tr.Stats.WideChanges)
+	if tr.Stats.XZChanges != 0 || tr.Stats.MaxWidth != 100 {
+		t.Fatalf("Stats = %+v, want XZChanges 0, MaxWidth 100", tr.Stats)
 	}
 	st, err := ParseStore(strings.NewReader(src), StoreOptions{})
 	if err != nil {
@@ -263,8 +282,21 @@ b101 !
 	if got := ss.ValueAt(0); got != want {
 		t.Fatalf("store wide vector low bits = %#x, want %#x", got, want)
 	}
-	if st.Stats.WideChanges != 1 {
-		t.Fatalf("store Stats.WideChanges = %d, want 1", st.Stats.WideChanges)
+	if got := ss.BitsAt(0); !got.CaseEq(wantBits) {
+		t.Fatalf("store wide vector = %s, want %s", got.String(), wantBits.String())
+	}
+	if st.Stats.XZChanges != 0 || st.Stats.MaxWidth != 100 {
+		t.Fatalf("store Stats = %+v, want XZChanges 0, MaxWidth 100", st.Stats)
+	}
+	// And through the disk round trip, both lazily and materialized.
+	disk := writeOpen(t, st, OpenOptions{})
+	ds, _ := disk.Signal("top.bus")
+	if got := ds.BitsAt(0); !got.CaseEq(wantBits) {
+		t.Fatalf("disk wide vector = %s, want %s", got.String(), wantBits.String())
+	}
+	disk.Materialize("top.bus")
+	if got := ds.BitsAt(0); !got.CaseEq(wantBits) {
+		t.Fatalf("materialized disk wide vector = %s, want %s", got.String(), wantBits.String())
 	}
 }
 
@@ -288,11 +320,16 @@ func TestVeryLongLines(t *testing.T) {
 	if got := ts.ValueAt(0); got != 1<<63|1 {
 		t.Fatalf("long-line value = %#x", got)
 	}
+	// The value keeps its full declared width, with the bits above the
+	// low word known zero.
+	if b := ts.BitsAt(0); b.Width != wideBits || b.HasX() {
+		t.Fatalf("wide value lost width: %d bits, hasX=%v", b.Width, b.HasX())
+	}
 	if got := ts.ValueAt(1); got != 0b11 {
 		t.Fatalf("follow-up value = %#x", got)
 	}
-	if tr.Stats.WideChanges != 1 {
-		t.Fatalf("Stats.WideChanges = %d, want 1", tr.Stats.WideChanges)
+	if tr.Stats.MaxWidth != wideBits {
+		t.Fatalf("Stats.MaxWidth = %d, want %d", tr.Stats.MaxWidth, wideBits)
 	}
 }
 
