@@ -8,12 +8,18 @@
 //
 //	hgdb-dap -attach 127.0.0.1:9876            # DAP on stdio (editors)
 //	hgdb-dap -attach 127.0.0.1:9876 -listen :4711
+//	hgdb-dap -attach 127.0.0.1:9900 -hub       # endpoint is a debug hub
 //
 // In stdio mode (the layout editors launch), one DAP session maps to
 // one hgdb debugger session; diagnostics go to stderr. In listen mode
 // every accepted TCP connection gets its own adapter — and its own
 // hgdb session, so several editors may inspect one simulation under
 // the server's usual control arbitration.
+//
+// With -hub the address is a hgdb-hub registry endpoint: the DAP
+// launch request registers a runtime there from its arguments (kind,
+// design, vcd, symtab…) and attaches to it, while the DAP attach
+// request selects an existing runtime by id ("runtime" argument).
 //
 // Reverse execution: when the attached server is backed by a replay
 // trace, the adapter advertises supportsStepBack and maps DAP's
@@ -39,6 +45,7 @@ func (stdio) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
 
 func main() {
 	attach := flag.String("attach", "127.0.0.1:9876", "hgdb debug server to attach to (host:port)")
+	hub := flag.Bool("hub", false, "treat the attach address as a debug hub; launch/attach select registry runtimes")
 	listen := flag.String("listen", "", "serve DAP on this TCP address instead of stdio")
 	quiet := flag.Bool("quiet", false, "suppress diagnostics on stderr")
 	flag.Parse()
@@ -54,7 +61,7 @@ func main() {
 	}
 
 	if *listen == "" {
-		ad, err := dap.New(stdio{}, dap.Options{Addr: *attach, Logger: logger})
+		ad, err := dap.New(stdio{}, dap.Options{Addr: *attach, Hub: *hub, Logger: logger})
 		if err != nil {
 			log.Fatalf("hgdb-dap: %v", err)
 		}
@@ -83,7 +90,7 @@ func main() {
 		}
 		go func(conn net.Conn) {
 			defer conn.Close()
-			ad, err := dap.New(conn, dap.Options{Addr: *attach, Logger: logger})
+			ad, err := dap.New(conn, dap.Options{Addr: *attach, Hub: *hub, Logger: logger})
 			if err != nil {
 				logf("session %s: %v", conn.RemoteAddr(), err)
 				return

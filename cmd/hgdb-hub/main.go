@@ -1,0 +1,106 @@
+// Command hgdb-hub serves a debug hub: a runtime registry that hosts a
+// farm of simulations and replay sessions behind one WebSocket
+// endpoint. Debugger clients route to a runtime with ?runtime=<id> on
+// the upgrade URL (hgdb -runtime, hgdb-dap -hub, client.Options), and
+// a plain connection is a control session that lists, launches, and
+// evicts runtimes (the "runtimes" request family).
+//
+// Usage:
+//
+//	hgdb-hub [-listen :9900] [-symtab-budget 64MiB]
+//	         [-launch name=c0,kind=sim,design=counter] ...
+//
+// Each -launch flag (repeatable) registers one runtime at startup;
+// its value is a comma-separated spec: name=, kind= (sim|replay),
+// design= (sim: counter|fpu), debug= (sim: seed a design bug),
+// vcd= and symtab= (replay: trace and symbol-table files). Replay
+// runtimes loading byte-identical symbol tables share one in-memory
+// copy through the hub's content-keyed cache.
+//
+// The hub drains on SIGINT/SIGTERM: every runtime is evicted (its
+// sessions get goodbye events) before the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/hub"
+	"repro/internal/proto"
+)
+
+// launchSpecs collects repeated -launch flags.
+type launchSpecs []proto.RuntimeSpec
+
+func (l *launchSpecs) String() string { return fmt.Sprintf("%d spec(s)", len(*l)) }
+
+func (l *launchSpecs) Set(s string) error {
+	var spec proto.RuntimeSpec
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad spec entry %q (want key=value)", kv)
+		}
+		switch key {
+		case "name":
+			spec.Name = val
+		case "kind":
+			spec.Kind = val
+		case "design":
+			spec.Design = val
+		case "debug":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return fmt.Errorf("bad debug value %q", val)
+			}
+			spec.Debug = b
+		case "vcd":
+			spec.VCD = val
+		case "symtab":
+			spec.Symtab = val
+		default:
+			return fmt.Errorf("unknown spec key %q", key)
+		}
+	}
+	if spec.Kind == "" {
+		spec.Kind = "sim"
+	}
+	*l = append(*l, spec)
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", ":9900", "hub endpoint (host:port)")
+	budget := flag.Int("symtab-budget", 0, "idle byte budget of the shared symbol-table cache (0 = default 64MiB)")
+	var specs launchSpecs
+	flag.Var(&specs, "launch", "runtime spec to launch at startup (repeatable): name=,kind=,design=,debug=,vcd=,symtab=")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "hgdb-hub: ", log.LstdFlags)
+	h := hub.New(hub.Options{SymtabBudget: *budget, Log: logger})
+	addr, err := h.Listen(*listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("serving debug hub on %s", addr)
+
+	for _, spec := range specs {
+		info, err := h.Launch(spec)
+		if err != nil {
+			logger.Fatalf("launch %+v: %v", spec, err)
+		}
+		logger.Printf("launched %s (%s, %s)", info.ID, info.Kind, info.Top)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("draining %d runtime(s)", len(h.List()))
+	h.Close()
+}

@@ -11,10 +11,18 @@
 //	hgdb-load [-observers 1000] [-dap 0] [-duration 5s | -cycles N]
 //	          [-binary] [-delta] [-per-session-encode]
 //	          [-json] [-ref testdata/broadcast_ref.json] [-v]
+//	hgdb-load -runtimes 8 [-observers 50] [-duration 5s]
 //
 // With -ref the measured p99 stop latency is gated against the
 // checked-in reference: exceeding it by more than 2x exits nonzero,
 // which is how CI catches fan-out latency regressions.
+//
+// With -runtimes N the harness switches to hub-farm mode: an
+// in-process debug hub hosts N runtimes (alternating live sims and
+// replay sessions sharing one trace fixture), each stormed by its own
+// controller with -observers sessions attached, and the report breaks
+// p50/p99 stop latency out per runtime plus the shared symbol-table
+// cache's hit accounting.
 package main
 
 import (
@@ -38,6 +46,7 @@ type reference struct {
 }
 
 func main() {
+	runtimes := flag.Int("runtimes", 0, "hub-farm mode: host this many runtimes on an in-process hub")
 	observers := flag.Int("observers", 1000, "concurrent ws observer sessions")
 	dapClients := flag.Int("dap", 0, "concurrent DAP adapter sessions")
 	duration := flag.Duration("duration", 5*time.Second, "storm duration (wall clock)")
@@ -49,6 +58,41 @@ func main() {
 	refPath := flag.String("ref", "", "reference JSON; fail if p99 latency regresses past 2x")
 	verbose := flag.Bool("v", false, "log progress")
 	flag.Parse()
+
+	if *runtimes > 0 {
+		// The fan-out default of 1000 observers is per-runtime here and
+		// would mean thousands of sessions; farm mode defaults lower
+		// unless -observers was given explicitly.
+		observersSet := false
+		flag.Visit(func(f *flag.Flag) { observersSet = observersSet || f.Name == "observers" })
+		if !observersSet {
+			*observers = 50
+		}
+		opts := bench.HubFarmOptions{
+			Runtimes:  *runtimes,
+			Observers: *observers,
+			Duration:  *duration,
+			Binary:    *binary,
+			Delta:     *delta,
+		}
+		if *verbose {
+			opts.Logf = log.Printf
+		}
+		rep, err := bench.RunHubFarm(opts)
+		if err != nil {
+			log.Fatalf("hgdb-load: %v", err)
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		bench.PrintHubFarm(os.Stdout, rep)
+		return
+	}
 
 	opts := bench.FanoutOptions{
 		Observers:        *observers,

@@ -5,7 +5,15 @@
 //
 // Usage:
 //
-//	hgdb <host:port>
+//	hgdb [-runtime <id>] <host:port>     interactive session
+//	hgdb runtimes <host:port>            list a hub's runtime registry
+//	hgdb launch <host:port> [-name n] [-kind sim|replay] [-design d]
+//	            [-debug] [-vcd f] [-symtab f]
+//	hgdb evict <host:port> <id>          drain and remove a hub runtime
+//
+// Against a debug hub (hgdb-hub), -runtime routes the interactive
+// session to one registry runtime; the runtimes/launch/evict
+// subcommands drive the registry itself over a control session.
 //
 // Commands:
 //
@@ -33,6 +41,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -43,12 +52,30 @@ import (
 	"repro/internal/proto"
 )
 
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hgdb [-runtime <id>] <host:port>
+       hgdb runtimes <host:port>
+       hgdb launch <host:port> [-name n] [-kind sim|replay] [-design d] [-debug] [-vcd f] [-symtab f]
+       hgdb evict <host:port> <id>`)
+	os.Exit(2)
+}
+
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: hgdb <host:port>")
-		os.Exit(2)
+	args := os.Args[1:]
+	if len(args) >= 1 {
+		switch args[0] {
+		case "runtimes", "launch", "evict":
+			hubCommand(args[0], args[1:])
+			return
+		}
 	}
-	cl, err := client.Dial(os.Args[1])
+	fs := flag.NewFlagSet("hgdb", flag.ExitOnError)
+	runtimeID := fs.String("runtime", "", "hub registry runtime id to attach to")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	cl, err := client.DialOpts(fs.Arg(0), client.Options{Runtime: *runtimeID})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hgdb: %v\n", err)
 		os.Exit(1)
@@ -77,6 +104,80 @@ func main() {
 			}
 		}
 		fmt.Print("(hgdb) ")
+	}
+}
+
+// hubCommand drives a hub's runtime registry over a control session.
+func hubCommand(cmd string, args []string) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "hgdb %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	dial := func(addr string) *client.HubClient {
+		hc, err := client.DialHub(addr)
+		if err != nil {
+			fail(err)
+		}
+		return hc
+	}
+	switch cmd {
+	case "runtimes":
+		if len(args) != 1 {
+			usage()
+		}
+		hc := dial(args[0])
+		defer hc.Close()
+		infos, err := hc.Runtimes()
+		if err != nil {
+			fail(err)
+		}
+		if len(infos) == 0 {
+			fmt.Println("no runtimes registered")
+			return
+		}
+		fmt.Printf("%-10s %-7s %-9s %-12s %-7s %-9s %-7s %s\n",
+			"ID", "KIND", "STATE", "TOP", "MODE", "SESSIONS", "UPTIME", "SOURCE")
+		for _, info := range infos {
+			shared := ""
+			if info.SymtabShared {
+				shared = " (shared symtab)"
+			}
+			fmt.Printf("%-10s %-7s %-9s %-12s %-7s %-9d %-7s %s%s\n",
+				info.ID, info.Kind, info.State, info.Top, info.Mode,
+				info.Sessions, fmt.Sprintf("%.0fs", info.UptimeSec), info.Source, shared)
+		}
+	case "launch":
+		fs := flag.NewFlagSet("hgdb launch", flag.ExitOnError)
+		name := fs.String("name", "", "runtime id (empty = assigned by the hub)")
+		kind := fs.String("kind", "sim", "runtime kind: sim or replay")
+		design := fs.String("design", "", "sim design (counter, fpu)")
+		debug := fs.Bool("debug", false, "seed the design's debug bug (sim)")
+		vcdPath := fs.String("vcd", "", "trace file (replay)")
+		symtabPath := fs.String("symtab", "", "symbol-table file (replay)")
+		if len(args) < 1 {
+			usage()
+		}
+		fs.Parse(args[1:])
+		hc := dial(args[0])
+		defer hc.Close()
+		info, err := hc.Launch(proto.RuntimeSpec{
+			Name: *name, Kind: *kind, Design: *design,
+			Debug: *debug, VCD: *vcdPath, Symtab: *symtabPath,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("launched %s: %s %s (%s)\n", info.ID, info.Kind, info.Top, info.State)
+	case "evict":
+		if len(args) != 2 {
+			usage()
+		}
+		hc := dial(args[0])
+		defer hc.Close()
+		if err := hc.Evict(args[1]); err != nil {
+			fail(err)
+		}
+		fmt.Printf("evicted %s\n", args[1])
 	}
 }
 

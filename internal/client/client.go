@@ -9,6 +9,7 @@ package client
 import (
 	"encoding/json"
 	"fmt"
+	"net/url"
 	"strconv"
 	"sync"
 	"time"
@@ -41,6 +42,10 @@ type Options struct {
 	// stops against the acknowledged snapshot, falling back to full
 	// frames on any ack gap.
 	Delta bool
+	// Runtime routes the attach through a hub endpoint to the runtime
+	// with this registry id (?runtime=<id> on the upgrade URL). Empty
+	// attaches directly — a standalone server, or a hub control session.
+	Runtime string
 }
 
 // Client is one attached debugger session.
@@ -222,16 +227,21 @@ func (c *Client) deliverLocked(ev *proto.Event) {
 // connect dials and starts a read loop for one connection generation.
 // The wire negotiation rides the upgrade URL's query string.
 func (c *Client) connect() error {
-	url := "ws://" + c.addr + "/"
-	switch {
-	case c.opts.Binary && c.opts.Delta:
-		url += "?enc=binary&delta=1"
-	case c.opts.Binary:
-		url += "?enc=binary"
-	case c.opts.Delta:
-		url += "?delta=1"
+	q := url.Values{}
+	if c.opts.Binary {
+		q.Set("enc", "binary")
 	}
-	conn, err := ws.Dial(url)
+	if c.opts.Delta {
+		q.Set("delta", "1")
+	}
+	if c.opts.Runtime != "" {
+		q.Set("runtime", c.opts.Runtime)
+	}
+	target := "ws://" + c.addr + "/"
+	if enc := q.Encode(); enc != "" {
+		target += "?" + enc
+	}
+	conn, err := ws.Dial(target)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// HubClient is a control session on a hub endpoint: it lists, launches
+// and evicts registry runtimes, and hands out per-runtime debugger
+// sessions (plain Clients routed through the same endpoint).
+type HubClient struct {
+	c    *Client
+	addr string
+}
+
+// DialHub opens a control session on a hub at ws://addr and waits for
+// its hub-welcome greeting — which doubles as proof the endpoint is a
+// hub and not a standalone runtime (those greet with "welcome").
+func DialHub(addr string) (*HubClient, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.WaitEvent("hub-welcome", 5*time.Second); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("hgdb: %s is not a hub endpoint: %w", addr, err)
+	}
+	return &HubClient{c: c, addr: addr}, nil
+}
+
+// Close detaches the control session. Runtime sessions handed out by
+// Attach live on their own connections and are unaffected.
+func (h *HubClient) Close() error { return h.c.Close() }
+
+// Runtimes lists the registry in registration order.
+func (h *HubClient) Runtimes() ([]proto.RuntimeInfo, error) {
+	resp, err := h.c.roundTrip(&proto.Request{Type: "runtimes", Action: "list"})
+	if err != nil {
+		return nil, err
+	}
+	var infos []proto.RuntimeInfo
+	if len(resp.Data) > 0 {
+		if err := json.Unmarshal(resp.Data, &infos); err != nil {
+			return nil, err
+		}
+	}
+	return infos, nil
+}
+
+// Launch registers and starts a runtime from spec, returning its
+// listing entry (which carries the assigned id when spec.Name was
+// empty).
+func (h *HubClient) Launch(spec proto.RuntimeSpec) (proto.RuntimeInfo, error) {
+	resp, err := h.c.roundTrip(&proto.Request{
+		Type: "runtimes", Action: "launch", Spec: &spec,
+	})
+	if err != nil {
+		return proto.RuntimeInfo{}, err
+	}
+	var info proto.RuntimeInfo
+	if err := json.Unmarshal(resp.Data, &info); err != nil {
+		return proto.RuntimeInfo{}, err
+	}
+	return info, nil
+}
+
+// Evict drains a runtime's sessions and removes it from the registry.
+func (h *HubClient) Evict(id string) error {
+	_, err := h.c.roundTrip(&proto.Request{Type: "runtimes", Action: "evict", Runtime: id})
+	return err
+}
+
+// Attach opens a debugger session on one registry runtime — a regular
+// Client, identical to one dialed at a standalone server.
+func (h *HubClient) Attach(id string) (*Client, error) {
+	return h.AttachOpts(id, Options{})
+}
+
+// AttachOpts is Attach with wire options (binary encoding, delta
+// frames); opts.Runtime is overwritten with id.
+func (h *HubClient) AttachOpts(id string, opts Options) (*Client, error) {
+	opts.Runtime = id
+	return DialOpts(h.addr, opts)
+}

@@ -14,12 +14,18 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/proto"
 )
 
 // Options configures an Adapter.
 type Options struct {
 	// Addr is the hgdb debug server (host:port) to attach to.
 	Addr string
+	// Hub marks Addr as a hub endpoint: the runtime session is not
+	// dialed at construction but bound by the launch request (which
+	// registers a runtime from its spec arguments) or the attach
+	// request (which names an existing one via "runtime").
+	Hub bool
 	// Logger receives adapter diagnostics; nil is silent.
 	Logger *log.Logger
 	// DialTimeout bounds the attach handshake (welcome + symbol table
@@ -32,7 +38,12 @@ type Options struct {
 //
 //	initialize        → capabilities (supportsStepBack iff replay)
 //	launch / attach   → already-dialed hgdb session acknowledged,
-//	                    "initialized" event emitted
+//	                    "initialized" event emitted; in hub mode the
+//	                    session is bound here instead — launch
+//	                    registers a hub runtime from its spec
+//	                    arguments, attach names an existing one, and a
+//	                    capabilities event re-announces
+//	                    supportsStepBack before initialized
 //	setBreakpoints    → replace-per-source diffed onto add/remove,
 //	                    verified against the symbol table's line set
 //	configurationDone → acknowledged
@@ -59,6 +70,10 @@ type Adapter struct {
 	opts Options
 	cl   *client.Client
 	sub  *client.Subscription
+
+	// hubRuntime is the registry id this adapter bound to (hub mode);
+	// empty until launch/attach. cl is nil exactly while it is empty.
+	hubRuntime string
 
 	mu       sync.Mutex
 	top      string
@@ -92,6 +107,10 @@ type armedLine struct {
 // stream (stdio, a TCP connection, or an in-memory pipe in tests).
 // The hgdb handshake happens here so the initialize response can
 // advertise reverse-execution capability truthfully.
+//
+// In hub mode the runtime isn't known yet — the dial is deferred to
+// the launch/attach request and capabilities are re-announced with a
+// DAP capabilities event once the backend's nature is known.
 func New(rw io.ReadWriter, opts Options) (*Adapter, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 10 * time.Second
@@ -104,6 +123,9 @@ func New(rw io.ReadWriter, opts Options) (*Adapter, error) {
 		handles:  newHandleTable(),
 		armed:    map[string]map[int]*armedLine{},
 		armedIDs: map[int64]bool{},
+	}
+	if opts.Hub {
+		return a, nil
 	}
 	// Subscribe before connecting: a stop replayed to a late attacher
 	// arrives right after the welcome and must reach the pump.
@@ -123,6 +145,70 @@ func New(rw io.ReadWriter, opts Options) (*Adapter, error) {
 		return nil, err
 	}
 	return a, nil
+}
+
+// bindHub resolves a hub-mode launch/attach to one registry runtime
+// and opens the debugger session on it: launch registers a runtime
+// from the spec-shaped arguments first, attach names an existing one.
+// The session dial mirrors New's standalone path (subscribe before
+// connect, welcome, symbols) and starts the event pump.
+func (a *Adapter) bindHub(command string, args AttachArguments) error {
+	if a.cl != nil {
+		// Already bound (editors may retry launch after initialize);
+		// re-binding to a different runtime mid-session is not a thing.
+		if args.Runtime != "" && args.Runtime != a.hubRuntime {
+			return fmt.Errorf("adapter is bound to runtime %q; open a new session for %q", a.hubRuntime, args.Runtime)
+		}
+		return nil
+	}
+	hc, err := client.DialHub(a.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("hub %s: %w", a.opts.Addr, err)
+	}
+	defer hc.Close()
+	id := args.Runtime
+	if command == "launch" {
+		spec := proto.RuntimeSpec{
+			Name:   args.Name,
+			Kind:   args.Kind,
+			Design: args.Design,
+			Debug:  args.Debug,
+			VCD:    args.VCD,
+			Symtab: args.Symtab,
+		}
+		if spec.Kind == "" {
+			spec.Kind = "sim"
+		}
+		info, err := hc.Launch(spec)
+		if err != nil {
+			return fmt.Errorf("launch runtime: %w", err)
+		}
+		id = info.ID
+	}
+	if id == "" {
+		return fmt.Errorf(`attach needs a "runtime" id (see the runtimes listing)`)
+	}
+	cl := client.NewOpts(a.opts.Addr, client.Options{Runtime: id})
+	sub := cl.Subscribe(64, "stop", "goodbye", "disconnect")
+	if err := cl.Connect(); err != nil {
+		return fmt.Errorf("attach runtime %s: %w", id, err)
+	}
+	welcome, err := cl.WaitEvent("welcome", a.opts.DialTimeout)
+	if err != nil {
+		cl.Close()
+		return fmt.Errorf("no welcome from runtime %s: %w", id, err)
+	}
+	a.mu.Lock()
+	a.top, a.mode, a.reverse = welcome.Top, welcome.Mode, welcome.Reverse
+	a.mu.Unlock()
+	a.cl, a.sub, a.hubRuntime = cl, sub, id
+	if err := a.loadSymbols(); err != nil {
+		cl.Close()
+		a.cl, a.sub, a.hubRuntime = nil, nil, ""
+		return err
+	}
+	go a.pump()
+	return nil
 }
 
 // loadSymbols fetches the file list and instance set once at attach;
@@ -181,8 +267,15 @@ func (a *Adapter) logf(format string, args ...any) {
 // request loop; the event pump runs alongside and is torn down when
 // the hgdb session ends.
 func (a *Adapter) Serve() error {
-	defer a.cl.Close()
-	go a.pump()
+	defer func() {
+		// Hub mode may end without ever binding a runtime.
+		if a.cl != nil {
+			a.cl.Close()
+		}
+	}()
+	if a.cl != nil {
+		go a.pump()
+	}
 	for {
 		msg, err := a.conn.ReadMessage()
 		if err != nil {
@@ -206,21 +299,53 @@ func (a *Adapter) handleRequest(req *Message) {
 	var body any
 	var err error
 	var after func()
+	if a.cl == nil {
+		// Hub mode before launch/attach: only the lifecycle requests
+		// that don't need a runtime session are meaningful.
+		switch req.Command {
+		case "initialize", "launch", "attach", "disconnect", "terminate":
+		default:
+			a.conn.RespondError(req, "no runtime bound yet: send launch (with a runtime spec) or attach (with a runtime id) first")
+			return
+		}
+	}
 	switch req.Command {
 	case "initialize":
 		body, err = a.onInitialize(req)
 	case "launch", "attach":
-		// The hgdb session was dialed in New (so initialize could
-		// advertise capabilities truthfully); both requests just bind
-		// the DAP lifecycle to it. An address in the arguments must
-		// match — silently debugging a different server than the one
-		// the editor named would be worse than failing.
+		// Standalone: the hgdb session was dialed in New (so initialize
+		// could advertise capabilities truthfully); both requests just
+		// bind the DAP lifecycle to it. An address in the arguments
+		// must match — silently debugging a different server than the
+		// one the editor named would be worse than failing.
+		// Hub: the request carries which runtime to debug, so the
+		// session is dialed here (bindHub) and the now-known
+		// capabilities are re-announced before initialized.
 		var args AttachArguments
 		if len(req.Arguments) > 0 {
 			json.Unmarshal(req.Arguments, &args)
 		}
 		if args.Address != "" && args.Address != a.opts.Addr {
 			err = fmt.Errorf("adapter is attached to %s; restart hgdb-dap with -attach %s", a.opts.Addr, args.Address)
+			break
+		}
+		if a.opts.Hub {
+			if err = a.bindHub(req.Command, args); err != nil {
+				break
+			}
+			after = func() {
+				a.mu.Lock()
+				reverse := a.reverse
+				a.mu.Unlock()
+				a.conn.SendEvent("capabilities", CapabilitiesEventBody{Capabilities: Capabilities{
+					SupportsConfigurationDoneRequest: true,
+					SupportsConditionalBreakpoints:   true,
+					SupportsEvaluateForHovers:        true,
+					SupportsStepBack:                 reverse,
+					SupportsTerminateRequest:         true,
+				}})
+				a.conn.SendEvent("initialized", nil)
+			}
 			break
 		}
 		// initialized signals readiness for breakpoint configuration.
@@ -260,8 +385,11 @@ func (a *Adapter) handleRequest(req *Message) {
 		// Closing the hgdb session is the whole teardown: the server
 		// hands control over (or auto-continues a parked simulation)
 		// and the pump converts the local disconnect sentinel into a
-		// terminated event.
-		a.cl.Close()
+		// terminated event. Unbound hub adapters have no session and
+		// just acknowledge.
+		if a.cl != nil {
+			a.cl.Close()
+		}
 		return
 	default:
 		err = fmt.Errorf("unsupported request %q", req.Command)

@@ -1,0 +1,177 @@
+package dap
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/hub"
+)
+
+// The hub-mode scenario: one adapter per editor window, all pointed at
+// a single hub endpoint. launch registers a runtime on the registry
+// from its spec arguments, attach picks an existing one by id, and the
+// adapter re-announces capabilities once the backend's nature is known
+// (initialize answered before any runtime existed).
+
+// startDAPHub serves an empty hub on a loopback port.
+func startDAPHub(t *testing.T) (*hub.Hub, string) {
+	t.Helper()
+	h := hub.New(hub.Options{})
+	addr, err := h.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h, addr
+}
+
+// newDAPHubSession binds a hub-mode adapter (no runtime yet) to an
+// in-memory pipe.
+func newDAPHubSession(t *testing.T, addr string) *dapClient {
+	t.Helper()
+	clientEnd, adapterEnd := net.Pipe()
+	ad, err := New(adapterEnd, Options{Addr: addr, Hub: true})
+	if err != nil {
+		t.Fatalf("hub adapter: %v", err)
+	}
+	go ad.Serve()
+	t.Cleanup(func() { clientEnd.Close(); adapterEnd.Close() })
+	return &dapClient{t: t, pipe: clientEnd, conn: NewConn(clientEnd)}
+}
+
+// capabilitiesEvent waits for the post-bind capabilities event and
+// decodes its body.
+func (d *dapClient) capabilitiesEvent() Capabilities {
+	d.t.Helper()
+	return decodeBody[CapabilitiesEventBody](d.t, d.event("capabilities")).Capabilities
+}
+
+func TestDAPHubLifecycle(t *testing.T) {
+	_, addr := startDAPHub(t)
+
+	// Record the conformance harness trace into hub-loadable files.
+	dir := t.TempDir()
+	trace, table, accLine := recordTrace(t, 10)
+	vcdPath := filepath.Join(dir, "trace.vcd")
+	if err := os.WriteFile(vcdPath, trace, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	symtabPath := filepath.Join(dir, "trace.symtab")
+	sf, err := os.Create(symtabPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Save(sf); err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	// --- editor 1: launch a replay runtime through the registry.
+	d1 := newDAPHubSession(t, addr)
+	caps := decodeBody[Capabilities](t, d1.request("initialize", InitializeArguments{AdapterID: "hgdb"}))
+	if caps.SupportsStepBack {
+		t.Fatal("unbound hub adapter advertised supportsStepBack")
+	}
+	// Runtime-dependent requests are refused until launch/attach binds.
+	d1.requestFail("threads", nil)
+	d1.requestFail("setBreakpoints", SetBreakpointsArguments{Source: Source{Path: harnessFile}})
+	// attach needs a runtime id, and the id must exist on the registry.
+	d1.requestFail("attach", AttachArguments{})
+	d1.requestFail("attach", AttachArguments{Runtime: "ghost"})
+
+	d1.request("launch", AttachArguments{Name: "r0", Kind: "replay", VCD: vcdPath, Symtab: symtabPath})
+	// The bind re-announces capabilities — now truthful about reverse
+	// execution — before signalling initialized.
+	if caps := d1.capabilitiesEvent(); !caps.SupportsStepBack {
+		t.Fatal("replay runtime did not re-announce supportsStepBack")
+	}
+	d1.event("initialized")
+
+	sb := decodeBody[SetBreakpointsResponse](t, d1.request("setBreakpoints", SetBreakpointsArguments{
+		Source:      Source{Path: harnessFile},
+		Breakpoints: []SourceBreakpoint{{Line: accLine}},
+	}))
+	if !sb.Breakpoints[0].Verified {
+		t.Fatalf("breakpoint = %+v", sb.Breakpoints[0])
+	}
+	d1.request("configurationDone", nil)
+
+	// The hub's own drive loop replays the trace; the armed line hits.
+	first := d1.stopped()
+	if first.Reason != "breakpoint" {
+		t.Fatalf("first stop = %+v", first)
+	}
+
+	// Reverse execution works through the hub-routed session.
+	d1.request("stepBack", ThreadedArguments{ThreadID: 1})
+	d1.event("continued")
+	back := d1.stopped()
+	if back.Time > first.Time {
+		t.Fatalf("stepBack went forward: %d after %d", back.Time, first.Time)
+	}
+
+	// Rebinding to a different runtime mid-session is refused.
+	d1.requestFail("attach", AttachArguments{Runtime: "elsewhere"})
+
+	// --- editor 2: launch with an empty spec defaults to a live sim.
+	d2 := newDAPHubSession(t, addr)
+	d2.request("initialize", InitializeArguments{})
+	d2.request("launch", AttachArguments{})
+	if caps := d2.capabilitiesEvent(); caps.SupportsStepBack {
+		t.Fatal("live sim runtime advertised supportsStepBack")
+	}
+	d2.event("initialized")
+	threads := decodeBody[ThreadsResponse](t, d2.request("threads", nil))
+	if len(threads.Threads) == 0 {
+		t.Fatal("sim runtime has no instances")
+	}
+
+	// The registry saw both launches.
+	hc, err := client.DialHub(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hc.Close()
+	infos, err := hc.Runtimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].ID != "r0" {
+		t.Fatalf("registry = %+v", infos)
+	}
+
+	// --- editor 3: attach to the replay runtime editor 1 launched. The
+	// parked stop is replayed to the late attacher.
+	d3 := newDAPHubSession(t, addr)
+	d3.request("initialize", InitializeArguments{})
+	d3.request("attach", AttachArguments{Runtime: "r0"})
+	if caps := d3.capabilitiesEvent(); !caps.SupportsStepBack {
+		t.Fatal("attach to replay runtime did not re-announce supportsStepBack")
+	}
+	d3.event("initialized")
+	if stop := d3.stopped(); stop.Reason == "" {
+		t.Fatalf("late-attach stop = %+v", stop)
+	}
+
+	d3.request("disconnect", nil)
+	d3.event("terminated")
+	d2.request("disconnect", nil)
+	d2.event("terminated")
+	d1.request("disconnect", nil)
+	d1.event("terminated")
+
+	// Evicting through the control session drains cleanly afterwards.
+	if err := hc.Evict("r0"); err != nil {
+		t.Fatal(err)
+	}
+	infos, err = hc.Runtimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("registry after evict = %+v", infos)
+	}
+}

@@ -28,8 +28,29 @@ type InitializeArguments struct {
 // dials at construction (the capability handshake needs it before
 // initialize), so a non-empty Address must match the configured one;
 // a mismatch fails the attach rather than debugging the wrong server.
+//
+// In hub mode (Options.Hub) the remaining fields select or describe a
+// registry runtime: attach configurations name an existing one with
+// Runtime, launch configurations carry a runtime spec (Kind defaults
+// to "sim") that the adapter registers on the hub before attaching.
 type AttachArguments struct {
 	Address string `json:"address,omitempty"`
+	// Runtime is the hub registry id to attach to (attach requests).
+	Runtime string `json:"runtime,omitempty"`
+	// Launch-spec fields, mirroring proto.RuntimeSpec (launch requests).
+	Name   string `json:"name,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	Design string `json:"design,omitempty"`
+	Debug  bool   `json:"debug,omitempty"`
+	VCD    string `json:"vcd,omitempty"`
+	Symtab string `json:"symtab,omitempty"`
+}
+
+// CapabilitiesEventBody updates capabilities after the initialize
+// handshake — hub mode binds its runtime only at launch/attach, so
+// supportsStepBack is only known (and re-announced) then.
+type CapabilitiesEventBody struct {
+	Capabilities Capabilities `json:"capabilities"`
 }
 
 // Source identifies a generator source file.

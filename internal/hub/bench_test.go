@@ -1,0 +1,65 @@
+package hub
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/symtab"
+)
+
+// BenchmarkHubSymtabShare pins the farm's memory case for the shared
+// symbol-table cache: resolving one table for a 16-runtime replay farm
+// through the content-keyed cache (one parse, 15 refcounted hits)
+// against parsing the same file 16 times the way standalone servers
+// do. The allocs/op and B/op split is the number DESIGN.md quotes —
+// the unshared column grows linearly with the farm, the shared one
+// stays at a single table plus handles.
+func BenchmarkHubSymtabShare(b *testing.B) {
+	dir := b.TempDir()
+	_, symtabPath := replayFixture(b, dir)
+	const farm = 16
+
+	b.Run("shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cache := symtab.NewCache(0)
+			releases := make([]func(), 0, farm)
+			for j := 0; j < farm; j++ {
+				_, release, _, err := cache.Acquire(symtabPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				releases = append(releases, release)
+			}
+			stats := cache.Stats()
+			if stats.Live != 1 || stats.Hits != farm-1 {
+				b.Fatalf("cache stats = %+v, want 1 live table and %d hits", stats, farm-1)
+			}
+			for _, release := range releases {
+				release()
+			}
+		}
+	})
+
+	b.Run("unshared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tables := make([]*symtab.Table, 0, farm)
+			for j := 0; j < farm; j++ {
+				raw, err := os.ReadFile(symtabPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				table, err := symtab.Load(bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tables = append(tables, table)
+			}
+			if len(tables) != farm {
+				b.Fatal("short farm")
+			}
+		}
+	})
+}

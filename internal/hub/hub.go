@@ -1,0 +1,436 @@
+// Package hub is a runtime registry serving a farm of simulations
+// behind one endpoint. Where cmd/hgdb-sim and cmd/hgdb-replay each
+// bind one runtime to one listener, the hub launches, lists, and
+// evicts many runtimes — live simulations and trace replays side by
+// side — and routes every debugger connection to the runtime the URL
+// names. Each registered runtime is wrapped in its own server.Server,
+// so the per-runtime machinery (controller arbitration, coalescing
+// fan-out, the clock-edge query queue) is exactly the standalone
+// code path; the hub only adds the registry and the routing in front.
+//
+// Wire surface: a WebSocket upgrade with ?runtime=<id> attaches to
+// that runtime, indistinguishable from dialing a standalone server. An
+// upgrade without the parameter opens a hub control session — greeted
+// with a "hub-welcome" event — that speaks the "runtimes"
+// list/launch/evict request family.
+//
+// Replay runtimes load their symbol tables through a shared
+// content-keyed cache (symtab.Cache): N replays of the same design
+// parse and index the table once and share the immutable result.
+package hub
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/symtab"
+	"repro/internal/ws"
+)
+
+// evictDrainTimeout bounds the session drain of one eviction requested
+// over a control session (Evict callers pass their own context).
+var evictDrainTimeout = 10 * time.Second
+
+// Options configures a hub.
+type Options struct {
+	// SymtabBudget bounds idle entries in the shared symbol-table cache
+	// (bytes of serialized table content; <= 0 selects the default).
+	SymtabBudget int
+	// Log receives registry lifecycle messages and is handed to every
+	// launched runtime's server. Nil silences both.
+	Log *log.Logger
+}
+
+// Hub is the registry and the endpoint.
+type Hub struct {
+	mu       sync.Mutex
+	runtimes map[string]*entry
+	order    []string // registration order, for stable listings
+	nextID   int
+	closing  bool
+
+	symCache *symtab.Cache
+	ln       net.Listener
+	httpSrv  *http.Server
+	log      *log.Logger
+}
+
+// entry is one registered runtime. state is guarded by the hub mutex;
+// the remaining fields are written once during launch (before the
+// entry reaches the serving state) and read-only afterwards.
+type entry struct {
+	id     string
+	kind   string // "sim" | "replay"
+	source string
+	state  string // proto.Runtime* lifecycle
+	since  time.Time
+
+	rt      *core.Runtime
+	server  *server.Server
+	reverse bool
+	shared  bool // symbol table came out of the cache as a hit
+
+	cancel    context.CancelFunc // stops the drive goroutine
+	driveDone chan struct{}
+	cleanup   func() // backend teardown: store close, symtab release
+}
+
+// New creates an empty hub.
+func New(opts Options) *Hub {
+	return &Hub{
+		runtimes: map[string]*entry{},
+		symCache: symtab.NewCache(opts.SymtabBudget),
+		log:      opts.Log,
+	}
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.log != nil {
+		h.log.Printf(format, args...)
+	}
+}
+
+// Listen starts serving the hub endpoint on addr (host:port),
+// returning the bound address (useful with ":0").
+func (h *Hub) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h.ln = ln
+	h.httpSrv = &http.Server{Handler: h}
+	go h.httpSrv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// SymtabStats exposes the shared symbol-table cache accounting
+// (hit/miss counters pin the "load once, share N ways" behaviour).
+func (h *Hub) SymtabStats() symtab.CacheStats { return h.symCache.Stats() }
+
+// Launch registers and starts one runtime from spec, returning its
+// listing entry. The registration is visible (state "launching")
+// before the backend build begins, so concurrent listings observe the
+// full lifecycle and duplicate names are rejected atomically.
+func (h *Hub) Launch(spec proto.RuntimeSpec) (proto.RuntimeInfo, error) {
+	if spec.Kind != "sim" && spec.Kind != "replay" {
+		return proto.RuntimeInfo{}, fmt.Errorf("hub: unknown runtime kind %q (want sim or replay)", spec.Kind)
+	}
+
+	h.mu.Lock()
+	if h.closing {
+		h.mu.Unlock()
+		return proto.RuntimeInfo{}, fmt.Errorf("hub: shutting down")
+	}
+	id := spec.Name
+	if id == "" {
+		for {
+			h.nextID++
+			id = fmt.Sprintf("rt-%d", h.nextID)
+			if _, taken := h.runtimes[id]; !taken {
+				break
+			}
+		}
+	} else if _, taken := h.runtimes[id]; taken {
+		h.mu.Unlock()
+		return proto.RuntimeInfo{}, fmt.Errorf("hub: runtime %q already registered", id)
+	}
+	e := &entry{id: id, kind: spec.Kind, state: proto.RuntimeLaunching, since: time.Now()}
+	h.runtimes[id] = e
+	h.order = append(h.order, id)
+	h.mu.Unlock()
+
+	// The backend build (compile+elaborate for sims, trace parse for
+	// replays) runs outside the lock: launching one runtime must not
+	// stall listings or attaches to its siblings.
+	b, err := buildRuntime(spec, h.symCache)
+	if err != nil {
+		h.remove(id)
+		return proto.RuntimeInfo{}, err
+	}
+
+	srv := server.New(b.rt, h.log)
+	srv.SetRuntimeID(id)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+
+	h.mu.Lock()
+	e.rt = b.rt
+	e.server = srv
+	e.source = b.source
+	e.shared = b.shared
+	e.reverse = b.reverse
+	e.cancel = cancel
+	e.driveDone = done
+	e.cleanup = b.cleanup
+	e.state = proto.RuntimeServing
+	info := h.infoLocked(e)
+	h.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		b.drive(ctx)
+	}()
+	h.logf("hub: launched %s (%s %s)", id, spec.Kind, b.source)
+	return info, nil
+}
+
+// remove deletes a registry entry (failed launch or completed evict).
+func (h *Hub) remove(id string) {
+	h.mu.Lock()
+	delete(h.runtimes, id)
+	for i, oid := range h.order {
+		if oid == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Evict drains one runtime and releases its resources: new attaches
+// stop routing to it the moment it enters the draining state, its
+// drive goroutine is cancelled, its sessions get goodbyes through the
+// server's graceful Shutdown (a simulation parked at a stop is
+// auto-continued so it can observe the cancellation), and its backend
+// teardown — trace store close, shared symbol-table release — runs
+// once the simulation goroutine has exited. Siblings are untouched.
+func (h *Hub) Evict(ctx context.Context, id string) error {
+	h.mu.Lock()
+	e, ok := h.runtimes[id]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("hub: no runtime %q", id)
+	}
+	if e.state != proto.RuntimeServing {
+		state := e.state
+		h.mu.Unlock()
+		return fmt.Errorf("hub: runtime %q is %s", id, state)
+	}
+	e.state = proto.RuntimeDraining
+	h.mu.Unlock()
+
+	e.cancel()
+	err := e.server.Shutdown(ctx)
+	select {
+	case <-e.driveDone:
+	case <-ctx.Done():
+		// The drive goroutine will still exit (its context is cancelled
+		// and the parked stop, if any, was resumed); the caller just
+		// stopped waiting. Leave the entry draining so it cannot be
+		// relaunched under the same id, and finish teardown when the
+		// goroutine lands.
+		go func() {
+			<-e.driveDone
+			h.finishEvict(e)
+		}()
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
+	h.finishEvict(e)
+	return err
+}
+
+func (h *Hub) finishEvict(e *entry) {
+	if e.cleanup != nil {
+		e.cleanup()
+	}
+	h.mu.Lock()
+	e.state = proto.RuntimeDead
+	h.mu.Unlock()
+	h.remove(e.id)
+	h.logf("hub: evicted %s", e.id)
+}
+
+// List snapshots the registry in registration order.
+func (h *Hub) List() []proto.RuntimeInfo {
+	h.mu.Lock()
+	entries := make([]*entry, 0, len(h.order))
+	for _, id := range h.order {
+		entries = append(entries, h.runtimes[id])
+	}
+	infos := make([]proto.RuntimeInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = h.infoLocked(e)
+	}
+	h.mu.Unlock()
+	return infos
+}
+
+// infoLocked renders one entry for the wire. Callers hold h.mu; the
+// session-count and controller reads take the server's own lock, which
+// is safe (the server never calls back into the hub).
+func (h *Hub) infoLocked(e *entry) proto.RuntimeInfo {
+	info := proto.RuntimeInfo{
+		ID:        e.id,
+		Kind:      e.kind,
+		State:     e.state,
+		Source:    e.source,
+		UptimeSec: time.Since(e.since).Seconds(),
+	}
+	if e.rt != nil {
+		info.Top = e.rt.Table().Top()
+		info.Mode = e.rt.Table().Mode()
+		info.Reverse = e.reverse
+		info.SymtabShared = e.shared
+	}
+	if e.server != nil {
+		info.Sessions = e.server.SessionCount()
+		info.Controller = e.server.Controller()
+	}
+	return info
+}
+
+// Close evicts every runtime and shuts the endpoint down.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	h.closing = true
+	ids := make([]string, len(h.order))
+	copy(ids, h.order)
+	h.mu.Unlock()
+	for _, id := range ids {
+		ctx, cancel := context.WithTimeout(context.Background(), evictDrainTimeout)
+		h.Evict(ctx, id)
+		cancel()
+	}
+	if h.httpSrv != nil {
+		return h.httpSrv.Close()
+	}
+	return nil
+}
+
+// ServeHTTP routes one WebSocket upgrade: ?runtime=<id> goes to that
+// runtime's server (byte-for-byte the standalone attach path,
+// including the ?enc/?delta wire negotiation the server reads from the
+// same URL); no parameter opens a hub control session.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("runtime")
+	if id == "" {
+		h.serveControl(w, r)
+		return
+	}
+	h.mu.Lock()
+	var srv *server.Server
+	if e, ok := h.runtimes[id]; ok && e.state == proto.RuntimeServing {
+		srv = e.server
+	}
+	h.mu.Unlock()
+	if srv == nil {
+		// Refusing the upgrade fails the client's dial immediately — the
+		// routing-isolation contract: an attach can reach exactly the
+		// runtime it names, never a sibling and never a draining one.
+		http.Error(w, fmt.Sprintf("no runtime %q", id), http.StatusNotFound)
+		return
+	}
+	srv.ServeHTTP(w, r)
+}
+
+// serveControl runs one hub control session: greet with hub-welcome,
+// then answer "runtimes" requests until the connection dies. Control
+// sessions are plain JSON (they carry registry metadata, not broadcast
+// fan-out) and each runs on its own goroutine with no shared queueing.
+func (h *Hub) serveControl(w http.ResponseWriter, r *http.Request) {
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	conn.SetWriteTimeout(5 * time.Second)
+	defer conn.Close()
+
+	h.mu.Lock()
+	n := len(h.runtimes)
+	h.mu.Unlock()
+	if !h.writeJSON(conn, &proto.Event{Type: "hub-welcome", Runtimes: n}) {
+		return
+	}
+
+	for {
+		raw, err := conn.ReadText()
+		if err != nil {
+			return
+		}
+		req, err := proto.DecodeRequest(raw)
+		if err != nil {
+			var head struct {
+				Token string `json:"token"`
+			}
+			json.Unmarshal(raw, &head)
+			h.writeJSON(conn, proto.Error(head.Token, "%v", err))
+			continue
+		}
+		if !h.writeJSON(conn, h.dispatchControl(req)) {
+			return
+		}
+	}
+}
+
+func (h *Hub) writeJSON(conn *ws.Conn, v any) bool {
+	msg, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	return conn.WriteText(msg) == nil
+}
+
+// dispatchControl executes one control request. Only the "runtimes"
+// family is valid here — everything else belongs to a runtime session
+// and the error says how to get one.
+func (h *Hub) dispatchControl(req *proto.Request) *proto.Response {
+	if req.Type != "runtimes" {
+		return proto.Error(req.Token,
+			"hub control sessions accept only \"runtimes\" requests; attach to a runtime with ?runtime=<id> for %q", req.Type)
+	}
+	switch req.Action {
+	case "list":
+		resp, err := proto.OK(req.Token, h.List())
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		return resp
+	case "launch":
+		if req.Spec == nil {
+			return proto.Error(req.Token, "launch requires a spec")
+		}
+		info, err := h.Launch(*req.Spec)
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, _ := proto.OK(req.Token, info)
+		return resp
+	case "evict":
+		if req.Runtime == "" {
+			return proto.Error(req.Token, "evict requires a runtime id")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), evictDrainTimeout)
+		err := h.Evict(ctx, req.Runtime)
+		cancel()
+		if err != nil {
+			return proto.Error(req.Token, "%v", err)
+		}
+		resp, _ := proto.OK(req.Token, map[string]any{"evicted": req.Runtime})
+		return resp
+	}
+	return proto.Error(req.Token, "unknown runtimes action %q", req.Action)
+}
+
+// Server returns the session manager of a serving runtime (nil when
+// the id is unknown or the runtime is not serving). Test hook.
+func (h *Hub) Server(id string) *server.Server {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if e, ok := h.runtimes[id]; ok && e.state == proto.RuntimeServing {
+		return e.server
+	}
+	return nil
+}

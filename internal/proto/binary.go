@@ -25,9 +25,13 @@ import (
 // Version 2 grew the four-state value plane: variables and value
 // patches carry a flags byte with optional x-plane and high-word
 // payloads, and watch hits carry optional rendered display strings.
-// The encoder always emits version 2; the decoder accepts version 1
-// frames too (their layout is the two-state subset), so a newer client
-// can still read a stream recorded by an older server.
+// Version 3 grew the hub routing fields on generic frames: the
+// runtime id a session is attached to (welcome/goodbye behind a hub)
+// and the registry size (hub-welcome). Stop and delta frames are
+// unchanged from version 2. The encoder always emits version 3; the
+// decoder accepts versions 1 and 2 too (their layouts are strict
+// subsets), so a newer client can still read a stream recorded by an
+// older server.
 //
 // The codec is attacker-facing (a malicious server could feed a client
 // arbitrary frames), so DecodeBinaryFrame bounds every count before
@@ -36,7 +40,7 @@ import (
 
 const (
 	binMagic   = 0xB5
-	binVersion = 2
+	binVersion = 3
 
 	kindStop    = 1 // full stop event
 	kindDelta   = 2 // delta stop event
@@ -597,7 +601,10 @@ func appendGeneric(dst []byte, ev *Event) []byte {
 	dst = appendString(dst, ev.Top)
 	dst = appendString(dst, ev.Mode)
 	dst = appendString(dst, ev.Command)
-	return appendBool(dst, ev.Reverse)
+	dst = appendBool(dst, ev.Reverse)
+	// Version 3: hub routing fields.
+	dst = appendString(dst, ev.Runtime)
+	return appendUvarint(dst, uint64(ev.Runtimes))
 }
 
 func (r *binReader) generic() (*Event, error) {
@@ -648,7 +655,16 @@ func (r *binReader) generic() (*Event, error) {
 	if ev.Command, err = r.string(); err != nil {
 		return nil, err
 	}
-	ev.Reverse, err = r.bool()
+	if ev.Reverse, err = r.bool(); err != nil {
+		return nil, err
+	}
+	if r.ver < 3 {
+		return ev, nil
+	}
+	if ev.Runtime, err = r.string(); err != nil {
+		return nil, err
+	}
+	ev.Runtimes, err = r.int()
 	return ev, err
 }
 

@@ -166,6 +166,14 @@ func FuzzDecodeBinaryFrame(f *testing.F) {
 		Role: RoleController, Top: "Top", Mode: "live", Files: 3}))
 	f.Add(EncodeBinaryEvent(&Event{Type: "resume", Seq: 4, Command: "continue"}))
 	f.Add(EncodeBinaryEvent(&Event{Type: "goodbye", Seq: 5, SessionID: 9, Peers: 1}))
+	// Hub frames (binary v3): the control-session greeting with the
+	// registry size, and runtime-routed lifecycle events carrying the
+	// registry id of the runtime the session is attached to.
+	f.Add(EncodeBinaryEvent(&Event{Type: "hub-welcome", Seq: 1, Runtimes: 24}))
+	f.Add(EncodeBinaryEvent(&Event{Type: "welcome", Seq: 1, SessionID: 3,
+		Role: RoleObserver, Top: "Counter", Mode: "replay", Files: 2, Runtime: "rt-7"}))
+	f.Add(EncodeBinaryEvent(&Event{Type: "goodbye", Seq: 8, SessionID: 3,
+		Reason: "shutdown", Runtime: "rt-7"}))
 	// Four-state / wide payloads — the v2 flag-byte encodings: low-word
 	// x planes, >64-bit values with and without x planes, rendered
 	// watch-hit displays.

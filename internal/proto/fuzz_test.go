@@ -32,6 +32,12 @@ func FuzzDecodeRequest(f *testing.F) {
 		`{"type":"session","action":"list","token":"15"}`,
 		`{"type":"session","action":"release","token":"16"}`,
 		`{"type":"session","action":"claim","token":"17"}`,
+		`{"type":"runtimes","action":"list","token":"18"}`,
+		`{"type":"runtimes","action":"launch","spec":{"name":"c0","kind":"sim","design":"counter","debug":true},"token":"19"}`,
+		`{"type":"runtimes","action":"launch","spec":{"kind":"replay","vcd":"trace.vcd","symtab":"trace.symtab"},"token":"20"}`,
+		`{"type":"runtimes","action":"evict","runtime":"rt-3","token":"21"}`,
+		`{"type":"runtimes","action":"launch","spec":null,"token":"22"}`,
+		`{"type":"runtimes","action":"launch","spec":{"kind":42}}`,
 		`{"type":"warp"}`,
 		`{"token":"18"}`,
 		`{"type":42}`,

@@ -16,7 +16,8 @@ import (
 // Request is a client → runtime message.
 type Request struct {
 	// Type selects the operation: "breakpoint", "command", "evaluate",
-	// "get-value", "set-value", "info", "watch", "session", "ack".
+	// "get-value", "set-value", "info", "watch", "session", "ack",
+	// "runtimes" (hub control sessions only).
 	Type string `json:"type"`
 	// Token is echoed in the response for matching. "ack" requests are
 	// fire-and-forget: they carry no token and get no response.
@@ -52,6 +53,71 @@ type Request struct {
 	// stops as deltas against the acknowledged snapshot; AckSeq 0
 	// resets the session to full frames (client-requested resync).
 	AckSeq uint64 `json:"ack_seq,omitempty"`
+
+	// runtimes fields (Action: list | launch | evict), valid on hub
+	// control sessions. Runtime names the target runtime for evict;
+	// Spec describes the runtime to launch.
+	Runtime string       `json:"runtime,omitempty"`
+	Spec    *RuntimeSpec `json:"spec,omitempty"`
+}
+
+// RuntimeSpec describes one runtime for the hub's registry to launch:
+// either a live simulation of a packaged design or a replay of a
+// recorded trace (raw VCD text or a pre-indexed store file).
+type RuntimeSpec struct {
+	// Name is the requested runtime id; the hub generates one when
+	// empty and rejects a launch whose name is already registered.
+	Name string `json:"name,omitempty"`
+	// Kind selects the backend: "sim" (live simulation) or "replay".
+	Kind string `json:"kind"`
+	// Design names the packaged design for sim runtimes ("counter",
+	// "fpu"); Debug selects the unoptimized build.
+	Design string `json:"design,omitempty"`
+	Debug  bool   `json:"debug,omitempty"`
+	// VCD/Symtab locate the trace and symbol table for replay runtimes.
+	// The symbol table loads through the hub's shared content-keyed
+	// cache, so N replays of the same design parse it once.
+	VCD    string `json:"vcd,omitempty"`
+	Symtab string `json:"symtab,omitempty"`
+}
+
+// Runtime lifecycle states, surfaced in RuntimeInfo listings. A
+// runtime is launching while its backend is being built, serving once
+// its session manager accepts attaches, draining from the moment an
+// evict begins until its sessions have flushed their goodbyes, and
+// dead once its simulation goroutine has exited and its resources
+// (including shared symbol-table references) are released.
+const (
+	RuntimeLaunching = "launching"
+	RuntimeServing   = "serving"
+	RuntimeDraining  = "draining"
+	RuntimeDead      = "dead"
+)
+
+// RuntimeInfo is the wire form of one registered runtime, returned by
+// the "runtimes" request's "list" action and by "launch".
+type RuntimeInfo struct {
+	ID    string `json:"id"`
+	Kind  string `json:"kind"`  // "sim" | "replay"
+	State string `json:"state"` // launching | serving | draining | dead
+	// Top/Mode mirror the runtime's welcome payload; Reverse reports
+	// whether the backend supports reverse execution.
+	Top     string `json:"top,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Reverse bool   `json:"reverse,omitempty"`
+	// Source echoes where the runtime came from (design name or trace
+	// path).
+	Source string `json:"source,omitempty"`
+	// Sessions is the number of attached debugger sessions; Controller
+	// is the session currently holding control (0 = vacant).
+	Sessions   int   `json:"sessions"`
+	Controller int64 `json:"controller,omitempty"`
+	// UptimeSec is how long the runtime has been registered.
+	UptimeSec float64 `json:"uptime_sec,omitempty"`
+	// SymtabShared reports that the runtime's symbol table came out of
+	// the hub's shared cache as a hit (another runtime had already
+	// loaded identical content).
+	SymtabShared bool `json:"symtab_shared,omitempty"`
 }
 
 // Response is a runtime → client reply.
@@ -80,6 +146,10 @@ type Response struct {
 //     queue holds at most one pending sim-state event — a newer one
 //     supersedes it (coalescing), so a slow observer always sees the
 //     latest coherent state rather than an arbitrary surviving prefix.
+//   - "hub-welcome": sent to a hub control session right after it
+//     attaches to a hub endpoint without naming a runtime; carries the
+//     registry size. The session then speaks the "runtimes"
+//     list/launch/evict request family.
 //   - "disconnect": synthesized locally by the client library when the
 //     connection dies — it never travels on the wire.
 //
@@ -117,6 +187,13 @@ type Event struct {
 	Controller int64  `json:"controller,omitempty"`
 	Peers      int    `json:"peers,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// Runtime is the registry id of the runtime this session is
+	// attached to — stamped on welcome and goodbye events by servers
+	// running behind a hub, so a client can verify its attach was
+	// routed to the runtime it asked for. Empty on standalone servers.
+	Runtime string `json:"runtime,omitempty"`
+	// Runtimes is the registry size ("hub-welcome" events).
+	Runtimes int `json:"runtimes,omitempty"`
 }
 
 // Session roles. Exactly one attached session holds control (may
@@ -155,7 +232,7 @@ type SessionInfo struct {
 var knownRequestTypes = map[string]bool{
 	"breakpoint": true, "command": true, "evaluate": true,
 	"get-value": true, "set-value": true, "info": true,
-	"watch": true, "session": true, "ack": true,
+	"watch": true, "session": true, "ack": true, "runtimes": true,
 }
 
 // DecodeRequest parses and validates one wire request. The type must

@@ -21,6 +21,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -65,6 +66,11 @@ type Server struct {
 	// status topic so clients can gate reverse-execution features.
 	reverse bool
 
+	// runtimeID is the registry id this server is known by when it
+	// runs behind a hub; stamped on welcome/goodbye events so clients
+	// can verify routing. Empty for standalone servers.
+	runtimeID string
+
 	ln      net.Listener
 	httpSrv *http.Server
 	log     *log.Logger
@@ -91,6 +97,23 @@ func New(rt *core.Runtime, logger *log.Logger) *Server {
 
 // Runtime returns the wrapped runtime.
 func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// SetRuntimeID names this server in a hub registry: welcome and
+// shutdown goodbye events carry the id so clients can verify their
+// attach was routed to the runtime they asked for. Set before the
+// first attach.
+func (s *Server) SetRuntimeID(id string) {
+	s.mu.Lock()
+	s.runtimeID = id
+	s.mu.Unlock()
+}
+
+// SessionCount returns the number of attached sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.log != nil {
@@ -200,18 +223,26 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.ln = ln
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleWS)
-	s.httpSrv = &http.Server{Handler: mux}
+	s.httpSrv = &http.Server{Handler: s}
 	go s.httpSrv.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the server down gracefully: it stops accepting new
-// sessions, resumes a stopped simulation, sends every session a
-// goodbye, and waits (bounded) for each writer to flush its queue and
-// complete the close handshake.
-func (s *Server) Close() error {
+// Shutdown drains this server's sessions gracefully and nothing else:
+// it stops accepting new sessions, resumes a simulation parked at a
+// stop (so the simulation goroutine can observe its own cancellation
+// instead of deadlocking on a commander that will never come), sends
+// every session a goodbye, and waits for each writer to flush its
+// queue and complete the close handshake — bounded by ctx, one shared
+// deadline for all writers, so shutdown latency is the slowest
+// session, not the sum over wedged ones.
+//
+// Shutdown is the per-runtime half of Close: it never touches the
+// listener or HTTP machinery, so a hub evicting one runtime can drain
+// that runtime's sessions without tearing down siblings sharing the
+// endpoint. Idempotent; returns ctx.Err() if any writer failed to
+// drain in time.
+func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closing = true
 	s.sendResumeLocked(core.CmdContinue)
@@ -220,6 +251,7 @@ func (s *Server) Close() error {
 		sess := s.sessions[id]
 		s.sendEventLocked(sess, &proto.Event{
 			Type: "goodbye", SessionID: sess.ID, Reason: "shutdown",
+			Runtime: s.runtimeID,
 		})
 		sess.signalQuit()
 		drained = append(drained, sess)
@@ -229,16 +261,24 @@ func (s *Server) Close() error {
 	s.controller = 0
 	s.mu.Unlock()
 
-	// One shared deadline for all writers: shutdown latency is bounded
-	// by the slowest session, not the sum over wedged ones.
-	deadline := time.After(2 * sessionWriteTimeout)
+	var err error
 	for _, sess := range drained {
 		select {
 		case <-sess.writerDone:
-		case <-deadline:
+		case <-ctx.Done():
 			s.logf("server: session %d writer did not drain", sess.ID)
+			err = ctx.Err()
 		}
 	}
+	return err
+}
+
+// Close shuts the whole server process down: Shutdown with the
+// default drain deadline, then the listener.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*sessionWriteTimeout)
+	s.Shutdown(ctx)
+	cancel()
 	if s.httpSrv != nil {
 		return s.httpSrv.Close()
 	}
@@ -281,6 +321,7 @@ func (s *Server) attach(conn *ws.Conn, binary, delta bool) *Session {
 		Mode:       s.rt.Table().Mode(),
 		Files:      len(s.rt.Table().Files()),
 		Reverse:    s.reverse,
+		Runtime:    s.runtimeID,
 	})
 	// A session attaching while the simulation is parked at a stop
 	// must learn about it — it may be promoted to controller later and
@@ -341,7 +382,14 @@ func (s *Server) dropSession(id int64, reason string) {
 	sess.signalQuit()
 }
 
-func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+// ServeHTTP accepts one debugger connection: it upgrades the request
+// to WebSocket, attaches a session, and runs its request loop until
+// the connection dies. Exported (the Server is an http.Handler) so a
+// hub can route upgrade requests from a shared listener to the
+// runtime the URL names — the server behaves identically whether it
+// owns the listener (Listen) or sits behind one endpoint among many
+// sibling runtimes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Wire negotiation rides the upgrade URL: ?enc=binary selects the
 	// length-prefixed binary event encoding, ?delta=1 opts into
 	// delta-encoded stop frames (the client must then ack stops).

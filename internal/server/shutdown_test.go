@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// TestShutdownDuringStop is the eviction-during-stop regression test
+// for the factored per-runtime Shutdown: a hub evicting a runtime
+// whose simulation is parked at a breakpoint must resume it (so the
+// simulation goroutine can exit), deliver goodbyes to every session,
+// and leave sibling servers in the same process untouched.
+func TestShutdownDuringStop(t *testing.T) {
+	addrA, simA, lineA, srvA := startServerFull(t)
+	addrB, _, lineB, _ := startServerFull(t) // the sibling
+
+	ctrlA := dialClient(t, addrA)
+	obsA := dialClient(t, addrA)
+	ctrlB := dialClient(t, addrB)
+
+	if _, err := ctrlA.AddBreakpoint("server_test.go", lineA, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrlB.AddBreakpoint("server_test.go", lineB, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park runtime A at a stop: the sim goroutine blocks inside the
+	// server's stop handler waiting for the controller's command.
+	simDone := make(chan struct{})
+	go func() {
+		defer close(simDone)
+		simA.Poke("Counter.en", 1)
+		simA.Run(2)
+	}()
+	if _, err := ctrlA.WaitStop(5 * time.Second); err != nil {
+		t.Fatalf("runtime A never stopped: %v", err)
+	}
+
+	// Evict runtime A mid-stop. Shutdown must auto-continue the parked
+	// simulation and drain both sessions' goodbyes within the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown during stop: %v", err)
+	}
+	select {
+	case <-simDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation stayed parked after Shutdown (resume not delivered)")
+	}
+	for name, cl := range map[string]*client.Client{"controller": ctrlA, "observer": obsA} {
+		ev, err := cl.WaitEvent("goodbye", 5*time.Second)
+		if err != nil {
+			t.Fatalf("%s: no goodbye after eviction: %v", name, err)
+		}
+		if ev.Reason != "shutdown" {
+			t.Fatalf("%s: goodbye reason = %q", name, ev.Reason)
+		}
+	}
+
+	// Shutdown is idempotent and must not wedge on an already-drained
+	// server.
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+
+	// The sibling is untouched: its session still round-trips and its
+	// breakpoints are still armed.
+	infos, err := ctrlB.ListBreakpoints()
+	if err != nil {
+		t.Fatalf("sibling request after eviction: %v", err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("sibling lost its breakpoints")
+	}
+	if got := ctrlB.Role(); got != "controller" {
+		t.Fatalf("sibling controller role = %q", got)
+	}
+}
+
+// TestShutdownDeadline pins the ctx contract: a wedged writer cannot
+// hold Shutdown past the caller's deadline.
+func TestShutdownDeadline(t *testing.T) {
+	_, _, _, srv := startServerFull(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown with no sessions: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("shutdown took %v with nothing to drain", d)
+	}
+}
